@@ -1,0 +1,111 @@
+// Microbenchmark for Section III-C's complexity claims:
+//   single-sink length-based DP ............ O(n L)
+//   multi-sink with joins .................. O(m L^2 + n L)
+// versus the van Ginneken-style unconstrained candidate set, which this
+// code path degenerates to when L ~ n (arrays of size n -> O(n^2)).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "buffer/insertion.hpp"
+#include "buffer/single_sink.hpp"
+#include "route/route_tree.hpp"
+#include "tile/tile_graph.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rabid;
+
+tile::TileGraph chain_graph(std::int32_t n) {
+  return tile::TileGraph(geom::Rect{{0, 0}, {n * 100.0, 100.0}}, n, 1);
+}
+
+route::RouteTree chain_tree(const tile::TileGraph& g, std::int32_t len) {
+  route::RouteTree t(g.id_of({0, 0}));
+  route::NodeId cur = t.root();
+  for (std::int32_t x = 1; x <= len; ++x) cur = t.add_child(cur, g.id_of({x, 0}));
+  t.add_sink(cur);
+  return t;
+}
+
+std::vector<double> random_costs(std::int32_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> q(static_cast<std::size_t>(n));
+  for (double& v : q) v = rng.uniform(0.1, 10.0);
+  return q;
+}
+
+/// Fig. 6 transcription on chains of growing length; expect ~linear time.
+void BM_SingleSinkChain(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const std::vector<double> q = random_costs(n, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buffer::single_sink_insertion(q, 6));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SingleSinkChain)->Range(64, 8192)->Complexity(benchmark::oN);
+
+/// General tree DP on chains with fixed L: also ~linear.
+void BM_TreeDpChainFixedL(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const tile::TileGraph g = chain_graph(n + 1);
+  const route::RouteTree t = chain_tree(g, n);
+  const std::vector<double> q = random_costs(n + 1, 7);
+  const buffer::TileCostFn cost = [&](tile::TileId tl) {
+    return q[static_cast<std::size_t>(tl)];
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buffer::insert_buffers(t, 6, cost));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_TreeDpChainFixedL)->Range(64, 4096)->Complexity(benchmark::oN);
+
+/// The same DP with L ~ n degenerates to the unconstrained van
+/// Ginneken-style candidate set: quadratic.
+void BM_TreeDpChainUnconstrainedL(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const tile::TileGraph g = chain_graph(n + 1);
+  const route::RouteTree t = chain_tree(g, n);
+  const std::vector<double> q = random_costs(n + 1, 7);
+  const buffer::TileCostFn cost = [&](tile::TileId tl) {
+    return q[static_cast<std::size_t>(tl)];
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buffer::insert_buffers(t, n, cost));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_TreeDpChainUnconstrainedL)
+    ->Range(64, 2048)
+    ->Complexity(benchmark::oNSquared);
+
+/// Multi-sink: a comb with m teeth; join work is O(m L^2).
+void BM_TreeDpComb(benchmark::State& state) {
+  const auto m = static_cast<std::int32_t>(state.range(0));
+  tile::TileGraph g(geom::Rect{{0, 0}, {(m + 1) * 200.0, 800.0}},
+                    2 * (m + 1), 8);
+  route::RouteTree t(g.id_of({0, 0}));
+  route::NodeId cur = t.root();
+  for (std::int32_t k = 1; k <= m; ++k) {
+    cur = t.add_child(cur, g.id_of({2 * k - 1, 0}));
+    cur = t.add_child(cur, g.id_of({2 * k, 0}));
+    route::NodeId tooth = t.add_child(cur, g.id_of({2 * k, 1}));
+    tooth = t.add_child(tooth, g.id_of({2 * k, 2}));
+    t.add_sink(tooth);
+  }
+  t.add_sink(cur);
+  const buffer::TileCostFn cost = [](tile::TileId) { return 1.0; };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buffer::insert_buffers(t, 6, cost));
+  }
+  state.SetComplexityN(m);
+}
+BENCHMARK(BM_TreeDpComb)->Range(8, 512)->Complexity(benchmark::oN);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Throughput microbenchmark for the full planning flow and its stages —
+// the engineering counterpart of Table II's CPU column.  Useful for
+// catching performance regressions: Section IV-A observes CPU time is
+// "almost exclusively dominated by the two rerouting stages", which the
+// per-stage timings verify.
+
+#include <benchmark/benchmark.h>
+
+#include "circuits/generator.hpp"
+#include "circuits/specs.hpp"
+#include "core/rabid.hpp"
+
+namespace {
+
+using namespace rabid;
+
+void BM_FullFlow(benchmark::State& state, const char* circuit) {
+  const circuits::CircuitSpec& spec = circuits::spec_by_name(circuit);
+  const netlist::Design design = circuits::generate_design(spec);
+  const tile::TileGraph prototype = circuits::build_tile_graph(design, spec);
+  for (auto _ : state) {
+    tile::TileGraph graph = prototype;
+    core::Rabid rabid(design, graph);
+    benchmark::DoNotOptimize(rabid.run_all());
+  }
+}
+BENCHMARK_CAPTURE(BM_FullFlow, apte, "apte");
+BENCHMARK_CAPTURE(BM_FullFlow, xerox, "xerox");
+BENCHMARK_CAPTURE(BM_FullFlow, ami49, "ami49");
+
+void BM_Stage(benchmark::State& state, const char* circuit, int stage) {
+  const circuits::CircuitSpec& spec = circuits::spec_by_name(circuit);
+  const netlist::Design design = circuits::generate_design(spec);
+  const tile::TileGraph prototype = circuits::build_tile_graph(design, spec);
+  for (auto _ : state) {
+    state.PauseTiming();
+    tile::TileGraph graph = prototype;
+    core::Rabid rabid(design, graph);
+    if (stage >= 2) rabid.run_stage1();
+    if (stage >= 3) rabid.run_stage2();
+    if (stage >= 4) rabid.run_stage3();
+    state.ResumeTiming();
+    switch (stage) {
+      case 1: benchmark::DoNotOptimize(rabid.run_stage1()); break;
+      case 2: benchmark::DoNotOptimize(rabid.run_stage2()); break;
+      case 3: benchmark::DoNotOptimize(rabid.run_stage3()); break;
+      default: benchmark::DoNotOptimize(rabid.run_stage4()); break;
+    }
+  }
+}
+BENCHMARK_CAPTURE(BM_Stage, apte_stage1, "apte", 1);
+BENCHMARK_CAPTURE(BM_Stage, apte_stage2, "apte", 2);
+BENCHMARK_CAPTURE(BM_Stage, apte_stage3, "apte", 3);
+BENCHMARK_CAPTURE(BM_Stage, apte_stage4, "apte", 4);
+
+void BM_Generator(benchmark::State& state, const char* circuit) {
+  const circuits::CircuitSpec& spec = circuits::spec_by_name(circuit);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuits::generate_design(spec));
+  }
+}
+BENCHMARK_CAPTURE(BM_Generator, playout, "playout");
+
+}  // namespace
+
+BENCHMARK_MAIN();

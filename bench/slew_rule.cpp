@@ -1,0 +1,87 @@
+// Derivation bench for the paper's length rule (Section II): from a
+// target input slew, compute the maximum buffer-to-buffer interval (the
+// paper's "repeaters at intervals of at most 4500 um" quantity), convert
+// it to tiles for each benchmark, and measure the slews RABID's
+// length-based buffering actually delivers.
+//
+// Usage: slew_rule [circuit]   (default: apte)
+
+#include <cstdio>
+#include <string>
+
+#include "circuits/generator.hpp"
+#include "circuits/specs.hpp"
+#include "core/rabid.hpp"
+#include "report/table.hpp"
+#include "timing/slew.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rabid;
+  const std::string circuit = argc > 1 ? argv[1] : "apte";
+
+  std::printf(
+      "Length-rule derivation (0.18um): max unbuffered interval per slew "
+      "target\n\n");
+  {
+    report::Table t({"slew target (ps)", "interval (um)",
+                     "tiles @0.6mm", "tiles @0.82mm", "tiles @1.04mm"});
+    for (const double limit : {200.0, 300.0, 400.0, 600.0}) {
+      const double um = timing::max_interval_for_slew(limit);
+      t.add_row({report::fmt(limit, 0), report::fmt(um, 0),
+                 report::fmt(um / 600.0, 1), report::fmt(um / 820.0, 1),
+                 report::fmt(um / 1040.0, 1)});
+    }
+    t.print();
+  }
+  std::printf(
+      "\n(the Table-I constraints L in {5,6} tiles of 0.6-1.0 mm match a\n"
+      " ~300-600 ps input-slew budget; cf. the 4500 um 0.25um rule [10])\n\n");
+
+  // Measured slews on a real circuit, stage by stage.
+  const circuits::CircuitSpec& spec = circuits::spec_by_name(circuit);
+  const netlist::Design design = circuits::generate_design(spec);
+  tile::TileGraph graph = circuits::build_tile_graph(design, spec);
+  core::Rabid rabid(design, graph);
+
+  report::Table t({"stage", "max slew (ps)", "avg slew (ps)",
+                   "loads > L-bound"});
+  const double bound = timing::line_end_slew(
+      design.default_length_limit() * graph.tile_pitch());
+  auto add_row = [&](const char* stage) {
+    double max_ps = 0.0, sum = 0.0;
+    std::int64_t count = 0, over = 0;
+    for (const core::NetState& n : rabid.nets()) {
+      const timing::SlewResult r =
+          timing::evaluate_slews(n.tree, n.buffers, graph);
+      for (const double s : r.load_slews_ps) {
+        max_ps = std::max(max_ps, s);
+        sum += s;
+        ++count;
+        // Loads slower than twice the straight-line L bound indicate a
+        // stage violating the spirit of the rule (failed nets).
+        if (s > 2.0 * bound) ++over;
+      }
+    }
+    t.add_row({stage, report::fmt(max_ps, 0),
+               report::fmt(count ? sum / static_cast<double>(count) : 0.0, 0),
+               report::fmt(over)});
+  };
+
+  rabid.run_stage1();
+  add_row("1 (unbuffered)");
+  rabid.run_stage2();
+  add_row("2 (rerouted)");
+  rabid.run_stage3();
+  add_row("3 (buffered)");
+  rabid.run_stage4();
+  add_row("4 (final)");
+
+  std::printf("measured gate-input slews on %s (L-bound %.0f ps):\n",
+              circuit.c_str(), bound);
+  t.print();
+  std::printf(
+      "\nreading: stages 1-2 carry second-scale slews; the length rule\n"
+      "pulls every load back to the few-hundred-ps regime, with the few\n"
+      "stragglers being the blocked-region length failures.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Regenerates Table I: test circuit statistics and parameters.
+//
+// Every column is produced from the generated workloads themselves (not
+// echoed from the spec table), so this binary doubles as an end-to-end
+// check that the benchmark generator reproduces the published statistics
+// exactly.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "circuits/generator.hpp"
+#include "circuits/specs.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace rabid;
+
+  std::printf("Table I: test circuit statistics and parameters\n");
+  std::printf("(regenerated workloads; cf. Alpert et al., Table I)\n\n");
+
+  report::Table table({"circuit", "cells", "nets", "pads", "sinks",
+                       "grid size", "tile area (mm2)", "L_i", "buffer sites",
+                       "%chip area"});
+  bool all_match = true;
+  for (const circuits::CircuitSpec& spec : circuits::table1_specs()) {
+    const netlist::Design design = circuits::generate_design(spec);
+    const tile::TileGraph graph = circuits::build_tile_graph(design, spec);
+
+    const auto cells = static_cast<std::int64_t>(design.blocks().size());
+    const auto nets = static_cast<std::int64_t>(design.nets().size());
+    const auto pads = static_cast<std::int64_t>(design.pad_count());
+    const auto sinks = static_cast<std::int64_t>(design.total_sinks());
+    const std::int64_t sites = graph.total_site_supply();
+
+    table.add_row({std::string(spec.name), report::fmt(cells),
+                   report::fmt(nets), report::fmt(pads), report::fmt(sinks),
+                   std::to_string(graph.nx()) + "x" + std::to_string(graph.ny()),
+                   report::fmt(graph.tile_area_mm2(), 2),
+                   report::fmt(static_cast<std::int64_t>(
+                       design.default_length_limit())),
+                   report::fmt(sites),
+                   report::fmt(circuits::pct_chip_area(spec, sites), 2)});
+
+    all_match &= cells == spec.cells && nets == spec.nets &&
+                 pads == spec.pads && sinks == spec.sinks &&
+                 sites == spec.buffer_sites;
+  }
+  table.print();
+  std::printf("\npublished-statistics match: %s\n",
+              all_match ? "EXACT" : "MISMATCH");
+  return all_match ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -1,0 +1,63 @@
+// Regenerates Table III: RABID on the six CBL circuits with small,
+// medium, and large numbers of available buffer sites.
+//
+// Expected trend (paper): fewer sites => higher buffer congestion, more
+// length-rule failures, worse delays; "no more than one in every five
+// buffer sites occupied appears necessary to obtain good solutions."
+//
+// Usage: table3_sites [--quick]   (--quick runs apte + hp only)
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "circuits/generator.hpp"
+#include "circuits/specs.hpp"
+#include "core/rabid.hpp"
+#include "report/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rabid;
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+
+  std::printf(
+      "Table III: results with varying available buffer sites\n"
+      "(cf. Alpert et al., Table III)\n\n");
+
+  report::Table table({"circuit", "buffer sites", "wireC max", "wireC avg",
+                       "overflows", "bufC max", "bufC avg", "#bufs", "#fails",
+                       "wl (mm)", "delay max", "delay avg", "CPU (s)"});
+
+  for (const circuits::SiteSweep& sweep : circuits::table3_site_sweeps()) {
+    if (quick && sweep.name != "apte" && sweep.name != "hp") continue;
+    const circuits::CircuitSpec& spec = circuits::spec_by_name(sweep.name);
+    const netlist::Design design = circuits::generate_design(spec);
+    for (const std::int32_t sites :
+         {sweep.small, sweep.medium, sweep.large}) {
+      circuits::TilingOptions opt;
+      opt.buffer_sites = sites;
+      tile::TileGraph graph = circuits::build_tile_graph(design, spec, opt);
+      core::Rabid rabid(design, graph);
+      const auto stats = rabid.run_all();
+      const core::StageStats& s = stats.back();
+      double cpu = 0.0;
+      for (const auto& st : stats) cpu += st.cpu_s;
+      using report::fmt;
+      table.add_row({std::string(sweep.name),
+                     fmt(static_cast<std::int64_t>(sites)),
+                     fmt(s.max_wire_congestion, 2),
+                     fmt(s.avg_wire_congestion, 2), fmt(s.overflow),
+                     fmt(s.max_buffer_density, 2),
+                     fmt(s.avg_buffer_density, 2), fmt(s.buffers),
+                     fmt(static_cast<std::int64_t>(s.failed_nets)),
+                     fmt(s.wirelength_mm, 0), fmt(s.max_delay_ps, 0),
+                     fmt(s.avg_delay_ps, 0), fmt(cpu, 1)});
+    }
+    table.add_rule();
+  }
+  table.print();
+  std::printf(
+      "\nexpected shape (paper): as sites shrink, #fails rises and both\n"
+      "delay columns worsen; buffer congestion max pins at 1.00.\n");
+  return 0;
+}

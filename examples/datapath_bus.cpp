@@ -1,0 +1,96 @@
+// Semi-custom data-path scenario (Section I-B): a bus of parallel nets
+// crosses a dense data-path region that wires cannot detour around.
+// If buffer sites exist only *outside* the region (the buffer-block
+// world), every bus bit detours to reach a buffer and timing suffers.
+// Designed-in buffer sites inside the data path keep the bus straight.
+//
+//   $ ./datapath_bus
+
+#include <cstdio>
+
+#include "core/rabid.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace rabid;
+
+constexpr std::int32_t kGrid = 16;        // 16x16 tiles, 1mm each
+constexpr std::int32_t kBusBits = 12;     // nets in the bus
+// The data-path block occupies rows 6..9 across the full die width.
+constexpr std::int32_t kDpLoY = 6, kDpHiY = 9;
+
+netlist::Design make_design() {
+  netlist::Design d("datapath", geom::Rect{{0, 0}, {16000, 16000}});
+  d.set_default_length_limit(4);
+  d.add_block({"datapath",
+               geom::Rect{{0, kDpLoY * 1000.0}, {16000, (kDpHiY + 1) * 1000.0}},
+               0.05});
+  // Bus: bit i runs vertically across the data path in column 2+i.
+  for (std::int32_t i = 0; i < kBusBits; ++i) {
+    const double x = (2 + i) * 1000.0 + 500.0;
+    netlist::Net n;
+    n.name = "bus" + std::to_string(i);
+    n.source = {{x, 500.0}, netlist::PinKind::kFree, netlist::kNoBlock};
+    n.sinks = {{{x, 15500.0}, netlist::PinKind::kFree, netlist::kNoBlock}};
+    d.add_net(std::move(n));
+  }
+  return d;
+}
+
+struct Outcome {
+  core::StageStats final;
+  double straightness;  // actual / minimal wirelength (1.0 = all straight)
+};
+
+Outcome run(bool sites_inside_datapath) {
+  const netlist::Design design = make_design();
+  tile::TileGraph graph(design.outline(), kGrid, kGrid);
+  graph.set_uniform_wire_capacity(3);
+  for (tile::TileId t = 0; t < graph.tile_count(); ++t) {
+    const std::int32_t y = graph.coord_of(t).y;
+    const bool inside = y >= kDpLoY && y <= kDpHiY;
+    graph.set_site_supply(t, inside ? (sites_inside_datapath ? 2 : 0) : 2);
+  }
+  core::Rabid rabid(design, graph);
+  rabid.run_stage1();
+  rabid.run_stage2();
+  rabid.run_stage3();
+  Outcome out{rabid.run_stage4(), 0.0};
+  double actual = 0.0, minimal = 0.0;
+  for (std::size_t i = 0; i < rabid.nets().size(); ++i) {
+    actual += static_cast<double>(rabid.nets()[i].tree.wirelength_tiles());
+    minimal += 15.0;  // straight vertical run
+  }
+  out.straightness = actual / minimal;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const Outcome walled = run(/*sites_inside_datapath=*/false);
+  const Outcome holes = run(/*sites_inside_datapath=*/true);
+
+  std::printf("a %d-bit bus crossing a data-path macro (L_i = 4 tiles, "
+              "region is 4 tiles tall)\n\n", kBusBits);
+  report::Table table({"metric", "no sites in region", "sites in region"});
+  auto row = [&](const char* name, double a, double b, int prec) {
+    table.add_row({name, report::fmt(a, prec), report::fmt(b, prec)});
+  };
+  row("wirelength / minimum", walled.straightness, holes.straightness, 3);
+  row("length failures", walled.final.failed_nets, holes.final.failed_nets, 0);
+  row("max delay (ps)", walled.final.max_delay_ps, holes.final.max_delay_ps,
+      0);
+  row("avg delay (ps)", walled.final.avg_delay_ps, holes.final.avg_delay_ps,
+      0);
+  row("buffers", static_cast<double>(walled.final.buffers),
+      static_cast<double>(holes.final.buffers), 0);
+  table.print();
+
+  std::printf(
+      "\nreading: with designed-in buffer sites the bus stays straight\n"
+      "(ratio ~1.0) and meets the slew/length rule; a site-free region\n"
+      "forces rule failures or detours, exactly the Section I-B story.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Buffer-site budgeting — the Section I-B workflow:
+//
+//   "assume an infinite number of available buffer sites, run a buffer
+//    allocation tool like RABID, and compute the number of buffers
+//    inserted in each block. Then, this number can be used to help
+//    determine the actual number of buffer sites to allocate within the
+//    block."
+//
+// This example runs that loop on the xerox benchmark: plan against
+// unlimited sites, budget each macro (5x headroom, per Table III's
+// one-in-five occupancy rule), then re-run RABID against the budget and
+// show it is comfortable.
+//
+//   $ ./site_planning
+
+#include <cstdio>
+
+#include "circuits/generator.hpp"
+#include "circuits/specs.hpp"
+#include "core/site_planning.hpp"
+#include "report/heatmap.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace rabid;
+  const circuits::CircuitSpec& spec = circuits::spec_by_name("xerox");
+  const netlist::Design design = circuits::generate_design(spec);
+  const tile::TileGraph prototype = circuits::build_tile_graph(design, spec);
+
+  // 1. Unlimited-supply planning run.
+  const core::SitePlan plan = core::plan_buffer_sites(design, prototype);
+  std::printf("site budget for '%s' (%lld buffers needed, x5 headroom)\n\n",
+              design.name().c_str(),
+              static_cast<long long>(plan.total_buffers));
+
+  report::Table table(
+      {"block", "area (mm2)", "buffers", "sites to allocate", "% of block"});
+  for (const core::BlockDemand& d : plan.demand) {
+    const std::string name =
+        d.block == netlist::kNoBlock
+            ? "(channels)"
+            : design.block(d.block).name;
+    table.add_row(
+        {name, report::fmt(d.area_um2 * 1e-6, 1), report::fmt(d.buffers),
+         report::fmt(d.recommended_sites),
+         report::fmt(100.0 * d.area_fraction(circuits::kBufferSiteAreaUm2),
+                     2)});
+  }
+  table.print();
+
+  // 2. Re-run against the budget.
+  tile::TileGraph budgeted = prototype;
+  budgeted.reset_usage();
+  core::apply_site_plan(plan, design, budgeted);
+  core::Rabid rabid(design, budgeted);
+  const auto stats = rabid.run_all();
+  const core::StageStats& s = stats.back();
+
+  std::printf(
+      "\nvalidation run against the budget: %lld sites total\n"
+      "  overflow %lld, buffers %lld, failures %d, avg occupancy %.2f,\n"
+      "  max delay %.0f ps, avg delay %.0f ps\n",
+      static_cast<long long>(budgeted.total_site_supply()),
+      static_cast<long long>(s.overflow), static_cast<long long>(s.buffers),
+      s.failed_nets, s.avg_buffer_density, s.max_delay_ps, s.avg_delay_ps);
+
+  std::printf("\nbuffer occupancy map (X = no sites):\n%s",
+              report::buffer_density_map(budgeted).c_str());
+  return 0;
+}

@@ -1,0 +1,105 @@
+#include "buffer/brute_force.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace rabid::buffer {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+bool placement_is_legal(const route::RouteTree& tree,
+                        const route::BufferList& buffers, std::int32_t L) {
+  const std::size_t n = tree.node_count();
+  std::vector<bool> driving(n, false);
+  std::vector<bool> decoupled(n, false);  // arc parent->node has a buffer
+  for (const route::BufferPlacement& b : buffers) {
+    // Decoupling at the source tile is fine; a buffer in series with the
+    // net driver is not.
+    if (b.node == tree.root() && b.child == route::kNoNode) return false;
+    if (b.child == route::kNoNode) {
+      driving[static_cast<std::size_t>(b.node)] = true;
+    } else {
+      if (tree.node(b.child).parent != b.node) return false;
+      decoupled[static_cast<std::size_t>(b.child)] = true;
+    }
+  }
+
+  // load[v] = tile-units of unbuffered wire hanging below point v
+  // *after* v's driving buffer (i.e. what a gate placed at v would see).
+  // Child-before-parent accumulation; each arc contributes 1 plus the
+  // child's upward-visible load.
+  std::vector<std::int32_t> load(n, 0);
+  for (const route::NodeId v : tree.postorder()) {
+    std::int32_t total = 0;
+    for (const route::NodeId w : tree.node(v).children) {
+      const std::int32_t arc_load =
+          1 + load[static_cast<std::size_t>(w)];
+      if (decoupled[static_cast<std::size_t>(w)]) {
+        // The decoupling buffer at v must itself satisfy the rule...
+        if (arc_load > L) return false;
+      } else {
+        total += arc_load;
+      }
+    }
+    if (driving[static_cast<std::size_t>(v)]) {
+      if (total > L) return false;  // the driving buffer's own stage
+      total = 0;
+    }
+    load[static_cast<std::size_t>(v)] = total;
+  }
+  // ...and the net driver drives whatever is visible at the root.
+  return load[static_cast<std::size_t>(tree.root())] <= L;
+}
+
+double placement_cost(const route::RouteTree& tree,
+                      const route::BufferList& buffers, const TileCostFn& q) {
+  double cost = 0.0;
+  for (const route::BufferPlacement& b : buffers) {
+    cost += q(tree.node(b.node).tile);
+  }
+  return cost;
+}
+
+InsertionResult brute_force_insert(const route::RouteTree& tree,
+                                   std::int32_t L, const TileCostFn& q) {
+  // Candidate slots.
+  route::BufferList slots;
+  for (std::size_t i = 0; i < tree.node_count(); ++i) {
+    const auto v = static_cast<route::NodeId>(i);
+    for (const route::NodeId w : tree.node(v).children) {
+      slots.push_back({v, w});
+    }
+    if (v != tree.root() && tree.node(v).children.size() >= 2) {
+      slots.push_back({v, route::kNoNode});
+    }
+  }
+  RABID_ASSERT_MSG(slots.size() <= 20, "brute force is for tiny trees only");
+
+  InsertionResult best;
+  best.cost = kInf;
+  best.effective_limit = L;
+  const std::uint32_t count = 1U << slots.size();
+  for (std::uint32_t mask = 0; mask < count; ++mask) {
+    route::BufferList candidate;
+    double cost = 0.0;
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      if ((mask >> s) & 1U) {
+        candidate.push_back(slots[s]);
+        cost += q(tree.node(slots[s].node).tile);
+      }
+    }
+    if (cost >= best.cost) continue;
+    if (!placement_is_legal(tree, candidate, L)) continue;
+    best.cost = cost;
+    best.buffers = std::move(candidate);
+    best.feasible = true;
+  }
+  return best;
+}
+
+}  // namespace rabid::buffer

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file brute_force.hpp
+/// Exhaustive reference implementation of length-based buffer insertion,
+/// used only by tests to certify the DP's optimality on small trees.
+///
+/// Enumerates every subset of candidate buffer slots (a decoupling slot
+/// per tree arc, a driving slot per multi-child node; never the root
+/// tile), checks the total-driven-length rule for the driver and every
+/// buffer, and returns the cheapest legal configuration.
+
+#include <cstdint>
+
+#include "buffer/insertion.hpp"
+
+namespace rabid::buffer {
+
+/// Exhaustive optimum. Practical only for trees with ~12 or fewer slots.
+InsertionResult brute_force_insert(const route::RouteTree& tree,
+                                   std::int32_t L, const TileCostFn& q);
+
+/// True iff `buffers` on `tree` satisfies the rule: every gate (driver
+/// included) drives at most L tile-units of wire.  Shared by tests to
+/// validate DP outputs on large trees where enumeration is impossible.
+bool placement_is_legal(const route::RouteTree& tree,
+                        const route::BufferList& buffers, std::int32_t L);
+
+/// Total q-cost of a buffer list.
+double placement_cost(const route::RouteTree& tree,
+                      const route::BufferList& buffers, const TileCostFn& q);
+
+}  // namespace rabid::buffer

@@ -1,0 +1,262 @@
+#include "buffer/insertion.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace rabid::buffer {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+using Array = std::vector<double>;
+
+/// K_w: child array advanced one tile toward the parent, plus the
+/// decoupling-buffer option at the parent (K[0]).
+Array advance_and_decouple(const Array& child, double q_v, std::int32_t L) {
+  Array k(static_cast<std::size_t>(L) + 1, kInf);
+  for (std::int32_t j = 1; j <= L; ++j) {
+    k[static_cast<std::size_t>(j)] = child[static_cast<std::size_t>(j) - 1];
+  }
+  // A buffer at the parent drives the 1-tile arc plus j units below the
+  // child: legal when j + 1 <= L, i.e. j <= L-1.
+  double best = kInf;
+  for (std::int32_t j = 0; j <= L - 1; ++j) {
+    best = std::min(best, child[static_cast<std::size_t>(j)]);
+  }
+  k[0] = q_v + best;
+  return k;
+}
+
+/// Index of the first minimum of child[0..L-1] — the decoupling-buffer
+/// traceback target. Mirrors advance_and_decouple's scan order.
+std::int32_t decouple_argmin(const Array& child, std::int32_t L) {
+  double best = kInf;
+  std::int32_t arg = 0;
+  for (std::int32_t j = 0; j <= L - 1; ++j) {
+    if (child[static_cast<std::size_t>(j)] < best) {
+      best = child[static_cast<std::size_t>(j)];
+      arg = j;
+    }
+  }
+  return arg;
+}
+
+/// Min-plus convolution truncated at L: unbuffered lengths of the two
+/// branch groups add at the merge node.
+Array join(const Array& a, const Array& b, std::int32_t L) {
+  Array c(static_cast<std::size_t>(L) + 1, kInf);
+  for (std::int32_t j = 0; j <= L; ++j) {
+    double best = kInf;
+    for (std::int32_t x = 0; x <= j; ++x) {
+      const double v = a[static_cast<std::size_t>(x)] +
+                       b[static_cast<std::size_t>(j - x)];
+      if (v < best) best = v;
+    }
+    c[static_cast<std::size_t>(j)] = best;
+  }
+  return c;
+}
+
+/// Value/argmin of the driving-buffer option: a buffer at v drives the
+/// whole joined load j (j <= L).
+std::pair<double, std::int32_t> drive_option(const Array& joined, double q_v,
+                                             std::int32_t L) {
+  double best = kInf;
+  std::int32_t arg = 0;
+  for (std::int32_t j = 0; j <= L; ++j) {
+    if (joined[static_cast<std::size_t>(j)] < best) {
+      best = joined[static_cast<std::size_t>(j)];
+      arg = j;
+    }
+  }
+  return {q_v + best, arg};
+}
+
+/// Everything the traceback needs to re-derive one node's decisions.
+/// Recomputed on demand (bitwise-identical to the forward pass since it
+/// runs the same code on the same stored child arrays).
+struct NodeTrace {
+  std::vector<Array> k;  ///< per child
+  std::vector<Array> acc;  ///< fold partials; acc[s] joins k[0..s]
+  double drive_value = kInf;
+  std::int32_t drive_arg = 0;
+  bool has_drive = false;
+};
+
+NodeTrace trace_node(std::span<const Array> child_arrays, double q_v,
+                     std::int32_t L, bool allow_drive) {
+  NodeTrace t;
+  for (const Array& c : child_arrays) {
+    t.k.push_back(advance_and_decouple(c, q_v, L));
+  }
+  if (t.k.empty()) return t;
+  t.acc.push_back(t.k.front());
+  for (std::size_t s = 1; s < t.k.size(); ++s) {
+    t.acc.push_back(join(t.acc.back(), t.k[s], L));
+  }
+  if (allow_drive && t.k.size() >= 2) {
+    t.has_drive = true;
+    const auto [val, arg] = drive_option(t.acc.back(), q_v, L);
+    t.drive_value = val;
+    t.drive_arg = arg;
+  }
+  return t;
+}
+
+}  // namespace
+
+std::vector<double> dp_node_array(std::span<const Array> child_arrays,
+                                  double q_v, std::int32_t L,
+                                  bool allow_drive) {
+  RABID_ASSERT_MSG(L >= 1, "length limit must be at least one tile");
+  if (child_arrays.empty()) {
+    // Fig. 6 Step 1: the sink/leaf array is all zeros.
+    return Array(static_cast<std::size_t>(L) + 1, 0.0);
+  }
+  NodeTrace t = trace_node(child_arrays, q_v, L, allow_drive);
+  Array c = std::move(t.acc.back());
+  if (t.has_drive && t.drive_value < c[0]) c[0] = t.drive_value;
+  return c;
+}
+
+namespace {
+
+/// Bottom-up forward pass + top-down traceback over a route tree.
+class TreeDp {
+ public:
+  TreeDp(const route::RouteTree& tree, std::int32_t L, const TileCostFn& q)
+      : tree_(tree), L_(L) {
+    const std::size_t n = tree.node_count();
+    q_of_node_.resize(n);
+    arrays_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto v = static_cast<route::NodeId>(i);
+      q_of_node_[i] = q(tree.node(v).tile);
+    }
+    for (const route::NodeId v : tree.postorder()) {
+      // Decoupling buffers may sit in the source tile, but nothing ever
+      // drives in series with the net driver itself.
+      arrays_[static_cast<std::size_t>(v)] = dp_node_array(
+          child_arrays(v), q_of_node_[static_cast<std::size_t>(v)], L_,
+          /*allow_drive=*/v != tree.root());
+    }
+  }
+
+  double best_cost() const {
+    const Array& root = arrays_[static_cast<std::size_t>(tree_.root())];
+    return *std::min_element(root.begin(), root.end());
+  }
+
+  route::BufferList traceback() const {
+    route::BufferList out;
+    const Array& root = arrays_[static_cast<std::size_t>(tree_.root())];
+    std::int32_t j = 0;
+    double best = kInf;
+    for (std::int32_t i = 0; i <= L_; ++i) {
+      if (root[static_cast<std::size_t>(i)] < best) {
+        best = root[static_cast<std::size_t>(i)];
+        j = i;
+      }
+    }
+    RABID_ASSERT(std::isfinite(best));
+    trace(tree_.root(), j, out);
+    return out;
+  }
+
+ private:
+  std::vector<Array> child_arrays(route::NodeId v) const {
+    std::vector<Array> out;
+    for (const route::NodeId w : tree_.node(v).children) {
+      out.push_back(arrays_[static_cast<std::size_t>(w)]);
+    }
+    return out;
+  }
+
+  void trace(route::NodeId v, std::int32_t j, route::BufferList& out) const {
+    const auto& children = tree_.node(v).children;
+    if (children.empty()) return;  // leaf: nothing below
+    const std::vector<Array> kids = child_arrays(v);
+    const NodeTrace t =
+        trace_node(kids, q_of_node_[static_cast<std::size_t>(v)], L_,
+                   /*allow_drive=*/v != tree_.root());
+
+    // Was C_v[0] realized by the driving-buffer option?
+    if (j == 0 && t.has_drive &&
+        t.drive_value < t.acc.back()[0]) {
+      out.push_back({v, route::kNoNode});
+      j = t.drive_arg;
+    }
+
+    // Unfold the convolution, last child first.
+    for (std::size_t s = children.size(); s-- > 1;) {
+      const Array& left = t.acc[s - 1];
+      const Array& right = t.k[s];
+      const double target = t.acc[s][static_cast<std::size_t>(j)];
+      std::int32_t a = -1;
+      for (std::int32_t x = 0; x <= j; ++x) {
+        if (left[static_cast<std::size_t>(x)] +
+                right[static_cast<std::size_t>(j - x)] ==
+            target) {
+          a = x;
+          break;
+        }
+      }
+      RABID_ASSERT_MSG(a >= 0, "join traceback lost the optimal split");
+      resolve_child(v, children[s], kids[s], j - a, out);
+      j = a;
+    }
+    resolve_child(v, children[0], kids[0], j, out);
+  }
+
+  /// Child w consumed K-index `b`: either a decoupling buffer at v (b==0)
+  /// or a plain one-tile advance.
+  void resolve_child(route::NodeId v, route::NodeId w, const Array& child_c,
+                     std::int32_t b, route::BufferList& out) const {
+    if (b == 0) {
+      out.push_back({v, w});
+      trace(w, decouple_argmin(child_c, L_), out);
+    } else {
+      trace(w, b - 1, out);
+    }
+  }
+
+  const route::RouteTree& tree_;
+  std::int32_t L_;
+  std::vector<double> q_of_node_;
+  std::vector<Array> arrays_;
+};
+
+}  // namespace
+
+InsertionResult insert_buffers(const route::RouteTree& tree, std::int32_t L,
+                               const TileCostFn& q) {
+  RABID_ASSERT_MSG(!tree.empty(), "cannot buffer an empty route");
+  InsertionResult result;
+  result.effective_limit = L;
+  const TreeDp dp(tree, L, q);
+  result.cost = dp.best_cost();
+  result.feasible = std::isfinite(result.cost);
+  if (result.feasible) result.buffers = dp.traceback();
+  return result;
+}
+
+InsertionResult insert_buffers_relaxed(const route::RouteTree& tree,
+                                       std::int32_t L, const TileCostFn& q) {
+  InsertionResult result = insert_buffers(tree, L, q);
+  std::int32_t limit = L;
+  const auto wirelength =
+      static_cast<std::int32_t>(tree.wirelength_tiles());
+  while (!result.feasible) {
+    RABID_ASSERT_MSG(limit <= 2 * std::max(wirelength, std::int32_t{1}),
+                     "relaxation failed to converge");
+    limit *= 2;
+    result = insert_buffers(tree, limit, q);
+    result.effective_limit = limit;
+  }
+  return result;
+}
+
+}  // namespace rabid::buffer

@@ -1,0 +1,76 @@
+#include "buffer/single_sink.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace rabid::buffer {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// First argmin of the first L entries (matches the paper's min{C_v[j]}).
+std::int32_t argmin(const std::vector<double>& c, std::int32_t L) {
+  std::int32_t arg = 0;
+  double best = kInf;
+  for (std::int32_t j = 0; j < L; ++j) {
+    if (c[static_cast<std::size_t>(j)] < best) {
+      best = c[static_cast<std::size_t>(j)];
+      arg = j;
+    }
+  }
+  return arg;
+}
+}  // namespace
+
+SingleSinkTable single_sink_insertion(std::span<const double> q,
+                                      std::int32_t L) {
+  RABID_ASSERT(L >= 1);
+  const auto n = static_cast<std::int32_t>(q.size());
+  SingleSinkTable table;
+  table.cost.assign(static_cast<std::size_t>(n) + 1,
+                    std::vector<double>(static_cast<std::size_t>(L), kInf));
+
+  // Step 1: the sink's array is all zeros.
+  std::fill(table.cost[static_cast<std::size_t>(n)].begin(),
+            table.cost[static_cast<std::size_t>(n)].end(), 0.0);
+
+  // Step 2: walk from the sink toward the source. Column i is par(column
+  // i+1): a shift for "no buffer here" plus the buffered entry at j = 0.
+  for (std::int32_t i = n - 1; i >= 0; --i) {
+    const std::vector<double>& down = table.cost[static_cast<std::size_t>(i) + 1];
+    std::vector<double>& here = table.cost[static_cast<std::size_t>(i)];
+    for (std::int32_t j = 1; j < L; ++j) {
+      here[static_cast<std::size_t>(j)] = down[static_cast<std::size_t>(j) - 1];
+    }
+    here[0] = q[static_cast<std::size_t>(i)] +
+              *std::min_element(down.begin(), down.end());
+  }
+
+  // Step 3: the source drives column 0 (its child); any j works since
+  // j + 1 <= L by construction of the array size.
+  if (n == 0) {
+    table.optimal = 0.0;
+    return table;
+  }
+  std::int32_t j = argmin(table.cost[0], L);
+  table.optimal = table.cost[0][static_cast<std::size_t>(j)];
+
+  // Traceback: j == 0 at a column means "buffer here, then restart at the
+  // cheapest downstream entry" — the dark lines of Fig. 7.
+  if (std::isfinite(table.optimal)) {
+    for (std::int32_t i = 0; i < n; ++i) {
+      if (j == 0) {
+        table.buffer_tiles.push_back(i);
+        j = argmin(table.cost[static_cast<std::size_t>(i) + 1], L);
+      } else {
+        --j;
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace rabid::buffer

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file single_sink.hpp
+/// A literal transcription of the paper's single-sink algorithm (Fig. 6),
+/// kept separate from the general tree DP so that (a) the Fig. 7 worked
+/// example can be validated cell-for-cell against the publication and
+/// (b) the O(n L) complexity claim can be micro-benchmarked in isolation.
+///
+/// The chain is given source-to-sink as the buffer costs q of the n route
+/// tiles strictly between the source tile and the sink: q[0] is adjacent
+/// to the source, q[n-1] is the sink tile itself... see chain layout in
+/// single_sink_tables() below.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rabid::buffer {
+
+/// The DP table of Fig. 7 for a two-pin net.
+struct SingleSinkTable {
+  /// cost[i][j] = C_{tile i}[j]; tile 0 is adjacent to the source, the
+  /// last tile is the sink. Arrays have L entries (j in [0, L-1]),
+  /// exactly as printed in Fig. 7.
+  std::vector<std::vector<double>> cost;
+  /// min over j of C at the source-adjacent tile (Fig. 6 Step 3).
+  double optimal = 0.0;
+  /// Indices (into q) of the tiles where the optimal solution buffers,
+  /// recovered by the traceback Fig. 7 draws with dark lines.
+  std::vector<std::int32_t> buffer_tiles;
+};
+
+/// Runs Fig. 6 on a chain of `q.size()` tiles between source and sink;
+/// q[i] is the buffer cost of tile i counted from the source side
+/// (q.back() is the sink's tile; the paper's example keeps the sink as an
+/// extra all-zero column, reproduced in cost.back()... the sink column is
+/// appended as cost[q.size()]). Requires L >= 1.
+SingleSinkTable single_sink_insertion(std::span<const double> q,
+                                      std::int32_t L);
+
+}  // namespace rabid::buffer

@@ -1,0 +1,94 @@
+#include "circuits/floorplan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <span>
+
+#include "util/assert.hpp"
+
+namespace rabid::circuits {
+
+namespace {
+
+/// Splits weights[lo, hi) into a prefix/suffix with nearly equal sums.
+std::size_t balanced_split(std::span<const double> weights, std::size_t lo,
+                           std::size_t hi) {
+  double total = 0.0;
+  for (std::size_t i = lo; i < hi; ++i) total += weights[i];
+  double acc = 0.0;
+  for (std::size_t i = lo; i + 1 < hi; ++i) {
+    acc += weights[i];
+    if (acc * 2.0 >= total) return i + 1;
+  }
+  return hi - 1;
+}
+
+void slice(const geom::Rect& room, std::span<const double> weights,
+           std::size_t lo, std::size_t hi, bool vertical_cut,
+           std::vector<geom::Rect>& rooms) {
+  if (hi - lo == 1) {
+    rooms[lo] = room;
+    return;
+  }
+  const std::size_t mid = balanced_split(weights, lo, hi);
+  double w_lo = 0.0, w_hi = 0.0;
+  for (std::size_t i = lo; i < mid; ++i) w_lo += weights[i];
+  for (std::size_t i = mid; i < hi; ++i) w_hi += weights[i];
+  const double frac = w_lo / (w_lo + w_hi);
+  // Cut the longer dimension to keep rooms roughly square.
+  const bool cut_vertically =
+      room.width() == room.height() ? vertical_cut
+                                    : room.width() > room.height();
+  if (cut_vertically) {
+    const double x = room.lo().x + room.width() * frac;
+    slice(geom::Rect{room.lo(), {x, room.hi().y}}, weights, lo, mid,
+          !cut_vertically, rooms);
+    slice(geom::Rect{{x, room.lo().y}, room.hi()}, weights, mid, hi,
+          !cut_vertically, rooms);
+  } else {
+    const double y = room.lo().y + room.height() * frac;
+    slice(geom::Rect{room.lo(), {room.hi().x, y}}, weights, lo, mid,
+          !cut_vertically, rooms);
+    slice(geom::Rect{{room.lo().x, y}, room.hi()}, weights, mid, hi,
+          !cut_vertically, rooms);
+  }
+}
+
+}  // namespace
+
+std::vector<geom::Rect> slicing_floorplan(const geom::Rect& die,
+                                          std::int32_t count, util::Rng& rng,
+                                          const FloorplanOptions& opt) {
+  RABID_ASSERT(count >= 1);
+  RABID_ASSERT(opt.block_fill > 0.0 && opt.block_fill <= 1.0);
+
+  // Lognormal-ish area weights via a sum of uniforms (Irwin-Hall gives an
+  // approximately normal exponent; exact distribution shape is
+  // irrelevant, only "a few big blocks, many medium ones").
+  std::vector<double> weights(static_cast<std::size_t>(count));
+  for (double& w : weights) {
+    double z = 0.0;
+    for (int k = 0; k < 6; ++k) z += rng.uniform() - 0.5;  // ~N(0, 1/sqrt2)
+    w = std::exp(opt.area_sigma * z * std::sqrt(2.0));
+  }
+  // Big blocks first so they end up in the early (large) rooms.
+  std::sort(weights.begin(), weights.end(), std::greater<>());
+
+  std::vector<geom::Rect> rooms(static_cast<std::size_t>(count));
+  slice(die, weights, 0, weights.size(), rng.chance(0.5), rooms);
+
+  // Shrink each room around its center to create channels.
+  std::vector<geom::Rect> blocks;
+  blocks.reserve(rooms.size());
+  for (const geom::Rect& room : rooms) {
+    const double w = room.width() * opt.block_fill;
+    const double h = room.height() * opt.block_fill;
+    const geom::Point c = room.center();
+    blocks.push_back(
+        geom::Rect{{c.x - w / 2.0, c.y - h / 2.0}, {c.x + w / 2.0, c.y + h / 2.0}});
+  }
+  return blocks;
+}
+
+}  // namespace rabid::circuits

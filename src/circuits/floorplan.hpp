@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file floorplan.hpp
+/// A deterministic slicing floorplanner.
+///
+/// The paper's floorplans came from Cong et al.'s simulated-annealing
+/// buffer-block planner with the buffer blocks stripped out; what RABID
+/// actually consumes is just "a handful of large macros covering most of
+/// the die, with channels between them".  We reproduce that shape with a
+/// recursive balanced-bipartition slicing tree: block area weights are
+/// drawn lognormally from the circuit seed, the die is cut recursively
+/// (alternating direction, weight-balanced), and each room is shrunk by
+/// a channel margin.
+
+#include <vector>
+
+#include "geom/rect.hpp"
+#include "util/rng.hpp"
+
+namespace rabid::circuits {
+
+struct FloorplanOptions {
+  /// Linear shrink applied to each room to create routing channels.
+  double block_fill = 0.88;
+  /// Lognormal sigma of block-area weights (0 = equal-size blocks).
+  double area_sigma = 0.7;
+};
+
+/// Floorplans `count` macro blocks inside `die`.  Returns one rectangle
+/// per block; blocks are pairwise disjoint and inside the die.
+std::vector<geom::Rect> slicing_floorplan(const geom::Rect& die,
+                                          std::int32_t count,
+                                          util::Rng& rng,
+                                          const FloorplanOptions& opt = {});
+
+}  // namespace rabid::circuits

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file generator.hpp
+/// Deterministic workload generation for the ten Table I circuits.
+///
+/// generate_design() builds the floorplan + netlist (blocks, pads, nets,
+/// sinks — all counts exactly as published); build_tile_graph() lays the
+/// tiling over it, sprinkles the buffer sites (with the paper's random
+/// 9x9-tile blocked "cache" region), and calibrates the uniform wire
+/// capacity W(e) from an HPWL demand estimate.
+///
+/// Site area: the Table I "%chip area" column is consistent with one
+/// buffer site occupying 400 um^2 across all ten circuits (e.g. xc5:
+/// 13550 sites x 400 um^2 / 486 mm^2 = 1.11%); we adopt that constant to
+/// reproduce the column and to measure MTAP in Table V.
+
+#include <cstdint>
+
+#include "circuits/specs.hpp"
+#include "netlist/design.hpp"
+#include "tile/sites.hpp"
+#include "tile/tile_graph.hpp"
+
+namespace rabid::circuits {
+
+/// Physical area of one buffer site (see file comment).
+constexpr double kBufferSiteAreaUm2 = 400.0;
+
+/// Builds the named circuit's floorplan and netlist from its spec.
+/// Deterministic: same spec -> same design, independent of call order.
+netlist::Design generate_design(const CircuitSpec& spec);
+
+/// Optional workload variations layered on top of the base generator.
+struct DesignVariations {
+  /// Fraction of nets promoted to thick/high metal layers.  Footnote 4:
+  /// "if some nets can be routed on higher metal layers while others
+  /// cannot, different nets can have different L_i values. Also, a
+  /// larger value of L_i can be used in conjunction with wider wire
+  /// width assignment" — promoted nets get
+  /// length_limit = round(thick_metal_scale x default L) and the given
+  /// wire width class.
+  double thick_metal_fraction = 0.0;
+  double thick_metal_scale = 1.5;
+  std::int32_t thick_metal_width = 2;
+};
+
+/// generate_design() plus variations.  Uses separate random streams, so
+/// the base netlist is bit-identical to the unvaried generator.
+netlist::Design generate_design(const CircuitSpec& spec,
+                                const DesignVariations& var);
+
+struct TilingOptions {
+  std::int32_t nx = 0;        ///< 0 = spec default grid
+  std::int32_t ny = 0;
+  std::int64_t buffer_sites = -1;  ///< -1 = spec default count
+  /// Side of the blocked no-site region, in *default-grid* tiles; the
+  /// region is fixed physically so Table III/IV sweeps block the same
+  /// silicon (9 per Section IV-A; 0 disables).
+  std::int32_t blocked_span = 9;
+  /// Wire-capacity calibration: W(e) is uniform, sized so the expected
+  /// HPWL demand would average this congestion.
+  double target_avg_congestion = 0.25;
+  /// Capacity multiplier for edges whose both endpoints lie under a
+  /// macro block (global tracks over macros are scarcer than over
+  /// channels; 1.0 = the paper's uniform model).  Lower values
+  /// concentrate routing in the channels — the regime where buffer-block
+  /// planning's congestion problem bites hardest.
+  double over_block_capacity_factor = 1.0;
+};
+
+/// Lays a tiling over `design` per `opt`, distributing buffer sites and
+/// setting wire capacities.  Deterministic in (spec, opt).
+tile::TileGraph build_tile_graph(const netlist::Design& design,
+                                 const CircuitSpec& spec,
+                                 const TilingOptions& opt = {});
+
+/// %chip-area occupied by `sites` buffer sites (Table I last column).
+double pct_chip_area(const CircuitSpec& spec, std::int64_t sites);
+
+/// Physical site locations backing a tile graph's supplies: B(v) points
+/// uniform within each tile (deterministic per circuit; independent of
+/// how the supplies were chosen, so it matches any sweep's graph).
+tile::SiteMap generate_site_map(const CircuitSpec& spec,
+                                const tile::TileGraph& g);
+
+}  // namespace rabid::circuits

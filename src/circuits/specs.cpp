@@ -1,0 +1,60 @@
+#include "circuits/specs.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace rabid::circuits {
+
+namespace {
+
+// Table I, verbatim.
+constexpr std::array<CircuitSpec, 10> kSpecs{{
+    // name     cbl    cells nets  pads sinks gx  gy  tile   L  sites  %area
+    {"apte",    true,    9,   77,  73,  141, 30, 33, 0.36, 6,  1200, 0.13},
+    {"xerox",   true,   10,  171,   2,  390, 30, 30, 0.35, 5,  3000, 0.38},
+    {"hp",      true,   11,   68,  45,  187, 30, 30, 0.42, 6,  2350, 0.25},
+    {"ami33",   true,   33,  112,  43,  324, 33, 30, 0.46, 5,  2750, 0.24},
+    {"ami49",   true,   49,  368,  22,  493, 30, 30, 0.67, 5, 11450, 0.75},
+    {"playout", true,   62, 1294, 192, 1663, 33, 30, 0.75, 6, 27550, 1.47},
+    {"ac3",     false,  27,  200,  75,  409, 30, 30, 0.49, 6,  3550, 0.32},
+    {"xc5",     false,  50,  975,   2, 2149, 30, 30, 0.54, 6, 13550, 1.11},
+    {"hc7",     false,  77,  430,  51, 1318, 30, 30, 1.04, 5,  7780, 0.33},
+    {"a9c3",    false, 147, 1148,  22, 1526, 30, 30, 1.08, 5, 12780, 0.52},
+}};
+
+// Table III: small / medium / large available-buffer-site sweeps.
+constexpr std::array<SiteSweep, 6> kSiteSweeps{{
+    {"apte", 280, 700, 3200},
+    {"xerox", 600, 1300, 3000},
+    {"hp", 300, 600, 2350},
+    {"ami33", 500, 850, 2750},
+    {"ami49", 850, 1650, 11450},
+    {"playout", 3250, 6250, 27550},
+}};
+
+}  // namespace
+
+double CircuitSpec::chip_width_um() const {
+  const double side_um = std::sqrt(tile_area_mm2) * 1000.0;
+  return side_um * grid_x;
+}
+
+double CircuitSpec::chip_height_um() const {
+  const double side_um = std::sqrt(tile_area_mm2) * 1000.0;
+  return side_um * grid_y;
+}
+
+std::span<const CircuitSpec> table1_specs() { return kSpecs; }
+
+const CircuitSpec& spec_by_name(std::string_view name) {
+  for (const CircuitSpec& s : kSpecs) {
+    if (s.name == name) return s;
+  }
+  RABID_ASSERT_MSG(false, "unknown benchmark circuit name");
+}
+
+std::span<const SiteSweep> table3_site_sweeps() { return kSiteSweeps; }
+
+}  // namespace rabid::circuits

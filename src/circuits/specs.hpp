@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file specs.hpp
+/// The ten benchmark circuits of Table I.
+///
+/// The originals are the six CBL/MCNC floorplans (apte, xerox, hp, ami33,
+/// ami49, playout) plus four randomly generated circuits (ac3, xc5, hc7,
+/// a9c3) obtained from Cong et al. [8].  Those files are not distributed;
+/// we regenerate workloads with *exactly* the published statistics —
+/// cells, nets, pads, sinks, grid size, tile area, L_i, and buffer-site
+/// count — from a deterministic per-circuit seed (see generator.hpp and
+/// the substitution note in DESIGN.md).
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace rabid::circuits {
+
+struct CircuitSpec {
+  std::string_view name;
+  bool cbl = true;            ///< CBL benchmark vs random circuit
+  std::int32_t cells = 0;     ///< macro block count
+  std::int32_t nets = 0;      ///< global net count
+  std::int32_t pads = 0;      ///< I/O pad count
+  std::int32_t sinks = 0;     ///< total sink pins over all nets
+  std::int32_t grid_x = 0;    ///< default tiling (Table I "grid size")
+  std::int32_t grid_y = 0;
+  double tile_area_mm2 = 0.0; ///< area of one default tile
+  std::int32_t length_limit = 0;  ///< L_i in tiles
+  std::int32_t buffer_sites = 0;  ///< total sites at the default tiling
+  double pct_chip_area = 0.0;     ///< Table I's "%chip area" column
+
+  /// Chip dimensions implied by grid size x tile area (tiles are square
+  /// at the default tiling; Table I: "each tile was roughly square").
+  double chip_width_um() const;
+  double chip_height_um() const;
+};
+
+/// All ten circuits, in Table I order.
+std::span<const CircuitSpec> table1_specs();
+
+/// Lookup by name; aborts if unknown.
+const CircuitSpec& spec_by_name(std::string_view name);
+
+/// Table III's small/medium/large buffer-site counts for the six CBL
+/// circuits (large == the Table I value).
+struct SiteSweep {
+  std::string_view name;
+  std::int32_t small = 0;
+  std::int32_t medium = 0;
+  std::int32_t large = 0;
+};
+std::span<const SiteSweep> table3_site_sweeps();
+
+}  // namespace rabid::circuits

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file congestion_post.hpp
+/// The wirelength-neutral congestion post-pass of Section IV-C: Table V
+/// applies, to both RABID and BBP/FR, "a postprocessing step which tries
+/// to minimize congestion for the current buffering solution without
+/// increasing wire length."
+///
+/// Every *monotone* two-path (tile length == Manhattan distance of its
+/// endpoints) is re-embedded as the min-congestion monotone staircase
+/// between the same endpoints — same wirelength by construction, lower
+/// eq. (1) cost whenever a less-loaded staircase exists inside the
+/// bounding box.  Buffered nets keep their buffers only if every buffer
+/// tile survives, so the pass is restricted to paths without buffers;
+/// callers run it before buffering (BBP routes carry their buffers on
+/// path tiles, so their buffer tiles are pinned — see `pinned`).
+
+#include <functional>
+#include <span>
+
+#include "route/route_tree.hpp"
+#include "tile/tile_graph.hpp"
+
+namespace rabid::core {
+
+struct CongestionPostResult {
+  std::int32_t replaced = 0;  ///< two-paths re-embedded
+  tile::CongestionStats before;
+  tile::CongestionStats after;
+};
+
+/// Tiles that must stay on their net's route (e.g. tiles carrying this
+/// net's buffers).  Interior tiles of a two-path for which this returns
+/// true are never ripped.
+using PinnedFn = std::function<bool(std::size_t net_index, tile::TileId)>;
+
+/// Re-embeds monotone two-paths of `trees` (all committed in `g`) to
+/// minimize eq. (1) congestion at constant wirelength.  Keeps `g`'s wire
+/// books consistent; runs up to `max_passes` sweeps or to convergence.
+CongestionPostResult minimize_congestion(
+    tile::TileGraph& g, std::span<route::RouteTree> trees,
+    std::int32_t max_passes = 3,
+    const PinnedFn& pinned = {});
+
+}  // namespace rabid::core

@@ -1,0 +1,497 @@
+#include "core/rabid.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+
+#include "buffer/timing_driven.hpp"
+#include "core/congestion_post.hpp"
+#include "core/twopath.hpp"
+#include "route/embed.hpp"
+#include "route/maze.hpp"
+#include "route/negotiated.hpp"
+#include "route/rsmt.hpp"
+#include "util/assert.hpp"
+
+namespace rabid::core {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// True when the buffered tree satisfies the net's length rule: every
+/// gate drives at most L tile-units (driver included).
+bool meets_rule(const route::RouteTree& tree,
+                const route::BufferList& buffers, std::int32_t L) {
+  const std::size_t n = tree.node_count();
+  std::vector<bool> driving(n, false);
+  std::vector<bool> decoupled(n, false);
+  for (const route::BufferPlacement& b : buffers) {
+    if (b.child == route::kNoNode) {
+      driving[static_cast<std::size_t>(b.node)] = true;
+    } else {
+      decoupled[static_cast<std::size_t>(b.child)] = true;
+    }
+  }
+  std::vector<std::int32_t> load(n, 0);
+  for (const route::NodeId v : tree.postorder()) {
+    std::int32_t total = 0;
+    for (const route::NodeId w : tree.node(v).children) {
+      const std::int32_t arc = 1 + load[static_cast<std::size_t>(w)];
+      if (decoupled[static_cast<std::size_t>(w)]) {
+        if (arc > L) return false;
+      } else {
+        total += arc;
+      }
+    }
+    if (driving[static_cast<std::size_t>(v)]) {
+      if (total > L) return false;
+      total = 0;
+    }
+    load[static_cast<std::size_t>(v)] = total;
+  }
+  return load[static_cast<std::size_t>(tree.root())] <= L;
+}
+
+}  // namespace
+
+Rabid::Rabid(const netlist::Design& design, tile::TileGraph& graph,
+             RabidOptions options)
+    : design_(design), graph_(graph), options_(options) {
+  RABID_ASSERT_MSG(graph.stats().buffers_used == 0 && graph.wire_feasible(),
+                   "tile graph usage books must start empty");
+  nets_.resize(design.nets().size());
+}
+
+void Rabid::refresh_delays() {
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    NetState& n = nets_[i];
+    if (n.tree.empty()) continue;
+    // Wide-wire classes scale the RC model per net (footnote 4).
+    const timing::Technology tech = timing::scaled_for_width(
+        options_.tech, design_.net(static_cast<netlist::NetId>(i)).width);
+    if (n.buffer_types.empty()) {
+      n.delay = timing::evaluate_delay(n.tree, n.buffers, graph_, tech);
+    } else {
+      n.delay = timing::evaluate_delay_sized(n.tree, n.buffers,
+                                             n.buffer_types, graph_, tech);
+    }
+  }
+}
+
+std::vector<std::size_t> Rabid::nets_by_delay(bool ascending) const {
+  std::vector<std::size_t> order(nets_.size());
+  std::iota(order.begin(), order.end(), 0U);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return ascending
+                                ? nets_[a].delay.max_ps < nets_[b].delay.max_ps
+                                : nets_[a].delay.max_ps > nets_[b].delay.max_ps;
+                   });
+  return order;
+}
+
+StageStats Rabid::snapshot(std::string stage_name, double cpu_s) const {
+  StageStats s;
+  s.stage = std::move(stage_name);
+  const tile::CongestionStats cs = graph_.stats();
+  s.max_wire_congestion = cs.max_wire_congestion;
+  s.avg_wire_congestion = cs.avg_wire_congestion;
+  s.overflow = cs.overflow;
+  s.max_buffer_density = cs.max_buffer_density;
+  s.avg_buffer_density = cs.avg_buffer_density;
+  s.buffers = cs.buffers_used;
+  s.cpu_s = cpu_s;
+  double wl_um = 0.0;
+  for (const NetState& n : nets_) {
+    if (n.tree.empty()) continue;
+    wl_um += n.tree.wirelength_um(graph_);
+    if (!n.meets_length_rule) ++s.failed_nets;
+    s.max_delay_ps = std::max(s.max_delay_ps, n.delay.max_ps);
+  }
+  s.wirelength_mm = wl_um / 1000.0;
+  double delay_sum = 0.0;
+  std::size_t sink_count = 0;
+  for (const NetState& n : nets_) {
+    delay_sum += n.delay.sum_ps;
+    sink_count += n.delay.sink_delays_ps.size();
+  }
+  s.avg_delay_ps =
+      sink_count == 0 ? 0.0 : delay_sum / static_cast<double>(sink_count);
+  return s;
+}
+
+void Rabid::check_books() const {
+  tile::TileGraph shadow(graph_.chip(), graph_.nx(), graph_.ny());
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    const NetState& n = nets_[i];
+    if (n.tree.empty()) continue;
+    const std::int32_t width =
+        design_.net(static_cast<netlist::NetId>(i)).width;
+    for (const route::RouteNode& node : n.tree.nodes()) {
+      if (node.parent != route::kNoNode) {
+        const tile::EdgeId e = shadow.edge_between(
+            node.tile, n.tree.node(node.parent).tile);
+        for (std::int32_t k = 0; k < width; ++k) shadow.add_wire(e);
+      }
+    }
+  }
+  for (tile::EdgeId e = 0; e < graph_.edge_count(); ++e) {
+    RABID_ASSERT_MSG(shadow.wire_usage(e) == graph_.wire_usage(e),
+                     "wire books out of sync");
+  }
+  std::vector<std::int32_t> bufs(static_cast<std::size_t>(graph_.tile_count()),
+                                 0);
+  for (const NetState& n : nets_) {
+    for (const route::BufferPlacement& b : n.buffers) {
+      ++bufs[static_cast<std::size_t>(n.tree.node(b.node).tile)];
+    }
+  }
+  for (tile::TileId t = 0; t < graph_.tile_count(); ++t) {
+    RABID_ASSERT_MSG(bufs[static_cast<std::size_t>(t)] == graph_.site_usage(t),
+                     "buffer books out of sync");
+  }
+}
+
+StageStats Rabid::run_stage1() {
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    NetState& state = nets_[i];
+    const netlist::Net& net = design_.net(static_cast<netlist::NetId>(i));
+    const auto terminals = static_cast<std::int32_t>(net.sinks.size()) + 1;
+    if (terminals <= options_.exact_steiner_max_terminals &&
+        terminals <= route::kMaxExactRsmtTerminals) {
+      std::vector<geom::Point> pts;
+      pts.push_back(net.source.location);
+      for (const netlist::Pin& p : net.sinks) pts.push_back(p.location);
+      state.tree = route::embed_tree(route::rsmt_exact(pts, 0), net, graph_);
+    } else {
+      state.tree =
+          route::build_initial_route(net, graph_, options_.pd_alpha);
+    }
+    state.tree.commit(graph_, net.width);
+    state.meets_length_rule =
+        meets_rule(state.tree, {},
+                   design_.length_limit(static_cast<netlist::NetId>(i)));
+  }
+  refresh_delays();
+  stage1_done_ = true;
+  return snapshot("1", seconds_since(start));
+}
+
+StageStats Rabid::run_stage2() {
+  RABID_ASSERT_MSG(stage1_done_, "stage 2 requires stage 1");
+  const auto start = std::chrono::steady_clock::now();
+  route::MazeRouter router(graph_);
+  // Net ordering fixed up front: smallest delay first (Section III-B).
+  const std::vector<std::size_t> order = nets_by_delay(/*ascending=*/true);
+
+  auto reroute_all = [&](const route::EdgeCostFn& cost) {
+    for (const std::size_t i : order) {
+      NetState& state = nets_[i];
+      const netlist::Net& net = design_.net(static_cast<netlist::NetId>(i));
+      state.tree.uncommit(graph_, net.width);
+      state.tree = router.route_net(net, options_.pd_alpha, cost);
+      state.tree.commit(graph_, net.width);
+      state.meets_length_rule =
+          meets_rule(state.tree, {},
+                     design_.length_limit(static_cast<netlist::NetId>(i)));
+    }
+  };
+
+  if (options_.stage2_mode == Stage2Mode::kNegotiated) {
+    // PathFinder-style negotiation (the future-work "industrial global
+    // router"): overuse is legal but priced, history accumulates.
+    route::NegotiationState nego(graph_);
+    for (std::int32_t iter = 0; iter < nego.params().max_iterations;
+         ++iter) {
+      reroute_all([&](tile::EdgeId e) { return nego.cost(e); });
+      if (nego.finish_iteration() == 0) break;
+    }
+  } else {
+    const auto cost = [this](tile::EdgeId e) {
+      return route::soft_wire_cost(graph_, e);
+    };
+    for (std::int32_t iter = 0; iter < options_.reroute_iterations; ++iter) {
+      reroute_all(cost);
+      if (graph_.wire_feasible()) break;
+    }
+  }
+  if (options_.congestion_post_after_stage2) {
+    // The Table-V post-pass: spread monotone two-paths at constant
+    // wirelength while no buffers pin the routes yet.  (The pass edits
+    // usage one track at a time, so wide-wire nets sit it out.)
+    std::vector<std::size_t> eligible;
+    std::vector<route::RouteTree> trees;
+    for (std::size_t i = 0; i < nets_.size(); ++i) {
+      if (design_.net(static_cast<netlist::NetId>(i)).width != 1) continue;
+      eligible.push_back(i);
+      trees.push_back(std::move(nets_[i].tree));
+    }
+    minimize_congestion(graph_, trees);
+    for (std::size_t k = 0; k < eligible.size(); ++k) {
+      const std::size_t i = eligible[k];
+      nets_[i].tree = std::move(trees[k]);
+      nets_[i].meets_length_rule =
+          meets_rule(nets_[i].tree, {},
+                     design_.length_limit(static_cast<netlist::NetId>(i)));
+    }
+  }
+  refresh_delays();
+  return snapshot("2", seconds_since(start));
+}
+
+void Rabid::buffer_net(std::size_t index, const std::vector<double>& demand) {
+  NetState& state = nets_[index];
+  const std::int32_t L =
+      design_.length_limit(static_cast<netlist::NetId>(index));
+
+  // Tiles the DP must avoid because an earlier attempt oversubscribed
+  // them within this one net (q is computed per net, so a single net can
+  // otherwise claim more sites than a tile has left; see Section III-C's
+  // multiple-buffers-per-tile remark).
+  std::vector<tile::TileId> forbidden;
+  for (int attempt = 0;; ++attempt) {
+    RABID_ASSERT_MSG(attempt < 64, "buffer commit failed to converge");
+    const auto q = [&](tile::TileId t) {
+      if (std::find(forbidden.begin(), forbidden.end(), t) != forbidden.end())
+        return tile::kInfCost;
+      return graph_.buffer_cost(t, demand[static_cast<std::size_t>(t)]);
+    };
+    buffer::InsertionResult result =
+        buffer::insert_buffers_relaxed(state.tree, L, q);
+
+    // Count proposed buffers per tile; find oversubscribed tiles.
+    bool ok = true;
+    std::vector<std::pair<tile::TileId, std::int32_t>> per_tile;
+    for (const route::BufferPlacement& b : result.buffers) {
+      const tile::TileId t = state.tree.node(b.node).tile;
+      auto it = std::find_if(per_tile.begin(), per_tile.end(),
+                             [&](const auto& p) { return p.first == t; });
+      if (it == per_tile.end()) {
+        per_tile.emplace_back(t, 1);
+      } else {
+        ++it->second;
+      }
+    }
+    for (const auto& [t, count] : per_tile) {
+      if (count > graph_.site_supply(t) - graph_.site_usage(t)) {
+        forbidden.push_back(t);
+        ok = false;
+      }
+    }
+    if (!ok) continue;
+
+    for (const auto& [t, count] : per_tile) {
+      for (std::int32_t k = 0; k < count; ++k) graph_.add_buffer(t);
+    }
+    state.buffers = std::move(result.buffers);
+    state.buffer_types.clear();  // stages 3/4 plan with unit buffers
+    state.meets_length_rule = result.feasible && result.effective_limit <= L;
+    return;
+  }
+}
+
+StageStats Rabid::rebuffer_timing_driven(std::size_t worst_nets,
+                                         const timing::BufferLibrary& lib,
+                                         bool use_inverters) {
+  RABID_ASSERT_MSG(stage3_done_, "timing-driven rebuffering needs buffers");
+  const auto start = std::chrono::steady_clock::now();
+
+  std::vector<std::size_t> order = nets_by_delay(/*ascending=*/false);
+  if (order.size() > worst_nets) order.resize(worst_nets);
+
+  for (const std::size_t i : order) {
+    NetState& state = nets_[i];
+    // Return this net's sites to the pool; its old solution stays
+    // reachable, so the optimum can only improve.
+    for (const route::BufferPlacement& b : state.buffers) {
+      graph_.remove_buffer(state.tree.node(b.node).tile);
+    }
+    state.buffers.clear();
+    state.buffer_types.clear();
+
+    std::vector<tile::TileId> forbidden;
+    for (int attempt = 0;; ++attempt) {
+      RABID_ASSERT_MSG(attempt < 64, "vG commit failed to converge");
+      const buffer::TileAllowFn allow = [&](tile::TileId t) {
+        if (graph_.site_usage(t) >= graph_.site_supply(t)) return false;
+        return std::find(forbidden.begin(), forbidden.end(), t) ==
+               forbidden.end();
+      };
+      const timing::Technology tech = timing::scaled_for_width(
+          options_.tech, design_.net(static_cast<netlist::NetId>(i)).width);
+      buffer::TimingDrivenResult result =
+          use_inverters
+              ? buffer::van_ginneken_with_inverters(state.tree, graph_, lib,
+                                                    allow, tech)
+              : buffer::van_ginneken(state.tree, graph_, lib, allow, tech);
+
+      bool ok = true;
+      std::vector<std::pair<tile::TileId, std::int32_t>> per_tile;
+      for (const route::BufferPlacement& b : result.buffers) {
+        const tile::TileId t = state.tree.node(b.node).tile;
+        auto it = std::find_if(per_tile.begin(), per_tile.end(),
+                               [&](const auto& p) { return p.first == t; });
+        if (it == per_tile.end()) {
+          per_tile.emplace_back(t, 1);
+        } else {
+          ++it->second;
+        }
+      }
+      for (const auto& [t, count] : per_tile) {
+        if (count > graph_.site_supply(t) - graph_.site_usage(t)) {
+          forbidden.push_back(t);
+          ok = false;
+        }
+      }
+      if (!ok) continue;
+
+      for (const auto& [t, count] : per_tile) {
+        for (std::int32_t k = 0; k < count; ++k) graph_.add_buffer(t);
+      }
+      state.buffers = std::move(result.buffers);
+      state.buffer_types = std::move(result.types);
+      break;
+    }
+    // Timing won; report the length rule honestly.
+    state.meets_length_rule =
+        meets_rule(state.tree, state.buffers,
+                   design_.length_limit(static_cast<netlist::NetId>(i)));
+  }
+  refresh_delays();
+  return snapshot("vG", seconds_since(start));
+}
+
+StageStats Rabid::run_stage3() {
+  RABID_ASSERT_MSG(stage1_done_, "stage 3 requires a routing");
+  const auto start = std::chrono::steady_clock::now();
+
+  // p(v): expected demand from unprocessed nets — 1/L_i per crossed tile.
+  std::vector<double> demand(static_cast<std::size_t>(graph_.tile_count()),
+                             0.0);
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    const double p =
+        1.0 / design_.length_limit(static_cast<netlist::NetId>(i));
+    for (const route::RouteNode& n : nets_[i].tree.nodes()) {
+      demand[static_cast<std::size_t>(n.tile)] += p;
+    }
+  }
+
+  // Highest-delay net first (Section III-C); alternatives for ablation.
+  std::vector<std::size_t> order;
+  switch (options_.stage3_order) {
+    case Stage3Order::kDescendingDelay:
+      order = nets_by_delay(/*ascending=*/false);
+      break;
+    case Stage3Order::kAscendingDelay:
+      order = nets_by_delay(/*ascending=*/true);
+      break;
+    case Stage3Order::kAsGiven:
+      order.resize(nets_.size());
+      std::iota(order.begin(), order.end(), 0U);
+      break;
+  }
+  for (const std::size_t i : order) {
+    // The current net no longer counts as "future demand".
+    const double p =
+        1.0 / design_.length_limit(static_cast<netlist::NetId>(i));
+    for (const route::RouteNode& n : nets_[i].tree.nodes()) {
+      demand[static_cast<std::size_t>(n.tile)] -= p;
+    }
+    buffer_net(i, demand);
+  }
+  refresh_delays();
+  stage3_done_ = true;
+  return snapshot("3", seconds_since(start));
+}
+
+StageStats Rabid::run_stage4() {
+  RABID_ASSERT_MSG(stage3_done_, "stage 4 requires stage 3");
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<double> no_demand(
+      static_cast<std::size_t>(graph_.tile_count()), 0.0);
+  const auto wire_cost = [this](tile::EdgeId e) {
+    return route::soft_wire_cost(graph_, e);
+  };
+  const auto site_cost = [this](tile::TileId t) {
+    return graph_.buffer_cost(t, 0.0);
+  };
+
+  for (std::int32_t iter = 0; iter < options_.postprocess_iterations;
+       ++iter) {
+    for (const std::size_t i : nets_by_delay(/*ascending=*/true)) {
+      NetState& state = nets_[i];
+      const std::int32_t L =
+          design_.length_limit(static_cast<netlist::NetId>(i));
+
+      // Rip out the net's buffers and wires from the books.
+      for (const route::BufferPlacement& b : state.buffers) {
+        graph_.remove_buffer(state.tree.node(b.node).tile);
+      }
+      state.buffers.clear();
+      const std::int32_t width =
+          design_.net(static_cast<netlist::NetId>(i)).width;
+      state.tree.uncommit(graph_, width);
+
+      // Reroute one two-path at a time with joint wire+buffer costs.
+      // The decomposition is recomputed from the live tree after every
+      // replacement: a reroute may share arcs with a not-yet-processed
+      // two-path, so ripping from a stale snapshot could sever it.
+      TileTreeEditor editor(state.tree, graph_);
+      route::RouteTree current = editor.rebuild();
+      std::vector<std::pair<tile::TileId, tile::TileId>> processed;
+      const std::size_t max_rips = 3 * current.two_paths().size() + 4;
+      for (std::size_t rip = 0; rip < max_rips; ++rip) {
+        const auto paths = current.two_paths();
+        const route::RouteTree::TwoPath* next = nullptr;
+        std::pair<tile::TileId, tile::TileId> key{tile::kNoTile,
+                                                  tile::kNoTile};
+        for (const auto& tp : paths) {
+          key = {current.node(tp.head).tile, current.node(tp.tail).tile};
+          if (std::find(processed.begin(), processed.end(), key) ==
+              processed.end()) {
+            next = &tp;
+            break;
+          }
+        }
+        if (next == nullptr) break;
+        processed.push_back(key);
+        std::vector<tile::TileId> interior;
+        interior.reserve(next->interior.size());
+        for (const route::NodeId n : next->interior) {
+          interior.push_back(current.node(n).tile);
+        }
+        editor.remove_path(key.first, interior, key.second);
+        const TwoPathRoute reroute = route_two_path(
+            graph_, key.second, key.first, L, wire_cost, site_cost,
+            options_.stage4_wire_weight, options_.stage4_buffer_weight);
+        editor.add_path(reroute.tiles);
+        current = editor.rebuild();
+      }
+      state.tree = std::move(current);
+      state.tree.commit(graph_, width);
+
+      // Re-insert buffers net-wide, exactly as in Stage 3.
+      buffer_net(i, no_demand);
+    }
+  }
+  refresh_delays();
+  return snapshot("4", seconds_since(start));
+}
+
+std::vector<StageStats> Rabid::run_all() {
+  std::vector<StageStats> stats;
+  stats.push_back(run_stage1());
+  stats.push_back(run_stage2());
+  stats.push_back(run_stage3());
+  stats.push_back(run_stage4());
+  return stats;
+}
+
+}  // namespace rabid::core

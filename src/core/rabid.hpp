@@ -1,0 +1,153 @@
+#pragma once
+
+/// \file rabid.hpp
+/// The four-stage RABID heuristic (Section III): resource allocation for
+/// buffer and interconnect distribution.
+///
+///   Stage 1  initial Steiner trees       (Prim-Dijkstra + overlap removal)
+///   Stage 2  wire-congestion reduction   (Nair-style full rip-up/reroute)
+///   Stage 3  buffer assignment           (length-based DP, eq. 2 costs)
+///   Stage 4  post-processing             (two-path rip-up with joint
+///                                         wire+buffer costs, re-buffering)
+///
+/// The driver owns per-net state (route tree, buffers, delays) and keeps
+/// the tile graph's w(e)/b(v) books consistent at every step; stats()
+/// emits exactly the columns of Table II.
+
+#include <string>
+#include <vector>
+
+#include "buffer/insertion.hpp"
+#include "netlist/design.hpp"
+#include "route/buffers.hpp"
+#include "route/route_tree.hpp"
+#include "tile/tile_graph.hpp"
+#include "timing/delay.hpp"
+#include "timing/tech.hpp"
+
+namespace rabid::core {
+
+/// Net processing order for Stage-3 buffer assignment.
+enum class Stage3Order {
+  kDescendingDelay,  ///< the paper's choice: worst nets claim sites first
+  kAscendingDelay,
+  kAsGiven,          ///< netlist order (what a naive tool would do)
+};
+
+/// Stage-2 routing engine.
+enum class Stage2Mode {
+  /// The paper's Nair-style full rip-up/reroute with eq. (1) costs.
+  kRipUpReroute,
+  /// PathFinder-style negotiated congestion (the "industrial global
+  /// router" of the paper's future-work section; see route/negotiated.hpp).
+  kNegotiated,
+};
+
+struct RabidOptions {
+  double pd_alpha = 0.4;        ///< Prim-Dijkstra trade-off (footnote 5)
+  Stage2Mode stage2_mode = Stage2Mode::kRipUpReroute;
+  Stage3Order stage3_order = Stage3Order::kDescendingDelay;
+  std::int32_t reroute_iterations = 3;      ///< Stage-2 cap (Section III-B)
+  std::int32_t postprocess_iterations = 1;  ///< Stage-4 passes
+  /// Stage-4 objective = wire_weight * eq.(1) + buffer_weight * eq.(2)
+  /// (footnote 7: the paper simply adds them, i.e. 1.0/1.0, but "one
+  /// could use any linear combination").
+  double stage4_wire_weight = 1.0;
+  double stage4_buffer_weight = 1.0;
+  /// Runs the wirelength-neutral congestion post-pass (Section IV-C's
+  /// Table-V step) at the end of stage 2, before any buffers exist.
+  bool congestion_post_after_stage2 = false;
+  /// Stage-1 alternative: nets with at most this many terminals get a
+  /// provably minimum-wirelength Hanan-grid RSMT instead of the
+  /// Prim-Dijkstra construction (0 = always PD).  Trades source-sink
+  /// radius for wirelength; see the ablation bench.
+  std::int32_t exact_steiner_max_terminals = 0;
+  timing::Technology tech = timing::kTech180nm;
+};
+
+/// One Table II row: the state of the solution after a stage.
+struct StageStats {
+  std::string stage;
+  double max_wire_congestion = 0.0;
+  double avg_wire_congestion = 0.0;
+  std::int64_t overflow = 0;
+  double max_buffer_density = 0.0;
+  double avg_buffer_density = 0.0;
+  std::int64_t buffers = 0;
+  std::int32_t failed_nets = 0;
+  double wirelength_mm = 0.0;
+  double max_delay_ps = 0.0;
+  double avg_delay_ps = 0.0;
+  double cpu_s = 0.0;
+};
+
+/// Per-net solution state.
+struct NetState {
+  route::RouteTree tree;
+  route::BufferList buffers;
+  /// Library cell per placement; empty means "all unit buffers"
+  /// (stages 3/4). Filled by rebuffer_timing_driven().
+  std::vector<timing::BufferType> buffer_types;
+  /// Length rule satisfied? (false == the net counts in "#fails")
+  bool meets_length_rule = false;
+  timing::DelayResult delay;
+};
+
+class Rabid {
+ public:
+  /// Binds to a design and a tile graph whose capacities/sites are set.
+  /// The graph's usage books must be empty; Rabid owns them from here.
+  Rabid(const netlist::Design& design, tile::TileGraph& graph,
+        RabidOptions options = {});
+
+  // Stages may be run individually (for ablation) or via run_all().
+  StageStats run_stage1();
+  StageStats run_stage2();
+  StageStats run_stage3();
+  StageStats run_stage4();
+  /// Runs stages 1-4 and returns the four Table II rows.
+  std::vector<StageStats> run_all();
+
+  /// The paper's prescribed later-flow step (Section II): rips up the
+  /// buffering of the `worst_nets` highest-delay nets and re-inserts
+  /// buffers with the timing-driven van Ginneken algorithm [18] and the
+  /// power-level library, honoring remaining site supply.  Requires
+  /// stage 3.  Wire routes are untouched; the length rule may be
+  /// knowingly traded for delay (flags are re-evaluated honestly).
+  StageStats rebuffer_timing_driven(
+      std::size_t worst_nets,
+      const timing::BufferLibrary& lib =
+          timing::BufferLibrary::standard_180nm(),
+      bool use_inverters = false);
+
+  const std::vector<NetState>& nets() const { return nets_; }
+  const tile::TileGraph& graph() const { return graph_; }
+  const netlist::Design& design() const { return design_; }
+
+  /// Current solution snapshot (stats of the live books).
+  StageStats snapshot(std::string stage_name, double cpu_s) const;
+
+  /// Recomputes every net's delay from its current tree + buffers.
+  void refresh_delays();
+
+  /// Exposed for tests: verifies tile-graph books match per-net state
+  /// exactly (wire usage, buffer usage); aborts on mismatch.
+  void check_books() const;
+
+ private:
+  /// Stage-3 core, shared with Stage 4's re-buffering: optimal buffers
+  /// for one net under tile costs; updates books and the net state.
+  void buffer_net(std::size_t index, const std::vector<double>& demand);
+
+  /// Net indices ordered by current delay (ascending or descending).
+  std::vector<std::size_t> nets_by_delay(bool ascending) const;
+
+  const netlist::Design& design_;
+  tile::TileGraph& graph_;
+  RabidOptions options_;
+  std::vector<NetState> nets_;
+  bool stage1_done_ = false;
+  bool stage3_done_ = false;
+};
+
+}  // namespace rabid::core

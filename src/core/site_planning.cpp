@@ -1,0 +1,108 @@
+#include "core/site_planning.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace rabid::core {
+
+namespace {
+
+/// Block covering a tile center, or kNoBlock for channel space.
+netlist::BlockId block_of(const netlist::Design& design,
+                          const tile::TileGraph& g, tile::TileId t) {
+  const geom::Point c = g.center(t);
+  for (std::size_t b = 0; b < design.blocks().size(); ++b) {
+    if (design.blocks()[b].shape.contains(c)) {
+      return static_cast<netlist::BlockId>(b);
+    }
+  }
+  return netlist::kNoBlock;
+}
+
+}  // namespace
+
+SitePlan plan_buffer_sites(const netlist::Design& design,
+                           const tile::TileGraph& prototype,
+                           double headroom, RabidOptions options) {
+  RABID_ASSERT_MSG(headroom >= 1.0, "headroom must be at least 1");
+
+  // Unlimited supplies: far more sites per tile than any net could use.
+  tile::TileGraph g = prototype;
+  g.reset_usage();
+  for (tile::TileId t = 0; t < g.tile_count(); ++t) {
+    g.set_site_supply(t, 1 << 20);
+  }
+
+  Rabid rabid(design, g, options);
+  SitePlan plan;
+  const std::vector<StageStats> stats = rabid.run_all();
+  plan.planning_stats = stats.back();
+
+  // Bin inserted buffers by covering block.
+  std::vector<std::int64_t> per_block(design.blocks().size() + 1, 0);
+  for (const NetState& n : rabid.nets()) {
+    for (const route::BufferPlacement& b : n.buffers) {
+      const netlist::BlockId id =
+          block_of(design, g, n.tree.node(b.node).tile);
+      const std::size_t slot = id == netlist::kNoBlock
+                                   ? design.blocks().size()
+                                   : static_cast<std::size_t>(id);
+      ++per_block[slot];
+      ++plan.total_buffers;
+    }
+  }
+
+  double channel_area = design.outline().area();
+  for (std::size_t b = 0; b < design.blocks().size(); ++b) {
+    BlockDemand d;
+    d.block = static_cast<netlist::BlockId>(b);
+    d.buffers = per_block[b];
+    d.area_um2 = design.blocks()[b].shape.area();
+    d.recommended_sites = static_cast<std::int64_t>(
+        std::ceil(static_cast<double>(d.buffers) * headroom));
+    plan.demand.push_back(d);
+    plan.total_recommended += d.recommended_sites;
+    channel_area -= d.area_um2;
+  }
+  BlockDemand channels;
+  channels.block = netlist::kNoBlock;
+  channels.buffers = per_block.back();
+  channels.area_um2 = std::max(channel_area, 0.0);
+  channels.recommended_sites = static_cast<std::int64_t>(
+      std::ceil(static_cast<double>(channels.buffers) * headroom));
+  plan.total_recommended += channels.recommended_sites;
+  plan.demand.push_back(channels);
+  return plan;
+}
+
+void apply_site_plan(const SitePlan& plan, const netlist::Design& design,
+                     tile::TileGraph& g) {
+  // Tiles per demand bucket.
+  std::vector<std::vector<tile::TileId>> tiles(plan.demand.size());
+  for (tile::TileId t = 0; t < g.tile_count(); ++t) {
+    const netlist::BlockId id = block_of(design, g, t);
+    const std::size_t slot = id == netlist::kNoBlock
+                                 ? plan.demand.size() - 1
+                                 : static_cast<std::size_t>(id);
+    tiles[slot].push_back(t);
+    g.set_site_supply(t, 0);
+  }
+  // Spread each bucket's recommendation evenly over its tiles (the
+  // remainder goes to the first tiles, deterministically).
+  for (std::size_t slot = 0; slot < plan.demand.size(); ++slot) {
+    const auto& bucket = tiles[slot];
+    if (bucket.empty()) continue;
+    const std::int64_t total = plan.demand[slot].recommended_sites;
+    const auto each = total / static_cast<std::int64_t>(bucket.size());
+    auto extra = total % static_cast<std::int64_t>(bucket.size());
+    for (const tile::TileId t : bucket) {
+      auto supply = each + (extra > 0 ? 1 : 0);
+      if (extra > 0) --extra;
+      g.set_site_supply(t, static_cast<std::int32_t>(supply));
+    }
+  }
+}
+
+}  // namespace rabid::core

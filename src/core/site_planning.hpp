@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file site_planning.hpp
+/// The buffer-site *budgeting* workflow of Section I-B:
+///
+///   "To help decide the allocation of buffer sites to macros, one could
+///    assume an infinite number of available buffer sites, run a buffer
+///    allocation tool like RABID, and compute the number of buffers
+///    inserted in each block.  Then, this number can be used to help
+///    determine the actual number of buffer sites to allocate within the
+///    block."
+///
+/// plan_buffer_sites() runs RABID against an unlimited-supply copy of
+/// the tile graph, bins the inserted buffers by floorplan block (and the
+/// channel space between blocks), and recommends a per-block site budget
+/// with headroom — Table III's finding that "no more than one in every
+/// five buffer sites occupied appears necessary" motivates the default
+/// headroom factor of 5.
+
+#include <vector>
+
+#include "core/rabid.hpp"
+#include "netlist/design.hpp"
+#include "tile/tile_graph.hpp"
+
+namespace rabid::core {
+
+/// Buffer demand attributed to one block (or to the channels).
+struct BlockDemand {
+  netlist::BlockId block = netlist::kNoBlock;  ///< kNoBlock == channels
+  std::int64_t buffers = 0;          ///< buffers RABID put inside it
+  double area_um2 = 0.0;             ///< block (or channel) area
+  std::int64_t recommended_sites = 0;  ///< buffers x headroom
+  /// Fraction of the block's area the recommendation occupies.
+  double area_fraction(double site_area_um2) const {
+    return area_um2 > 0.0
+               ? static_cast<double>(recommended_sites) * site_area_um2 /
+                     area_um2
+               : 0.0;
+  }
+};
+
+struct SitePlan {
+  std::vector<BlockDemand> demand;  ///< one entry per block + channels last
+  std::int64_t total_buffers = 0;
+  std::int64_t total_recommended = 0;
+  StageStats planning_stats;  ///< the unlimited-supply RABID run's result
+};
+
+/// Runs the unlimited-site planning flow.  `prototype` supplies the
+/// tiling and wire capacities; its buffer-site supplies are ignored
+/// (every tile gets an effectively unlimited count).  Requires
+/// headroom >= 1.
+SitePlan plan_buffer_sites(const netlist::Design& design,
+                           const tile::TileGraph& prototype,
+                           double headroom = 5.0,
+                           RabidOptions options = {});
+
+/// Distributes a site plan back onto a tile graph: each tile receives
+/// the share of its covering block's recommendation (channel tiles share
+/// the channel budget).  Overwrites `g`'s supplies.
+void apply_site_plan(const SitePlan& plan, const netlist::Design& design,
+                     tile::TileGraph& g);
+
+}  // namespace rabid::core

@@ -1,0 +1,78 @@
+#include "core/sizing.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace rabid::core {
+
+namespace {
+
+/// Orders placements sink-side-first (descending node depth), so load
+/// changes propagate upstream within one pass.
+std::vector<std::size_t> descent_order(const route::RouteTree& tree,
+                                       const route::BufferList& buffers) {
+  std::vector<std::size_t> order(buffers.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return tree.depth(buffers[a].node) >
+                            tree.depth(buffers[b].node);
+                   });
+  return order;
+}
+
+}  // namespace
+
+SizingResult size_buffers(const route::RouteTree& tree,
+                          const route::BufferList& buffers,
+                          const timing::BufferLibrary& lib,
+                          const tile::TileGraph& g,
+                          const timing::Technology& tech,
+                          std::int32_t max_passes) {
+  SizingResult result;
+  const auto cells = lib.buffers();
+  RABID_ASSERT_MSG(!cells.empty(), "library has no non-inverting buffer");
+
+  result.types.assign(buffers.size(), lib.type(lib.unit_index()));
+  result.before_max_ps =
+      timing::evaluate_delay_sized(tree, buffers, result.types, g, tech)
+          .max_ps;
+  result.after_max_ps = result.before_max_ps;
+  if (buffers.empty()) return result;
+
+  const std::vector<std::size_t> order = descent_order(tree, buffers);
+  for (std::int32_t pass = 0; pass < max_passes; ++pass) {
+    bool improved = false;
+    for (const std::size_t i : order) {
+      const timing::BufferType original = result.types[i];
+      timing::BufferType best = original;
+      double best_delay = result.after_max_ps;
+      double best_sum = timing::evaluate_delay_sized(tree, buffers,
+                                                     result.types, g, tech)
+                            .sum_ps;
+      for (const timing::BufferType& cell : cells) {
+        result.types[i] = cell;
+        const timing::DelayResult d =
+            timing::evaluate_delay_sized(tree, buffers, result.types, g,
+                                         tech);
+        // Primary: max delay; secondary: total delay (break ties toward
+        // helping the non-critical sinks too).
+        if (d.max_ps < best_delay - 1e-12 ||
+            (d.max_ps < best_delay + 1e-12 && d.sum_ps < best_sum - 1e-12)) {
+          best_delay = d.max_ps;
+          best_sum = d.sum_ps;
+          best = cell;
+        }
+      }
+      result.types[i] = best;
+      if (best.name != original.name) improved = true;
+      result.after_max_ps = best_delay;
+    }
+    ++result.passes;
+    if (!improved) break;
+  }
+  return result;
+}
+
+}  // namespace rabid::core

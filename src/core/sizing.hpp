@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file sizing.hpp
+/// Buffer power-level selection (Section I-B: a buffer site realizes a
+/// buffer "with a range of power levels" only when assigned).
+///
+/// The length-based DP decides *where* buffers go; this post-pass picks
+/// *which* library cell each one becomes, minimizing the net's worst
+/// Elmore delay by greedy coordinate descent over the placements
+/// (sink-side first, repeated until a pass makes no improvement).
+/// Placements and site usage are untouched — sizing is free.
+
+#include <vector>
+
+#include "route/buffers.hpp"
+#include "route/route_tree.hpp"
+#include "tile/tile_graph.hpp"
+#include "timing/buffer_library.hpp"
+#include "timing/delay.hpp"
+
+namespace rabid::core {
+
+struct SizingResult {
+  /// Chosen cell per placement (parallel to the input buffer list).
+  std::vector<timing::BufferType> types;
+  double before_max_ps = 0.0;  ///< all-unit-buffer worst delay
+  double after_max_ps = 0.0;   ///< worst delay with the chosen cells
+  std::int32_t passes = 0;     ///< descent passes executed
+};
+
+/// Sizes `buffers` on `tree` using the non-inverting cells of `lib`.
+/// Deterministic; never returns a worse max delay than all-unit sizing.
+SizingResult size_buffers(const route::RouteTree& tree,
+                          const route::BufferList& buffers,
+                          const timing::BufferLibrary& lib,
+                          const tile::TileGraph& g,
+                          const timing::Technology& tech = timing::kTech180nm,
+                          std::int32_t max_passes = 4);
+
+}  // namespace rabid::core

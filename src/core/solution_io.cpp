@@ -1,0 +1,100 @@
+#include "core/solution_io.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace rabid::core {
+
+void write_solution(std::ostream& out, const netlist::Design& design,
+                    const tile::TileGraph& g,
+                    std::span<const NetState> nets) {
+  RABID_ASSERT(nets.size() == design.nets().size());
+  out << "# RABID solution format v1\n";
+  out << "solution " << design.name() << ' ' << g.nx() << ' ' << g.ny()
+      << '\n';
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    const NetState& n = nets[i];
+    out << "net " << design.net(static_cast<netlist::NetId>(i)).name << ' '
+        << (n.meets_length_rule ? "ok" : "fail") << '\n';
+    for (const route::RouteNode& node : n.tree.nodes()) {
+      if (node.parent == route::kNoNode) continue;
+      const geom::TileCoord a =
+          g.coord_of(n.tree.node(node.parent).tile);
+      const geom::TileCoord b = g.coord_of(node.tile);
+      out << "  arc " << a.x << ' ' << a.y << ' ' << b.x << ' ' << b.y
+          << '\n';
+    }
+    for (std::size_t k = 0; k < n.buffers.size(); ++k) {
+      const route::BufferPlacement& b = n.buffers[k];
+      const geom::TileCoord c = g.coord_of(n.tree.node(b.node).tile);
+      out << "  buffer " << c.x << ' ' << c.y << ' '
+          << (b.child == route::kNoNode ? "drive" : "decouple");
+      if (k < n.buffer_types.size()) out << ' ' << n.buffer_types[k].name;
+      out << '\n';
+    }
+    out << "end\n";
+  }
+}
+
+std::int64_t SolutionSummary::total_arcs() const {
+  std::int64_t total = 0;
+  for (const NetSummary& n : nets) total += n.arcs;
+  return total;
+}
+
+std::int64_t SolutionSummary::total_buffers() const {
+  std::int64_t total = 0;
+  for (const NetSummary& n : nets) total += n.buffers;
+  return total;
+}
+
+SolutionSummary read_solution_summary(std::istream& in) {
+  SolutionSummary summary;
+  std::string line;
+  SolutionSummary::NetSummary* open = nullptr;
+  SolutionSummary::NetSummary current;
+  int line_no = 0;
+  auto fail = [&](const char* msg) {
+    std::fprintf(stderr, "solution parse error at line %d: %s\n", line_no,
+                 msg);
+    std::abort();
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ss(line);
+    std::string cmd;
+    if (!(ss >> cmd)) continue;
+    if (cmd == "solution") {
+      if (!(ss >> summary.design >> summary.nx >> summary.ny)) {
+        fail("solution header needs name nx ny");
+      }
+    } else if (cmd == "net") {
+      if (open != nullptr) fail("nested net");
+      current = {};
+      std::string status;
+      if (!(ss >> current.name >> status)) fail("net needs name + status");
+      if (status != "ok" && status != "fail") fail("bad net status");
+      current.ok = status == "ok";
+      open = &current;
+    } else if (cmd == "arc") {
+      if (open == nullptr) fail("arc outside net");
+      ++open->arcs;
+    } else if (cmd == "buffer") {
+      if (open == nullptr) fail("buffer outside net");
+      ++open->buffers;
+    } else if (cmd == "end") {
+      if (open == nullptr) fail("end outside net");
+      summary.nets.push_back(std::move(current));
+      open = nullptr;
+    } else {
+      fail("unknown directive");
+    }
+  }
+  if (open != nullptr) fail("unterminated net");
+  return summary;
+}
+
+}  // namespace rabid::core

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file solution_io.hpp
+/// Text dump of a planning solution (routes, buffers, per-net status) —
+/// the artifact a downstream flow (global router, placer ECO step)
+/// would consume after early planning.
+///
+/// Format (line-oriented, '#' comments):
+///
+///   solution DESIGN_NAME TILES_X TILES_Y
+///   net NAME ok|fail
+///     arc X1 Y1 X2 Y2          # one tile step of the route tree
+///     buffer X Y drive|decouple [CELL]
+///   end
+///
+/// Coordinates are tile indices.  Parsing back is supported for the
+/// round-trip tests and for external tools that want to re-ingest a
+/// solution summary.
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/rabid.hpp"
+
+namespace rabid::core {
+
+void write_solution(std::ostream& out, const netlist::Design& design,
+                    const tile::TileGraph& g,
+                    std::span<const NetState> nets);
+
+/// A structural summary parsed back from a solution dump.
+struct SolutionSummary {
+  struct NetSummary {
+    std::string name;
+    bool ok = false;
+    std::int64_t arcs = 0;
+    std::int64_t buffers = 0;
+  };
+  std::string design;
+  std::int32_t nx = 0, ny = 0;
+  std::vector<NetSummary> nets;
+
+  std::int64_t total_arcs() const;
+  std::int64_t total_buffers() const;
+};
+
+SolutionSummary read_solution_summary(std::istream& in);
+
+}  // namespace rabid::core

@@ -1,0 +1,238 @@
+#include "core/twopath.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace rabid::core {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+TwoPathRoute route_two_path(const tile::TileGraph& g, tile::TileId from,
+                            tile::TileId to, std::int32_t L,
+                            const route::EdgeCostFn& wire_cost,
+                            const buffer::TileCostFn& buffer_cost,
+                            double wire_weight, double buffer_weight) {
+  RABID_ASSERT(L >= 1);
+  RABID_ASSERT(wire_weight >= 0.0 && buffer_weight >= 0.0);
+  const auto n_tiles = static_cast<std::size_t>(g.tile_count());
+  const auto n_states = n_tiles * static_cast<std::size_t>(L);
+  auto state_of = [&](tile::TileId t, std::int32_t j) {
+    return static_cast<std::size_t>(t) * static_cast<std::size_t>(L) +
+           static_cast<std::size_t>(j);
+  };
+
+  std::vector<double> dist(n_states, kInf);
+  // Predecessor state; -1 marks the start.
+  std::vector<std::int64_t> prev(n_states, -2);
+
+  struct Entry {
+    double d;
+    std::uint64_t s;
+    bool operator>(const Entry& o) const {
+      if (d != o.d) return d > o.d;
+      return s > o.s;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+
+  // Start at the tail with j = 0 (the tail end is an anchor; the exact
+  // downstream slack is re-established by the net-wide re-buffering).
+  const std::size_t start = state_of(from, 0);
+  dist[start] = 0.0;
+  prev[start] = -1;
+  heap.push({0.0, start});
+
+  auto relax = [&](std::size_t s, double d, std::size_t from_state) {
+    if (d < dist[s]) {
+      dist[s] = d;
+      prev[s] = static_cast<std::int64_t>(from_state);
+      heap.push({d, s});
+    }
+  };
+
+  std::size_t goal = static_cast<std::size_t>(-1);
+  while (!heap.empty()) {
+    const Entry top = heap.top();
+    heap.pop();
+    const auto s = static_cast<std::size_t>(top.s);
+    if (top.d > dist[s]) continue;
+    const auto t = static_cast<tile::TileId>(s / static_cast<std::size_t>(L));
+    const auto j = static_cast<std::int32_t>(s % static_cast<std::size_t>(L));
+    if (t == to) {
+      goal = s;
+      break;
+    }
+    // Buffer here: pay q(t), reset the run length.
+    if (j > 0) {
+      const double q = buffer_cost(t);
+      if (std::isfinite(q)) {
+        relax(state_of(t, 0), top.d + buffer_weight * q, s);
+      }
+    }
+    // Step to a neighbor if the length rule still allows it.
+    if (j + 1 < L) {
+      tile::TileId nbr[4];
+      const int cnt = g.neighbors(t, nbr);
+      for (int k = 0; k < cnt; ++k) {
+        const tile::EdgeId e = g.edge_between(t, nbr[k]);
+        relax(state_of(nbr[k], j + 1), top.d + wire_weight * wire_cost(e), s);
+      }
+    }
+  }
+
+  TwoPathRoute out;
+  if (goal == static_cast<std::size_t>(-1)) {
+    // The length rule made `to` unreachable (e.g. a blocked moat wider
+    // than L).  Fall back to a pure-wire shortest path; the net will be
+    // counted as a length failure by the re-buffering step.
+    route::MazeRouter fallback(g);
+    out.tiles = fallback.shortest_path(from, to, wire_cost);
+    out.cost = kInf;
+    return out;
+  }
+
+  out.cost = dist[goal];
+  std::size_t s = goal;
+  tile::TileId last = tile::kNoTile;
+  while (true) {
+    const auto t = static_cast<tile::TileId>(s / static_cast<std::size_t>(L));
+    if (t != last) {
+      out.tiles.push_back(t);
+      last = t;
+    }
+    if (prev[s] < 0) break;
+    s = static_cast<std::size_t>(prev[s]);
+  }
+  std::reverse(out.tiles.begin(), out.tiles.end());
+  RABID_ASSERT(out.tiles.front() == from && out.tiles.back() == to);
+  return out;
+}
+
+TileTreeEditor::TileTreeEditor(const route::RouteTree& tree,
+                               const tile::TileGraph& g)
+    : g_(g),
+      source_(tree.node(tree.root()).tile),
+      sink_multiplicity_(static_cast<std::size_t>(g.tile_count()), 0),
+      adj_(static_cast<std::size_t>(g.tile_count())) {
+  for (const route::RouteNode& n : tree.nodes()) {
+    if (n.parent != route::kNoNode) {
+      add_arc(n.tile, tree.node(n.parent).tile);
+    }
+    if (n.sink_count > 0) {
+      sink_multiplicity_[static_cast<std::size_t>(n.tile)] += n.sink_count;
+    }
+  }
+}
+
+void TileTreeEditor::add_arc(tile::TileId a, tile::TileId b) {
+  RABID_ASSERT(g_.edge_between(a, b) != tile::kNoEdge);
+  auto& na = adj_[static_cast<std::size_t>(a)];
+  if (std::find(na.begin(), na.end(), b) != na.end()) return;  // already
+  na.push_back(b);
+  adj_[static_cast<std::size_t>(b)].push_back(a);
+}
+
+void TileTreeEditor::remove_arc(tile::TileId a, tile::TileId b) {
+  auto& na = adj_[static_cast<std::size_t>(a)];
+  const auto ia = std::find(na.begin(), na.end(), b);
+  if (ia == na.end()) return;
+  na.erase(ia);
+  auto& nb = adj_[static_cast<std::size_t>(b)];
+  nb.erase(std::find(nb.begin(), nb.end(), a));
+}
+
+void TileTreeEditor::remove_path(tile::TileId head,
+                                 std::span<const tile::TileId> interior,
+                                 tile::TileId tail) {
+  tile::TileId prev = head;
+  for (const tile::TileId t : interior) {
+    remove_arc(prev, t);
+    prev = t;
+  }
+  remove_arc(prev, tail);
+}
+
+void TileTreeEditor::add_path(std::span<const tile::TileId> tiles) {
+  for (std::size_t i = 1; i < tiles.size(); ++i) {
+    add_arc(tiles[i - 1], tiles[i]);
+  }
+}
+
+bool TileTreeEditor::in_tree(tile::TileId t) const {
+  return t == source_ || sink_multiplicity_[static_cast<std::size_t>(t)] > 0 ||
+         !adj_[static_cast<std::size_t>(t)].empty();
+}
+
+route::RouteTree TileTreeEditor::rebuild(
+    const std::function<bool(tile::TileId)>& keep) const {
+  route::RouteTree tree(source_);
+  // BFS from the source; arcs closing a cycle are dropped.
+  std::queue<tile::TileId> frontier;
+  frontier.push(source_);
+  while (!frontier.empty()) {
+    const tile::TileId u = frontier.front();
+    frontier.pop();
+    const route::NodeId un = tree.node_at(u);
+    for (const tile::TileId v : adj_[static_cast<std::size_t>(u)]) {
+      if (tree.contains(v)) continue;
+      tree.add_child(un, v);
+      frontier.push(v);
+    }
+  }
+
+  // Attach sinks, then prune useless leaves bottom-up.  Pruning works on
+  // a keep-set, then the tree is reassembled (RouteTree is append-only).
+  const std::size_t n = tree.node_count();
+  std::vector<std::int32_t> sinks_at(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const tile::TileId t = tree.node(static_cast<route::NodeId>(i)).tile;
+    sinks_at[i] = sink_multiplicity_[static_cast<std::size_t>(t)];
+  }
+  for (std::size_t t = 0; t < sink_multiplicity_.size(); ++t) {
+    RABID_ASSERT_MSG(sink_multiplicity_[t] == 0 ||
+                         tree.contains(static_cast<tile::TileId>(t)),
+                     "rebuild lost a sink tile");
+  }
+
+  std::vector<bool> kept(n, false);
+  std::vector<std::int32_t> live_children(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    live_children[i] = static_cast<std::int32_t>(
+        tree.node(static_cast<route::NodeId>(i)).children.size());
+  }
+  // Reverse index order == children first.
+  for (std::size_t i = n; i-- > 0;) {
+    const auto v = static_cast<route::NodeId>(i);
+    kept[i] = sinks_at[i] > 0 || live_children[i] > 0 || v == tree.root() ||
+              (keep && keep(tree.node(v).tile));
+    if (!kept[i]) {
+      const route::NodeId p = tree.node(v).parent;
+      --live_children[static_cast<std::size_t>(p)];
+    }
+  }
+
+  route::RouteTree pruned(source_);
+  std::vector<route::NodeId> remap(n, route::kNoNode);
+  remap[0] = pruned.root();
+  for (std::size_t i = 1; i < n; ++i) {
+    if (!kept[i]) continue;
+    const route::RouteNode& node = tree.node(static_cast<route::NodeId>(i));
+    const route::NodeId p = remap[static_cast<std::size_t>(node.parent)];
+    RABID_ASSERT(p != route::kNoNode);
+    remap[i] = pruned.add_child(p, node.tile);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::int32_t s = 0; s < sinks_at[i]; ++s) {
+      pruned.add_sink(remap[i]);
+    }
+  }
+  return pruned;
+}
+
+}  // namespace rabid::core

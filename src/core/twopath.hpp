@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file twopath.hpp
+/// Stage-4 machinery (Section III-D): editing a route tree one two-path
+/// at a time, and the bottom-up cost-array path search that reconnects a
+/// ripped-up two-path while minimizing wire congestion (eq. 1) plus
+/// buffer-site cost (eq. 2) jointly.
+///
+/// The search runs Dijkstra over (tile, j) states, j being the wire
+/// length since the last buffer (j < L).  Stepping an edge costs eq. (1)
+/// and increments j; placing a buffer at a tile costs q(v) and resets
+/// j to 0.  States whose j would reach L must buffer or die, so every
+/// returned path can be legally buffered under the length rule.  The
+/// buffers themselves are re-inserted net-wide afterwards (the paper does
+/// the same); the search only has to find a corridor where both wire and
+/// buffer capacity exist.
+
+#include <functional>
+#include <vector>
+
+#include "buffer/insertion.hpp"
+#include "route/maze.hpp"
+#include "route/route_tree.hpp"
+#include "tile/tile_graph.hpp"
+
+namespace rabid::core {
+
+/// Result of the (tile x L) Dijkstra: the tile path (from..to inclusive)
+/// and its combined congestion cost.
+struct TwoPathRoute {
+  std::vector<tile::TileId> tiles;
+  double cost = 0.0;
+};
+
+/// Finds the min-cost reconnection between two tiles.
+/// `wire_cost`: per-edge cost (eq. 1, softened); `buffer_cost`: per-tile
+/// q(v) (may be +inf); `L`: length rule for the net.  The objective is
+/// wire_weight * wire + buffer_weight * buffer — footnote 7: the two
+/// costs "are of the same order of magnitude, so we simply add their
+/// costs. Alternatively, one could use any linear combination."
+TwoPathRoute route_two_path(const tile::TileGraph& g, tile::TileId from,
+                            tile::TileId to, std::int32_t L,
+                            const route::EdgeCostFn& wire_cost,
+                            const buffer::TileCostFn& buffer_cost,
+                            double wire_weight = 1.0,
+                            double buffer_weight = 1.0);
+
+/// An editable tile-level tree: a RouteTree exploded into undirected
+/// arcs, supporting two-path removal, path insertion, pruning of dangling
+/// stubs, and reconstruction into a RouteTree.
+class TileTreeEditor {
+ public:
+  TileTreeEditor(const route::RouteTree& tree, const tile::TileGraph& g);
+
+  /// Removes the arcs of a two-path (interior tiles plus both boundary
+  /// arcs). `interior` may be empty (single-arc two-path).
+  void remove_path(tile::TileId head,
+                   std::span<const tile::TileId> interior, tile::TileId tail);
+
+  /// Adds the arcs of a tile path (consecutive tiles adjacent in g).
+  void add_path(std::span<const tile::TileId> tiles);
+
+  /// True if `t` currently has any arcs (or is the root/a sink).
+  bool in_tree(tile::TileId t) const;
+
+  /// Rebuilds a RouteTree: BFS from the source over the arc set (cycle
+  /// arcs dropped), then iterative pruning of non-sink leaves.  Aborts if
+  /// any sink became unreachable.  Tiles for which `keep` returns true
+  /// are never pruned (e.g. stubs ending at a net's buffer tile).
+  route::RouteTree rebuild(
+      const std::function<bool(tile::TileId)>& keep = {}) const;
+
+ private:
+  const tile::TileGraph& g_;
+  tile::TileId source_;
+  std::vector<std::int32_t> sink_multiplicity_;  // per tile
+  std::vector<std::vector<tile::TileId>> adj_;   // per tile
+  void remove_arc(tile::TileId a, tile::TileId b);
+  void add_arc(tile::TileId a, tile::TileId b);
+};
+
+}  // namespace rabid::core

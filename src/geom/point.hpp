@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file point.hpp
+/// 2-D points in micrometers and in tile coordinates.
+///
+/// Physical coordinates are double micrometers (floorplans at this stage
+/// are continuous); tile coordinates are integer grid indices.
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+
+namespace rabid::geom {
+
+/// A physical location on the chip, in micrometers.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr bool operator==(const Point&, const Point&) = default;
+};
+
+/// Manhattan (L1) distance in micrometers.
+inline double manhattan(const Point& a, const Point& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Euclidean distance; used only for reporting, never for routing cost.
+inline double euclidean(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// An integer tile-grid coordinate. (0,0) is the lower-left tile.
+struct TileCoord {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+
+  friend constexpr bool operator==(const TileCoord&,
+                                   const TileCoord&) = default;
+  friend constexpr auto operator<=>(const TileCoord&,
+                                    const TileCoord&) = default;
+};
+
+/// Manhattan distance in tile units.
+inline std::int32_t manhattan(const TileCoord& a, const TileCoord& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+}  // namespace rabid::geom

@@ -1,0 +1,50 @@
+#include "geom/rect.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace rabid::geom {
+
+Rect::Rect(Point lo, Point hi) : lo_(lo), hi_(hi) {
+  RABID_ASSERT_MSG(lo.x <= hi.x && lo.y <= hi.y,
+                   "Rect corners must be ordered lo <= hi");
+}
+
+Rect Rect::from_size(Point origin, double w, double h) {
+  RABID_ASSERT_MSG(w >= 0.0 && h >= 0.0, "Rect size must be non-negative");
+  return Rect{origin, {origin.x + w, origin.y + h}};
+}
+
+bool Rect::contains(const Point& p) const {
+  return p.x >= lo_.x && p.x <= hi_.x && p.y >= lo_.y && p.y <= hi_.y;
+}
+
+bool Rect::intersects(const Rect& o) const {
+  return lo_.x <= o.hi_.x && o.lo_.x <= hi_.x && lo_.y <= o.hi_.y &&
+         o.lo_.y <= hi_.y;
+}
+
+double Rect::overlap_area(const Rect& o) const {
+  const double w =
+      std::min(hi_.x, o.hi_.x) - std::max(lo_.x, o.lo_.x);
+  const double h =
+      std::min(hi_.y, o.hi_.y) - std::max(lo_.y, o.lo_.y);
+  if (w <= 0.0 || h <= 0.0) return 0.0;
+  return w * h;
+}
+
+Rect Rect::bounding_union(const Rect& o) const {
+  return Rect{{std::min(lo_.x, o.lo_.x), std::min(lo_.y, o.lo_.y)},
+              {std::max(hi_.x, o.hi_.x), std::max(hi_.y, o.hi_.y)}};
+}
+
+Rect Rect::inflated(double margin) const {
+  Point lo{lo_.x - margin, lo_.y - margin};
+  Point hi{hi_.x + margin, hi_.y + margin};
+  if (lo.x > hi.x) lo.x = hi.x = (lo.x + hi.x) / 2.0;
+  if (lo.y > hi.y) lo.y = hi.y = (lo.y + hi.y) / 2.0;
+  return Rect{lo, hi};
+}
+
+}  // namespace rabid::geom

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file rect.hpp
+/// Axis-aligned rectangles in micrometers; used for the chip outline,
+/// macro blocks, and blocked (no-buffer-site) regions.
+
+#include "geom/point.hpp"
+
+namespace rabid::geom {
+
+/// Closed axis-aligned rectangle [lo.x, hi.x] x [lo.y, hi.y].
+/// Invariant: lo.x <= hi.x and lo.y <= hi.y.
+class Rect {
+ public:
+  Rect() = default;
+  Rect(Point lo, Point hi);
+
+  /// Builds from origin + size. Requires non-negative w, h.
+  static Rect from_size(Point origin, double w, double h);
+
+  const Point& lo() const { return lo_; }
+  const Point& hi() const { return hi_; }
+  double width() const { return hi_.x - lo_.x; }
+  double height() const { return hi_.y - lo_.y; }
+  double area() const { return width() * height(); }
+  Point center() const {
+    return {(lo_.x + hi_.x) / 2.0, (lo_.y + hi_.y) / 2.0};
+  }
+
+  bool contains(const Point& p) const;
+  bool intersects(const Rect& other) const;
+  /// Area of overlap with another rectangle (0 if disjoint).
+  double overlap_area(const Rect& other) const;
+  /// Smallest rectangle containing both.
+  Rect bounding_union(const Rect& other) const;
+  /// Rectangle grown by `margin` on every side (may be negative; the
+  /// result is clamped so it stays a valid rectangle).
+  Rect inflated(double margin) const;
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+
+ private:
+  Point lo_;
+  Point hi_;
+};
+
+}  // namespace rabid::geom

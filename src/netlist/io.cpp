@@ -1,0 +1,202 @@
+#include "netlist/io.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace rabid::netlist {
+
+namespace {
+
+const char* kind_name(PinKind k) {
+  switch (k) {
+    case PinKind::kBlock: return "block";
+    case PinKind::kPad: return "pad";
+    case PinKind::kFree: return "free";
+  }
+  RABID_ASSERT_MSG(false, "unknown pin kind");
+}
+
+void write_pin(std::ostream& out, const char* tag, const Pin& p) {
+  out << "  " << tag << ' ' << p.location.x << ' ' << p.location.y << ' '
+      << kind_name(p.kind);
+  if (p.kind == PinKind::kBlock) out << ' ' << p.block;
+  out << '\n';
+}
+
+/// Line-based tokenizer with abort-on-error diagnostics.
+class Parser {
+ public:
+  explicit Parser(std::istream& in) : in_(in) {}
+
+  /// Next non-empty, non-comment line split into tokens; false at EOF.
+  bool next_line(std::vector<std::string>& tokens) {
+    std::string line;
+    while (std::getline(in_, line)) {
+      ++line_no_;
+      const std::size_t hash = line.find('#');
+      if (hash != std::string::npos) line.resize(hash);
+      std::istringstream ss(line);
+      tokens.clear();
+      std::string tok;
+      while (ss >> tok) tokens.push_back(tok);
+      if (!tokens.empty()) return true;
+    }
+    return false;
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    std::fprintf(stderr, "design parse error at line %d: %s\n", line_no_,
+                 msg.c_str());
+    std::abort();
+  }
+
+  double num(const std::string& tok) const {
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(tok, &used);
+      if (used != tok.size()) fail("malformed number '" + tok + "'");
+      return v;
+    } catch (...) {
+      fail("malformed number '" + tok + "'");
+    }
+  }
+
+  PinKind kind(const std::string& tok) const {
+    if (tok == "block") return PinKind::kBlock;
+    if (tok == "pad") return PinKind::kPad;
+    if (tok == "free") return PinKind::kFree;
+    fail("unknown pin kind '" + tok + "'");
+  }
+
+ private:
+  std::istream& in_;
+  int line_no_ = 0;
+};
+
+}  // namespace
+
+void write_design(std::ostream& out, const Design& design) {
+  out << std::setprecision(17);
+  out << "# RABID design format v1\n";
+  out << "design " << design.name() << '\n';
+  out << "outline " << design.outline().lo().x << ' '
+      << design.outline().lo().y << ' ' << design.outline().hi().x << ' '
+      << design.outline().hi().y << '\n';
+  out << "length_limit " << design.default_length_limit() << '\n';
+  for (const Block& b : design.blocks()) {
+    out << "block " << b.name << ' ' << b.shape.lo().x << ' '
+        << b.shape.lo().y << ' ' << b.shape.hi().x << ' ' << b.shape.hi().y
+        << ' ' << b.site_fraction << '\n';
+  }
+  for (const Net& n : design.nets()) {
+    out << "net " << n.name;
+    if (n.length_limit > 0 || n.width != 1) out << ' ' << n.length_limit;
+    if (n.width != 1) out << ' ' << n.width;
+    out << '\n';
+    write_pin(out, "source", n.source);
+    for (const Pin& s : n.sinks) write_pin(out, "sink", s);
+    out << "end\n";
+  }
+}
+
+Design read_design(std::istream& in) {
+  Parser p(in);
+  std::vector<std::string> tok;
+
+  std::string name = "unnamed";
+  geom::Rect outline{{0, 0}, {1, 1}};
+  Design design;
+  bool have_outline = false;
+  std::int32_t default_limit = 0;
+  std::vector<Block> blocks;
+  std::vector<Net> nets;
+
+  Net* open_net = nullptr;
+  Net current;
+
+  auto parse_pin = [&](const std::vector<std::string>& t) {
+    if (t.size() < 4) p.fail("pin needs: tag X Y KIND [BLOCK]");
+    Pin pin;
+    pin.location = {p.num(t[1]), p.num(t[2])};
+    pin.kind = p.kind(t[3]);
+    if (pin.kind == PinKind::kBlock) {
+      if (t.size() < 5) p.fail("block pin needs a block index");
+      pin.block = static_cast<BlockId>(p.num(t[4]));
+    }
+    return pin;
+  };
+
+  while (p.next_line(tok)) {
+    const std::string& cmd = tok[0];
+    if (open_net != nullptr) {
+      if (cmd == "source") {
+        open_net->source = parse_pin(tok);
+      } else if (cmd == "sink") {
+        open_net->sinks.push_back(parse_pin(tok));
+      } else if (cmd == "end") {
+        nets.push_back(std::move(current));
+        open_net = nullptr;
+      } else {
+        p.fail("expected source/sink/end inside net, got '" + cmd + "'");
+      }
+      continue;
+    }
+    if (cmd == "design") {
+      if (tok.size() != 2) p.fail("design needs a name");
+      name = tok[1];
+    } else if (cmd == "outline") {
+      if (tok.size() != 5) p.fail("outline needs 4 coordinates");
+      outline = geom::Rect{{p.num(tok[1]), p.num(tok[2])},
+                           {p.num(tok[3]), p.num(tok[4])}};
+      have_outline = true;
+    } else if (cmd == "length_limit") {
+      if (tok.size() != 2) p.fail("length_limit needs a value");
+      default_limit = static_cast<std::int32_t>(p.num(tok[1]));
+    } else if (cmd == "block") {
+      if (tok.size() != 7) p.fail("block needs: name 4 coords fraction");
+      blocks.push_back(Block{
+          tok[1],
+          geom::Rect{{p.num(tok[2]), p.num(tok[3])},
+                     {p.num(tok[4]), p.num(tok[5])}},
+          p.num(tok[6])});
+    } else if (cmd == "net") {
+      if (tok.size() < 2) p.fail("net needs a name");
+      current = Net{};
+      current.name = tok[1];
+      if (tok.size() > 2) {
+        current.length_limit = static_cast<std::int32_t>(p.num(tok[2]));
+      }
+      if (tok.size() > 3) {
+        current.width = static_cast<std::int32_t>(p.num(tok[3]));
+        if (current.width < 1) p.fail("net width must be >= 1");
+      }
+      open_net = &current;
+    } else {
+      p.fail("unknown directive '" + cmd + "'");
+    }
+  }
+  if (open_net != nullptr) p.fail("unterminated net (missing 'end')");
+  if (!have_outline) p.fail("missing outline");
+
+  design = Design{name, outline};
+  if (default_limit > 0) design.set_default_length_limit(default_limit);
+  for (Block& b : blocks) design.add_block(std::move(b));
+  for (Net& n : nets) design.add_net(std::move(n));
+  design.check_invariants();
+  return design;
+}
+
+std::string to_string(const Design& design) {
+  std::ostringstream out;
+  write_design(out, design);
+  return out.str();
+}
+
+Design design_from_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_design(in);
+}
+
+}  // namespace rabid::netlist

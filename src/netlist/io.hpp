@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file io.hpp
+/// Plain-text serialization of designs — the interchange format that
+/// lets downstream users run RABID on their own floorplans and keep the
+/// generated benchmarks under version control.
+///
+/// Format (line-oriented, '#' comments, whitespace-separated):
+///
+///   design NAME
+///   outline LOX LOY HIX HIY
+///   length_limit L
+///   block NAME LOX LOY HIX HIY SITE_FRACTION
+///   net NAME [length_limit [width]]
+///     source X Y KIND [BLOCK]
+///     sink X Y KIND [BLOCK]
+///     ...
+///   end
+///
+/// KIND is one of block/pad/free; BLOCK is the owning block index for
+/// KIND == block.  Coordinates are micrometers.
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "netlist/design.hpp"
+
+namespace rabid::netlist {
+
+/// Writes `design` in the text format above.
+void write_design(std::ostream& out, const Design& design);
+
+/// Parses a design; aborts with a line-numbered message on malformed
+/// input (this is a trusted-input research format, not a hardened
+/// parser).
+Design read_design(std::istream& in);
+
+/// Convenience: round-trip through a string.
+std::string to_string(const Design& design);
+Design design_from_string(const std::string& text);
+
+}  // namespace rabid::netlist

@@ -1,0 +1,70 @@
+#include "report/heatmap.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rabid::report {
+
+namespace {
+
+constexpr std::string_view kRamp = " .:-=+*#%@";
+
+/// Renders one char per tile via `cell`, top row first.
+template <typename CellFn>
+std::string render(const tile::TileGraph& g, CellFn cell) {
+  std::string out;
+  out.reserve(static_cast<std::size_t>((g.nx() + 1) * g.ny()));
+  for (std::int32_t y = g.ny() - 1; y >= 0; --y) {
+    for (std::int32_t x = 0; x < g.nx(); ++x) {
+      out += cell(g.id_of({x, y}));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+char intensity_char(double value) {
+  value = std::clamp(value, 0.0, 1.0);
+  const auto idx = static_cast<std::size_t>(
+      std::min<double>(value * static_cast<double>(kRamp.size()),
+                       static_cast<double>(kRamp.size()) - 1.0));
+  return kRamp[idx];
+}
+
+std::string wire_congestion_map(const tile::TileGraph& g) {
+  return render(g, [&](tile::TileId t) {
+    tile::TileId nbr[4];
+    const int n = g.neighbors(t, nbr);
+    double worst = 0.0;
+    bool overflowed = false;
+    for (int k = 0; k < n; ++k) {
+      const tile::EdgeId e = g.edge_between(t, nbr[k]);
+      worst = std::max(worst, g.wire_congestion(e));
+      if (g.wire_usage(e) > g.wire_capacity(e)) overflowed = true;
+    }
+    return overflowed ? '@' : intensity_char(worst);
+  });
+}
+
+std::string buffer_density_map(const tile::TileGraph& g) {
+  return render(g, [&](tile::TileId t) {
+    if (g.site_supply(t) == 0) return 'X';
+    return intensity_char(g.buffer_density(t));
+  });
+}
+
+std::string site_supply_map(const tile::TileGraph& g) {
+  std::int32_t max_supply = 0;
+  for (tile::TileId t = 0; t < g.tile_count(); ++t) {
+    max_supply = std::max(max_supply, g.site_supply(t));
+  }
+  return render(g, [&](tile::TileId t) {
+    if (max_supply == 0) return ' ';
+    return intensity_char(static_cast<double>(g.site_supply(t)) /
+                          static_cast<double>(max_supply));
+  });
+}
+
+}  // namespace rabid::report

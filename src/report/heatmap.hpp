@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file heatmap.hpp
+/// ASCII heatmaps of tile-graph state — the quickest way to *see* what
+/// the paper describes: congestion hot spots between macros, the blocked
+/// cache region, buffer spreading vs. clumping.
+///
+/// Rows print top-down (highest y first) so the map matches the usual
+/// chip-plot orientation.  Intensity ramp: " .:-=+*#%@" (10 buckets).
+
+#include <string>
+
+#include "tile/tile_graph.hpp"
+
+namespace rabid::report {
+
+/// Wire congestion per tile (max of the congestion on its incident
+/// edges). '@' marks tiles touching an overflowed edge.
+std::string wire_congestion_map(const tile::TileGraph& g);
+
+/// Buffer-site occupancy b(v)/B(v) per tile; 'X' marks tiles with no
+/// sites at all (e.g. the blocked cache region).
+std::string buffer_density_map(const tile::TileGraph& g);
+
+/// Site supply B(v) per tile, scaled to the maximum supply.
+std::string site_supply_map(const tile::TileGraph& g);
+
+/// Shared ramp for tests and custom maps: value in [0,1] -> character.
+char intensity_char(double value);
+
+}  // namespace rabid::report

@@ -1,0 +1,74 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace rabid::report {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  RABID_ASSERT_MSG(cells.size() == headers_.size(),
+                   "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_rule() { rows_.emplace_back(); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += (c == 0) ? "| " : " | ";
+      out.append(width[c] - row[c].size(), ' ');
+      out += row[c];
+    }
+    out += " |\n";
+  };
+  auto emit_rule = [&](std::string& out) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      out += (c == 0) ? "|-" : "-|-";
+      out.append(width[c], '-');
+    }
+    out += "-|\n";
+  };
+
+  std::string out;
+  emit_row(headers_, out);
+  emit_rule(out);
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      emit_rule(out);
+    } else {
+      emit_row(row, out);
+    }
+  }
+  return out;
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+}  // namespace rabid::report

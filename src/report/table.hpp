@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file table.hpp
+/// Minimal right-aligned ASCII table rendering for the benchmark
+/// binaries that regenerate the paper's Tables I-V.
+
+#include <string>
+#include <vector>
+
+namespace rabid::report {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// A horizontal separator line between row groups.
+  void add_rule();
+
+  std::string to_string() const;
+  /// Renders to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == rule
+};
+
+/// Fixed-precision double formatting ("%.2f"-style).
+std::string fmt(double v, int precision);
+/// Integer formatting.
+std::string fmt(std::int64_t v);
+
+}  // namespace rabid::report

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file buffers.hpp
+/// Buffer placements on a route tree.
+///
+/// A buffer lives in a tile (consuming one of its buffer sites) at a
+/// route-tree node, in one of two roles (Fig. 8 of the paper):
+///   * driving buffer  (child == kNoNode): drives everything downstream
+///     of the node — all branches jointly;
+///   * decoupling buffer (child == a child node id): drives only the
+///     branch toward `child`, isolating it from the node's other load.
+/// Several buffers may share one tile (Fig. 8(b)/(d)).
+
+#include <vector>
+
+#include "route/route_tree.hpp"
+
+namespace rabid::route {
+
+struct BufferPlacement {
+  NodeId node = kNoNode;
+  NodeId child = kNoNode;  ///< kNoNode = driving buffer; else decoupling
+
+  friend bool operator==(const BufferPlacement&,
+                         const BufferPlacement&) = default;
+};
+
+using BufferList = std::vector<BufferPlacement>;
+
+}  // namespace rabid::route

@@ -1,0 +1,83 @@
+#include "route/embed.hpp"
+
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace rabid::route {
+
+namespace {
+
+/// Walks the L-path (x-first) from the tree node `from` to tile `target`,
+/// adding missing tiles and re-anchoring on existing ones. Returns the
+/// node at `target`.
+NodeId walk_l_path(RouteTree& tree, const tile::TileGraph& g, NodeId from,
+                   tile::TileId target) {
+  NodeId cur = from;
+  geom::TileCoord c = g.coord_of(tree.node(cur).tile);
+  const geom::TileCoord t = g.coord_of(target);
+  auto step_to = [&](geom::TileCoord next) {
+    const tile::TileId nt = g.id_of(next);
+    const NodeId existing = tree.node_at(nt);
+    cur = (existing != kNoNode) ? existing : tree.add_child(cur, nt);
+    c = next;
+  };
+  while (c.x != t.x) step_to({c.x + (t.x > c.x ? 1 : -1), c.y});
+  while (c.y != t.y) step_to({c.x, c.y + (t.y > c.y ? 1 : -1)});
+  return cur;
+}
+
+}  // namespace
+
+RouteTree embed_tree(const GeomTree& gtree, const netlist::Net& net,
+                     const tile::TileGraph& g) {
+  RABID_ASSERT(gtree.terminal_count ==
+               static_cast<std::int32_t>(net.sinks.size()) + 1);
+  RABID_ASSERT_MSG(gtree.root == 0, "embed expects the source at index 0");
+
+  const tile::TileId source_tile = g.tile_at(net.source.location);
+  RouteTree tree(source_tile);
+
+  // Children-first ordering: process arcs top-down from the root so the
+  // anchor node always exists before its subtree is embedded.
+  std::vector<std::vector<std::int32_t>> children(gtree.points.size());
+  for (std::size_t i = 0; i < gtree.parent.size(); ++i) {
+    if (gtree.parent[i] >= 0)
+      children[static_cast<std::size_t>(gtree.parent[i])].push_back(
+          static_cast<std::int32_t>(i));
+  }
+  std::vector<NodeId> node_of(gtree.points.size(), kNoNode);
+  node_of[static_cast<std::size_t>(gtree.root)] = tree.root();
+  std::vector<std::int32_t> stack{gtree.root};
+  while (!stack.empty()) {
+    const std::int32_t u = stack.back();
+    stack.pop_back();
+    for (const std::int32_t v : children[static_cast<std::size_t>(u)]) {
+      const tile::TileId vt = g.tile_at(gtree.points[static_cast<std::size_t>(v)]);
+      node_of[static_cast<std::size_t>(v)] =
+          walk_l_path(tree, g, node_of[static_cast<std::size_t>(u)], vt);
+      stack.push_back(v);
+    }
+  }
+
+  for (std::size_t s = 0; s < net.sinks.size(); ++s) {
+    const NodeId n = node_of[s + 1];
+    RABID_ASSERT_MSG(n != kNoNode, "sink terminal not embedded");
+    tree.add_sink(n);
+  }
+  return tree;
+}
+
+RouteTree build_initial_route(const netlist::Net& net,
+                              const tile::TileGraph& g, double alpha) {
+  std::vector<geom::Point> terminals;
+  terminals.reserve(net.sinks.size() + 1);
+  terminals.push_back(net.source.location);
+  for (const netlist::Pin& p : net.sinks) terminals.push_back(p.location);
+
+  const SpanningTree span = prim_dijkstra(terminals, 0, alpha);
+  const GeomTree steiner = remove_overlaps(to_geom_tree(terminals, span, 0));
+  return embed_tree(steiner, net, g);
+}
+
+}  // namespace rabid::route

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file embed.hpp
+/// Embeds a geometric (Steiner) tree onto the tile graph, producing the
+/// tile-level RouteTree that all later stages operate on.
+///
+/// Each geometric arc becomes an L-shaped staircase of tile steps
+/// (x-first, deterministically).  When a step lands on a tile already in
+/// the tree the walk re-anchors there, so the result is always a valid
+/// tree even when arcs cross.
+
+#include "netlist/design.hpp"
+#include "route/route_tree.hpp"
+#include "route/steiner.hpp"
+#include "tile/tile_graph.hpp"
+
+namespace rabid::route {
+
+/// Embeds `gtree` (whose first terminal_count points are `net`'s pins:
+/// index 0 the source, 1..k the sinks, matching build order) onto `g`.
+/// Sink multiplicity is preserved: the returned tree's total_sinks()
+/// equals net.sinks.size().
+RouteTree embed_tree(const GeomTree& gtree, const netlist::Net& net,
+                     const tile::TileGraph& g);
+
+/// Convenience: full Stage-1 pipeline for one net — PD spanning tree
+/// (alpha), overlap removal, tile embedding.
+RouteTree build_initial_route(const netlist::Net& net,
+                              const tile::TileGraph& g, double alpha);
+
+}  // namespace rabid::route

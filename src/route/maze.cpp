@@ -1,0 +1,182 @@
+#include "route/maze.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace rabid::route {
+
+double soft_wire_cost(const tile::TileGraph& g, tile::EdgeId e) {
+  const std::int32_t w = g.wire_usage(e);
+  const std::int32_t cap = g.wire_capacity(e);
+  if (w < cap) {
+    return static_cast<double>(w + 1) / static_cast<double>(cap - w);
+  }
+  return kOverflowPenalty * static_cast<double>(w - cap + 1);
+}
+
+MazeRouter::MazeRouter(const tile::TileGraph& g)
+    : g_(g),
+      dist_(static_cast<std::size_t>(g.tile_count()), 0.0),
+      prev_(static_cast<std::size_t>(g.tile_count()), tile::kNoTile),
+      stamp_(static_cast<std::size_t>(g.tile_count()), 0) {}
+
+namespace {
+
+struct HeapEntry {
+  double dist;
+  tile::TileId tile;
+  // Tie-break on tile id so expansion order (and thus routes) is fully
+  // deterministic regardless of heap internals.
+  bool operator>(const HeapEntry& o) const {
+    if (dist != o.dist) return dist > o.dist;
+    return tile > o.tile;
+  }
+};
+
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+}  // namespace
+
+RouteTree MazeRouter::grow(tile::TileId source_tile,
+                           std::span<const tile::TileId> sink_tiles,
+                           double alpha, const EdgeCostFn& cost) {
+  RouteTree tree(source_tile);
+
+  // Unconnected sink tiles (deduplicated); multiplicity handled at the end.
+  std::vector<tile::TileId> remaining(sink_tiles.begin(), sink_tiles.end());
+  std::sort(remaining.begin(), remaining.end());
+  remaining.erase(std::unique(remaining.begin(), remaining.end()),
+                  remaining.end());
+  std::erase(remaining, source_tile);
+
+  // Congestion-cost of the tree path from the source to each node, the
+  // "path length" that alpha weighs in the PD objective.
+  std::vector<double> path_cost{0.0};
+
+  std::vector<bool> is_target(static_cast<std::size_t>(g_.tile_count()),
+                              false);
+  for (const tile::TileId t : remaining)
+    is_target[static_cast<std::size_t>(t)] = true;
+
+  while (!remaining.empty()) {
+    begin_pass();
+    MinHeap heap;
+    // Seed the wavefront with every tree tile at alpha-weighted path cost.
+    for (std::size_t i = 0; i < tree.node_count(); ++i) {
+      const tile::TileId t = tree.node(static_cast<NodeId>(i)).tile;
+      touch(t, alpha * path_cost[i], tile::kNoTile);
+      heap.push({alpha * path_cost[i], t});
+    }
+    tile::TileId reached = tile::kNoTile;
+    while (!heap.empty()) {
+      const HeapEntry top = heap.top();
+      heap.pop();
+      if (top.dist > dist_[static_cast<std::size_t>(top.tile)]) continue;
+      if (is_target[static_cast<std::size_t>(top.tile)]) {
+        reached = top.tile;
+        break;
+      }
+      tile::TileId nbr[4];
+      const int n = g_.neighbors(top.tile, nbr);
+      for (int k = 0; k < n; ++k) {
+        const tile::EdgeId e = g_.edge_between(top.tile, nbr[k]);
+        const double nd = top.dist + cost(e);
+        if (!seen(nbr[k]) || nd < dist_[static_cast<std::size_t>(nbr[k])]) {
+          touch(nbr[k], nd, top.tile);
+          heap.push({nd, nbr[k]});
+        }
+      }
+    }
+    RABID_ASSERT_MSG(reached != tile::kNoTile,
+                     "wavefront could not reach a sink tile");
+
+    // Trace back to the tree, collect the new path (tree-side first).
+    std::vector<tile::TileId> path;
+    for (tile::TileId t = reached; t != tile::kNoTile;
+         t = prev_[static_cast<std::size_t>(t)]) {
+      path.push_back(t);
+      if (tree.contains(t) && t != reached) break;
+    }
+    std::reverse(path.begin(), path.end());
+    RABID_ASSERT(tree.contains(path.front()));
+
+    NodeId anchor = tree.node_at(path.front());
+    double pc = path_cost[static_cast<std::size_t>(anchor)];
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      const tile::EdgeId e = g_.edge_between(path[i - 1], path[i]);
+      pc += cost(e);
+      const NodeId existing = tree.node_at(path[i]);
+      if (existing != kNoNode) {
+        anchor = existing;
+        pc = path_cost[static_cast<std::size_t>(existing)];
+        continue;
+      }
+      anchor = tree.add_child(anchor, path[i]);
+      RABID_ASSERT(static_cast<std::size_t>(anchor) == path_cost.size());
+      path_cost.push_back(pc);
+    }
+
+    // Newly covered targets (the reached one, plus any the path crossed).
+    std::erase_if(remaining, [&](tile::TileId t) {
+      if (tree.contains(t)) {
+        is_target[static_cast<std::size_t>(t)] = false;
+        return true;
+      }
+      return false;
+    });
+  }
+
+  // Attach sink multiplicity.
+  for (const tile::TileId t : sink_tiles) {
+    const NodeId n = tree.node_at(t);
+    RABID_ASSERT(n != kNoNode);
+    tree.add_sink(n);
+  }
+  return tree;
+}
+
+RouteTree MazeRouter::route_net(const netlist::Net& net, double alpha,
+                                const EdgeCostFn& cost) {
+  std::vector<tile::TileId> sinks;
+  sinks.reserve(net.sinks.size());
+  for (const netlist::Pin& p : net.sinks) sinks.push_back(g_.tile_at(p.location));
+  return grow(g_.tile_at(net.source.location), sinks, alpha, cost);
+}
+
+std::vector<tile::TileId> MazeRouter::shortest_path(tile::TileId from,
+                                                    tile::TileId to,
+                                                    const EdgeCostFn& cost) {
+  begin_pass();
+  MinHeap heap;
+  touch(from, 0.0, tile::kNoTile);
+  heap.push({0.0, from});
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    if (top.dist > dist_[static_cast<std::size_t>(top.tile)]) continue;
+    if (top.tile == to) break;
+    tile::TileId nbr[4];
+    const int n = g_.neighbors(top.tile, nbr);
+    for (int k = 0; k < n; ++k) {
+      const tile::EdgeId e = g_.edge_between(top.tile, nbr[k]);
+      const double nd = top.dist + cost(e);
+      if (!seen(nbr[k]) || nd < dist_[static_cast<std::size_t>(nbr[k])]) {
+        touch(nbr[k], nd, top.tile);
+        heap.push({nd, nbr[k]});
+      }
+    }
+  }
+  RABID_ASSERT_MSG(seen(to), "no path between tiles");
+  std::vector<tile::TileId> path;
+  for (tile::TileId t = to; t != tile::kNoTile;
+       t = prev_[static_cast<std::size_t>(t)]) {
+    path.push_back(t);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace rabid::route

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file maze.hpp
+/// Congestion-aware Steiner-tree regrowth on the tile graph (RABID
+/// Stage 2, and the routing engine behind Stage 4).
+///
+/// A net is rerouted by deleting it entirely and regrowing the tree with
+/// a Prim-Dijkstra-flavored wavefront: each connection step runs a
+/// Dijkstra seeded from every tree tile at cost alpha * (tree path cost),
+/// expands with the eq. (1) congestion edge cost, and commits the
+/// cheapest path to any unconnected sink.
+///
+/// Eq. (1) is infinite on a full edge; to guarantee the router always
+/// completes (the paper's Table III shows overflow IS possible when
+/// resources are scarce), full edges get a large finite penalty instead,
+/// so overflow happens only when no feasible path exists and is then
+/// minimal.
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "netlist/design.hpp"
+#include "route/route_tree.hpp"
+#include "tile/tile_graph.hpp"
+
+namespace rabid::route {
+
+/// Per-extra-wire penalty applied past capacity.  Any overflowing path
+/// costs more than any feasible path of realistic length.
+constexpr double kOverflowPenalty = 1.0e7;
+
+/// Eq. (1) with the overflow tier: finite everywhere.
+double soft_wire_cost(const tile::TileGraph& g, tile::EdgeId e);
+
+/// Edge-cost callback; defaults to soft_wire_cost.
+using EdgeCostFn = std::function<double(tile::EdgeId)>;
+
+/// Reusable wavefront router; scratch arrays are sized once per graph.
+class MazeRouter {
+ public:
+  explicit MazeRouter(const tile::TileGraph& g);
+
+  /// Grows a tree from `source_tile` to every tile in `sink_tiles`
+  /// (duplicates allowed; multiplicity becomes sink_count).  `alpha` is
+  /// the PD radius/length trade-off; `cost` the per-edge cost.
+  RouteTree grow(tile::TileId source_tile,
+                 std::span<const tile::TileId> sink_tiles, double alpha,
+                 const EdgeCostFn& cost);
+
+  /// Convenience for a Net: maps pins to tiles and grows.
+  RouteTree route_net(const netlist::Net& net, double alpha,
+                      const EdgeCostFn& cost);
+
+  /// Lowest-cost tile path between two tiles under `cost` (both endpoints
+  /// included).  Used by tests and simple point-to-point reconnects.
+  std::vector<tile::TileId> shortest_path(tile::TileId from, tile::TileId to,
+                                          const EdgeCostFn& cost);
+
+ private:
+  const tile::TileGraph& g_;
+  std::vector<double> dist_;
+  std::vector<tile::TileId> prev_;
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t epoch_ = 0;
+
+  void begin_pass() { ++epoch_; }
+  bool seen(tile::TileId t) const {
+    return stamp_[static_cast<std::size_t>(t)] == epoch_;
+  }
+  void touch(tile::TileId t, double d, tile::TileId p) {
+    stamp_[static_cast<std::size_t>(t)] = epoch_;
+    dist_[static_cast<std::size_t>(t)] = d;
+    prev_[static_cast<std::size_t>(t)] = p;
+  }
+};
+
+}  // namespace rabid::route

@@ -1,0 +1,42 @@
+#include "route/negotiated.hpp"
+
+#include "util/assert.hpp"
+
+namespace rabid::route {
+
+NegotiationState::NegotiationState(const tile::TileGraph& g,
+                                   NegotiationParams params)
+    : g_(g),
+      params_(params),
+      history_(static_cast<std::size_t>(g.edge_count()), 0.0),
+      pres_fac_(params.pres_fac_first) {
+  RABID_ASSERT(params.pres_fac_first > 0.0);
+  RABID_ASSERT(params.pres_fac_mult > 1.0);
+  RABID_ASSERT(params.history_step > 0.0);
+  RABID_ASSERT(params.max_iterations >= 1);
+}
+
+double NegotiationState::cost(tile::EdgeId e) const {
+  // Overuse *if this wire were added*.
+  const std::int32_t over =
+      g_.wire_usage(e) + 1 - g_.wire_capacity(e);
+  const double present =
+      over > 0 ? 1.0 + static_cast<double>(over) * pres_fac_ : 1.0;
+  return (1.0 + history_[static_cast<std::size_t>(e)]) * present;
+}
+
+std::int64_t NegotiationState::finish_iteration() {
+  std::int64_t total_overuse = 0;
+  for (tile::EdgeId e = 0; e < g_.edge_count(); ++e) {
+    const std::int32_t over = g_.wire_usage(e) - g_.wire_capacity(e);
+    if (over > 0) {
+      total_overuse += over;
+      history_[static_cast<std::size_t>(e)] +=
+          params_.history_step * static_cast<double>(over);
+    }
+  }
+  pres_fac_ *= params_.pres_fac_mult;
+  return total_overuse;
+}
+
+}  // namespace rabid::route

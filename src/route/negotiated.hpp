@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file negotiated.hpp
+/// Negotiated-congestion (PathFinder-style) cost bookkeeping.
+///
+/// The paper's future work wants "an industrial tile graph-based global
+/// router" behind Stages 1-2.  The industrial standard is negotiated
+/// congestion (McMurchie & Ebeling, FPGA'95): nets may temporarily
+/// overuse edges; each iteration raises a persistent *history* price on
+/// overused edges and a growing *present-sharing* multiplier, until the
+/// solution is feasible.  Compared with the paper's Nair-style eq. (1)
+/// rip-up (which forbids overuse outright and so detours eagerly),
+/// negotiation tends to buy back wirelength on uncongested fabric.
+///
+/// This header provides the cost state; core::Rabid offers it as an
+/// alternative Stage-2 mode (RabidOptions::stage2_mode).
+
+#include <cstdint>
+#include <vector>
+
+#include "tile/tile_graph.hpp"
+
+namespace rabid::route {
+
+struct NegotiationParams {
+  double pres_fac_first = 0.5;   ///< present-sharing factor, iteration 1
+  double pres_fac_mult = 1.8;    ///< growth per iteration
+  double history_step = 0.4;     ///< history added per unit overuse
+  std::int32_t max_iterations = 12;
+};
+
+/// Per-edge negotiation state.
+class NegotiationState {
+ public:
+  NegotiationState(const tile::TileGraph& g, NegotiationParams params = {});
+
+  /// PathFinder cost of pushing one more wire across e, given the
+  /// graph's *current* usage: (base + history) * present-sharing.
+  double cost(tile::EdgeId e) const;
+
+  /// Ends an iteration: accrues history on every overused edge and
+  /// raises the present-sharing factor.  Returns the total overuse seen.
+  std::int64_t finish_iteration();
+
+  double pres_fac() const { return pres_fac_; }
+  double history(tile::EdgeId e) const {
+    return history_[static_cast<std::size_t>(e)];
+  }
+  const NegotiationParams& params() const { return params_; }
+
+ private:
+  const tile::TileGraph& g_;
+  NegotiationParams params_;
+  std::vector<double> history_;
+  double pres_fac_;
+};
+
+}  // namespace rabid::route

@@ -1,0 +1,82 @@
+#include "route/prim_dijkstra.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace rabid::route {
+
+SpanningTree prim_dijkstra(std::span<const geom::Point> terminals,
+                           std::int32_t source_index, double alpha) {
+  const auto n = static_cast<std::int32_t>(terminals.size());
+  RABID_ASSERT_MSG(n > 0, "prim_dijkstra needs at least one terminal");
+  RABID_ASSERT(source_index >= 0 && source_index < n);
+  RABID_ASSERT_MSG(alpha >= 0.0 && alpha <= 1.0, "alpha must be in [0,1]");
+
+  SpanningTree tree;
+  tree.parent.assign(static_cast<std::size_t>(n), -1);
+  tree.path_length.assign(static_cast<std::size_t>(n), 0.0);
+
+  constexpr double kInf = std::numeric_limits<double>::max();
+  std::vector<bool> in_tree(static_cast<std::size_t>(n), false);
+  std::vector<double> key(static_cast<std::size_t>(n), kInf);
+  std::vector<std::int32_t> best_parent(static_cast<std::size_t>(n), -1);
+
+  // O(n^2) PD: terminal counts per net are small (tens), so the simple
+  // quadratic scan beats a heap and is trivially deterministic.
+  key[static_cast<std::size_t>(source_index)] = 0.0;
+  for (std::int32_t added = 0; added < n; ++added) {
+    std::int32_t u = -1;
+    double best = kInf;
+    for (std::int32_t i = 0; i < n; ++i) {
+      if (!in_tree[static_cast<std::size_t>(i)] &&
+          key[static_cast<std::size_t>(i)] < best) {
+        best = key[static_cast<std::size_t>(i)];
+        u = i;
+      }
+    }
+    RABID_ASSERT_MSG(u >= 0, "disconnected terminal set (impossible)");
+    in_tree[static_cast<std::size_t>(u)] = true;
+    if (u != source_index) {
+      const auto p = best_parent[static_cast<std::size_t>(u)];
+      tree.parent[static_cast<std::size_t>(u)] = p;
+      tree.path_length[static_cast<std::size_t>(u)] =
+          tree.path_length[static_cast<std::size_t>(p)] +
+          geom::manhattan(terminals[static_cast<std::size_t>(u)],
+                          terminals[static_cast<std::size_t>(p)]);
+    }
+    for (std::int32_t v = 0; v < n; ++v) {
+      if (in_tree[static_cast<std::size_t>(v)]) continue;
+      const double cand =
+          alpha * tree.path_length[static_cast<std::size_t>(u)] +
+          geom::manhattan(terminals[static_cast<std::size_t>(u)],
+                          terminals[static_cast<std::size_t>(v)]);
+      if (cand < key[static_cast<std::size_t>(v)]) {
+        key[static_cast<std::size_t>(v)] = cand;
+        best_parent[static_cast<std::size_t>(v)] = u;
+      }
+    }
+  }
+  return tree;
+}
+
+double tree_wirelength(std::span<const geom::Point> terminals,
+                       const SpanningTree& tree) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < tree.parent.size(); ++i) {
+    const std::int32_t p = tree.parent[i];
+    if (p < 0) continue;
+    total += geom::manhattan(terminals[i],
+                             terminals[static_cast<std::size_t>(p)]);
+  }
+  return total;
+}
+
+double tree_radius(const SpanningTree& tree) {
+  double radius = 0.0;
+  for (const double len : tree.path_length) radius = std::max(radius, len);
+  return radius;
+}
+
+}  // namespace rabid::route

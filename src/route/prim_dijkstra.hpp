@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file prim_dijkstra.hpp
+/// The Prim-Dijkstra spanning-tree construction of Alpert et al. [4]
+/// (IEEE TCAD 14(7), 1995), used by RABID Stage 1.
+///
+/// PD interpolates between Prim's minimum spanning tree (alpha = 0) and
+/// Dijkstra's shortest-path tree (alpha = 1): an unconnected terminal v is
+/// attached to the connected terminal u minimizing
+///     alpha * pathlength(source, u) + dist(u, v).
+/// The paper's experiments use alpha = 0.4 (footnote 5).
+
+#include <span>
+#include <vector>
+
+#include "geom/point.hpp"
+
+namespace rabid::route {
+
+/// Default radius/wirelength trade-off from the paper.
+constexpr double kDefaultPdAlpha = 0.4;
+
+/// A spanning tree over a terminal set, arcs directed toward the source.
+struct SpanningTree {
+  /// parent[i] is the terminal index i attaches to; parent[source] == -1.
+  std::vector<std::int32_t> parent;
+  /// Manhattan path length from the source to each terminal.
+  std::vector<double> path_length;
+};
+
+/// Builds the PD tree over `terminals` rooted at `source_index` using
+/// Manhattan distance.  Requires terminals non-empty and a valid index.
+SpanningTree prim_dijkstra(std::span<const geom::Point> terminals,
+                           std::int32_t source_index, double alpha);
+
+/// Total Manhattan wirelength of a spanning tree.
+double tree_wirelength(std::span<const geom::Point> terminals,
+                       const SpanningTree& tree);
+
+/// Maximum source-to-terminal path length (the tree radius).
+double tree_radius(const SpanningTree& tree);
+
+}  // namespace rabid::route

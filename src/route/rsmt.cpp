@@ -1,0 +1,165 @@
+#include "route/rsmt.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace rabid::route {
+
+namespace {
+
+/// Manhattan MST length over a small point set; fills parent[] (rooted
+/// at index 0 internally; re-rooting happens later).
+double mst(const std::vector<geom::Point>& pts,
+           std::vector<std::int32_t>& parent) {
+  const auto n = static_cast<std::int32_t>(pts.size());
+  parent.assign(static_cast<std::size_t>(n), -1);
+  std::vector<bool> in(static_cast<std::size_t>(n), false);
+  std::vector<double> key(static_cast<std::size_t>(n),
+                          std::numeric_limits<double>::max());
+  std::vector<std::int32_t> from(static_cast<std::size_t>(n), -1);
+  key[0] = 0.0;
+  double total = 0.0;
+  for (std::int32_t added = 0; added < n; ++added) {
+    std::int32_t u = -1;
+    double best = std::numeric_limits<double>::max();
+    for (std::int32_t i = 0; i < n; ++i) {
+      if (!in[static_cast<std::size_t>(i)] &&
+          key[static_cast<std::size_t>(i)] < best) {
+        best = key[static_cast<std::size_t>(i)];
+        u = i;
+      }
+    }
+    in[static_cast<std::size_t>(u)] = true;
+    total += best;
+    parent[static_cast<std::size_t>(u)] = from[static_cast<std::size_t>(u)];
+    for (std::int32_t v = 0; v < n; ++v) {
+      if (in[static_cast<std::size_t>(v)]) continue;
+      const double d = geom::manhattan(pts[static_cast<std::size_t>(u)],
+                                       pts[static_cast<std::size_t>(v)]);
+      if (d < key[static_cast<std::size_t>(v)]) {
+        key[static_cast<std::size_t>(v)] = d;
+        from[static_cast<std::size_t>(v)] = u;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+double hpwl(std::span<const geom::Point> terminals) {
+  RABID_ASSERT(!terminals.empty());
+  double lox = terminals[0].x, hix = terminals[0].x;
+  double loy = terminals[0].y, hiy = terminals[0].y;
+  for (const geom::Point& p : terminals) {
+    lox = std::min(lox, p.x);
+    hix = std::max(hix, p.x);
+    loy = std::min(loy, p.y);
+    hiy = std::max(hiy, p.y);
+  }
+  return (hix - lox) + (hiy - loy);
+}
+
+GeomTree rsmt_exact(std::span<const geom::Point> terminals,
+                    std::int32_t source_index) {
+  const auto n = static_cast<std::int32_t>(terminals.size());
+  RABID_ASSERT(n >= 1 && n <= kMaxExactRsmtTerminals);
+  RABID_ASSERT(source_index >= 0 && source_index < n);
+
+  // Hanan grid candidates (excluding the terminals themselves).
+  std::vector<double> xs, ys;
+  for (const geom::Point& p : terminals) {
+    xs.push_back(p.x);
+    ys.push_back(p.y);
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+  std::vector<geom::Point> hanan;
+  for (const double x : xs) {
+    for (const double y : ys) {
+      const geom::Point p{x, y};
+      bool is_terminal = false;
+      for (const geom::Point& t : terminals) {
+        if (t == p) is_terminal = true;
+      }
+      if (!is_terminal) hanan.push_back(p);
+    }
+  }
+
+  // Enumerate Steiner-point subsets of size <= n-2 (Hanan's bound).
+  const auto h = static_cast<std::int32_t>(hanan.size());
+  const std::int32_t max_extra = std::max(0, n - 2);
+  double best_len = std::numeric_limits<double>::max();
+  std::vector<std::int32_t> best_parent;
+  std::vector<geom::Point> best_pts;
+
+  std::vector<std::int32_t> chosen;
+  auto evaluate = [&]() {
+    std::vector<geom::Point> pts(terminals.begin(), terminals.end());
+    for (const std::int32_t c : chosen) {
+      pts.push_back(hanan[static_cast<std::size_t>(c)]);
+    }
+    std::vector<std::int32_t> parent;
+    const double len = mst(pts, parent);
+    if (len < best_len) {
+      best_len = len;
+      best_parent = std::move(parent);
+      best_pts = std::move(pts);
+    }
+  };
+  // Subset recursion (h choose <= max_extra); tiny for n <= 5.
+  auto recurse = [&](auto&& self, std::int32_t start) -> void {
+    evaluate();
+    if (static_cast<std::int32_t>(chosen.size()) == max_extra) return;
+    for (std::int32_t c = start; c < h; ++c) {
+      chosen.push_back(c);
+      self(self, c + 1);
+      chosen.pop_back();
+    }
+  };
+  recurse(recurse, 0);
+  // Note: a useless chosen Hanan point shows up as a degree-1 Steiner
+  // leaf and only lengthens the MST, so such subsets never win — no
+  // structural pruning of the best tree is needed.
+
+  // Re-root the undirected best tree at the source.
+  const auto m = static_cast<std::int32_t>(best_pts.size());
+  std::vector<std::vector<std::int32_t>> adj(static_cast<std::size_t>(m));
+  for (std::int32_t i = 0; i < m; ++i) {
+    const std::int32_t p = best_parent[static_cast<std::size_t>(i)];
+    if (p >= 0) {
+      adj[static_cast<std::size_t>(i)].push_back(p);
+      adj[static_cast<std::size_t>(p)].push_back(i);
+    }
+  }
+  GeomTree out;
+  out.points = best_pts;
+  out.parent.assign(best_pts.size(), -2);
+  out.root = source_index;
+  out.terminal_count = n;
+  std::queue<std::int32_t> frontier;
+  frontier.push(source_index);
+  out.parent[static_cast<std::size_t>(source_index)] = -1;
+  while (!frontier.empty()) {
+    const std::int32_t u = frontier.front();
+    frontier.pop();
+    for (const std::int32_t v : adj[static_cast<std::size_t>(u)]) {
+      if (out.parent[static_cast<std::size_t>(v)] == -2) {
+        out.parent[static_cast<std::size_t>(v)] = u;
+        frontier.push(v);
+      }
+    }
+  }
+  for (std::int32_t& p : out.parent) {
+    RABID_ASSERT_MSG(p != -2, "RSMT tree disconnected");
+  }
+  return out;
+}
+
+}  // namespace rabid::route

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file rsmt.hpp
+/// Exact rectilinear Steiner minimal trees for small nets.
+///
+/// Hanan's theorem: some RSMT uses only Steiner points on the Hanan grid
+/// (the intersections of the terminals' x and y coordinates), and at
+/// most n-2 of them.  For n <= 5 terminals exhaustive enumeration of
+/// those subsets is tiny, giving a provably minimal tree — useful as a
+/// wirelength yardstick for the Prim-Dijkstra construction and as an
+/// optional Stage-1 mode for non-critical nets (min wirelength instead
+/// of the radius trade-off).
+
+#include <cstdint>
+#include <span>
+
+#include "route/steiner.hpp"
+
+namespace rabid::route {
+
+/// Largest terminal count rsmt_exact accepts.
+constexpr std::int32_t kMaxExactRsmtTerminals = 5;
+
+/// The provably minimum-length rectilinear Steiner tree over
+/// `terminals`, rooted at `source_index`.  Requires
+/// 1 <= terminals.size() <= kMaxExactRsmtTerminals.
+GeomTree rsmt_exact(std::span<const geom::Point> terminals,
+                    std::int32_t source_index);
+
+/// Lower bound on any rectilinear Steiner tree: the half-perimeter of
+/// the terminals' bounding box.
+double hpwl(std::span<const geom::Point> terminals);
+
+}  // namespace rabid::route

@@ -1,0 +1,139 @@
+#include "route/steiner.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace rabid::route {
+
+namespace {
+
+double median3(double a, double b, double c) {
+  return std::max(std::min(a, b), std::min(std::max(a, b), c));
+}
+
+/// Undirected adjacency view of a tree, rebuilt into a rooted GeomTree at
+/// the end; overlap removal is easier without parent/child bookkeeping.
+struct Adjacency {
+  std::vector<std::vector<std::int32_t>> nbr;
+
+  void add(std::int32_t a, std::int32_t b) {
+    nbr[static_cast<std::size_t>(a)].push_back(b);
+    nbr[static_cast<std::size_t>(b)].push_back(a);
+  }
+  void remove(std::int32_t a, std::int32_t b) {
+    auto& na = nbr[static_cast<std::size_t>(a)];
+    na.erase(std::find(na.begin(), na.end(), b));
+    auto& nb = nbr[static_cast<std::size_t>(b)];
+    nb.erase(std::find(nb.begin(), nb.end(), a));
+  }
+};
+
+}  // namespace
+
+double GeomTree::wirelength() const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < parent.size(); ++i) {
+    if (parent[i] < 0) continue;
+    total += geom::manhattan(points[i],
+                             points[static_cast<std::size_t>(parent[i])]);
+  }
+  return total;
+}
+
+GeomTree to_geom_tree(std::span<const geom::Point> terminals,
+                      const SpanningTree& tree, std::int32_t source_index) {
+  GeomTree out;
+  out.points.assign(terminals.begin(), terminals.end());
+  out.parent = tree.parent;
+  out.root = source_index;
+  out.terminal_count = static_cast<std::int32_t>(terminals.size());
+  return out;
+}
+
+geom::Point median_point(const geom::Point& u, const geom::Point& a,
+                         const geom::Point& b) {
+  return {median3(u.x, a.x, b.x), median3(u.y, a.y, b.y)};
+}
+
+double overlap_gain(const geom::Point& u, const geom::Point& a,
+                    const geom::Point& b) {
+  const geom::Point s = median_point(u, a, b);
+  return geom::manhattan(u, a) + geom::manhattan(u, b) -
+         (geom::manhattan(u, s) + geom::manhattan(s, a) +
+          geom::manhattan(s, b));
+}
+
+GeomTree remove_overlaps(const GeomTree& input) {
+  std::vector<geom::Point> pts = input.points;
+  Adjacency adj;
+  adj.nbr.resize(pts.size());
+  for (std::size_t i = 0; i < input.parent.size(); ++i) {
+    if (input.parent[i] >= 0)
+      adj.add(static_cast<std::int32_t>(i), input.parent[i]);
+  }
+
+  // Greedy: find the globally best overlapping adjacent-edge pair, split
+  // it, repeat.  Nets have tens of pins, so the quadratic rescan is fine.
+  constexpr double kMinGain = 1e-9;
+  for (;;) {
+    double best_gain = kMinGain;
+    std::int32_t best_u = -1, best_a = -1, best_b = -1;
+    for (std::size_t u = 0; u < pts.size(); ++u) {
+      const auto& nu = adj.nbr[u];
+      for (std::size_t i = 0; i < nu.size(); ++i) {
+        for (std::size_t j = i + 1; j < nu.size(); ++j) {
+          const double gain =
+              overlap_gain(pts[u], pts[static_cast<std::size_t>(nu[i])],
+                           pts[static_cast<std::size_t>(nu[j])]);
+          if (gain > best_gain) {
+            best_gain = gain;
+            best_u = static_cast<std::int32_t>(u);
+            best_a = nu[i];
+            best_b = nu[j];
+          }
+        }
+      }
+    }
+    if (best_u < 0) break;
+    const geom::Point s =
+        median_point(pts[static_cast<std::size_t>(best_u)],
+                     pts[static_cast<std::size_t>(best_a)],
+                     pts[static_cast<std::size_t>(best_b)]);
+    const auto sid = static_cast<std::int32_t>(pts.size());
+    pts.push_back(s);
+    adj.nbr.emplace_back();
+    adj.remove(best_u, best_a);
+    adj.remove(best_u, best_b);
+    adj.add(best_u, sid);
+    adj.add(sid, best_a);
+    adj.add(sid, best_b);
+  }
+
+  // Re-root the undirected tree at the source via BFS.
+  GeomTree out;
+  out.points = std::move(pts);
+  out.parent.assign(out.points.size(), -2);  // -2 == unvisited
+  out.root = input.root;
+  out.terminal_count = input.terminal_count;
+  std::queue<std::int32_t> frontier;
+  frontier.push(out.root);
+  out.parent[static_cast<std::size_t>(out.root)] = -1;
+  while (!frontier.empty()) {
+    const std::int32_t u = frontier.front();
+    frontier.pop();
+    for (const std::int32_t v : adj.nbr[static_cast<std::size_t>(u)]) {
+      if (out.parent[static_cast<std::size_t>(v)] == -2) {
+        out.parent[static_cast<std::size_t>(v)] = u;
+        frontier.push(v);
+      }
+    }
+  }
+  for (const std::int32_t p : out.parent) {
+    RABID_ASSERT_MSG(p != -2, "overlap removal disconnected the tree");
+  }
+  return out;
+}
+
+}  // namespace rabid::route

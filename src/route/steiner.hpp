@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file steiner.hpp
+/// Greedy spanning-tree-to-Steiner-tree conversion (RABID Stage 1, Fig. 4).
+///
+/// The spanning tree is repeatedly improved by finding the pair of
+/// adjacent tree edges with the largest Manhattan wirelength overlap and
+/// splitting them at a Steiner point (the component-wise median of the
+/// shared endpoint and the two far endpoints).  Terminates when no pair
+/// of adjacent edges overlaps.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "route/prim_dijkstra.hpp"
+
+namespace rabid::route {
+
+/// A rooted geometric tree whose first `terminal_count` points are the
+/// net's pins and the rest are introduced Steiner points.
+struct GeomTree {
+  std::vector<geom::Point> points;
+  std::vector<std::int32_t> parent;  ///< arc to parent; root has -1
+  std::int32_t root = 0;
+  std::int32_t terminal_count = 0;
+
+  double wirelength() const;
+};
+
+/// Wraps a spanning tree into a GeomTree (no Steiner points yet).
+GeomTree to_geom_tree(std::span<const geom::Point> terminals,
+                      const SpanningTree& tree, std::int32_t source_index);
+
+/// Greedy pairwise overlap removal.  The result spans the same terminals,
+/// has wirelength <= the input's, and remains a tree rooted at the same
+/// source.
+GeomTree remove_overlaps(const GeomTree& input);
+
+/// The wirelength saved by merging edges (u,a) and (u,b) at the median
+/// Steiner point of {u, a, b}.  Exposed for tests.
+double overlap_gain(const geom::Point& u, const geom::Point& a,
+                    const geom::Point& b);
+
+/// Component-wise median of three points: the optimal Steiner point for
+/// a three-terminal net.
+geom::Point median_point(const geom::Point& u, const geom::Point& a,
+                         const geom::Point& b);
+
+}  // namespace rabid::route

@@ -1,0 +1,43 @@
+#include "tile/decap.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace rabid::tile {
+
+std::vector<double> decap_per_tile(const TileGraph& g,
+                                   double decap_per_site_pf) {
+  std::vector<double> out(static_cast<std::size_t>(g.tile_count()), 0.0);
+  for (TileId t = 0; t < g.tile_count(); ++t) {
+    const std::int32_t free = g.site_supply(t) - g.site_usage(t);
+    out[static_cast<std::size_t>(t)] =
+        static_cast<double>(free) * decap_per_site_pf;
+  }
+  return out;
+}
+
+DecapSummary summarize_decap(const TileGraph& g, double decap_per_site_pf) {
+  DecapSummary s;
+  s.min_tile_decap_pf = std::numeric_limits<double>::infinity();
+  std::int64_t tiles_with_sites = 0;
+  double sum = 0.0;
+  for (TileId t = 0; t < g.tile_count(); ++t) {
+    if (g.site_supply(t) == 0) continue;
+    ++tiles_with_sites;
+    const std::int32_t free = g.site_supply(t) - g.site_usage(t);
+    s.free_sites += free;
+    const double decap = static_cast<double>(free) * decap_per_site_pf;
+    sum += decap;
+    s.min_tile_decap_pf = std::min(s.min_tile_decap_pf, decap);
+    if (free == 0) ++s.dry_tiles;
+  }
+  s.total_decap_pf = sum;
+  if (tiles_with_sites > 0) {
+    s.avg_tile_decap_pf = sum / static_cast<double>(tiles_with_sites);
+  } else {
+    s.min_tile_decap_pf = 0.0;
+  }
+  return s;
+}
+
+}  // namespace rabid::tile

@@ -1,0 +1,61 @@
+#include "tile/sites.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace rabid::tile {
+
+SiteId SiteMap::add_site(TileId t, geom::Point location) {
+  RABID_ASSERT(t >= 0 &&
+               static_cast<std::size_t>(t) < by_tile_.size());
+  const auto id = static_cast<SiteId>(sites_.size());
+  sites_.push_back(BufferSite{location, t});
+  by_tile_[static_cast<std::size_t>(t)].push_back(id);
+  return id;
+}
+
+bool SiteMap::consistent_with(const TileGraph& g) const {
+  if (static_cast<std::int32_t>(by_tile_.size()) != g.tile_count()) {
+    return false;
+  }
+  for (TileId t = 0; t < g.tile_count(); ++t) {
+    if (static_cast<std::int32_t>(
+            by_tile_[static_cast<std::size_t>(t)].size()) !=
+        g.site_supply(t)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+LegalizationResult legalize_buffers(const SiteMap& sites,
+                                    std::span<const SiteRequest> requests) {
+  LegalizationResult result;
+  result.assignment.reserve(requests.size());
+  std::vector<bool> taken(sites.size(), false);
+
+  for (const SiteRequest& req : requests) {
+    SiteId best = kNoSite;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (const SiteId s : sites.sites_in(req.tile)) {
+      if (taken[static_cast<std::size_t>(s)]) continue;
+      const double d = geom::manhattan(sites.site(s).location, req.preferred);
+      if (d < best_dist) {
+        best_dist = d;
+        best = s;
+      }
+    }
+    RABID_ASSERT_MSG(best != kNoSite,
+                     "tile oversubscribed during site legalization");
+    taken[static_cast<std::size_t>(best)] = true;
+    result.assignment.push_back(best);
+    result.total_displacement_um += best_dist;
+    result.max_displacement_um = std::max(result.max_displacement_um,
+                                          best_dist);
+  }
+  return result;
+}
+
+}  // namespace rabid::tile

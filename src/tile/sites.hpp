@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file sites.hpp
+/// Concrete buffer-site objects and the tile-to-site legalizer.
+///
+/// The planning algorithms only ever see per-tile *counts* B(v) — the
+/// paper's abstraction (Fig. 2).  Section II: "After a buffer is
+/// assigned to a particular tile, an actual buffer site can be allocated
+/// as a postprocessing step."  SiteMap stores the physical site
+/// locations behind the counts; legalize_buffers() performs that
+/// postprocessing step, giving every planned buffer a distinct physical
+/// site inside its tile.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "tile/tile_graph.hpp"
+
+namespace rabid::tile {
+
+using SiteId = std::int32_t;
+constexpr SiteId kNoSite = -1;
+
+/// One physical buffer site.
+struct BufferSite {
+  geom::Point location;
+  TileId tile = kNoTile;
+};
+
+/// All buffer sites of a design, indexed globally and binned by tile.
+class SiteMap {
+ public:
+  explicit SiteMap(const TileGraph& g)
+      : by_tile_(static_cast<std::size_t>(g.tile_count())) {}
+
+  /// Registers a site; `location` must lie in tile `t` of the graph the
+  /// map was built for.
+  SiteId add_site(TileId t, geom::Point location);
+
+  std::size_t size() const { return sites_.size(); }
+  const BufferSite& site(SiteId s) const {
+    return sites_.at(static_cast<std::size_t>(s));
+  }
+  /// Sites inside one tile.
+  const std::vector<SiteId>& sites_in(TileId t) const {
+    return by_tile_.at(static_cast<std::size_t>(t));
+  }
+
+  /// Checks that per-tile site counts equal the graph's B(v) supplies.
+  bool consistent_with(const TileGraph& g) const;
+
+ private:
+  std::vector<BufferSite> sites_;
+  std::vector<std::vector<SiteId>> by_tile_;
+};
+
+/// A buffer-to-site assignment request: `tile` is where planning put the
+/// buffer, `preferred` the ideal physical spot (e.g. the route's
+/// position in the tile).
+struct SiteRequest {
+  TileId tile = kNoTile;
+  geom::Point preferred;
+};
+
+/// Result of legalization: one site per request (kNoSite only if the
+/// tile ran out of sites, which planning guarantees cannot happen when
+/// b(v) <= B(v)).
+struct LegalizationResult {
+  std::vector<SiteId> assignment;
+  double total_displacement_um = 0.0;  ///< sum of site-to-preferred dists
+  double max_displacement_um = 0.0;
+};
+
+/// Assigns each request a distinct site in its tile, greedily nearest-
+/// first (requests processed in order; within a request the closest
+/// still-free site wins).  Aborts if a tile is oversubscribed.
+LegalizationResult legalize_buffers(const SiteMap& sites,
+                                    std::span<const SiteRequest> requests);
+
+}  // namespace rabid::tile

@@ -1,0 +1,143 @@
+#include "tile/tile_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace rabid::tile {
+
+TileGraph::TileGraph(geom::Rect chip, std::int32_t nx, std::int32_t ny)
+    : chip_(chip), nx_(nx), ny_(ny) {
+  RABID_ASSERT_MSG(nx >= 1 && ny >= 1, "tiling needs at least one tile");
+  RABID_ASSERT_MSG(chip.width() > 0.0 && chip.height() > 0.0,
+                   "chip outline must have positive area");
+  tile_w_ = chip.width() / nx;
+  tile_h_ = chip.height() / ny;
+  cap_.assign(static_cast<std::size_t>(edge_count()), 0);
+  use_.assign(static_cast<std::size_t>(edge_count()), 0);
+  supply_.assign(static_cast<std::size_t>(tile_count()), 0);
+  used_.assign(static_cast<std::size_t>(tile_count()), 0);
+}
+
+TileId TileGraph::tile_at(const geom::Point& p) const {
+  RABID_ASSERT_MSG(chip_.contains(p), "point outside chip outline");
+  auto ix = static_cast<std::int32_t>((p.x - chip_.lo().x) / tile_w_);
+  auto iy = static_cast<std::int32_t>((p.y - chip_.lo().y) / tile_h_);
+  ix = std::clamp(ix, 0, nx_ - 1);
+  iy = std::clamp(iy, 0, ny_ - 1);
+  return id_of({ix, iy});
+}
+
+geom::Point TileGraph::center(TileId t) const {
+  const geom::TileCoord c = coord_of(t);
+  return {chip_.lo().x + (c.x + 0.5) * tile_w_,
+          chip_.lo().y + (c.y + 0.5) * tile_h_};
+}
+
+geom::Rect TileGraph::tile_rect(TileId t) const {
+  const geom::TileCoord c = coord_of(t);
+  const geom::Point lo{chip_.lo().x + c.x * tile_w_,
+                       chip_.lo().y + c.y * tile_h_};
+  return geom::Rect::from_size(lo, tile_w_, tile_h_);
+}
+
+EdgeId TileGraph::edge_between(TileId a, TileId b) const {
+  const geom::TileCoord ca = coord_of(a);
+  const geom::TileCoord cb = coord_of(b);
+  const std::int32_t dx = cb.x - ca.x;
+  const std::int32_t dy = cb.y - ca.y;
+  if (dx * dx + dy * dy != 1) return kNoEdge;
+  // Horizontal edges come first: edge (x,y)-(x+1,y) has id y*(nx-1)+x.
+  if (dy == 0) {
+    const std::int32_t x = std::min(ca.x, cb.x);
+    return ca.y * (nx_ - 1) + x;
+  }
+  // Vertical edge (x,y)-(x,y+1) has id h_count + y*nx + x.
+  const std::int32_t y = std::min(ca.y, cb.y);
+  return (nx_ - 1) * ny_ + y * nx_ + ca.x;
+}
+
+std::pair<TileId, TileId> TileGraph::edge_tiles(EdgeId e) const {
+  RABID_ASSERT(e >= 0 && e < edge_count());
+  const std::int32_t h_count = (nx_ - 1) * ny_;
+  if (e < h_count) {
+    const std::int32_t y = e / (nx_ - 1);
+    const std::int32_t x = e % (nx_ - 1);
+    return {id_of({x, y}), id_of({x + 1, y})};
+  }
+  const std::int32_t r = e - h_count;
+  const std::int32_t y = r / nx_;
+  const std::int32_t x = r % nx_;
+  return {id_of({x, y}), id_of({x, y + 1})};
+}
+
+int TileGraph::neighbors(TileId t, TileId out[4]) const {
+  const geom::TileCoord c = coord_of(t);
+  int n = 0;
+  if (c.x > 0) out[n++] = id_of({c.x - 1, c.y});
+  if (c.x + 1 < nx_) out[n++] = id_of({c.x + 1, c.y});
+  if (c.y > 0) out[n++] = id_of({c.x, c.y - 1});
+  if (c.y + 1 < ny_) out[n++] = id_of({c.x, c.y + 1});
+  return n;
+}
+
+void TileGraph::set_uniform_wire_capacity(std::int32_t c) {
+  RABID_ASSERT(c >= 0);
+  std::fill(cap_.begin(), cap_.end(), c);
+}
+
+std::int64_t TileGraph::total_site_supply() const {
+  return std::accumulate(supply_.begin(), supply_.end(), std::int64_t{0});
+}
+
+std::int64_t TileGraph::total_site_usage() const {
+  return std::accumulate(used_.begin(), used_.end(), std::int64_t{0});
+}
+
+CongestionStats TileGraph::stats() const {
+  CongestionStats s;
+  double congestion_sum = 0.0;
+  const std::int32_t ne = edge_count();
+  for (EdgeId e = 0; e < ne; ++e) {
+    const double c = wire_congestion(e);
+    congestion_sum += c;
+    s.max_wire_congestion = std::max(s.max_wire_congestion, c);
+    const std::int64_t over = use_[static_cast<std::size_t>(e)] -
+                              cap_[static_cast<std::size_t>(e)];
+    if (over > 0) s.overflow += over;
+  }
+  if (ne > 0) s.avg_wire_congestion = congestion_sum / ne;
+
+  double density_sum = 0.0;
+  std::int64_t tiles_with_sites = 0;
+  const std::int32_t nt = tile_count();
+  for (TileId t = 0; t < nt; ++t) {
+    const auto i = static_cast<std::size_t>(t);
+    s.buffers_used += used_[i];
+    if (supply_[i] > 0) {
+      const double d = buffer_density(t);
+      density_sum += d;
+      s.max_buffer_density = std::max(s.max_buffer_density, d);
+      ++tiles_with_sites;
+    }
+  }
+  if (tiles_with_sites > 0)
+    s.avg_buffer_density = density_sum / static_cast<double>(tiles_with_sites);
+  return s;
+}
+
+bool TileGraph::wire_feasible() const {
+  const std::int32_t ne = edge_count();
+  for (EdgeId e = 0; e < ne; ++e) {
+    if (use_[static_cast<std::size_t>(e)] > cap_[static_cast<std::size_t>(e)])
+      return false;
+  }
+  return true;
+}
+
+void TileGraph::reset_usage() {
+  std::fill(use_.begin(), use_.end(), 0);
+  std::fill(used_.begin(), used_.end(), 0);
+}
+
+}  // namespace rabid::tile

@@ -1,0 +1,187 @@
+#pragma once
+
+/// \file tile_graph.hpp
+/// The tile graph G(V, E) of Section II: the chip area is cut into an
+/// nx-by-ny grid of tiles; V is the set of tiles and E connects edge-
+/// adjacent tiles.  Each tile v carries a buffer-site supply B(v) and a
+/// usage b(v); each edge e carries a wire capacity W(e) and usage w(e).
+///
+/// The graph also owns the two congestion cost functions of the paper:
+///   eq. (1)  wire cost  Cost(e) = (w(e)+1) / (W(e)-w(e)),  inf when full
+///   eq. (2)  buffer cost q(v) = (b(v)+p(v)+1) / (B(v)-b(v)), inf when full
+/// where p(v) is the expected demand from not-yet-processed nets.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+#include "util/assert.hpp"
+
+namespace rabid::tile {
+
+using TileId = std::int32_t;
+using EdgeId = std::int32_t;
+constexpr TileId kNoTile = -1;
+constexpr EdgeId kNoEdge = -1;
+constexpr double kInfCost = std::numeric_limits<double>::infinity();
+
+/// Aggregate congestion statistics (the recurring Table II columns).
+struct CongestionStats {
+  double max_wire_congestion = 0.0;  ///< max over edges of w/W
+  double avg_wire_congestion = 0.0;  ///< mean over all edges of w/W
+  std::int64_t overflow = 0;         ///< sum over edges of max(0, w - W)
+  double max_buffer_density = 0.0;   ///< max over tiles with B>0 of b/B
+  double avg_buffer_density = 0.0;   ///< mean over tiles with B>0 of b/B
+  std::int64_t buffers_used = 0;     ///< sum over tiles of b(v)
+};
+
+/// A uniform rectangular tiling of the chip with per-tile buffer-site
+/// counts and per-edge wire capacities.
+class TileGraph {
+ public:
+  /// Tiles the rectangle `chip` into nx-by-ny equal tiles.
+  /// Requires nx >= 1, ny >= 1.
+  TileGraph(geom::Rect chip, std::int32_t nx, std::int32_t ny);
+
+  std::int32_t nx() const { return nx_; }
+  std::int32_t ny() const { return ny_; }
+  std::int32_t tile_count() const { return nx_ * ny_; }
+  std::int32_t edge_count() const {
+    return (nx_ - 1) * ny_ + nx_ * (ny_ - 1);
+  }
+  const geom::Rect& chip() const { return chip_; }
+
+  /// Tile side lengths in micrometers.
+  double tile_width() const { return tile_w_; }
+  double tile_height() const { return tile_h_; }
+  /// Area of one tile in square millimeters (Table I column).
+  double tile_area_mm2() const { return tile_w_ * tile_h_ * 1e-6; }
+  /// Mean center-to-center pitch, the physical length of one "tile unit"
+  /// of wire; used by the timing model.
+  double tile_pitch() const { return (tile_w_ + tile_h_) / 2.0; }
+
+  // --- id <-> coordinate mapping -------------------------------------
+  TileId id_of(geom::TileCoord c) const {
+    RABID_ASSERT(in_bounds(c));
+    return c.y * nx_ + c.x;
+  }
+  geom::TileCoord coord_of(TileId t) const {
+    RABID_ASSERT(t >= 0 && t < tile_count());
+    return {t % nx_, t / nx_};
+  }
+  bool in_bounds(geom::TileCoord c) const {
+    return c.x >= 0 && c.x < nx_ && c.y >= 0 && c.y < ny_;
+  }
+  /// The tile containing a physical point (points on the chip boundary
+  /// clamp inward, so every point of the chip maps to a tile).
+  TileId tile_at(const geom::Point& p) const;
+  /// Center of a tile in micrometers.
+  geom::Point center(TileId t) const;
+  /// The physical extent of a tile.
+  geom::Rect tile_rect(TileId t) const;
+  /// Manhattan distance between tile centers, in tile units.
+  std::int32_t tile_distance(TileId a, TileId b) const {
+    return geom::manhattan(coord_of(a), coord_of(b));
+  }
+
+  // --- edges ----------------------------------------------------------
+  /// Edge between two *adjacent* tiles; kNoEdge if not adjacent.
+  EdgeId edge_between(TileId a, TileId b) const;
+  /// The two endpoints of an edge.
+  std::pair<TileId, TileId> edge_tiles(EdgeId e) const;
+  /// Up-to-4 neighbors of a tile (in deterministic W,E,S,N order).
+  /// Writes into `out` and returns the count. `out` must hold 4 entries.
+  int neighbors(TileId t, TileId out[4]) const;
+
+  // --- wire capacity / usage ------------------------------------------
+  std::int32_t wire_capacity(EdgeId e) const { return cap_[checked(e)]; }
+  std::int32_t wire_usage(EdgeId e) const { return use_[checked(e)]; }
+  void set_wire_capacity(EdgeId e, std::int32_t c) {
+    RABID_ASSERT(c >= 0);
+    cap_[checked(e)] = c;
+  }
+  /// Sets every edge's capacity to `c`.
+  void set_uniform_wire_capacity(std::int32_t c);
+  void add_wire(EdgeId e) { ++use_[checked(e)]; }
+  void remove_wire(EdgeId e) {
+    RABID_ASSERT_MSG(use_[checked(e)] > 0, "removing wire from empty edge");
+    --use_[checked(e)];
+  }
+  double wire_congestion(EdgeId e) const {
+    const auto i = checked(e);
+    if (cap_[i] == 0) return use_[i] == 0 ? 0.0 : kInfCost;
+    return static_cast<double>(use_[i]) / static_cast<double>(cap_[i]);
+  }
+  /// Eq. (1): cost of pushing one more wire across e; inf if already full.
+  double wire_cost(EdgeId e) const {
+    const auto i = checked(e);
+    if (use_[i] >= cap_[i]) return kInfCost;
+    return static_cast<double>(use_[i] + 1) /
+           static_cast<double>(cap_[i] - use_[i]);
+  }
+
+  // --- buffer sites ----------------------------------------------------
+  std::int32_t site_supply(TileId t) const { return supply_[checkt(t)]; }
+  std::int32_t site_usage(TileId t) const { return used_[checkt(t)]; }
+  void set_site_supply(TileId t, std::int32_t s) {
+    RABID_ASSERT(s >= 0);
+    supply_[checkt(t)] = s;
+  }
+  void add_buffer(TileId t) {
+    const auto i = checkt(t);
+    RABID_ASSERT_MSG(used_[i] < supply_[i], "tile has no free buffer site");
+    ++used_[i];
+  }
+  void remove_buffer(TileId t) {
+    const auto i = checkt(t);
+    RABID_ASSERT_MSG(used_[i] > 0, "removing buffer from empty tile");
+    --used_[i];
+  }
+  double buffer_density(TileId t) const {
+    const auto i = checkt(t);
+    if (supply_[i] == 0) return used_[i] == 0 ? 0.0 : kInfCost;
+    return static_cast<double>(used_[i]) / static_cast<double>(supply_[i]);
+  }
+  /// Eq. (2): cost of claiming one buffer site in t given expected future
+  /// demand p(v); inf if the tile is full (or has no sites).
+  double buffer_cost(TileId t, double p_v) const {
+    const auto i = checkt(t);
+    if (used_[i] >= supply_[i]) return kInfCost;
+    return (static_cast<double>(used_[i]) + p_v + 1.0) /
+           static_cast<double>(supply_[i] - used_[i]);
+  }
+  std::int64_t total_site_supply() const;
+  std::int64_t total_site_usage() const;
+
+  // --- aggregate statistics --------------------------------------------
+  CongestionStats stats() const;
+  /// True iff no edge exceeds its capacity.
+  bool wire_feasible() const;
+
+  /// Clears all wire usage and buffer usage (capacities/supplies stay).
+  void reset_usage();
+
+ private:
+  std::size_t checked(EdgeId e) const {
+    RABID_ASSERT(e >= 0 && e < edge_count());
+    return static_cast<std::size_t>(e);
+  }
+  std::size_t checkt(TileId t) const {
+    RABID_ASSERT(t >= 0 && t < tile_count());
+    return static_cast<std::size_t>(t);
+  }
+
+  geom::Rect chip_;
+  std::int32_t nx_;
+  std::int32_t ny_;
+  double tile_w_;
+  double tile_h_;
+  std::vector<std::int32_t> cap_;     ///< per-edge W(e)
+  std::vector<std::int32_t> use_;     ///< per-edge w(e)
+  std::vector<std::int32_t> supply_;  ///< per-tile B(v)
+  std::vector<std::int32_t> used_;    ///< per-tile b(v)
+};
+
+}  // namespace rabid::tile

@@ -1,0 +1,53 @@
+#include "timing/buffer_library.hpp"
+
+#include "util/assert.hpp"
+
+namespace rabid::timing {
+
+namespace {
+
+BufferType scaled(std::string_view name, double size, bool inverting,
+                  const Technology& tech) {
+  BufferType t;
+  t.name = name;
+  t.size = size;
+  t.input_cap = tech.buffer_cap * size;
+  t.output_res = tech.buffer_res / size;
+  // Inverters are a single stage: slightly quicker through.
+  t.intrinsic_ps = tech.buffer_intrinsic_ps * (inverting ? 0.6 : 1.0);
+  t.inverting = inverting;
+  return t;
+}
+
+}  // namespace
+
+BufferLibrary BufferLibrary::standard_180nm(const Technology& tech) {
+  BufferLibrary lib;
+  lib.types_ = {
+      scaled("BUF_X0P5", 0.5, false, tech),
+      scaled("BUF_X1", 1.0, false, tech),
+      scaled("BUF_X2", 2.0, false, tech),
+      scaled("BUF_X4", 4.0, false, tech),
+      scaled("BUF_X8", 8.0, false, tech),
+      scaled("INV_X1", 1.0, true, tech),
+      scaled("INV_X2", 2.0, true, tech),
+      scaled("INV_X4", 4.0, true, tech),
+  };
+  lib.unit_index_ = 1;
+  return lib;
+}
+
+BufferLibrary BufferLibrary::unit_only(const Technology& tech) {
+  BufferLibrary lib;
+  lib.types_ = {scaled("BUF_X1", 1.0, false, tech)};
+  lib.unit_index_ = 0;
+  return lib;
+}
+
+std::span<const BufferType> BufferLibrary::buffers() const {
+  std::size_t count = 0;
+  while (count < types_.size() && !types_[count].inverting) ++count;
+  return std::span<const BufferType>(types_.data(), count);
+}
+
+}  // namespace rabid::timing

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file buffer_library.hpp
+/// A small repeater library with a range of power levels.
+///
+/// Section I-B: a buffer site may realize "either a buffer, inverter
+/// (with a range of power levels), or even a decoupling capacitor" —
+/// the logical gate is chosen only when the site is assigned.  The
+/// planning DP is size-agnostic (length rule); this library supports the
+/// post-pass that picks a power level per inserted buffer to minimize
+/// Elmore delay (see core/sizing.hpp).
+///
+/// Electrical scaling: a k-times buffer has output resistance R_b/k and
+/// input capacitance ~k*C_b; intrinsic delay is size-independent to
+/// first order.  All types fit the same 400 um^2 buffer site footprint
+/// envelope except the largest, which is why power levels above ~8x are
+/// not offered.
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "timing/tech.hpp"
+
+namespace rabid::timing {
+
+struct BufferType {
+  std::string_view name;
+  double size = 1.0;          ///< drive strength multiple of the unit buffer
+  double input_cap = 0.0;     ///< pF
+  double output_res = 0.0;    ///< ohm
+  double intrinsic_ps = 0.0;  ///< ps
+  bool inverting = false;
+};
+
+class BufferLibrary {
+ public:
+  /// The standard 0.18 um library: non-inverting buffers at 0.5x, 1x,
+  /// 2x, 4x, 8x the unit drive (1x == the Technology buffer), plus
+  /// matching inverters at 1x/2x/4x.
+  static BufferLibrary standard_180nm(const Technology& tech = kTech180nm);
+
+  /// A degenerate library holding only the unit buffer (what the plain
+  /// evaluate_delay assumes).
+  static BufferLibrary unit_only(const Technology& tech = kTech180nm);
+
+  std::span<const BufferType> types() const { return types_; }
+  std::span<const BufferType> buffers() const;  ///< non-inverting prefix
+  const BufferType& type(std::size_t i) const { return types_.at(i); }
+  std::size_t size() const { return types_.size(); }
+
+  /// Index of the unit (1x, non-inverting) buffer.
+  std::size_t unit_index() const { return unit_index_; }
+
+ private:
+  std::vector<BufferType> types_;  // non-inverting first, by size
+  std::size_t unit_index_ = 0;
+};
+
+}  // namespace rabid::timing

@@ -1,0 +1,92 @@
+#include "timing/rc_tree.hpp"
+
+#include "util/assert.hpp"
+
+namespace rabid::timing {
+
+RcTree::NodeId RcTree::add_root(double drive_res, double intrinsic_ps) {
+  RABID_ASSERT_MSG(nodes_.empty(), "RcTree already has a root");
+  nodes_.push_back(Node{kNoNode, 0.0, 0.0, true, drive_res, intrinsic_ps});
+  return 0;
+}
+
+RcTree::NodeId RcTree::add_node(NodeId parent, double res, double cap) {
+  RABID_ASSERT(parent >= 0 && parent < static_cast<NodeId>(nodes_.size()));
+  RABID_ASSERT(res >= 0.0 && cap >= 0.0);
+  nodes_.push_back(Node{parent, res, cap, false, 0.0, 0.0});
+  return static_cast<NodeId>(nodes_.size()) - 1;
+}
+
+RcTree::NodeId RcTree::add_gate(NodeId parent, double input_cap,
+                                double drive_res, double intrinsic_ps) {
+  RABID_ASSERT(parent >= 0 && parent < static_cast<NodeId>(nodes_.size()));
+  nodes_[static_cast<std::size_t>(parent)].cap += input_cap;
+  nodes_.push_back(Node{parent, 0.0, 0.0, true, drive_res, intrinsic_ps});
+  return static_cast<NodeId>(nodes_.size()) - 1;
+}
+
+void RcTree::add_cap(NodeId n, double cap) {
+  RABID_ASSERT(n >= 0 && n < static_cast<NodeId>(nodes_.size()));
+  RABID_ASSERT(cap >= 0.0);
+  nodes_[static_cast<std::size_t>(n)].cap += cap;
+}
+
+std::vector<double> RcTree::stage_caps() const {
+  // Children are always appended after parents, so a reverse index scan
+  // is a postorder accumulation.  Gate nodes do not propagate their
+  // subtree capacitance upward (their input cap is already lumped on the
+  // parent by add_gate).
+  std::vector<double> caps(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) caps[i] = nodes_[i].cap;
+  for (std::size_t i = nodes_.size(); i-- > 1;) {
+    const Node& n = nodes_[i];
+    if (!n.is_gate) caps[static_cast<std::size_t>(n.parent)] += caps[i];
+  }
+  return caps;
+}
+
+double RcTree::stage_capacitance(NodeId n) const {
+  RABID_ASSERT(n >= 0 && n < static_cast<NodeId>(nodes_.size()));
+  RABID_ASSERT_MSG(nodes_[static_cast<std::size_t>(n)].is_gate,
+                   "stage_capacitance queried on a non-gate node");
+  return stage_caps()[static_cast<std::size_t>(n)];
+}
+
+std::vector<double> RcTree::stage_elmore() const {
+  RABID_ASSERT_MSG(!nodes_.empty() && nodes_[0].is_gate,
+                   "RcTree root must be a driving gate");
+  const std::vector<double> caps = stage_caps();
+  std::vector<double> tau(nodes_.size(), 0.0);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.is_gate) {
+      // A fresh stage: the gate's output resistance into its stage load.
+      tau[i] = n.drive_res * caps[i];
+    } else {
+      tau[i] = tau[static_cast<std::size_t>(n.parent)] + n.res * caps[i];
+    }
+  }
+  return tau;
+}
+
+std::vector<double> RcTree::elmore_delays() const {
+  RABID_ASSERT_MSG(!nodes_.empty() && nodes_[0].is_gate,
+                   "RcTree root must be a driving gate");
+  const std::vector<double> caps = stage_caps();
+  std::vector<double> delay(nodes_.size(), 0.0);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    const double upstream =
+        (n.parent == kNoNode) ? 0.0 : delay[static_cast<std::size_t>(n.parent)];
+    if (n.is_gate) {
+      // New stage: gate switching delay = intrinsic + Rdrv * stage load.
+      delay[i] = upstream + n.intrinsic + n.drive_res * caps[i];
+    } else {
+      // Within-stage Elmore: arc resistance times downstream stage cap.
+      delay[i] = upstream + n.res * caps[i];
+    }
+  }
+  return delay;
+}
+
+}  // namespace rabid::timing

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file rc_tree.hpp
+/// A generic staged RC tree with Elmore delay evaluation.
+///
+/// The tree is a chain of RC "stages" separated by gates (the net driver
+/// and any inserted buffers).  A gate contributes its input capacitance
+/// to the upstream stage, then starts a new stage driven through its
+/// output resistance, adding its intrinsic delay.  Within a stage the
+/// delay is the classic Elmore sum: each arc's resistance times the
+/// capacitance downstream of it *within the stage*.
+
+#include <cstdint>
+#include <vector>
+
+namespace rabid::timing {
+
+class RcTree {
+ public:
+  using NodeId = std::int32_t;
+  static constexpr NodeId kNoNode = -1;
+
+  /// Creates the root, driven by a gate with output resistance
+  /// `drive_res` and intrinsic delay `intrinsic_ps` (use the net driver's
+  /// values; intrinsic 0 for a plain driver).
+  NodeId add_root(double drive_res, double intrinsic_ps);
+
+  /// Adds a plain RC node: `res` ohms from `parent`, `cap` pF at the node.
+  NodeId add_node(NodeId parent, double res, double cap);
+
+  /// Adds a gate (buffer) node at the same electrical location as
+  /// `parent`: `input_cap` is lumped onto `parent`'s stage, and the new
+  /// node starts a fresh stage behind `drive_res` with `intrinsic_ps`.
+  NodeId add_gate(NodeId parent, double input_cap, double drive_res,
+                  double intrinsic_ps);
+
+  /// Lumps extra capacitance (e.g. sink loads) onto an existing node.
+  void add_cap(NodeId n, double cap);
+
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Elmore delay (ps) from the root gate's input to every node.
+  std::vector<double> elmore_delays() const;
+
+  /// Stage-local Elmore time constant (ps) at every node: the Elmore
+  /// delay measured from the node's own stage gate, excluding that
+  /// gate's intrinsic delay.  This is the tau behind the PERI slew
+  /// approximation (see timing/slew.hpp).
+  std::vector<double> stage_elmore() const;
+
+  /// Total capacitance hanging in the stage rooted at `n` (n must be a
+  /// stage root, i.e. the tree root or a gate node).
+  double stage_capacitance(NodeId n) const;
+
+ private:
+  struct Node {
+    NodeId parent = kNoNode;
+    double res = 0.0;        ///< arc resistance to parent (0 for gates)
+    double cap = 0.0;        ///< lumped node capacitance
+    bool is_gate = false;    ///< starts a new stage
+    double drive_res = 0.0;  ///< gate output resistance
+    double intrinsic = 0.0;  ///< gate intrinsic delay, ps
+  };
+  std::vector<Node> nodes_;
+
+  std::vector<double> stage_caps() const;
+};
+
+}  // namespace rabid::timing

@@ -1,0 +1,27 @@
+#include "timing/slack.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace rabid::timing {
+
+SlackReport evaluate_slack(std::span<const DelayResult> net_delays,
+                           const SlackModel& model) {
+  SlackReport report;
+  report.worst_ps = std::numeric_limits<double>::infinity();
+  report.per_net_ps.reserve(net_delays.size());
+  for (const DelayResult& d : net_delays) {
+    const double slack = model.clock_period_ps -
+                         (model.clk_to_q_ps + d.max_ps + model.setup_ps);
+    report.per_net_ps.push_back(slack);
+    report.worst_ps = std::min(report.worst_ps, slack);
+    if (slack < 0.0) {
+      ++report.failing_nets;
+      report.total_negative_ps += slack;
+    }
+  }
+  if (net_delays.empty()) report.worst_ps = 0.0;
+  return report;
+}
+
+}  // namespace rabid::timing

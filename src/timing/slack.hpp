@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file slack.hpp
+/// Floorplan-evaluation timing: turning planned net delays into the
+/// worst-slack number the paper's Section II anecdote is about
+/// ("a design with a desired 5-ns clock period ... one floorplan has a
+/// worst slack of -40 ns while a different floorplan has -43 ns").
+///
+/// Early-planning model: every macro-block pin and pad is a register
+/// boundary (the standard assumption before intra-block timing exists),
+/// so each global net is one register-to-register stage:
+///
+///   slack(net) = T_clk - (T_clk2q + delay(net) + T_setup)
+///
+/// and the design's worst slack is the minimum over nets.  Crude — but
+/// exactly crude in the way the paper argues is *useful*: before
+/// buffering, every floorplan's slack is absurdly negative and ranking
+/// is meaningless; after planning the numbers separate.
+
+#include <span>
+#include <vector>
+
+#include "timing/delay.hpp"
+
+namespace rabid::timing {
+
+struct SlackModel {
+  double clock_period_ps = 5000.0;  ///< the anecdote's 5 ns clock
+  double clk_to_q_ps = 150.0;
+  double setup_ps = 100.0;
+};
+
+struct SlackReport {
+  double worst_ps = 0.0;        ///< min slack over all net stages
+  double total_negative_ps = 0.0;  ///< sum of negative slacks (TNS)
+  std::int64_t failing_nets = 0;
+  std::vector<double> per_net_ps;  ///< one entry per net (worst sink)
+};
+
+/// Evaluates register-to-register slack per net from planned delays.
+SlackReport evaluate_slack(std::span<const DelayResult> net_delays,
+                           const SlackModel& model = {});
+
+}  // namespace rabid::timing

@@ -1,0 +1,114 @@
+#include "timing/slew.hpp"
+
+#include <algorithm>
+
+#include "timing/rc_tree.hpp"
+#include "util/assert.hpp"
+
+namespace rabid::timing {
+
+SlewResult evaluate_slews(const route::RouteTree& tree,
+                          const route::BufferList& buffers,
+                          const tile::TileGraph& g, const Technology& tech) {
+  SlewResult result;
+  if (tree.empty()) return result;
+
+  const std::size_t n_nodes = tree.node_count();
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> driving(n_nodes, kNone);
+  std::vector<std::size_t> decoupling(n_nodes, kNone);
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    const route::BufferPlacement& b = buffers[i];
+    if (b.child == route::kNoNode) {
+      driving[static_cast<std::size_t>(b.node)] = i;
+    } else {
+      decoupling[static_cast<std::size_t>(b.child)] = i;
+    }
+  }
+
+  // Lower to an RcTree exactly as the delay evaluator does, remembering
+  // where each buffer input and each sink hangs.
+  RcTree rc;
+  std::vector<RcTree::NodeId> main(n_nodes, RcTree::kNoNode);
+  std::vector<RcTree::NodeId> buffer_input(buffers.size(), RcTree::kNoNode);
+  std::vector<std::pair<RcTree::NodeId, std::int32_t>> sink_points;
+
+  for (const route::NodeId v : tree.preorder()) {
+    const route::RouteNode& node = tree.node(v);
+    RcTree::NodeId attach;
+    if (node.parent == route::kNoNode) {
+      attach = rc.add_root(tech.driver_res, 0.0);
+    } else {
+      RcTree::NodeId from = main[static_cast<std::size_t>(node.parent)];
+      if (decoupling[static_cast<std::size_t>(v)] != kNone) {
+        buffer_input[decoupling[static_cast<std::size_t>(v)]] = from;
+        from = rc.add_gate(from, tech.buffer_cap, tech.buffer_res,
+                           tech.buffer_intrinsic_ps);
+      }
+      const auto a = g.coord_of(node.tile);
+      const auto b = g.coord_of(tree.node(node.parent).tile);
+      const double len_um = (a.y == b.y) ? g.tile_width() : g.tile_height();
+      rc.add_cap(from, tech.wire_cap(len_um) / 2.0);
+      attach = rc.add_node(from, tech.wire_res(len_um),
+                           tech.wire_cap(len_um) / 2.0);
+    }
+    if (driving[static_cast<std::size_t>(v)] != kNone) {
+      buffer_input[driving[static_cast<std::size_t>(v)]] = attach;
+      attach = rc.add_gate(attach, tech.buffer_cap, tech.buffer_res,
+                           tech.buffer_intrinsic_ps);
+    }
+    main[static_cast<std::size_t>(v)] = attach;
+    if (node.sink_count > 0) {
+      rc.add_cap(attach, tech.sink_cap * node.sink_count);
+      sink_points.emplace_back(attach, node.sink_count);
+    }
+  }
+
+  const std::vector<double> taus = rc.stage_elmore();
+  double sum = 0.0;
+  auto record = [&](RcTree::NodeId at, std::int32_t copies) {
+    const double slew = kSlewFactor * taus[static_cast<std::size_t>(at)];
+    for (std::int32_t k = 0; k < copies; ++k) {
+      result.load_slews_ps.push_back(slew);
+      sum += slew;
+      result.max_ps = std::max(result.max_ps, slew);
+    }
+  };
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    RABID_ASSERT(buffer_input[i] != RcTree::kNoNode);
+    record(buffer_input[i], 1);
+  }
+  for (const auto& [at, copies] : sink_points) record(at, copies);
+  if (!result.load_slews_ps.empty()) {
+    result.avg_ps = sum / static_cast<double>(result.load_slews_ps.size());
+  }
+  return result;
+}
+
+double line_end_slew(double length_um, const Technology& tech) {
+  // One buffer driving a pi-model line into one buffer-input load:
+  // tau = Rb*(C + Cb) + R*(C/2 + Cb).
+  const double r = tech.wire_res(length_um);
+  const double c = tech.wire_cap(length_um);
+  const double tau = tech.buffer_res * (c + tech.buffer_cap) +
+                     r * (c / 2.0 + tech.buffer_cap);
+  return kSlewFactor * tau;
+}
+
+double max_interval_for_slew(double slew_limit_ps, const Technology& tech) {
+  RABID_ASSERT_MSG(slew_limit_ps > line_end_slew(0.0, tech),
+                   "limit below the zero-length slew; no interval exists");
+  double lo = 0.0, hi = 1.0e6;  // 1 m upper bracket
+  RABID_ASSERT(line_end_slew(hi, tech) > slew_limit_ps);
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = (lo + hi) / 2.0;
+    if (line_end_slew(mid, tech) <= slew_limit_ps) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace rabid::timing

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file slew.hpp
+/// Slew (transition-time) estimation — the physics behind the paper's
+/// length rule.
+///
+/// Section II bases L_i on "a global rule of thumb for the maximum
+/// distance between consecutive buffers ... necessary to ensure that the
+/// slew rate is sufficiently sharp at the input to all gates" (footnote
+/// 3: an IBM microprocessor derived the distance from the desired input
+/// slew).  This module makes that connection concrete:
+///
+///  * evaluate_slews() estimates the 10-90% transition time at every
+///    gate input (buffer inputs and sinks) of a buffered route with the
+///    PERI approximation  slew ~= ln(9) x stage-local Elmore delay;
+///  * max_interval_for_slew() inverts the model: the longest unbuffered
+///    run a unit buffer may drive before the far-end slew exceeds a
+///    limit — the paper's "repeaters at intervals of at most 4500 um"
+///    computation, reproducible for any limit and technology.
+
+#include <vector>
+
+#include "route/buffers.hpp"
+#include "route/route_tree.hpp"
+#include "tile/tile_graph.hpp"
+#include "timing/tech.hpp"
+
+namespace rabid::timing {
+
+/// ln(9): 10-90% transition of a single-pole response per unit Elmore.
+inline constexpr double kSlewFactor = 2.1972245773362196;
+
+struct SlewResult {
+  double max_ps = 0.0;  ///< worst transition over all gate inputs
+  double avg_ps = 0.0;
+  /// One entry per *load point*: every buffer input, then every sink
+  /// (same order as the buffer list, then tree sink order).
+  std::vector<double> load_slews_ps;
+};
+
+/// Estimates input slews across a buffered route (unit buffers).
+SlewResult evaluate_slews(const route::RouteTree& tree,
+                          const route::BufferList& buffers,
+                          const tile::TileGraph& g,
+                          const Technology& tech = kTech180nm);
+
+/// The longest wire (um) a unit buffer can drive into one same-size
+/// buffer load before the far-end slew exceeds `slew_limit_ps`.
+/// Deterministic bisection; this is the quantity a tile-based L_i
+/// discretizes (L_i ~= interval / tile pitch).
+double max_interval_for_slew(double slew_limit_ps,
+                             const Technology& tech = kTech180nm);
+
+/// Far-end slew (ps) of a unit buffer driving `length_um` of wire into
+/// one buffer-input load.  Exposed for tests and the derivation bench.
+double line_end_slew(double length_um, const Technology& tech = kTech180nm);
+
+}  // namespace rabid::timing

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file tech.hpp
+/// Electrical parameters of the 0.18 um technology the experiments are
+/// embedded in (Section IV embeds the benchmarks "in the same 0.18-um
+/// technology used in [8]" — Cong, Kong, Pan, ICCAD'99).  The constants
+/// below are the published BBP-literature values for that node.
+///
+/// Unit system: resistance in ohm, capacitance in pF, delay in ps
+/// (1 ohm x 1 pF = 1 ps), length in um.
+
+namespace rabid::timing {
+
+struct Technology {
+  // Wire parasitics per micrometer.
+  double wire_res_per_um = 0.075;     ///< ohm/um
+  double wire_cap_per_um = 0.000118;  ///< pF/um (0.118 fF/um)
+
+  // The generic signal buffer a buffer site can realize.
+  double buffer_intrinsic_ps = 36.4;  ///< intrinsic delay T_b
+  double buffer_res = 180.0;          ///< output resistance R_b, ohm
+  double buffer_cap = 0.0234;         ///< input capacitance C_b, pF
+
+  // Net driver and sink models.
+  double driver_res = 180.0;  ///< source driver resistance R_d, ohm
+  double sink_cap = 0.0234;   ///< sink pin load C_s, pF
+
+  double wire_res(double um) const { return wire_res_per_um * um; }
+  double wire_cap(double um) const { return wire_cap_per_um * um; }
+};
+
+/// The default 0.18 um technology instance used by every experiment.
+inline constexpr Technology kTech180nm{};
+
+/// The RC model of a width-w wire class on `base`: w parallel tracks
+/// halve-per-track the resistance; area capacitance grows with width
+/// while the fringe component does not (C factor 0.65w + 0.35).
+inline constexpr Technology scaled_for_width(const Technology& base,
+                                             std::int32_t width) {
+  Technology t = base;
+  if (width > 1) {
+    t.wire_res_per_um = base.wire_res_per_um / static_cast<double>(width);
+    t.wire_cap_per_um =
+        base.wire_cap_per_um * (0.65 * static_cast<double>(width) + 0.35);
+  }
+  return t;
+}
+
+}  // namespace rabid::timing

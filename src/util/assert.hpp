@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file assert.hpp
+/// Lightweight contract checks used throughout the library.
+///
+/// RABID_ASSERT is always on (release included): the library is a planning
+/// tool, not an inner loop of a router, and silent invariant corruption in
+/// a congestion map is far more expensive than the branch.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rabid::util {
+
+[[noreturn]] inline void assertion_failure(const char* expr, const char* file,
+                                           int line, const char* msg) {
+  std::fprintf(stderr, "RABID assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace rabid::util
+
+#define RABID_ASSERT(expr)                                                  \
+  ((expr) ? static_cast<void>(0)                                            \
+          : ::rabid::util::assertion_failure(#expr, __FILE__, __LINE__,     \
+                                             nullptr))
+
+#define RABID_ASSERT_MSG(expr, msg)                                         \
+  ((expr) ? static_cast<void>(0)                                            \
+          : ::rabid::util::assertion_failure(#expr, __FILE__, __LINE__, msg))

@@ -1,0 +1,6 @@
+#include "util/rng.hpp"
+
+// Header-only in practice; this translation unit anchors the library and
+// provides a home for any future out-of-line helpers.
+
+namespace rabid::util {}  // namespace rabid::util

@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation.
+///
+/// Every stochastic decision in the library (benchmark generation, buffer
+/// site sprinkling, floorplan annealing) draws from a named Rng stream so
+/// that all experiment tables are bit-reproducible across runs and
+/// platforms.  The generator is PCG32 (O'Neill, 2014): tiny state, good
+/// statistical quality, and — unlike std::mt19937 with std::uniform_*
+/// distributions — identical output on every standard library.
+
+#include <cstdint>
+#include <string_view>
+
+namespace rabid::util {
+
+/// PCG32 (XSH-RR variant) with explicit, portable integer/real mapping.
+class Rng {
+ public:
+  /// Seeds from a 64-bit value; the stream selector is fixed.
+  explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+  /// Seeds from a string (e.g. a benchmark circuit name) via FNV-1a, so
+  /// "apte" always yields the same circuit regardless of call order.
+  explicit Rng(std::string_view name) : Rng(hash(name)) {}
+
+  void reseed(std::uint64_t seed) {
+    state_ = 0U;
+    next_u32();
+    state_ += seed;
+    next_u32();
+  }
+
+  /// Uniform on [0, 2^32).
+  std::uint32_t next_u32() {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + increment_;
+    const auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18U) ^ old) >> 27U);
+    const auto rot = static_cast<std::uint32_t>(old >> 59U);
+    return (xorshifted >> rot) | (xorshifted << ((32U - rot) & 31U));
+  }
+
+  /// Uniform integer on [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1U;
+    // 64-bit multiply-shift rejection-free mapping; bias < 2^-32 is
+    // irrelevant for workload generation.
+    const std::uint64_t wide =
+        static_cast<std::uint64_t>(next_u32()) * span;
+    return lo + static_cast<std::int64_t>(wide >> 32U);
+  }
+
+  /// Uniform real on [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u32()) * 0x1.0p-32;
+  }
+
+  /// Uniform real on [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Bernoulli draw.
+  bool chance(double p) { return uniform() < p; }
+
+  /// FNV-1a 64-bit string hash (stable across platforms).
+  static constexpr std::uint64_t hash(std::string_view s) {
+    std::uint64_t h = 14695981039346656037ULL;
+    for (const char c : s) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+
+ private:
+  static constexpr std::uint64_t increment_ = 1442695040888963407ULL;
+  std::uint64_t state_ = 0;
+};
+
+/// Fisher-Yates shuffle using Rng (std::shuffle's draw pattern is not
+/// portable across standard libraries).
+template <typename Vec>
+void shuffle(Vec& v, Rng& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    using std::swap;
+    swap(v[i - 1], v[j]);
+  }
+}
+
+}  // namespace rabid::util

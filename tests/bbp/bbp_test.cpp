@@ -1,0 +1,218 @@
+#include "bbp/bbp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/generator.hpp"
+#include "core/rabid.hpp"
+#include "circuits/specs.hpp"
+
+namespace rabid::bbp {
+namespace {
+
+/// Two-pin design with one macro block occupying the middle of the die.
+struct Fixture {
+  netlist::Design design;
+  tile::TileGraph graph;
+
+  Fixture() : design("bbp-toy", geom::Rect{{0, 0}, {10000, 10000}}),
+              graph(design.outline(), 10, 10) {
+    design.set_default_length_limit(4);
+    design.add_block(
+        {"big", geom::Rect{{2000, 2000}, {8000, 8000}}, 0.0});
+    auto add2 = [&](geom::Point a, geom::Point b) {
+      netlist::Net n;
+      n.name = "n";
+      n.source = {a, netlist::PinKind::kFree, netlist::kNoBlock};
+      n.sinks = {{b, netlist::PinKind::kFree, netlist::kNoBlock}};
+      design.add_net(std::move(n));
+    };
+    add2({500, 500}, {9500, 9500});
+    add2({500, 9500}, {9500, 500});
+    add2({500, 5000}, {9500, 5000});
+    add2({5000, 500}, {5000, 9500});
+    graph.set_uniform_wire_capacity(4);
+  }
+};
+
+TEST(Bbp, RequiresTwoPinNets) {
+  Fixture f;
+  // (Multi-pin rejection is a contract assertion; valid input runs.)
+  BbpPlanner planner(f.design, f.graph);
+  const BbpResult r = planner.run(400.0);
+  EXPECT_EQ(planner.nets().size(), 4U);
+  EXPECT_GT(r.wirelength_mm, 0.0);
+}
+
+TEST(Bbp, BuffersOnlyInFreeSpace) {
+  Fixture f;
+  BbpPlanner planner(f.design, f.graph);
+  planner.run(400.0);
+  const geom::Rect block{{2000, 2000}, {8000, 8000}};
+  for (tile::TileId t = 0; t < f.graph.tile_count(); ++t) {
+    if (planner.buffers_per_tile()[static_cast<std::size_t>(t)] > 0) {
+      EXPECT_FALSE(block.contains(f.graph.center(t)))
+          << "buffer inside the macro at tile " << t;
+    }
+  }
+}
+
+TEST(Bbp, LongNetsGetBuffers) {
+  Fixture f;
+  BbpPlanner planner(f.design, f.graph);
+  const BbpResult r = planner.run(400.0);
+  // 14+ mm nets in 0.18um need repeaters under a 1.1x-optimal constraint.
+  EXPECT_GT(r.buffers, 0);
+  EXPECT_GT(r.mtap_pct, 0.0);
+}
+
+TEST(Bbp, DelaysNearConstraint) {
+  Fixture f;
+  BbpPlanner planner(f.design, f.graph);
+  planner.run(400.0);
+  for (const BbpNetState& n : planner.nets()) {
+    EXPECT_GT(n.constraint_ps, 0.0);
+    // Snapping can miss the constraint, but never absurdly (5x).
+    EXPECT_LT(n.delay.max_ps, 5.0 * n.constraint_ps);
+  }
+}
+
+TEST(Bbp, MtapComputation) {
+  tile::TileGraph g(geom::Rect{{0, 0}, {1000, 1000}}, 2, 2);
+  std::vector<std::int32_t> counts{0, 10, 3, 0};
+  // Tile area 250000 um^2; 10 buffers x 400 um^2 = 4000 -> 1.6%.
+  EXPECT_DOUBLE_EQ(mtap_pct(g, counts, 400.0), 1.6);
+}
+
+TEST(Bbp, DeterministicOnBenchmarkCircuit) {
+  const circuits::CircuitSpec& spec = circuits::spec_by_name("hp");
+  const netlist::Design base = circuits::generate_design(spec);
+  const netlist::Design two = netlist::Design::decompose_to_two_pin(base);
+  tile::TileGraph g1 = circuits::build_tile_graph(two, spec);
+  tile::TileGraph g2 = circuits::build_tile_graph(two, spec);
+  BbpPlanner p1(two, g1), p2(two, g2);
+  const BbpResult r1 = p1.run(circuits::kBufferSiteAreaUm2);
+  const BbpResult r2 = p2.run(circuits::kBufferSiteAreaUm2);
+  EXPECT_EQ(r1.buffers, r2.buffers);
+  EXPECT_DOUBLE_EQ(r1.wirelength_mm, r2.wirelength_mm);
+  EXPECT_DOUBLE_EQ(r1.max_delay_ps, r2.max_delay_ps);
+}
+
+TEST(Bbp, BenchmarkCircuitShapeChecks) {
+  // The qualitative Table V signature on a real circuit: buffers
+  // concentrated (MTAP well above RABID's sub-1% level).
+  const circuits::CircuitSpec& spec = circuits::spec_by_name("hp");
+  const netlist::Design base = circuits::generate_design(spec);
+  const netlist::Design two = netlist::Design::decompose_to_two_pin(base);
+  tile::TileGraph g = circuits::build_tile_graph(two, spec);
+  BbpPlanner planner(two, g);
+  const BbpResult r = planner.run(circuits::kBufferSiteAreaUm2);
+  EXPECT_GT(r.buffers, 100);
+  EXPECT_GT(r.mtap_pct, 1.0);
+  EXPECT_GT(r.max_delay_ps, 0.0);
+  EXPECT_LE(r.avg_delay_ps, r.max_delay_ps);
+}
+
+
+TEST(Bbp, LooserConstraintNeedsFewerBuffers) {
+  // gamma is the delay-constraint looseness (1.05-1.20 in the paper):
+  // the looser the target, the smaller the minimal buffer count.
+  Fixture tight_f, loose_f;
+  BbpOptions tight_opt;
+  tight_opt.gamma = 1.05;
+  BbpOptions loose_opt;
+  loose_opt.gamma = 1.60;
+  BbpPlanner tight(tight_f.design, tight_f.graph, tight_opt);
+  BbpPlanner loose(loose_f.design, loose_f.graph, loose_opt);
+  const BbpResult rt = tight.run(400.0);
+  const BbpResult rl = loose.run(400.0);
+  EXPECT_LE(rl.buffers, rt.buffers);
+  // Both still respect their own constraints most of the time.
+  EXPECT_LE(rl.nets_missing_constraint, 1);
+}
+
+TEST(Bbp, CongestionPostReducesOverflowKeepsBuffers) {
+  const circuits::CircuitSpec& spec = circuits::spec_by_name("ami33");
+  const netlist::Design base = circuits::generate_design(spec);
+  const netlist::Design two = netlist::Design::decompose_to_two_pin(base);
+  tile::TileGraph g = circuits::build_tile_graph(two, spec);
+  BbpPlanner planner(two, g);
+  const BbpResult before = planner.run(circuits::kBufferSiteAreaUm2);
+  const BbpResult after =
+      planner.congestion_post(circuits::kBufferSiteAreaUm2);
+  EXPECT_LE(after.overflow, before.overflow);
+  EXPECT_EQ(after.buffers, before.buffers);      // buffers pinned
+  EXPECT_DOUBLE_EQ(after.mtap_pct, before.mtap_pct);
+  // Wirelength never grows (monotone re-embedding + stub pruning).
+  EXPECT_LE(after.wirelength_mm, before.wirelength_mm + 1e-9);
+}
+
+TEST(Bbp, TwoPinContractEnforced) {
+  netlist::Design d("multi", geom::Rect{{0, 0}, {1000, 1000}});
+  netlist::Net n;
+  n.name = "n";
+  n.source = {{10, 10}, netlist::PinKind::kFree, netlist::kNoBlock};
+  n.sinks = {{{900, 900}, netlist::PinKind::kFree, netlist::kNoBlock},
+             {{900, 100}, netlist::PinKind::kFree, netlist::kNoBlock}};
+  d.add_net(n);
+  tile::TileGraph g(d.outline(), 4, 4);
+  g.set_uniform_wire_capacity(4);
+  EXPECT_DEATH(BbpPlanner(d, g), "two-pin");
+}
+
+
+TEST(Bbp, BufferBlockCounting) {
+  tile::TileGraph g(geom::Rect{{0, 0}, {500, 500}}, 5, 5);
+  std::vector<std::int32_t> counts(25, 0);
+  // Two clusters: a 2x2 dense patch and one isolated dense tile.
+  counts[static_cast<std::size_t>(g.id_of({0, 0}))] = 5;
+  counts[static_cast<std::size_t>(g.id_of({1, 0}))] = 6;
+  counts[static_cast<std::size_t>(g.id_of({0, 1}))] = 4;
+  counts[static_cast<std::size_t>(g.id_of({1, 1}))] = 9;
+  counts[static_cast<std::size_t>(g.id_of({4, 4}))] = 4;
+  // Below-threshold tiles do not join or bridge clusters.
+  counts[static_cast<std::size_t>(g.id_of({2, 0}))] = 3;
+  counts[static_cast<std::size_t>(g.id_of({3, 0}))] = 5;
+  EXPECT_EQ(count_buffer_blocks(g, counts, 4), 3);
+  // Lowering the threshold bridges (2,0): the row merges into one block.
+  EXPECT_EQ(count_buffer_blocks(g, counts, 3), 2);
+  // Raising it dissolves everything but the 5/6/9 tiles.
+  EXPECT_EQ(count_buffer_blocks(g, counts, 9), 1);
+  EXPECT_EQ(count_buffer_blocks(g, counts, 10), 0);
+}
+
+TEST(Bbp, EmergentBlocksConcentratedVsDiffuse) {
+  // The Fig. 1 phenomenon, quantified on a benchmark: BBP/FR piles
+  // buffers into few dense clusters, RABID's site usage stays diffuse.
+  const circuits::CircuitSpec& spec = circuits::spec_by_name("ami33");
+  const netlist::Design base = circuits::generate_design(spec);
+  const netlist::Design two = netlist::Design::decompose_to_two_pin(base);
+
+  tile::TileGraph bg = circuits::build_tile_graph(two, spec);
+  BbpPlanner planner(two, bg);
+  planner.run(circuits::kBufferSiteAreaUm2);
+  const std::int32_t bbp_blocks =
+      count_buffer_blocks(bg, planner.buffers_per_tile());
+
+  tile::TileGraph rg = circuits::build_tile_graph(two, spec);
+  core::Rabid rabid(two, rg);
+  rabid.run_all();
+  std::vector<std::int32_t> counts(
+      static_cast<std::size_t>(rg.tile_count()));
+  for (tile::TileId t = 0; t < rg.tile_count(); ++t) {
+    counts[static_cast<std::size_t>(t)] = rg.site_usage(t);
+  }
+  // Discrete buffer blocks exist on the BBP side (Fig. 1 shows dozens).
+  EXPECT_GT(bbp_blocks, 5);
+  // The discriminator is concentration, not component count: BBP's
+  // hottest tile holds several times more buffers than RABID's.
+  std::int32_t bbp_peak = 0, rabid_peak = 0;
+  for (tile::TileId t = 0; t < bg.tile_count(); ++t) {
+    bbp_peak = std::max(
+        bbp_peak, planner.buffers_per_tile()[static_cast<std::size_t>(t)]);
+    rabid_peak = std::max(rabid_peak, counts[static_cast<std::size_t>(t)]);
+  }
+  EXPECT_GE(bbp_peak, 2 * rabid_peak);
+}
+
+}  // namespace
+}  // namespace rabid::bbp

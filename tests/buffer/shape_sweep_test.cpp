@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "buffer/brute_force.hpp"
+#include "buffer/insertion.hpp"
+
+namespace rabid::buffer {
+namespace {
+
+/// Named adversarial tree shapes for the DP, each small enough for the
+/// exhaustive checker, swept across every L — a structured complement to
+/// the random property tests.
+struct Shape {
+  const char* name;
+  // Arcs as (parent tile xy, child tile xy) on a 9x9 grid, in insertion
+  // order (parent must already exist); sinks listed separately.
+  std::vector<std::pair<geom::TileCoord, geom::TileCoord>> arcs;
+  std::vector<geom::TileCoord> sinks;
+};
+
+std::vector<Shape> shapes() {
+  return {
+      // A star: four unit arms from the center.
+      {"star4",
+       {{{4, 4}, {5, 4}}, {{4, 4}, {3, 4}}, {{4, 4}, {4, 5}}, {{4, 4}, {4, 3}}},
+       {{5, 4}, {3, 4}, {4, 5}, {4, 3}}},
+      // A deep chain with a sink halfway.
+      {"chain_midsink",
+       {{{0, 0}, {1, 0}},
+        {{1, 0}, {2, 0}},
+        {{2, 0}, {3, 0}},
+        {{3, 0}, {4, 0}},
+        {{4, 0}, {5, 0}},
+        {{5, 0}, {6, 0}}},
+       {{3, 0}, {6, 0}}},
+      // A comb: trunk with two unit teeth.
+      {"comb2",
+       {{{0, 0}, {1, 0}},
+        {{1, 0}, {1, 1}},
+        {{1, 0}, {2, 0}},
+        {{2, 0}, {3, 0}},
+        {{3, 0}, {3, 1}}},
+       {{1, 1}, {3, 1}}},
+      // Double branch at the root tile's neighbor.
+      {"root_fanout",
+       {{{4, 4}, {5, 4}},
+        {{5, 4}, {6, 4}},
+        {{5, 4}, {5, 5}},
+        {{5, 4}, {5, 3}}},
+       {{6, 4}, {5, 5}, {5, 3}}},
+      // An L with a long tail.
+      {"ell",
+       {{{0, 0}, {1, 0}},
+        {{1, 0}, {2, 0}},
+        {{2, 0}, {2, 1}},
+        {{2, 1}, {2, 2}},
+        {{2, 2}, {2, 3}}},
+       {{2, 3}}},
+  };
+}
+
+route::RouteTree build(const tile::TileGraph& g, const Shape& s) {
+  route::RouteTree t(g.id_of(s.arcs.front().first));
+  for (const auto& [p, c] : s.arcs) {
+    const route::NodeId pn = t.node_at(g.id_of(p));
+    EXPECT_NE(pn, route::kNoNode) << s.name;
+    t.add_child(pn, g.id_of(c));
+  }
+  for (const geom::TileCoord& c : s.sinks) {
+    t.add_sink(t.node_at(g.id_of(c)));
+  }
+  return t;
+}
+
+class ShapeSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::int32_t>> {};
+
+TEST_P(ShapeSweep, DpMatchesBruteForceAcrossCostFields) {
+  const auto [shape_idx, L] = GetParam();
+  const Shape shape = shapes()[static_cast<std::size_t>(shape_idx)];
+  const tile::TileGraph g(geom::Rect{{0, 0}, {900, 900}}, 9, 9);
+  const route::RouteTree t = build(g, shape);
+
+  // Three cost fields: uniform, coordinate-dependent, and one with a
+  // blocked column.
+  const std::vector<TileCostFn> fields{
+      [](tile::TileId) { return 1.0; },
+      [&g](tile::TileId tl) {
+        const geom::TileCoord c = g.coord_of(tl);
+        return 0.5 + 0.37 * c.x + 0.11 * c.y;
+      },
+      [&g](tile::TileId tl) {
+        return g.coord_of(tl).x == 2
+                   ? std::numeric_limits<double>::infinity()
+                   : 1.0;
+      },
+  };
+  for (std::size_t f = 0; f < fields.size(); ++f) {
+    const InsertionResult dp = insert_buffers(t, L, fields[f]);
+    const InsertionResult bf = brute_force_insert(t, L, fields[f]);
+    ASSERT_EQ(dp.feasible, bf.feasible)
+        << shape.name << " L=" << L << " field=" << f;
+    if (dp.feasible) {
+      EXPECT_NEAR(dp.cost, bf.cost, 1e-9)
+          << shape.name << " L=" << L << " field=" << f;
+      EXPECT_TRUE(placement_is_legal(t, dp.buffers, L));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapesAllLimits, ShapeSweep,
+    ::testing::Combine(::testing::Range(0, 5),
+                       ::testing::Values<std::int32_t>(1, 2, 3, 4, 6)),
+    [](const ::testing::TestParamInfo<std::tuple<int, std::int32_t>>& info) {
+      return std::string(
+                 shapes()[static_cast<std::size_t>(std::get<0>(info.param))]
+                     .name) +
+             "_L" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace rabid::buffer

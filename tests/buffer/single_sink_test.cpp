@@ -1,0 +1,121 @@
+#include "buffer/single_sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace rabid::buffer {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// The exact worked example of Figs. 5 and 7: six tiles between the
+/// source and the sink, q = [1.3, 8.6, 0.5, inf, 1.0, inf], L = 3.
+TEST(SingleSink, PaperWorkedExample) {
+  const std::vector<double> q{1.3, 8.6, 0.5, kInf, 1.0, kInf};
+  const SingleSinkTable t = single_sink_insertion(q, 3);
+
+  // Fig. 7 cost table, column by column (source-adjacent first).
+  const std::vector<std::vector<double>> expected{
+      {2.8, 9.6, 1.5},   // q = 1.3
+      {9.6, 1.5, kInf},  // q = 8.6
+      {1.5, kInf, 1.0},  // q = 0.5
+      {kInf, 1.0, kInf}, // q = inf
+      {1.0, kInf, 0.0},  // q = 1.0
+      {kInf, 0.0, 0.0},  // q = inf
+      {0.0, 0.0, 0.0},   // sink
+  };
+  ASSERT_EQ(t.cost.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      if (std::isinf(expected[i][j])) {
+        EXPECT_TRUE(std::isinf(t.cost[i][j])) << "col " << i << " j " << j;
+      } else {
+        EXPECT_NEAR(t.cost[i][j], expected[i][j], 1e-12)
+            << "col " << i << " j " << j;
+      }
+    }
+  }
+
+  // "the minimum cost solution has buffers in the third and fifth tiles
+  //  with cost 0.5 + 1.0 = 1.5"
+  EXPECT_NEAR(t.optimal, 1.5, 1e-12);
+  EXPECT_EQ(t.buffer_tiles, (std::vector<std::int32_t>{2, 4}));
+}
+
+TEST(SingleSink, NoBufferNeededWithinLimit) {
+  // Two tiles between source and sink, L = 3: driver drives 3 units.
+  const std::vector<double> q{5.0, 5.0};
+  const SingleSinkTable t = single_sink_insertion(q, 3);
+  EXPECT_DOUBLE_EQ(t.optimal, 0.0);
+  EXPECT_TRUE(t.buffer_tiles.empty());
+}
+
+TEST(SingleSink, ExactlyAtLimitNeedsNoBuffer) {
+  // n tiles + sink arc = L total driven length.
+  const std::vector<double> q{9.0, 9.0, 9.0, 9.0, 9.0};
+  const SingleSinkTable t = single_sink_insertion(q, 6);
+  EXPECT_DOUBLE_EQ(t.optimal, 0.0);
+}
+
+TEST(SingleSink, OneOverLimitNeedsOneBuffer) {
+  const std::vector<double> q{3.0, 1.0, 2.0, 4.0, 5.0, 6.0};
+  // Span is 7 > L = 6: exactly one buffer, and the cheapest tile that
+  // splits legally is tile 1 (cost 1.0; both halves <= 6).
+  const SingleSinkTable t = single_sink_insertion(q, 6);
+  EXPECT_DOUBLE_EQ(t.optimal, 1.0);
+  EXPECT_EQ(t.buffer_tiles, (std::vector<std::int32_t>{1}));
+}
+
+TEST(SingleSink, PicksCheapestAmongLegalSplits) {
+  // L = 4, n = 6 (span 7): a single buffer at position i splits into
+  // i+1 and 6-i units; legal i in {2, 3}. q favours i = 3, and every
+  // two-buffer combination costs at least 5 + 2 = 7.
+  const std::vector<double> q{5.0, 5.0, 9.0, 2.0, 5.0, 5.0};
+  const SingleSinkTable t = single_sink_insertion(q, 4);
+  EXPECT_DOUBLE_EQ(t.optimal, 2.0);
+  EXPECT_EQ(t.buffer_tiles, (std::vector<std::int32_t>{3}));
+}
+
+TEST(SingleSink, InfeasibleWhenBlockedStretchTooLong) {
+  // Every tile blocked and span > L: no legal solution.
+  const std::vector<double> q{kInf, kInf, kInf, kInf};
+  const SingleSinkTable t = single_sink_insertion(q, 3);
+  EXPECT_TRUE(std::isinf(t.optimal));
+  EXPECT_TRUE(t.buffer_tiles.empty());
+}
+
+TEST(SingleSink, LimitOneBuffersEveryTile) {
+  const std::vector<double> q{1.0, 1.0, 1.0};
+  const SingleSinkTable t = single_sink_insertion(q, 1);
+  EXPECT_DOUBLE_EQ(t.optimal, 3.0);
+  EXPECT_EQ(t.buffer_tiles, (std::vector<std::int32_t>{0, 1, 2}));
+}
+
+TEST(SingleSink, EmptyChainIsFree) {
+  const SingleSinkTable t = single_sink_insertion({}, 3);
+  EXPECT_DOUBLE_EQ(t.optimal, 0.0);
+  EXPECT_TRUE(t.buffer_tiles.empty());
+}
+
+TEST(SingleSink, BuffersSpacedWithinLimitProperty) {
+  // Whatever the costs, consecutive gates are never more than L apart.
+  const std::vector<double> q{2.0, 7.0, 1.0, 1.0, 9.0, 0.5, 3.0, 8.0,
+                              0.1, 4.0, 2.5, 6.0};
+  for (std::int32_t L = 2; L <= 6; ++L) {
+    const SingleSinkTable t = single_sink_insertion(q, L);
+    ASSERT_TRUE(std::isfinite(t.optimal)) << "L=" << L;
+    std::int32_t prev = -1;  // source position
+    for (const std::int32_t b : t.buffer_tiles) {
+      EXPECT_LE(b - prev, L) << "L=" << L;
+      prev = b;
+    }
+    const auto n = static_cast<std::int32_t>(q.size());
+    EXPECT_LE(n + 1 - (prev + 1), L) << "L=" << L;  // last gate to sink
+  }
+}
+
+}  // namespace
+}  // namespace rabid::buffer

@@ -1,0 +1,216 @@
+#include "circuits/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/floorplan.hpp"
+#include "circuits/specs.hpp"
+#include "util/rng.hpp"
+
+namespace rabid::circuits {
+namespace {
+
+TEST(Specs, TableOneIsComplete) {
+  const auto specs = table1_specs();
+  ASSERT_EQ(specs.size(), 10U);
+  EXPECT_EQ(specs[0].name, "apte");
+  EXPECT_EQ(specs[9].name, "a9c3");
+  int cbl = 0;
+  for (const CircuitSpec& s : specs) {
+    if (s.cbl) ++cbl;
+    EXPECT_GT(s.cells, 0);
+    EXPECT_GT(s.nets, 0);
+    EXPECT_GE(s.sinks, s.nets);  // every net has >= 1 sink
+    EXPECT_TRUE(s.length_limit == 5 || s.length_limit == 6);
+  }
+  EXPECT_EQ(cbl, 6);
+}
+
+TEST(Specs, LookupByName) {
+  EXPECT_EQ(spec_by_name("playout").nets, 1294);
+  EXPECT_EQ(spec_by_name("xc5").sinks, 2149);
+  EXPECT_EQ(spec_by_name("ami49").buffer_sites, 11450);
+}
+
+TEST(Specs, ChipDimensionsMatchGridAndTileArea) {
+  for (const CircuitSpec& s : table1_specs()) {
+    const double chip_mm2 =
+        s.chip_width_um() * s.chip_height_um() * 1e-6;
+    EXPECT_NEAR(chip_mm2, s.grid_x * s.grid_y * s.tile_area_mm2,
+                chip_mm2 * 1e-9);
+  }
+}
+
+TEST(Specs, PctChipAreaColumnReproduced) {
+  // The reconstructed 400 um^2 site area must reproduce the published
+  // "%chip area" column to rounding accuracy (the published tile areas
+  // are themselves 2-decimal roundings, so allow +-0.02 absolute).
+  for (const CircuitSpec& s : table1_specs()) {
+    EXPECT_NEAR(pct_chip_area(s, s.buffer_sites), s.pct_chip_area, 0.02)
+        << s.name;
+  }
+}
+
+TEST(Specs, SiteSweepsMatchTableOneLargeColumn) {
+  for (const SiteSweep& sweep : table3_site_sweeps()) {
+    EXPECT_LT(sweep.small, sweep.medium);
+    EXPECT_LT(sweep.medium, sweep.large);
+    // Table III's "large" equals Table I's site count for every circuit
+    // except apte, where the paper uses 3200 (vs. 1200 in Table I).
+    if (sweep.name == "apte") {
+      EXPECT_EQ(sweep.large, 3200);
+    } else {
+      EXPECT_EQ(sweep.large, spec_by_name(sweep.name).buffer_sites);
+    }
+  }
+}
+
+class GeneratorPerCircuit
+    : public ::testing::TestWithParam<std::string_view> {};
+
+TEST_P(GeneratorPerCircuit, ReproducesTableOneStatistics) {
+  const CircuitSpec& spec = spec_by_name(GetParam());
+  const netlist::Design d = generate_design(spec);
+  EXPECT_EQ(static_cast<std::int32_t>(d.blocks().size()), spec.cells);
+  EXPECT_EQ(static_cast<std::int32_t>(d.nets().size()), spec.nets);
+  EXPECT_EQ(static_cast<std::int32_t>(d.total_sinks()), spec.sinks);
+  EXPECT_EQ(static_cast<std::int32_t>(d.pad_count()), spec.pads);
+  EXPECT_EQ(d.default_length_limit(), spec.length_limit);
+  d.check_invariants();
+}
+
+TEST_P(GeneratorPerCircuit, TileGraphMatchesSpec) {
+  const CircuitSpec& spec = spec_by_name(GetParam());
+  const netlist::Design d = generate_design(spec);
+  const tile::TileGraph g = build_tile_graph(d, spec);
+  EXPECT_EQ(g.nx(), spec.grid_x);
+  EXPECT_EQ(g.ny(), spec.grid_y);
+  EXPECT_NEAR(g.tile_area_mm2(), spec.tile_area_mm2,
+              spec.tile_area_mm2 * 1e-9);
+  EXPECT_EQ(g.total_site_supply(), spec.buffer_sites);
+  EXPECT_GT(g.wire_capacity(0), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCircuits, GeneratorPerCircuit,
+                         ::testing::Values("apte", "xerox", "hp", "ami33",
+                                           "ami49", "playout", "ac3", "xc5",
+                                           "hc7", "a9c3"));
+
+TEST(Generator, Deterministic) {
+  const CircuitSpec& spec = spec_by_name("hp");
+  const netlist::Design a = generate_design(spec);
+  const netlist::Design b = generate_design(spec);
+  ASSERT_EQ(a.nets().size(), b.nets().size());
+  for (std::size_t i = 0; i < a.nets().size(); ++i) {
+    EXPECT_EQ(a.nets()[i].source.location, b.nets()[i].source.location);
+    ASSERT_EQ(a.nets()[i].sinks.size(), b.nets()[i].sinks.size());
+  }
+  const tile::TileGraph ga = build_tile_graph(a, spec);
+  const tile::TileGraph gb = build_tile_graph(b, spec);
+  for (tile::TileId t = 0; t < ga.tile_count(); ++t) {
+    EXPECT_EQ(ga.site_supply(t), gb.site_supply(t));
+  }
+}
+
+TEST(Generator, BlockedRegionHasNoSites) {
+  const CircuitSpec& spec = spec_by_name("xerox");
+  const netlist::Design d = generate_design(spec);
+  const tile::TileGraph g = build_tile_graph(d, spec);
+  // A 9x9 block in a 30x30 grid: at least 81 tiles with zero supply.
+  std::int32_t zero_tiles = 0;
+  for (tile::TileId t = 0; t < g.tile_count(); ++t) {
+    if (g.site_supply(t) == 0) ++zero_tiles;
+  }
+  EXPECT_GE(zero_tiles, 64);  // the blocked region (minus center-rounding)
+}
+
+TEST(Generator, BlockedSpanZeroDisablesRegion) {
+  const CircuitSpec& spec = spec_by_name("xerox");
+  const netlist::Design d = generate_design(spec);
+  TilingOptions opt;
+  opt.blocked_span = 0;
+  const tile::TileGraph g = build_tile_graph(d, spec, opt);
+  EXPECT_EQ(g.total_site_supply(), spec.buffer_sites);
+}
+
+TEST(Generator, GridOverrideRescalesTiles) {
+  const CircuitSpec& spec = spec_by_name("ami49");
+  const netlist::Design d = generate_design(spec);
+  TilingOptions opt;
+  opt.nx = 10;
+  opt.ny = 10;
+  const tile::TileGraph g = build_tile_graph(d, spec, opt);
+  EXPECT_EQ(g.tile_count(), 100);
+  // Same chip, 9x fewer tiles -> 9x tile area.
+  EXPECT_NEAR(g.tile_area_mm2(), spec.tile_area_mm2 * 9.0,
+              spec.tile_area_mm2 * 1e-6);
+  EXPECT_EQ(g.total_site_supply(), spec.buffer_sites);
+}
+
+TEST(Generator, SiteOverrideChangesOnlySupply) {
+  const CircuitSpec& spec = spec_by_name("apte");
+  const netlist::Design d = generate_design(spec);
+  TilingOptions opt;
+  opt.buffer_sites = 280;
+  const tile::TileGraph g = build_tile_graph(d, spec, opt);
+  EXPECT_EQ(g.total_site_supply(), 280);
+  EXPECT_EQ(g.nx(), spec.grid_x);
+}
+
+TEST(Generator, PinsSitOnBlockBoundariesOrPads) {
+  const CircuitSpec& spec = spec_by_name("ami33");
+  const netlist::Design d = generate_design(spec);
+  std::size_t pad_pins = 0;
+  auto check_pin = [&](const netlist::Pin& p) {
+    if (p.kind == netlist::PinKind::kPad) {
+      ++pad_pins;
+      return;
+    }
+    ASSERT_EQ(p.kind, netlist::PinKind::kBlock);
+    ASSERT_GE(p.block, 0);
+    const geom::Rect& r = d.block(p.block).shape;
+    EXPECT_TRUE(r.contains(p.location));
+    // On the boundary: at least one coordinate on an edge.
+    const bool on_edge =
+        p.location.x == r.lo().x || p.location.x == r.hi().x ||
+        p.location.y == r.lo().y || p.location.y == r.hi().y;
+    EXPECT_TRUE(on_edge);
+  };
+  for (const netlist::Net& n : d.nets()) {
+    check_pin(n.source);
+    for (const netlist::Pin& s : n.sinks) check_pin(s);
+  }
+  EXPECT_EQ(pad_pins, static_cast<std::size_t>(spec.pads));
+}
+
+TEST(Floorplan, BlocksDisjointAndInsideDie) {
+  util::Rng rng(31);
+  const geom::Rect die{{0, 0}, {10000, 8000}};
+  const auto blocks = slicing_floorplan(die, 25, rng);
+  ASSERT_EQ(blocks.size(), 25U);
+  double area = 0.0;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    EXPECT_GE(blocks[i].lo().x, die.lo().x);
+    EXPECT_GE(blocks[i].lo().y, die.lo().y);
+    EXPECT_LE(blocks[i].hi().x, die.hi().x);
+    EXPECT_LE(blocks[i].hi().y, die.hi().y);
+    area += blocks[i].area();
+    for (std::size_t j = i + 1; j < blocks.size(); ++j) {
+      EXPECT_DOUBLE_EQ(blocks[i].overlap_area(blocks[j]), 0.0);
+    }
+  }
+  // block_fill^2 of the die is covered.
+  EXPECT_NEAR(area, die.area() * 0.88 * 0.88, die.area() * 0.01);
+}
+
+TEST(Floorplan, SingleBlockFillsDie) {
+  util::Rng rng(7);
+  const geom::Rect die{{0, 0}, {100, 100}};
+  const auto blocks = slicing_floorplan(die, 1, rng);
+  ASSERT_EQ(blocks.size(), 1U);
+  EXPECT_NEAR(blocks[0].area(), 100 * 100 * 0.88 * 0.88, 1e-6);
+}
+
+}  // namespace
+}  // namespace rabid::circuits

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "circuits/generator.hpp"
+#include "circuits/specs.hpp"
+#include "core/rabid.hpp"
+
+namespace rabid::circuits {
+namespace {
+
+TEST(Variations, ZeroFractionIsIdentity) {
+  const CircuitSpec& spec = spec_by_name("hp");
+  const netlist::Design base = generate_design(spec);
+  const netlist::Design varied = generate_design(spec, DesignVariations{});
+  ASSERT_EQ(base.nets().size(), varied.nets().size());
+  for (std::size_t i = 0; i < base.nets().size(); ++i) {
+    EXPECT_EQ(base.nets()[i].length_limit, varied.nets()[i].length_limit);
+    EXPECT_EQ(base.nets()[i].source.location,
+              varied.nets()[i].source.location);
+  }
+}
+
+TEST(Variations, ThickMetalPromotesRoughlyTheFraction) {
+  const CircuitSpec& spec = spec_by_name("playout");  // 1294 nets
+  DesignVariations var;
+  var.thick_metal_fraction = 0.2;
+  const netlist::Design d = generate_design(spec, var);
+  std::int32_t promoted = 0;
+  for (const netlist::Net& n : d.nets()) {
+    if (n.length_limit > 0) {
+      ++promoted;
+      EXPECT_EQ(n.length_limit, 9);  // round(6 * 1.5)
+    }
+  }
+  const double fraction =
+      static_cast<double>(promoted) / static_cast<double>(d.nets().size());
+  EXPECT_NEAR(fraction, 0.2, 0.05);
+  // The base netlist is untouched (separate random stream).
+  const netlist::Design base = generate_design(spec);
+  EXPECT_EQ(base.nets()[0].source.location, d.nets()[0].source.location);
+}
+
+TEST(Variations, Deterministic) {
+  const CircuitSpec& spec = spec_by_name("ami33");
+  DesignVariations var;
+  var.thick_metal_fraction = 0.3;
+  const netlist::Design a = generate_design(spec, var);
+  const netlist::Design b = generate_design(spec, var);
+  for (std::size_t i = 0; i < a.nets().size(); ++i) {
+    EXPECT_EQ(a.nets()[i].length_limit, b.nets()[i].length_limit);
+  }
+}
+
+TEST(Variations, PerNetLimitsHonoredByRabid) {
+  const CircuitSpec& spec = spec_by_name("apte");
+  DesignVariations var;
+  var.thick_metal_fraction = 0.3;
+  var.thick_metal_scale = 2.0;
+  const netlist::Design d = generate_design(spec, var);
+  tile::TileGraph g = build_tile_graph(d, spec);
+  core::Rabid rabid(d, g);
+  rabid.run_all();
+  // Thick-metal nets (L = 12) should need fewer buffers per unit length
+  // on average than standard nets (L = 6).
+  double thick_rate = 0.0, thin_rate = 0.0;
+  std::int64_t thick_wl = 0, thin_wl = 0, thick_b = 0, thin_b = 0;
+  for (std::size_t i = 0; i < rabid.nets().size(); ++i) {
+    const core::NetState& n = rabid.nets()[i];
+    if (d.nets()[i].length_limit > 0) {
+      thick_wl += n.tree.wirelength_tiles();
+      thick_b += static_cast<std::int64_t>(n.buffers.size());
+    } else {
+      thin_wl += n.tree.wirelength_tiles();
+      thin_b += static_cast<std::int64_t>(n.buffers.size());
+    }
+  }
+  ASSERT_GT(thick_wl, 0);
+  ASSERT_GT(thin_wl, 0);
+  thick_rate = static_cast<double>(thick_b) / static_cast<double>(thick_wl);
+  thin_rate = static_cast<double>(thin_b) / static_cast<double>(thin_wl);
+  EXPECT_LT(thick_rate, thin_rate);
+}
+
+}  // namespace
+}  // namespace rabid::circuits

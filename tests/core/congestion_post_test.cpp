@@ -1,0 +1,131 @@
+#include "core/congestion_post.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "route/maze.hpp"
+
+namespace rabid::core {
+namespace {
+
+tile::TileGraph make_graph(std::int32_t cap) {
+  tile::TileGraph g(geom::Rect{{0, 0}, {800, 800}}, 8, 8);
+  g.set_uniform_wire_capacity(cap);
+  return g;
+}
+
+/// An L-shaped two-pin route (x-first) from (0,0) to (x,y).
+route::RouteTree l_route(const tile::TileGraph& g, std::int32_t x,
+                         std::int32_t y) {
+  route::RouteTree t(g.id_of({0, 0}));
+  route::NodeId cur = t.root();
+  for (std::int32_t i = 1; i <= x; ++i) cur = t.add_child(cur, g.id_of({i, 0}));
+  for (std::int32_t j = 1; j <= y; ++j) cur = t.add_child(cur, g.id_of({x, j}));
+  t.add_sink(cur);
+  return t;
+}
+
+TEST(CongestionPost, SpreadsParallelRoutes) {
+  tile::TileGraph g = make_graph(2);
+  // Five identical L-routes stacked on the same corridor: overflows.
+  std::vector<route::RouteTree> trees;
+  for (int i = 0; i < 5; ++i) trees.push_back(l_route(g, 5, 5));
+  for (const auto& t : trees) t.commit(g);
+  const auto before = g.stats();
+  ASSERT_GT(before.overflow, 0);
+
+  const CongestionPostResult r = minimize_congestion(g, trees);
+  EXPECT_GT(r.replaced, 0);
+  EXPECT_LT(r.after.overflow, before.overflow);
+  EXPECT_LE(r.after.max_wire_congestion, before.max_wire_congestion);
+  // Wirelength neutral.
+  for (const auto& t : trees) {
+    EXPECT_EQ(t.wirelength_tiles(), 10);
+    t.verify(g);
+  }
+  // Books stay consistent: uncommitting everything zeroes usage.
+  for (const auto& t : trees) t.uncommit(g);
+  for (tile::EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_EQ(g.wire_usage(e), 0);
+  }
+}
+
+TEST(CongestionPost, NoChangeWhenAlreadySpread) {
+  tile::TileGraph g = make_graph(4);
+  std::vector<route::RouteTree> trees{l_route(g, 6, 2)};
+  trees[0].commit(g);
+  const CongestionPostResult r = minimize_congestion(g, trees);
+  // A single net on an empty graph: every monotone staircase costs the
+  // same, so nothing is strictly better.
+  EXPECT_EQ(r.replaced, 0);
+  EXPECT_EQ(r.after.overflow, 0);
+}
+
+TEST(CongestionPost, PinnedInteriorTilesBlockSwaps) {
+  tile::TileGraph g = make_graph(2);
+  std::vector<route::RouteTree> trees;
+  for (int i = 0; i < 5; ++i) trees.push_back(l_route(g, 5, 5));
+  for (const auto& t : trees) t.commit(g);
+  // Pin everything: no swaps possible.
+  const PinnedFn pin_all = [](std::size_t, tile::TileId) { return true; };
+  const CongestionPostResult r = minimize_congestion(g, trees, 3, pin_all);
+  EXPECT_EQ(r.replaced, 0);
+  EXPECT_EQ(r.after.overflow, r.before.overflow);
+}
+
+TEST(CongestionPost, NonMonotonePathsAreLeftAlone) {
+  tile::TileGraph g = make_graph(1);
+  // A detouring route (length > Manhattan distance): must not be touched
+  // even though the graph is congested.
+  route::RouteTree t(g.id_of({0, 0}));
+  route::NodeId cur = t.root();
+  for (std::int32_t i = 1; i <= 4; ++i) cur = t.add_child(cur, g.id_of({i, 0}));
+  cur = t.add_child(cur, g.id_of({4, 1}));
+  cur = t.add_child(cur, g.id_of({3, 1}));  // doubles back
+  t.add_sink(cur);
+  std::vector<route::RouteTree> trees{t};
+  trees[0].commit(g);
+  const auto wl = trees[0].wirelength_tiles();
+  const CongestionPostResult r = minimize_congestion(g, trees);
+  EXPECT_EQ(r.replaced, 0);
+  EXPECT_EQ(trees[0].wirelength_tiles(), wl);
+}
+
+TEST(CongestionPost, MultiPinTreesRerouteBranchwise) {
+  tile::TileGraph g = make_graph(1);
+  // Two identical Y-trees whose two-paths are all *diagonal* (bendable)
+  // staircases: trunk (0,0)->(2,2), branches to (4,4) and (0,4).
+  auto make_y = [&]() {
+    route::RouteTree t(g.id_of({0, 0}));
+    auto walk = [&](route::NodeId from, std::int32_t tx, std::int32_t ty) {
+      geom::TileCoord c = g.coord_of(t.node(from).tile);
+      route::NodeId cur = from;
+      while (c.x != tx) {
+        c.x += tx > c.x ? 1 : -1;
+        cur = t.add_child(cur, g.id_of(c));
+      }
+      while (c.y != ty) {
+        c.y += ty > c.y ? 1 : -1;
+        cur = t.add_child(cur, g.id_of(c));
+      }
+      return cur;
+    };
+    const route::NodeId branch = walk(t.root(), 2, 2);
+    t.add_sink(walk(branch, 4, 4));
+    t.add_sink(walk(branch, 0, 4));
+    return t;
+  };
+  std::vector<route::RouteTree> trees{make_y(), make_y()};
+  for (const auto& t : trees) t.commit(g);
+  ASSERT_GT(g.stats().overflow, 0);
+  const CongestionPostResult r = minimize_congestion(g, trees);
+  EXPECT_LT(r.after.overflow, r.before.overflow);
+  for (const auto& t : trees) {
+    EXPECT_EQ(t.total_sinks(), 2);
+    t.verify(g);
+  }
+}
+
+}  // namespace
+}  // namespace rabid::core

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "core/rabid.hpp"
+#include "util/rng.hpp"
+
+namespace rabid::core {
+namespace {
+
+/// Scarce-site fixture: net order decides who gets the good tiles.
+struct Fixture {
+  netlist::Design design;
+  tile::TileGraph graph;
+
+  Fixture()
+      : design("order-toy", geom::Rect{{0, 0}, {12000, 12000}}),
+        graph(design.outline(), 12, 12) {
+    design.set_default_length_limit(3);
+    util::Rng rng(606);
+    for (int i = 0; i < 30; ++i) {
+      netlist::Net n;
+      n.name = "n" + std::to_string(i);
+      n.source = {{rng.uniform(0, 12000), rng.uniform(0, 12000)},
+                  netlist::PinKind::kFree,
+                  netlist::kNoBlock};
+      n.sinks.push_back({{rng.uniform(0, 12000), rng.uniform(0, 12000)},
+                         netlist::PinKind::kFree,
+                         netlist::kNoBlock});
+      design.add_net(std::move(n));
+    }
+    graph.set_uniform_wire_capacity(8);
+    util::Rng site_rng(707);
+    for (tile::TileId t = 0; t < graph.tile_count(); ++t) {
+      graph.set_site_supply(
+          t, static_cast<std::int32_t>(site_rng.uniform_int(0, 2)));
+    }
+  }
+};
+
+StageStats run_with(Stage3Order order) {
+  Fixture f;
+  RabidOptions opt;
+  opt.stage3_order = order;
+  Rabid rabid(f.design, f.graph, opt);
+  rabid.run_stage1();
+  rabid.run_stage2();
+  const StageStats s = rabid.run_stage3();
+  rabid.check_books();
+  return s;
+}
+
+TEST(Stage3Order, AllOrdersProduceValidSolutions) {
+  for (const Stage3Order order :
+       {Stage3Order::kDescendingDelay, Stage3Order::kAscendingDelay,
+        Stage3Order::kAsGiven}) {
+    const StageStats s = run_with(order);
+    EXPECT_LE(s.max_buffer_density, 1.0);
+    EXPECT_GT(s.buffers, 0);
+  }
+}
+
+TEST(Stage3Order, OrdersActuallyDiffer) {
+  // The ordering must be observable: under scarce sites, different
+  // orders allocate differently.
+  const StageStats desc = run_with(Stage3Order::kDescendingDelay);
+  const StageStats asc = run_with(Stage3Order::kAscendingDelay);
+  const bool differs = desc.buffers != asc.buffers ||
+                       desc.failed_nets != asc.failed_nets ||
+                       desc.max_delay_ps != asc.max_delay_ps;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Stage3Order, PaperOrderHelpsWorstNets) {
+  // Descending-delay ordering exists to serve the critical nets first;
+  // its worst-case delay should be no worse than the reversed order's.
+  const StageStats desc = run_with(Stage3Order::kDescendingDelay);
+  const StageStats asc = run_with(Stage3Order::kAscendingDelay);
+  EXPECT_LE(desc.max_delay_ps, asc.max_delay_ps * 1.1);
+}
+
+}  // namespace
+}  // namespace rabid::core

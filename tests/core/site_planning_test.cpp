@@ -1,0 +1,86 @@
+#include "core/site_planning.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/generator.hpp"
+#include "circuits/specs.hpp"
+
+namespace rabid::core {
+namespace {
+
+struct Fixture {
+  netlist::Design design;
+  tile::TileGraph prototype;
+
+  Fixture()
+      : design(circuits::generate_design(circuits::spec_by_name("apte"))),
+        prototype(circuits::build_tile_graph(
+            design, circuits::spec_by_name("apte"))) {}
+};
+
+TEST(SitePlanning, DemandCoversAllBlocksPlusChannels) {
+  Fixture f;
+  const SitePlan plan = plan_buffer_sites(f.design, f.prototype);
+  ASSERT_EQ(plan.demand.size(), f.design.blocks().size() + 1);
+  EXPECT_EQ(plan.demand.back().block, netlist::kNoBlock);
+  std::int64_t sum = 0;
+  for (const BlockDemand& d : plan.demand) {
+    EXPECT_GE(d.buffers, 0);
+    EXPECT_EQ(d.recommended_sites, d.buffers * 5);
+    sum += d.buffers;
+  }
+  EXPECT_EQ(sum, plan.total_buffers);
+  EXPECT_GT(plan.total_buffers, 0);
+  EXPECT_EQ(plan.total_recommended, plan.total_buffers * 5);
+}
+
+TEST(SitePlanning, UnlimitedRunHasNoLengthFailures) {
+  // With unlimited sites everywhere (no blocked region in the plan run)
+  // every net can satisfy its length rule.
+  Fixture f;
+  const SitePlan plan = plan_buffer_sites(f.design, f.prototype);
+  EXPECT_EQ(plan.planning_stats.failed_nets, 0);
+  EXPECT_EQ(plan.planning_stats.overflow, 0);
+  // Densities are tiny against the unlimited supply.
+  EXPECT_LT(plan.planning_stats.max_buffer_density, 0.01);
+}
+
+TEST(SitePlanning, HeadroomScalesRecommendation) {
+  Fixture f;
+  const SitePlan p2 = plan_buffer_sites(f.design, f.prototype, 2.0);
+  const SitePlan p8 = plan_buffer_sites(f.design, f.prototype, 8.0);
+  EXPECT_EQ(p2.total_buffers, p8.total_buffers);  // same planning run
+  EXPECT_EQ(p2.total_recommended, p2.total_buffers * 2);
+  EXPECT_EQ(p8.total_recommended, p8.total_buffers * 8);
+}
+
+TEST(SitePlanning, ApplyPlanDistributesSupplies) {
+  Fixture f;
+  const SitePlan plan = plan_buffer_sites(f.design, f.prototype);
+  tile::TileGraph g = f.prototype;
+  g.reset_usage();
+  apply_site_plan(plan, f.design, g);
+  // Every recommended site landed somewhere.
+  EXPECT_EQ(g.total_site_supply(), plan.total_recommended);
+}
+
+TEST(SitePlanning, PlannedBudgetSupportsARealRun) {
+  // Closing the loop (the Section I-B workflow): budget sites from the
+  // unlimited run, re-run RABID against the budget, and verify it is
+  // comfortable — low occupancy, few failures.
+  Fixture f;
+  const SitePlan plan = plan_buffer_sites(f.design, f.prototype);
+  tile::TileGraph g = f.prototype;
+  g.reset_usage();
+  apply_site_plan(plan, f.design, g);
+  Rabid rabid(f.design, g);
+  const auto stats = rabid.run_all();
+  EXPECT_EQ(stats.back().overflow, 0);
+  // The x5 headroom keeps average occupancy around or below 1-in-5.
+  EXPECT_LT(stats.back().avg_buffer_density, 0.5);
+  EXPECT_LT(stats.back().failed_nets,
+            static_cast<std::int32_t>(f.design.nets().size()) / 5);
+}
+
+}  // namespace
+}  // namespace rabid::core

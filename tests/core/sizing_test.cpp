@@ -1,0 +1,99 @@
+#include "core/sizing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "buffer/insertion.hpp"
+
+namespace rabid::core {
+namespace {
+
+using timing::BufferLibrary;
+
+tile::TileGraph make_graph() {
+  return tile::TileGraph(geom::Rect{{0, 0}, {16000, 8000}}, 16, 8);
+}
+
+route::RouteTree long_chain(const tile::TileGraph& g) {
+  route::RouteTree t(g.id_of({0, 0}));
+  route::NodeId cur = t.root();
+  for (std::int32_t x = 1; x <= 15; ++x) cur = t.add_child(cur, g.id_of({x, 0}));
+  t.add_sink(cur);
+  return t;
+}
+
+TEST(Sizing, NeverWorseThanUnit) {
+  const tile::TileGraph g = make_graph();
+  const route::RouteTree t = long_chain(g);
+  const buffer::InsertionResult ins =
+      buffer::insert_buffers(t, 5, [](tile::TileId) { return 1.0; });
+  ASSERT_TRUE(ins.feasible);
+  const SizingResult s = size_buffers(t, ins.buffers,
+                                      BufferLibrary::standard_180nm(), g);
+  EXPECT_LE(s.after_max_ps, s.before_max_ps + 1e-9);
+  EXPECT_EQ(s.types.size(), ins.buffers.size());
+  EXPECT_GE(s.passes, 1);
+}
+
+TEST(Sizing, ImprovesLongHeavyNet) {
+  // On a 24 mm chain the unit buffer is undersized; sizing must help.
+  const tile::TileGraph g(geom::Rect{{0, 0}, {24000, 1500}}, 16, 1);
+  route::RouteTree t(g.id_of({0, 0}));
+  route::NodeId cur = t.root();
+  for (std::int32_t x = 1; x <= 15; ++x) cur = t.add_child(cur, g.id_of({x, 0}));
+  t.add_sink(cur);
+  const buffer::InsertionResult ins =
+      buffer::insert_buffers(t, 5, [](tile::TileId) { return 1.0; });
+  ASSERT_TRUE(ins.feasible);
+  ASSERT_GE(ins.buffers.size(), 2U);
+  const SizingResult s = size_buffers(t, ins.buffers,
+                                      BufferLibrary::standard_180nm(), g);
+  EXPECT_LT(s.after_max_ps, s.before_max_ps);
+  // At least one buffer upsized beyond the unit cell.
+  bool upsized = false;
+  for (const timing::BufferType& ty : s.types) {
+    if (ty.size > 1.0) upsized = true;
+  }
+  EXPECT_TRUE(upsized);
+}
+
+TEST(Sizing, UnitLibraryIsIdentity) {
+  const tile::TileGraph g = make_graph();
+  const route::RouteTree t = long_chain(g);
+  const buffer::InsertionResult ins =
+      buffer::insert_buffers(t, 4, [](tile::TileId) { return 1.0; });
+  ASSERT_TRUE(ins.feasible);
+  const SizingResult s =
+      size_buffers(t, ins.buffers, BufferLibrary::unit_only(), g);
+  EXPECT_DOUBLE_EQ(s.after_max_ps, s.before_max_ps);
+  for (const timing::BufferType& ty : s.types) {
+    EXPECT_DOUBLE_EQ(ty.size, 1.0);
+  }
+}
+
+TEST(Sizing, EmptyBufferListIsNoop) {
+  const tile::TileGraph g = make_graph();
+  const route::RouteTree t = long_chain(g);
+  const SizingResult s =
+      size_buffers(t, {}, BufferLibrary::standard_180nm(), g);
+  EXPECT_TRUE(s.types.empty());
+  EXPECT_DOUBLE_EQ(s.after_max_ps, s.before_max_ps);
+}
+
+TEST(Sizing, Deterministic) {
+  const tile::TileGraph g = make_graph();
+  const route::RouteTree t = long_chain(g);
+  const buffer::InsertionResult ins =
+      buffer::insert_buffers(t, 4, [](tile::TileId) { return 1.0; });
+  const SizingResult a = size_buffers(t, ins.buffers,
+                                      BufferLibrary::standard_180nm(), g);
+  const SizingResult b = size_buffers(t, ins.buffers,
+                                      BufferLibrary::standard_180nm(), g);
+  ASSERT_EQ(a.types.size(), b.types.size());
+  for (std::size_t i = 0; i < a.types.size(); ++i) {
+    EXPECT_EQ(a.types[i].name, b.types[i].name);
+  }
+  EXPECT_DOUBLE_EQ(a.after_max_ps, b.after_max_ps);
+}
+
+}  // namespace
+}  // namespace rabid::core

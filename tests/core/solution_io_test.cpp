@@ -1,0 +1,98 @@
+#include "core/solution_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace rabid::core {
+namespace {
+
+struct Fixture {
+  netlist::Design design;
+  tile::TileGraph graph;
+
+  Fixture()
+      : design("dump-toy", geom::Rect{{0, 0}, {8000, 8000}}),
+        graph(design.outline(), 8, 8) {
+    design.set_default_length_limit(3);
+    util::Rng rng(99);
+    for (int i = 0; i < 10; ++i) {
+      netlist::Net n;
+      n.name = "n" + std::to_string(i);
+      n.source = {{rng.uniform(0, 8000), rng.uniform(0, 8000)},
+                  netlist::PinKind::kFree,
+                  netlist::kNoBlock};
+      n.sinks.push_back({{rng.uniform(0, 8000), rng.uniform(0, 8000)},
+                         netlist::PinKind::kFree,
+                         netlist::kNoBlock});
+      design.add_net(std::move(n));
+    }
+    graph.set_uniform_wire_capacity(6);
+    for (tile::TileId t = 0; t < graph.tile_count(); ++t) {
+      graph.set_site_supply(t, 3);
+    }
+  }
+};
+
+TEST(SolutionIo, SummaryMatchesSolution) {
+  Fixture f;
+  Rabid rabid(f.design, f.graph);
+  rabid.run_all();
+
+  std::ostringstream out;
+  write_solution(out, f.design, f.graph, rabid.nets());
+  std::istringstream in(out.str());
+  const SolutionSummary summary = read_solution_summary(in);
+
+  EXPECT_EQ(summary.design, "dump-toy");
+  EXPECT_EQ(summary.nx, 8);
+  EXPECT_EQ(summary.ny, 8);
+  ASSERT_EQ(summary.nets.size(), 10U);
+
+  std::int64_t arcs = 0, bufs = 0;
+  for (std::size_t i = 0; i < rabid.nets().size(); ++i) {
+    arcs += rabid.nets()[i].tree.wirelength_tiles();
+    bufs += static_cast<std::int64_t>(rabid.nets()[i].buffers.size());
+    EXPECT_EQ(summary.nets[i].name, f.design.net(static_cast<netlist::NetId>(i)).name);
+    EXPECT_EQ(summary.nets[i].arcs,
+              rabid.nets()[i].tree.wirelength_tiles());
+    EXPECT_EQ(summary.nets[i].buffers,
+              static_cast<std::int64_t>(rabid.nets()[i].buffers.size()));
+    EXPECT_EQ(summary.nets[i].ok, rabid.nets()[i].meets_length_rule);
+  }
+  EXPECT_EQ(summary.total_arcs(), arcs);
+  EXPECT_EQ(summary.total_buffers(), bufs);
+}
+
+TEST(SolutionIo, BufferRolesAndCellsPrinted) {
+  Fixture f;
+  Rabid rabid(f.design, f.graph);
+  rabid.run_all();
+  rabid.rebuffer_timing_driven(3);
+
+  std::ostringstream out;
+  write_solution(out, f.design, f.graph, rabid.nets());
+  const std::string text = out.str();
+  EXPECT_NE(text.find("buffer "), std::string::npos);
+  // The rebuffered nets carry named library cells.
+  bool has_cell = text.find("BUF_X") != std::string::npos ||
+                  text.find("INV_X") != std::string::npos;
+  EXPECT_TRUE(has_cell);
+}
+
+TEST(SolutionIo, EmptySolution) {
+  netlist::Design d{"empty", geom::Rect{{0, 0}, {100, 100}}};
+  tile::TileGraph g(d.outline(), 2, 2);
+  std::ostringstream out;
+  write_solution(out, d, g, {});
+  std::istringstream in(out.str());
+  const SolutionSummary s = read_solution_summary(in);
+  EXPECT_EQ(s.design, "empty");
+  EXPECT_TRUE(s.nets.empty());
+  EXPECT_EQ(s.total_arcs(), 0);
+}
+
+}  // namespace
+}  // namespace rabid::core

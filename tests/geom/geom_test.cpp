@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+
+namespace rabid::geom {
+namespace {
+
+TEST(Point, ManhattanDistance) {
+  EXPECT_DOUBLE_EQ(manhattan(Point{0, 0}, Point{3, 4}), 7.0);
+  EXPECT_DOUBLE_EQ(manhattan(Point{-1, -1}, Point{1, 1}), 4.0);
+  EXPECT_DOUBLE_EQ(manhattan(Point{2, 2}, Point{2, 2}), 0.0);
+}
+
+TEST(Point, EuclideanDistance) {
+  EXPECT_DOUBLE_EQ(euclidean(Point{0, 0}, Point{3, 4}), 5.0);
+}
+
+TEST(TileCoord, ManhattanDistance) {
+  EXPECT_EQ(manhattan(TileCoord{0, 0}, TileCoord{3, 4}), 7);
+  EXPECT_EQ(manhattan(TileCoord{5, 5}, TileCoord{2, 9}), 7);
+}
+
+TEST(Rect, BasicAccessors) {
+  const Rect r = Rect::from_size({1.0, 2.0}, 3.0, 4.0);
+  EXPECT_DOUBLE_EQ(r.width(), 3.0);
+  EXPECT_DOUBLE_EQ(r.height(), 4.0);
+  EXPECT_DOUBLE_EQ(r.area(), 12.0);
+  EXPECT_EQ(r.center(), (Point{2.5, 4.0}));
+}
+
+TEST(Rect, ContainsIsClosed) {
+  const Rect r{{0, 0}, {10, 10}};
+  EXPECT_TRUE(r.contains({0, 0}));
+  EXPECT_TRUE(r.contains({10, 10}));
+  EXPECT_TRUE(r.contains({5, 5}));
+  EXPECT_FALSE(r.contains({10.001, 5}));
+  EXPECT_FALSE(r.contains({-0.001, 5}));
+}
+
+TEST(Rect, Intersection) {
+  const Rect a{{0, 0}, {10, 10}};
+  EXPECT_TRUE(a.intersects(Rect{{5, 5}, {15, 15}}));
+  EXPECT_TRUE(a.intersects(Rect{{10, 10}, {20, 20}}));  // corner touch
+  EXPECT_FALSE(a.intersects(Rect{{11, 11}, {20, 20}}));
+}
+
+TEST(Rect, OverlapArea) {
+  const Rect a{{0, 0}, {10, 10}};
+  EXPECT_DOUBLE_EQ(a.overlap_area(Rect{{5, 5}, {15, 15}}), 25.0);
+  EXPECT_DOUBLE_EQ(a.overlap_area(Rect{{10, 0}, {20, 10}}), 0.0);  // edge
+  EXPECT_DOUBLE_EQ(a.overlap_area(Rect{{2, 2}, {4, 4}}), 4.0);     // inside
+}
+
+TEST(Rect, BoundingUnion) {
+  const Rect a{{0, 0}, {2, 2}};
+  const Rect b{{5, -1}, {6, 1}};
+  const Rect u = a.bounding_union(b);
+  EXPECT_EQ(u.lo(), (Point{0, -1}));
+  EXPECT_EQ(u.hi(), (Point{6, 2}));
+}
+
+TEST(Rect, InflatePositiveAndClampedNegative) {
+  const Rect r{{0, 0}, {10, 4}};
+  const Rect grown = r.inflated(1.0);
+  EXPECT_EQ(grown.lo(), (Point{-1, -1}));
+  EXPECT_EQ(grown.hi(), (Point{11, 5}));
+  // Shrinking past degenerate collapses to the centerline, not an
+  // inverted rect.
+  const Rect shrunk = r.inflated(-3.0);
+  EXPECT_DOUBLE_EQ(shrunk.height(), 0.0);
+  EXPECT_DOUBLE_EQ(shrunk.lo().y, 2.0);
+  EXPECT_DOUBLE_EQ(shrunk.width(), 4.0);
+}
+
+}  // namespace
+}  // namespace rabid::geom

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "report/heatmap.hpp"
+#include "report/table.hpp"
+
+namespace rabid::report {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "23"});
+  const std::string s = t.to_string();
+  EXPECT_EQ(s,
+            "|   name | value |\n"
+            "|--------|-------|\n"
+            "|      a |     1 |\n"
+            "| longer |    23 |\n");
+}
+
+TEST(Table, RuleSeparatesGroups) {
+  Table t({"x"});
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"2"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("|---|\n| 2 |"), std::string::npos);
+}
+
+TEST(Fmt, Doubles) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt(0.5, 0), "0");   // round-half-even via printf
+  EXPECT_EQ(fmt(2.5, 1), "2.5");
+  EXPECT_EQ(fmt(-3.14159, 3), "-3.142");
+}
+
+TEST(Fmt, Integers) {
+  EXPECT_EQ(fmt(std::int64_t{0}), "0");
+  EXPECT_EQ(fmt(std::int64_t{-42}), "-42");
+  EXPECT_EQ(fmt(std::int64_t{123456789}), "123456789");
+}
+
+TEST(Heatmap, IntensityRamp) {
+  EXPECT_EQ(intensity_char(0.0), ' ');
+  EXPECT_EQ(intensity_char(1.0), '@');
+  EXPECT_EQ(intensity_char(0.95), '@');
+  EXPECT_EQ(intensity_char(0.5), '+');
+  EXPECT_EQ(intensity_char(-1.0), ' ');  // clamped
+  EXPECT_EQ(intensity_char(2.0), '@');
+}
+
+TEST(Heatmap, WireCongestionMarksOverflow) {
+  tile::TileGraph g(geom::Rect{{0, 0}, {300, 200}}, 3, 2);
+  g.set_uniform_wire_capacity(2);
+  const tile::EdgeId e = g.edge_between(g.id_of({0, 0}), g.id_of({1, 0}));
+  g.add_wire(e);
+  g.add_wire(e);
+  g.add_wire(e);  // overflow
+  const std::string map = wire_congestion_map(g);
+  // 3 columns x 2 rows + newlines; bottom row (printed last) has the
+  // overflowed tiles marked.
+  ASSERT_EQ(map.size(), 8U);
+  EXPECT_EQ(map[4], '@');  // tile (0,0)
+  EXPECT_EQ(map[5], '@');  // tile (1,0)
+}
+
+TEST(Heatmap, BufferDensityMarksBlockedTiles) {
+  tile::TileGraph g(geom::Rect{{0, 0}, {200, 100}}, 2, 1);
+  g.set_site_supply(0, 4);
+  g.add_buffer(0);
+  g.add_buffer(0);
+  const std::string map = buffer_density_map(g);
+  ASSERT_EQ(map, std::string(1, intensity_char(0.5)) + "X\n");
+}
+
+TEST(Heatmap, SupplyMapScalesToMax) {
+  tile::TileGraph g(geom::Rect{{0, 0}, {200, 100}}, 2, 1);
+  g.set_site_supply(0, 10);
+  g.set_site_supply(1, 5);
+  const std::string map = site_supply_map(g);
+  ASSERT_EQ(map.size(), 3U);
+  EXPECT_EQ(map[0], '@');
+  EXPECT_EQ(map[1], intensity_char(0.5));
+}
+
+TEST(Heatmap, TopRowPrintsFirst) {
+  tile::TileGraph g(geom::Rect{{0, 0}, {100, 200}}, 1, 2);
+  g.set_site_supply(g.id_of({0, 1}), 3);  // top tile only
+  const std::string map = site_supply_map(g);
+  EXPECT_EQ(map, "@\n \n");
+}
+
+}  // namespace
+}  // namespace rabid::report

@@ -1,0 +1,125 @@
+#include "report/svg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace rabid::report {
+namespace {
+
+struct Fixture {
+  netlist::Design design;
+  tile::TileGraph graph;
+  core::Rabid rabid;
+
+  Fixture()
+      : design(make_design()),
+        graph(design.outline(), 8, 8),
+        rabid((init_graph(graph), design), graph) {
+    rabid.run_all();
+  }
+
+  static netlist::Design make_design() {
+    netlist::Design d("svg-toy", geom::Rect{{0, 0}, {8000, 8000}});
+    d.set_default_length_limit(3);
+    d.add_block({"m0", geom::Rect{{500, 500}, {3500, 3500}}, 0.05});
+    util::Rng rng(5150);
+    for (int i = 0; i < 8; ++i) {
+      netlist::Net n;
+      n.name = "n" + std::to_string(i);
+      n.source = {{rng.uniform(0, 8000), rng.uniform(0, 8000)},
+                  netlist::PinKind::kFree,
+                  netlist::kNoBlock};
+      n.sinks.push_back({{rng.uniform(0, 8000), rng.uniform(0, 8000)},
+                         netlist::PinKind::kFree,
+                         netlist::kNoBlock});
+      d.add_net(std::move(n));
+    }
+    return d;
+  }
+
+  static void init_graph(tile::TileGraph& g) {
+    g.set_uniform_wire_capacity(6);
+    for (tile::TileId t = 1; t < g.tile_count(); ++t) {
+      g.set_site_supply(t, 3);  // tile 0 stays site-less
+    }
+  }
+};
+
+std::size_t count_occurrences(const std::string& s, const std::string& sub) {
+  std::size_t n = 0;
+  for (std::size_t pos = s.find(sub); pos != std::string::npos;
+       pos = s.find(sub, pos + sub.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(Svg, WellFormedDocument) {
+  Fixture f;
+  const std::string svg = render_svg(f.design, f.graph, f.rabid.nets());
+  EXPECT_EQ(svg.rfind("<svg", 0), 0U);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_EQ(count_occurrences(svg, "<svg"), 1U);
+  // One <rect> per block, plus die + zero-site tiles.
+  EXPECT_GE(count_occurrences(svg, "<rect"), 2U);
+}
+
+TEST(Svg, RouteArcsAndBuffersRendered) {
+  Fixture f;
+  const std::string svg = render_svg(f.design, f.graph, f.rabid.nets());
+  std::size_t arcs = 0, buffers = 0;
+  for (const core::NetState& n : f.rabid.nets()) {
+    arcs += static_cast<std::size_t>(n.tree.wirelength_tiles());
+    buffers += n.buffers.size();
+  }
+  EXPECT_EQ(count_occurrences(svg, "<line"), arcs);
+  EXPECT_EQ(count_occurrences(svg, "<circle"), buffers);
+  ASSERT_GT(buffers, 0U);
+}
+
+TEST(Svg, OptionsToggleLayers) {
+  Fixture f;
+  SvgOptions opt;
+  opt.draw_routes = false;
+  opt.draw_buffers = false;
+  opt.draw_zero_site_tiles = false;
+  const std::string svg = render_svg(f.design, f.graph, f.rabid.nets(), opt);
+  EXPECT_EQ(count_occurrences(svg, "<line"), 0U);
+  EXPECT_EQ(count_occurrences(svg, "<circle"), 0U);
+}
+
+TEST(Svg, MaxNetsCapsRendering) {
+  Fixture f;
+  SvgOptions all;
+  SvgOptions capped;
+  capped.max_nets = 2;
+  const std::string full = render_svg(f.design, f.graph, f.rabid.nets(), all);
+  const std::string few =
+      render_svg(f.design, f.graph, f.rabid.nets(), capped);
+  EXPECT_LT(count_occurrences(few, "<line"),
+            count_occurrences(full, "<line"));
+}
+
+TEST(Svg, FloorplanOnlyPlot) {
+  Fixture f;
+  const std::string svg = render_svg(f.design, f.graph, {});
+  EXPECT_EQ(count_occurrences(svg, "<line"), 0U);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(Svg, ZeroSiteTileMarked) {
+  Fixture f;
+  SvgOptions opt;
+  opt.draw_routes = false;
+  opt.draw_buffers = false;
+  const std::string with = render_svg(f.design, f.graph, {}, opt);
+  opt.draw_zero_site_tiles = false;
+  const std::string without = render_svg(f.design, f.graph, {}, opt);
+  // Tile 0 has no sites: exactly one extra rect in the marked version.
+  EXPECT_EQ(count_occurrences(with, "<rect"),
+            count_occurrences(without, "<rect") + 1);
+}
+
+}  // namespace
+}  // namespace rabid::report

@@ -1,0 +1,114 @@
+#include "route/embed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace rabid::route {
+namespace {
+
+tile::TileGraph make_graph() {
+  // 10x10 tiles of 100um.
+  return tile::TileGraph(geom::Rect{{0, 0}, {1000, 1000}}, 10, 10);
+}
+
+netlist::Net two_pin_net(geom::Point s, geom::Point t) {
+  netlist::Net n;
+  n.name = "n";
+  n.source = {s, netlist::PinKind::kFree, netlist::kNoBlock};
+  n.sinks = {{t, netlist::PinKind::kFree, netlist::kNoBlock}};
+  return n;
+}
+
+TEST(Embed, TwoPinLShape) {
+  const tile::TileGraph g = make_graph();
+  const netlist::Net net = two_pin_net({50, 50}, {650, 350});
+  const RouteTree t = build_initial_route(net, g, 0.4);
+  t.verify(g);
+  EXPECT_EQ(t.node(t.root()).tile, g.tile_at({50, 50}));
+  // Manhattan tile distance is 6 + 3 = 9 arcs.
+  EXPECT_EQ(t.wirelength_tiles(), 9);
+  EXPECT_EQ(t.total_sinks(), 1);
+  const NodeId sink = t.sink_nodes().front();
+  EXPECT_EQ(t.node(sink).tile, g.tile_at({650, 350}));
+  EXPECT_EQ(t.depth(sink), 9);
+}
+
+TEST(Embed, SourceAndSinkInSameTile) {
+  const tile::TileGraph g = make_graph();
+  const netlist::Net net = two_pin_net({50, 50}, {60, 70});
+  const RouteTree t = build_initial_route(net, g, 0.4);
+  EXPECT_EQ(t.node_count(), 1U);
+  EXPECT_EQ(t.total_sinks(), 1);
+  EXPECT_EQ(t.node(t.root()).sink_count, 1);
+}
+
+TEST(Embed, MultiSinkKeepsAllSinks) {
+  const tile::TileGraph g = make_graph();
+  netlist::Net net;
+  net.source = {{50, 50}, netlist::PinKind::kFree, netlist::kNoBlock};
+  for (const geom::Point p :
+       {geom::Point{950, 50}, geom::Point{950, 950}, geom::Point{50, 950},
+        geom::Point{450, 450}}) {
+    net.sinks.push_back({p, netlist::PinKind::kFree, netlist::kNoBlock});
+  }
+  const RouteTree t = build_initial_route(net, g, 0.4);
+  t.verify(g);
+  EXPECT_EQ(t.total_sinks(), 4);
+  for (const netlist::Pin& p : net.sinks) {
+    EXPECT_TRUE(t.contains(g.tile_at(p.location)));
+  }
+}
+
+TEST(Embed, DuplicateSinksAccumulateMultiplicity) {
+  const tile::TileGraph g = make_graph();
+  netlist::Net net;
+  net.source = {{50, 50}, netlist::PinKind::kFree, netlist::kNoBlock};
+  net.sinks.push_back({{850, 850}, netlist::PinKind::kFree, netlist::kNoBlock});
+  net.sinks.push_back({{880, 880}, netlist::PinKind::kFree, netlist::kNoBlock});
+  const RouteTree t = build_initial_route(net, g, 0.4);
+  EXPECT_EQ(t.total_sinks(), 2);
+  EXPECT_EQ(t.node(t.node_at(g.tile_at({850, 850}))).sink_count, 2);
+}
+
+TEST(Embed, TreeWirelengthBoundedByPdTree) {
+  // The tile embedding of the Steinerized PD tree cannot be longer than
+  // the PD tree itself (overlaps merge, never duplicate), and it cannot
+  // beat the Steiner minimum either; sanity-bound both sides.
+  util::Rng rng(4242);
+  const tile::TileGraph g = make_graph();
+  for (int trial = 0; trial < 25; ++trial) {
+    netlist::Net net;
+    net.source = {{rng.uniform(0, 1000), rng.uniform(0, 1000)},
+                  netlist::PinKind::kFree,
+                  netlist::kNoBlock};
+    const int k = static_cast<int>(rng.uniform_int(1, 8));
+    for (int i = 0; i < k; ++i) {
+      net.sinks.push_back({{rng.uniform(0, 1000), rng.uniform(0, 1000)},
+                           netlist::PinKind::kFree,
+                           netlist::kNoBlock});
+    }
+    const RouteTree t = build_initial_route(net, g, 0.4);
+    t.verify(g);
+    EXPECT_EQ(t.total_sinks(), k);
+    // Lower bound: max tile distance source->sink (tree must reach it).
+    std::int64_t lb = 0;
+    for (const netlist::Pin& p : net.sinks) {
+      lb = std::max<std::int64_t>(
+          lb, g.tile_distance(g.tile_at(net.source.location),
+                              g.tile_at(p.location)));
+    }
+    EXPECT_GE(t.wirelength_tiles(), lb);
+    // Generous upper bound: sum of individual L-paths, padded by one
+    // tile per sink for Steiner-point grid quantization.
+    std::int64_t ub = 0;
+    for (const netlist::Pin& p : net.sinks) {
+      ub += g.tile_distance(g.tile_at(net.source.location),
+                            g.tile_at(p.location));
+    }
+    EXPECT_LE(t.wirelength_tiles(), ub + 2 * k);
+  }
+}
+
+}  // namespace
+}  // namespace rabid::route

@@ -1,0 +1,133 @@
+#include "route/negotiated.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rabid.hpp"
+#include "util/rng.hpp"
+
+namespace rabid::route {
+namespace {
+
+tile::TileGraph make_graph(std::int32_t cap = 2) {
+  tile::TileGraph g(geom::Rect{{0, 0}, {600, 600}}, 6, 6);
+  g.set_uniform_wire_capacity(cap);
+  return g;
+}
+
+TEST(Negotiation, CostIsUnitOnFreeFabric) {
+  const tile::TileGraph g = make_graph();
+  const NegotiationState nego(g);
+  for (tile::EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_DOUBLE_EQ(nego.cost(e), 1.0);
+  }
+}
+
+TEST(Negotiation, PresentSharingPricesOveruse) {
+  tile::TileGraph g = make_graph(1);
+  NegotiationState nego(g);
+  const tile::EdgeId e = 0;
+  g.add_wire(e);  // at capacity; one more would overuse by 1
+  EXPECT_DOUBLE_EQ(nego.cost(e), 1.0 + 1.0 * nego.pres_fac());
+  g.add_wire(e);  // overused; next wire overuses by 2
+  EXPECT_DOUBLE_EQ(nego.cost(e), 1.0 + 2.0 * nego.pres_fac());
+}
+
+TEST(Negotiation, HistoryAccruesOnOverusedEdgesOnly) {
+  tile::TileGraph g = make_graph(1);
+  NegotiationState nego(g);
+  g.add_wire(0);
+  g.add_wire(0);  // overuse 1
+  g.add_wire(1);  // at capacity, no overuse
+  const double pres_before = nego.pres_fac();
+  const std::int64_t overuse = nego.finish_iteration();
+  EXPECT_EQ(overuse, 1);
+  EXPECT_GT(nego.history(0), 0.0);
+  EXPECT_DOUBLE_EQ(nego.history(1), 0.0);
+  EXPECT_GT(nego.pres_fac(), pres_before);
+}
+
+TEST(Negotiation, FeasibleIterationReportsZero) {
+  tile::TileGraph g = make_graph(3);
+  NegotiationState nego(g);
+  g.add_wire(0);
+  EXPECT_EQ(nego.finish_iteration(), 0);
+}
+
+/// The full Stage-2 comparison on a congested fixture: both modes must
+/// reach zero overflow; negotiation should not pay more wirelength.
+TEST(Negotiation, Stage2ModeConvergesAndSavesWirelength) {
+  auto build = [](core::Stage2Mode mode) {
+    netlist::Design design("nego", geom::Rect{{0, 0}, {12000, 12000}});
+    design.set_default_length_limit(4);
+    util::Rng rng(321);
+    for (int i = 0; i < 60; ++i) {
+      netlist::Net n;
+      n.name = "n" + std::to_string(i);
+      n.source = {{rng.uniform(0, 12000), rng.uniform(0, 12000)},
+                  netlist::PinKind::kFree,
+                  netlist::kNoBlock};
+      const int sinks = static_cast<int>(rng.uniform_int(1, 3));
+      for (int s = 0; s < sinks; ++s) {
+        n.sinks.push_back({{rng.uniform(0, 12000), rng.uniform(0, 12000)},
+                           netlist::PinKind::kFree,
+                           netlist::kNoBlock});
+      }
+      design.add_net(std::move(n));
+    }
+    tile::TileGraph graph(design.outline(), 12, 12);
+    graph.set_uniform_wire_capacity(7);
+    for (tile::TileId t = 0; t < graph.tile_count(); ++t) {
+      graph.set_site_supply(t, 4);
+    }
+    core::RabidOptions opt;
+    opt.stage2_mode = mode;
+    core::Rabid rabid(design, graph, opt);
+    rabid.run_stage1();
+    const core::StageStats s2 = rabid.run_stage2();
+    rabid.check_books();
+    return s2;
+  };
+  const core::StageStats nair = build(core::Stage2Mode::kRipUpReroute);
+  const core::StageStats nego = build(core::Stage2Mode::kNegotiated);
+  EXPECT_EQ(nair.overflow, 0);
+  EXPECT_EQ(nego.overflow, 0);
+  // Negotiation's price-on-overuse (instead of hard walls) typically
+  // buys back wirelength; allow equality plus a whisker.
+  EXPECT_LE(nego.wirelength_mm, nair.wirelength_mm * 1.02);
+}
+
+TEST(Negotiation, FullFlowWorksInNegotiatedMode) {
+  const auto run = [](core::Stage2Mode mode) {
+    netlist::Design design("nego2", geom::Rect{{0, 0}, {8000, 8000}});
+    design.set_default_length_limit(4);
+    util::Rng rng(777);
+    for (int i = 0; i < 30; ++i) {
+      netlist::Net n;
+      n.name = "n" + std::to_string(i);
+      n.source = {{rng.uniform(0, 8000), rng.uniform(0, 8000)},
+                  netlist::PinKind::kFree,
+                  netlist::kNoBlock};
+      n.sinks.push_back({{rng.uniform(0, 8000), rng.uniform(0, 8000)},
+                         netlist::PinKind::kFree,
+                         netlist::kNoBlock});
+      design.add_net(std::move(n));
+    }
+    tile::TileGraph graph(design.outline(), 8, 8);
+    graph.set_uniform_wire_capacity(8);
+    for (tile::TileId t = 0; t < graph.tile_count(); ++t) {
+      graph.set_site_supply(t, 4);
+    }
+    core::RabidOptions opt;
+    opt.stage2_mode = mode;
+    core::Rabid rabid(design, graph, opt);
+    const auto stats = rabid.run_all();
+    rabid.check_books();
+    return stats.back();
+  };
+  const core::StageStats s = run(core::Stage2Mode::kNegotiated);
+  EXPECT_EQ(s.overflow, 0);
+  EXPECT_GT(s.buffers, 0);
+}
+
+}  // namespace
+}  // namespace rabid::route

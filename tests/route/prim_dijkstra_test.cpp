@@ -1,0 +1,101 @@
+#include "route/prim_dijkstra.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace rabid::route {
+namespace {
+
+using geom::Point;
+
+TEST(PrimDijkstra, SingleTerminal) {
+  const std::vector<Point> pts{{0, 0}};
+  const SpanningTree t = prim_dijkstra(pts, 0, 0.4);
+  EXPECT_EQ(t.parent[0], -1);
+  EXPECT_DOUBLE_EQ(tree_wirelength(pts, t), 0.0);
+}
+
+TEST(PrimDijkstra, TwoTerminals) {
+  const std::vector<Point> pts{{0, 0}, {3, 4}};
+  const SpanningTree t = prim_dijkstra(pts, 0, 0.4);
+  EXPECT_EQ(t.parent[1], 0);
+  EXPECT_DOUBLE_EQ(tree_wirelength(pts, t), 7.0);
+  EXPECT_DOUBLE_EQ(t.path_length[1], 7.0);
+}
+
+TEST(PrimDijkstra, AlphaZeroIsPrimMst) {
+  // Chain 0-1-2: MST connects 2 to 1 (cost 1), not to 0 (cost 2).
+  const std::vector<Point> pts{{0, 0}, {1, 0}, {2, 0}};
+  const SpanningTree t = prim_dijkstra(pts, 0, 0.0);
+  EXPECT_EQ(t.parent[1], 0);
+  EXPECT_EQ(t.parent[2], 1);
+  EXPECT_DOUBLE_EQ(tree_wirelength(pts, t), 2.0);
+}
+
+TEST(PrimDijkstra, AlphaOneIsShortestPathTree) {
+  // A "broom": sinks behind one another. With alpha=1 every terminal
+  // still chains (path through 1 is as short as direct), so use a case
+  // where MST and SPT differ: terminals on a V.
+  const std::vector<Point> pts{{0, 0}, {10, 1}, {10, -1}};
+  // MST would connect 2 to 1 (dist 2); SPT connects both to the source
+  // because path length through 1 (11 + 2 = 13) exceeds direct (11).
+  const SpanningTree spt = prim_dijkstra(pts, 0, 1.0);
+  EXPECT_EQ(spt.parent[1], 0);
+  EXPECT_EQ(spt.parent[2], 0);
+  const SpanningTree mst = prim_dijkstra(pts, 0, 0.0);
+  EXPECT_EQ(mst.parent[2], 1);
+}
+
+TEST(PrimDijkstra, RadiusDecreasesWithAlpha) {
+  util::Rng rng(99);
+  std::vector<Point> pts;
+  pts.push_back({0, 0});
+  for (int i = 0; i < 30; ++i) {
+    pts.push_back({rng.uniform(0, 1000), rng.uniform(0, 1000)});
+  }
+  const SpanningTree mst = prim_dijkstra(pts, 0, 0.0);
+  const SpanningTree mid = prim_dijkstra(pts, 0, 0.4);
+  const SpanningTree spt = prim_dijkstra(pts, 0, 1.0);
+  // Wirelength: MST <= PD <= SPT; radius: SPT <= PD <= MST.
+  EXPECT_LE(tree_wirelength(pts, mst), tree_wirelength(pts, mid) + 1e-9);
+  EXPECT_LE(tree_wirelength(pts, mid), tree_wirelength(pts, spt) + 1e-9);
+  EXPECT_LE(tree_radius(spt), tree_radius(mid) + 1e-9);
+  EXPECT_LE(tree_radius(mid), tree_radius(mst) + 1e-9);
+}
+
+TEST(PrimDijkstra, PathLengthsConsistentWithParents) {
+  util::Rng rng(7);
+  std::vector<Point> pts;
+  for (int i = 0; i < 20; ++i) {
+    pts.push_back({rng.uniform(0, 100), rng.uniform(0, 100)});
+  }
+  const SpanningTree t = prim_dijkstra(pts, 3, 0.4);
+  EXPECT_EQ(t.parent[3], -1);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (t.parent[i] < 0) continue;
+    const auto p = static_cast<std::size_t>(t.parent[i]);
+    EXPECT_DOUBLE_EQ(t.path_length[i],
+                     t.path_length[p] + geom::manhattan(pts[i], pts[p]));
+  }
+}
+
+TEST(PrimDijkstra, SptRadiusEqualsMaxDirectDistance) {
+  util::Rng rng(17);
+  std::vector<Point> pts;
+  pts.push_back({50, 50});
+  double max_direct = 0.0;
+  for (int i = 0; i < 25; ++i) {
+    pts.push_back({rng.uniform(0, 100), rng.uniform(0, 100)});
+    max_direct =
+        std::max(max_direct, geom::manhattan(pts[0], pts.back()));
+  }
+  const SpanningTree spt = prim_dijkstra(pts, 0, 1.0);
+  // Dijkstra in Manhattan plane: every terminal at its direct distance.
+  EXPECT_DOUBLE_EQ(tree_radius(spt), max_direct);
+}
+
+}  // namespace
+}  // namespace rabid::route

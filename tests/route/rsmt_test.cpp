@@ -1,0 +1,90 @@
+#include "route/rsmt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "route/prim_dijkstra.hpp"
+#include "util/rng.hpp"
+
+namespace rabid::route {
+namespace {
+
+using geom::Point;
+
+TEST(Rsmt, TwoPinIsManhattan) {
+  const std::vector<Point> pts{{0, 0}, {30, 40}};
+  const GeomTree t = rsmt_exact(pts, 0);
+  EXPECT_DOUBLE_EQ(t.wirelength(), 70.0);
+  EXPECT_EQ(t.root, 0);
+}
+
+TEST(Rsmt, SingleTerminal) {
+  const std::vector<Point> pts{{5, 5}};
+  const GeomTree t = rsmt_exact(pts, 0);
+  EXPECT_DOUBLE_EQ(t.wirelength(), 0.0);
+}
+
+TEST(Rsmt, ThreePinMedianSteinerPoint) {
+  // Optimal 3-terminal RST: star through the component-wise median;
+  // length = HPWL of the bounding box.
+  const std::vector<Point> pts{{0, 0}, {10, 2}, {4, 8}};
+  const GeomTree t = rsmt_exact(pts, 0);
+  EXPECT_DOUBLE_EQ(t.wirelength(), 18.0);  // 10 + 8
+}
+
+TEST(Rsmt, FourPinCrossNeedsSteinerPoints) {
+  // A plus-sign: terminals at the four arm tips.  The MST costs 3*20;
+  // two Steiner points (or one center point on the Hanan grid) bring it
+  // to the HPWL 40.
+  const std::vector<Point> pts{{10, 0}, {10, 20}, {0, 10}, {20, 10}};
+  const GeomTree t = rsmt_exact(pts, 0);
+  // Hanan grid of these terminals doesn't contain (10,10)!  Points are
+  // {0,10,20} x {0,10,20} minus terminals: center (10,10) IS on it.
+  EXPECT_DOUBLE_EQ(t.wirelength(), 40.0);
+}
+
+TEST(Rsmt, BeatsOrMatchesSpanningTreeEverywhere) {
+  util::Rng rng(777);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(2, 5));
+    std::vector<Point> pts;
+    for (int i = 0; i < n; ++i) {
+      pts.push_back({rng.uniform(0, 100), rng.uniform(0, 100)});
+    }
+    const GeomTree best = rsmt_exact(pts, 0);
+    const SpanningTree span = prim_dijkstra(pts, 0, 0.0);  // Prim MST
+    const GeomTree steinerized =
+        remove_overlaps(to_geom_tree(pts, span, 0));
+    // Exact <= greedy Steinerized MST <= MST.
+    EXPECT_LE(best.wirelength(), steinerized.wirelength() + 1e-9);
+    EXPECT_LE(best.wirelength(), tree_wirelength(pts, span) + 1e-9);
+    // And never below the half-perimeter lower bound.
+    EXPECT_GE(best.wirelength(), hpwl(pts) - 1e-9);
+  }
+}
+
+TEST(Rsmt, HpwlLowerBound) {
+  const std::vector<Point> pts{{0, 0}, {10, 2}, {4, 8}, {7, 7}};
+  EXPECT_DOUBLE_EQ(hpwl(pts), 18.0);
+  EXPECT_DOUBLE_EQ(hpwl(std::vector<Point>{{3, 3}}), 0.0);
+}
+
+TEST(Rsmt, CollinearTerminalsNeedNoSteinerPoints) {
+  const std::vector<Point> pts{{0, 0}, {5, 0}, {9, 0}, {14, 0}};
+  const GeomTree t = rsmt_exact(pts, 1);
+  EXPECT_DOUBLE_EQ(t.wirelength(), 14.0);
+  EXPECT_EQ(t.root, 1);
+}
+
+TEST(Rsmt, RootedAtRequestedSource) {
+  const std::vector<Point> pts{{0, 0}, {10, 0}, {5, 9}};
+  for (std::int32_t s = 0; s < 3; ++s) {
+    const GeomTree t = rsmt_exact(pts, s);
+    EXPECT_EQ(t.root, s);
+    EXPECT_EQ(t.parent[static_cast<std::size_t>(s)], -1);
+    // Same optimal length regardless of root.
+    EXPECT_DOUBLE_EQ(t.wirelength(), 19.0);  // 10 + 9
+  }
+}
+
+}  // namespace
+}  // namespace rabid::route

@@ -1,0 +1,94 @@
+#include "route/steiner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "route/prim_dijkstra.hpp"
+#include "util/rng.hpp"
+
+namespace rabid::route {
+namespace {
+
+using geom::Point;
+
+TEST(Steiner, MedianPoint) {
+  EXPECT_EQ(median_point({0, 0}, {4, 2}, {4, -2}), (Point{4, 0}));
+  EXPECT_EQ(median_point({0, 0}, {2, 2}, {1, 5}), (Point{1, 2}));
+  EXPECT_EQ(median_point({3, 3}, {3, 3}, {3, 3}), (Point{3, 3}));
+}
+
+TEST(Steiner, OverlapGainOfSymmetricFork) {
+  // Fig. 4 shape: u at origin, two edges going right then splitting.
+  // Merging at (4,0) saves the doubled run of length 4... each original
+  // edge is length 6; after: 4 + 2 + 2 = 8, saving 4.
+  EXPECT_DOUBLE_EQ(overlap_gain({0, 0}, {4, 2}, {4, -2}), 4.0);
+  // No overlap: opposite directions.
+  EXPECT_DOUBLE_EQ(overlap_gain({0, 0}, {5, 0}, {-5, 0}), 0.0);
+}
+
+GeomTree fork_tree() {
+  // Source at origin; two sinks sharing a long common run.
+  const std::vector<Point> pts{{0, 0}, {10, 3}, {10, -3}};
+  SpanningTree span;
+  span.parent = {-1, 0, 0};
+  span.path_length = {0, 13, 13};
+  return to_geom_tree(pts, span, 0);
+}
+
+TEST(Steiner, RemovesForkOverlap) {
+  const GeomTree before = fork_tree();
+  EXPECT_DOUBLE_EQ(before.wirelength(), 26.0);
+  const GeomTree after = remove_overlaps(before);
+  // A Steiner point at (10, 0): 10 + 3 + 3 = 16.
+  EXPECT_DOUBLE_EQ(after.wirelength(), 16.0);
+  EXPECT_EQ(after.points.size(), 4U);
+  EXPECT_EQ(after.points.back(), (Point{10, 0}));
+  EXPECT_EQ(after.root, 0);
+  EXPECT_EQ(after.terminal_count, 3);
+}
+
+TEST(Steiner, NoOverlapMeansNoChange) {
+  const std::vector<Point> pts{{0, 0}, {10, 0}, {-10, 0}};
+  SpanningTree span;
+  span.parent = {-1, 0, 0};
+  span.path_length = {0, 10, 10};
+  const GeomTree after = remove_overlaps(to_geom_tree(pts, span, 0));
+  EXPECT_EQ(after.points.size(), 3U);
+  EXPECT_DOUBLE_EQ(after.wirelength(), 20.0);
+}
+
+TEST(Steiner, NeverIncreasesWirelengthProperty) {
+  util::Rng rng(12345);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Point> pts;
+    const int n = static_cast<int>(rng.uniform_int(2, 15));
+    for (int i = 0; i < n; ++i) {
+      pts.push_back({rng.uniform(0, 500), rng.uniform(0, 500)});
+    }
+    const SpanningTree span = prim_dijkstra(pts, 0, 0.4);
+    const GeomTree before = to_geom_tree(pts, span, 0);
+    const GeomTree after = remove_overlaps(before);
+    EXPECT_LE(after.wirelength(), before.wirelength() + 1e-9);
+    // Still a tree spanning all terminals, rooted at the source.
+    EXPECT_EQ(after.parent[0], -1);
+    EXPECT_GE(after.points.size(), pts.size());
+    for (std::size_t i = 1; i < after.parent.size(); ++i) {
+      EXPECT_GE(after.parent[i], 0);
+    }
+  }
+}
+
+TEST(Steiner, ChainGainsNothing) {
+  // Collinear chain: no overlap anywhere.
+  const std::vector<Point> pts{{0, 0}, {5, 0}, {9, 0}, {14, 0}};
+  SpanningTree span;
+  span.parent = {-1, 0, 1, 2};
+  span.path_length = {0, 5, 9, 14};
+  const GeomTree after = remove_overlaps(to_geom_tree(pts, span, 0));
+  EXPECT_DOUBLE_EQ(after.wirelength(), 14.0);
+  EXPECT_EQ(after.points.size(), 4U);
+}
+
+}  // namespace
+}  // namespace rabid::route

@@ -1,0 +1,54 @@
+#include "tile/decap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rabid::tile {
+namespace {
+
+TEST(Decap, PerTileValues) {
+  TileGraph g(geom::Rect{{0, 0}, {300, 100}}, 3, 1);
+  g.set_site_supply(0, 4);
+  g.set_site_supply(1, 2);
+  g.add_buffer(0);
+  const std::vector<double> d = decap_per_tile(g, 1.0);
+  EXPECT_DOUBLE_EQ(d[0], 3.0);
+  EXPECT_DOUBLE_EQ(d[1], 2.0);
+  EXPECT_DOUBLE_EQ(d[2], 0.0);
+}
+
+TEST(Decap, SummaryAggregates) {
+  TileGraph g(geom::Rect{{0, 0}, {300, 100}}, 3, 1);
+  g.set_site_supply(0, 4);
+  g.set_site_supply(1, 2);
+  g.add_buffer(0);
+  g.add_buffer(1);
+  g.add_buffer(1);  // tile 1 fully used -> dry
+  const DecapSummary s = summarize_decap(g, 1.2);
+  EXPECT_EQ(s.free_sites, 3);
+  EXPECT_DOUBLE_EQ(s.total_decap_pf, 3.6);
+  EXPECT_DOUBLE_EQ(s.min_tile_decap_pf, 0.0);
+  EXPECT_DOUBLE_EQ(s.avg_tile_decap_pf, 1.8);
+  EXPECT_EQ(s.dry_tiles, 1);
+}
+
+TEST(Decap, NoSitesAnywhere) {
+  TileGraph g(geom::Rect{{0, 0}, {200, 100}}, 2, 1);
+  const DecapSummary s = summarize_decap(g);
+  EXPECT_EQ(s.free_sites, 0);
+  EXPECT_DOUBLE_EQ(s.total_decap_pf, 0.0);
+  EXPECT_DOUBLE_EQ(s.min_tile_decap_pf, 0.0);
+  EXPECT_EQ(s.dry_tiles, 0);
+}
+
+TEST(Decap, UnusedGraphGivesFullSupply) {
+  TileGraph g(geom::Rect{{0, 0}, {200, 100}}, 2, 1);
+  g.set_site_supply(0, 10);
+  g.set_site_supply(1, 10);
+  const DecapSummary s = summarize_decap(g);
+  EXPECT_EQ(s.free_sites, 20);
+  EXPECT_DOUBLE_EQ(s.total_decap_pf, 20 * kDecapPerSitePf);
+  EXPECT_DOUBLE_EQ(s.min_tile_decap_pf, 10 * kDecapPerSitePf);
+}
+
+}  // namespace
+}  // namespace rabid::tile

@@ -1,0 +1,130 @@
+#include "tile/sites.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "circuits/generator.hpp"
+#include "circuits/specs.hpp"
+#include "core/rabid.hpp"
+
+namespace rabid::tile {
+namespace {
+
+TileGraph make_graph() {
+  TileGraph g(geom::Rect{{0, 0}, {400, 400}}, 4, 4);
+  return g;
+}
+
+TEST(SiteMap, AddAndLookup) {
+  TileGraph g = make_graph();
+  SiteMap map(g);
+  const SiteId a = map.add_site(g.id_of({1, 1}), {150, 150});
+  const SiteId b = map.add_site(g.id_of({1, 1}), {180, 120});
+  const SiteId c = map.add_site(g.id_of({2, 3}), {250, 350});
+  EXPECT_EQ(map.size(), 3U);
+  EXPECT_EQ(map.sites_in(g.id_of({1, 1})),
+            (std::vector<SiteId>{a, b}));
+  EXPECT_EQ(map.sites_in(g.id_of({2, 3})), (std::vector<SiteId>{c}));
+  EXPECT_TRUE(map.sites_in(g.id_of({0, 0})).empty());
+  EXPECT_EQ(map.site(c).tile, g.id_of({2, 3}));
+}
+
+TEST(SiteMap, ConsistencyCheck) {
+  TileGraph g = make_graph();
+  g.set_site_supply(g.id_of({1, 1}), 2);
+  SiteMap map(g);
+  map.add_site(g.id_of({1, 1}), {150, 150});
+  EXPECT_FALSE(map.consistent_with(g));
+  map.add_site(g.id_of({1, 1}), {160, 160});
+  EXPECT_TRUE(map.consistent_with(g));
+}
+
+TEST(Legalize, NearestFreeSiteWins) {
+  TileGraph g = make_graph();
+  SiteMap map(g);
+  const TileId t = g.id_of({1, 1});
+  map.add_site(t, {110, 110});
+  map.add_site(t, {190, 190});
+  const std::vector<SiteRequest> reqs{{t, {185, 185}}, {t, {186, 186}}};
+  const LegalizationResult r = legalize_buffers(map, reqs);
+  ASSERT_EQ(r.assignment.size(), 2U);
+  // First request grabs the near site; second falls back to the far one.
+  EXPECT_EQ(r.assignment[0], 1);
+  EXPECT_EQ(r.assignment[1], 0);
+  EXPECT_GT(r.total_displacement_um, 0.0);
+  EXPECT_GE(r.max_displacement_um, 140.0);
+}
+
+TEST(Legalize, AssignmentsAreDistinct) {
+  TileGraph g = make_graph();
+  SiteMap map(g);
+  const TileId t = g.id_of({2, 2});
+  for (int i = 0; i < 6; ++i) {
+    map.add_site(t, {205.0 + 10 * i, 205.0});
+  }
+  std::vector<SiteRequest> reqs(6, SiteRequest{t, {230, 230}});
+  const LegalizationResult r = legalize_buffers(map, reqs);
+  std::set<SiteId> unique(r.assignment.begin(), r.assignment.end());
+  EXPECT_EQ(unique.size(), 6U);
+}
+
+TEST(Legalize, EmptyRequestList) {
+  TileGraph g = make_graph();
+  SiteMap map(g);
+  const LegalizationResult r = legalize_buffers(map, {});
+  EXPECT_TRUE(r.assignment.empty());
+  EXPECT_DOUBLE_EQ(r.total_displacement_um, 0.0);
+}
+
+TEST(Legalize, EndToEndOnBenchmarkCircuit) {
+  // Full pipeline: generate, plan with RABID, then legalize every
+  // planned buffer onto a concrete site of its tile.
+  const circuits::CircuitSpec& spec = circuits::spec_by_name("apte");
+  const netlist::Design design = circuits::generate_design(spec);
+  TileGraph graph = circuits::build_tile_graph(design, spec);
+  const SiteMap sites = circuits::generate_site_map(spec, graph);
+  ASSERT_TRUE(sites.consistent_with(graph));
+
+  core::Rabid rabid(design, graph);
+  rabid.run_all();
+
+  std::vector<SiteRequest> requests;
+  for (const core::NetState& n : rabid.nets()) {
+    for (const route::BufferPlacement& b : n.buffers) {
+      const TileId t = n.tree.node(b.node).tile;
+      requests.push_back({t, graph.center(t)});
+    }
+  }
+  ASSERT_FALSE(requests.empty());
+  const LegalizationResult r = legalize_buffers(sites, requests);
+  ASSERT_EQ(r.assignment.size(), requests.size());
+
+  // Distinct sites, each in the right tile, displacement within a tile.
+  std::set<SiteId> unique(r.assignment.begin(), r.assignment.end());
+  EXPECT_EQ(unique.size(), requests.size());
+  const double tile_diag = graph.tile_width() + graph.tile_height();
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(sites.site(r.assignment[i]).tile, requests[i].tile);
+    EXPECT_LE(geom::manhattan(sites.site(r.assignment[i]).location,
+                              requests[i].preferred),
+              tile_diag);
+  }
+}
+
+TEST(SiteMapGeneration, DeterministicAndInTile) {
+  const circuits::CircuitSpec& spec = circuits::spec_by_name("hp");
+  const netlist::Design design = circuits::generate_design(spec);
+  const TileGraph g = circuits::build_tile_graph(design, spec);
+  const SiteMap a = circuits::generate_site_map(spec, g);
+  const SiteMap b = circuits::generate_site_map(spec, g);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(static_cast<std::int64_t>(a.size()), g.total_site_supply());
+  for (SiteId s = 0; s < static_cast<SiteId>(a.size()); ++s) {
+    EXPECT_EQ(a.site(s).location, b.site(s).location);
+    EXPECT_TRUE(g.tile_rect(a.site(s).tile).contains(a.site(s).location));
+  }
+}
+
+}  // namespace
+}  // namespace rabid::tile

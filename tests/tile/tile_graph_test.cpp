@@ -1,0 +1,198 @@
+#include "tile/tile_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace rabid::tile {
+namespace {
+
+TileGraph make_graph(std::int32_t nx = 4, std::int32_t ny = 3) {
+  return TileGraph(geom::Rect{{0, 0}, {400, 300}}, nx, ny);
+}
+
+TEST(TileGraph, Dimensions) {
+  const TileGraph g = make_graph();
+  EXPECT_EQ(g.tile_count(), 12);
+  EXPECT_EQ(g.edge_count(), 3 * 3 + 4 * 2);  // 9 horizontal + 8 vertical
+  EXPECT_DOUBLE_EQ(g.tile_width(), 100.0);
+  EXPECT_DOUBLE_EQ(g.tile_height(), 100.0);
+  EXPECT_DOUBLE_EQ(g.tile_area_mm2(), 0.01);
+  EXPECT_DOUBLE_EQ(g.tile_pitch(), 100.0);
+}
+
+TEST(TileGraph, IdCoordRoundTrip) {
+  const TileGraph g = make_graph();
+  for (TileId t = 0; t < g.tile_count(); ++t) {
+    EXPECT_EQ(g.id_of(g.coord_of(t)), t);
+  }
+  EXPECT_EQ(g.coord_of(0), (geom::TileCoord{0, 0}));
+  EXPECT_EQ(g.coord_of(5), (geom::TileCoord{1, 1}));
+}
+
+TEST(TileGraph, TileAtMapsPointsIncludingBoundary) {
+  const TileGraph g = make_graph();
+  EXPECT_EQ(g.tile_at({50, 50}), g.id_of({0, 0}));
+  EXPECT_EQ(g.tile_at({150, 250}), g.id_of({1, 2}));
+  // Chip boundary clamps inward.
+  EXPECT_EQ(g.tile_at({400, 300}), g.id_of({3, 2}));
+  EXPECT_EQ(g.tile_at({0, 0}), g.id_of({0, 0}));
+  // Tile-internal boundary belongs to the upper tile (floor behaviour).
+  EXPECT_EQ(g.tile_at({100, 0}), g.id_of({1, 0}));
+}
+
+TEST(TileGraph, CenterAndRect) {
+  const TileGraph g = make_graph();
+  EXPECT_EQ(g.center(g.id_of({1, 2})), (geom::Point{150, 250}));
+  const geom::Rect r = g.tile_rect(g.id_of({2, 0}));
+  EXPECT_EQ(r.lo(), (geom::Point{200, 0}));
+  EXPECT_EQ(r.hi(), (geom::Point{300, 100}));
+}
+
+TEST(TileGraph, EdgeBetweenAdjacency) {
+  const TileGraph g = make_graph();
+  const TileId a = g.id_of({1, 1});
+  EXPECT_NE(g.edge_between(a, g.id_of({2, 1})), kNoEdge);
+  EXPECT_NE(g.edge_between(a, g.id_of({0, 1})), kNoEdge);
+  EXPECT_NE(g.edge_between(a, g.id_of({1, 0})), kNoEdge);
+  EXPECT_NE(g.edge_between(a, g.id_of({1, 2})), kNoEdge);
+  EXPECT_EQ(g.edge_between(a, g.id_of({2, 2})), kNoEdge);  // diagonal
+  EXPECT_EQ(g.edge_between(a, a), kNoEdge);                // self
+  EXPECT_EQ(g.edge_between(a, g.id_of({3, 1})), kNoEdge);  // distance 2
+  // Symmetric.
+  EXPECT_EQ(g.edge_between(a, g.id_of({2, 1})),
+            g.edge_between(g.id_of({2, 1}), a));
+}
+
+TEST(TileGraph, EdgeIdsAreUniqueAndRoundTrip) {
+  const TileGraph g = make_graph();
+  std::set<EdgeId> seen;
+  for (TileId t = 0; t < g.tile_count(); ++t) {
+    TileId nbr[4];
+    const int n = g.neighbors(t, nbr);
+    for (int k = 0; k < n; ++k) {
+      const EdgeId e = g.edge_between(t, nbr[k]);
+      ASSERT_GE(e, 0);
+      ASSERT_LT(e, g.edge_count());
+      seen.insert(e);
+      const auto [u, v] = g.edge_tiles(e);
+      EXPECT_TRUE((u == t && v == nbr[k]) || (u == nbr[k] && v == t));
+    }
+  }
+  EXPECT_EQ(static_cast<std::int32_t>(seen.size()), g.edge_count());
+}
+
+TEST(TileGraph, NeighborCounts) {
+  const TileGraph g = make_graph();
+  TileId nbr[4];
+  EXPECT_EQ(g.neighbors(g.id_of({0, 0}), nbr), 2);  // corner
+  EXPECT_EQ(g.neighbors(g.id_of({1, 0}), nbr), 3);  // edge
+  EXPECT_EQ(g.neighbors(g.id_of({1, 1}), nbr), 4);  // interior
+}
+
+TEST(TileGraph, WireUsageAndCongestion) {
+  TileGraph g = make_graph();
+  g.set_uniform_wire_capacity(4);
+  const EdgeId e = g.edge_between(g.id_of({0, 0}), g.id_of({1, 0}));
+  EXPECT_DOUBLE_EQ(g.wire_congestion(e), 0.0);
+  // Eq. (1): (w+1)/(W-w).
+  EXPECT_DOUBLE_EQ(g.wire_cost(e), 1.0 / 4.0);
+  g.add_wire(e);
+  g.add_wire(e);
+  EXPECT_DOUBLE_EQ(g.wire_congestion(e), 0.5);
+  EXPECT_DOUBLE_EQ(g.wire_cost(e), 3.0 / 2.0);
+  g.add_wire(e);
+  EXPECT_DOUBLE_EQ(g.wire_cost(e), 4.0 / 1.0);
+  g.add_wire(e);
+  EXPECT_TRUE(std::isinf(g.wire_cost(e)));  // full
+  g.remove_wire(e);
+  EXPECT_DOUBLE_EQ(g.wire_congestion(e), 0.75);
+}
+
+TEST(TileGraph, BufferSiteBookkeeping) {
+  TileGraph g = make_graph();
+  const TileId t = g.id_of({2, 1});
+  g.set_site_supply(t, 3);
+  EXPECT_DOUBLE_EQ(g.buffer_density(t), 0.0);
+  // Eq. (2): (b+p+1)/(B-b).
+  EXPECT_DOUBLE_EQ(g.buffer_cost(t, 0.5), 1.5 / 3.0);
+  g.add_buffer(t);
+  EXPECT_DOUBLE_EQ(g.buffer_cost(t, 0.0), 2.0 / 2.0);
+  g.add_buffer(t);
+  g.add_buffer(t);
+  EXPECT_TRUE(std::isinf(g.buffer_cost(t, 0.0)));  // full tile
+  EXPECT_DOUBLE_EQ(g.buffer_density(t), 1.0);
+  g.remove_buffer(t);
+  EXPECT_DOUBLE_EQ(g.buffer_density(t), 2.0 / 3.0);
+}
+
+TEST(TileGraph, ZeroSiteTileIsInfinitelyExpensive) {
+  TileGraph g = make_graph();
+  EXPECT_TRUE(std::isinf(g.buffer_cost(0, 0.0)));
+  EXPECT_DOUBLE_EQ(g.buffer_density(0), 0.0);
+}
+
+TEST(TileGraph, PaperExampleCostValues) {
+  // Fig. 5 q-values reproduced through eq. (2): e.g. B=12, b=2, p=2 gives
+  // (2+2+1)/(12-2) = 0.5, the third tile of the worked example.
+  TileGraph g = make_graph();
+  g.set_site_supply(0, 12);
+  g.add_buffer(0);
+  g.add_buffer(0);
+  EXPECT_DOUBLE_EQ(g.buffer_cost(0, 2.0), 0.5);
+  // And B=5, b=4, p=3.6 -> (4+3.6+1)/(5-4) = 8.6.
+  g.set_site_supply(1, 5);
+  for (int i = 0; i < 4; ++i) g.add_buffer(1);
+  EXPECT_DOUBLE_EQ(g.buffer_cost(1, 3.6), 8.6);
+}
+
+TEST(TileGraph, StatsAggregation) {
+  TileGraph g = make_graph();
+  g.set_uniform_wire_capacity(2);
+  const EdgeId e0 = g.edge_between(g.id_of({0, 0}), g.id_of({1, 0}));
+  const EdgeId e1 = g.edge_between(g.id_of({0, 0}), g.id_of({0, 1}));
+  g.add_wire(e0);
+  g.add_wire(e0);
+  g.add_wire(e0);  // overflow by 1
+  g.add_wire(e1);
+  g.set_site_supply(3, 4);
+  g.add_buffer(3);
+  g.set_site_supply(4, 10);
+
+  const CongestionStats s = g.stats();
+  EXPECT_DOUBLE_EQ(s.max_wire_congestion, 1.5);
+  EXPECT_EQ(s.overflow, 1);
+  EXPECT_FALSE(g.wire_feasible());
+  EXPECT_DOUBLE_EQ(s.avg_wire_congestion, (1.5 + 0.5) / 17.0);
+  EXPECT_DOUBLE_EQ(s.max_buffer_density, 0.25);
+  EXPECT_DOUBLE_EQ(s.avg_buffer_density, 0.125);  // mean over B>0 tiles
+  EXPECT_EQ(s.buffers_used, 1);
+  EXPECT_EQ(g.total_site_supply(), 14);
+  EXPECT_EQ(g.total_site_usage(), 1);
+}
+
+TEST(TileGraph, ResetUsageKeepsSupply) {
+  TileGraph g = make_graph();
+  g.set_uniform_wire_capacity(2);
+  g.set_site_supply(0, 2);
+  g.add_buffer(0);
+  g.add_wire(0);
+  g.reset_usage();
+  EXPECT_EQ(g.site_usage(0), 0);
+  EXPECT_EQ(g.site_supply(0), 2);
+  EXPECT_EQ(g.wire_usage(0), 0);
+  EXPECT_EQ(g.wire_capacity(0), 2);
+}
+
+TEST(TileGraph, SingleRowGraph) {
+  // Degenerate 1-row tilings must still index edges correctly.
+  TileGraph g(geom::Rect{{0, 0}, {500, 100}}, 5, 1);
+  EXPECT_EQ(g.edge_count(), 4);
+  for (std::int32_t x = 0; x + 1 < 5; ++x) {
+    EXPECT_NE(g.edge_between(g.id_of({x, 0}), g.id_of({x + 1, 0})), kNoEdge);
+  }
+}
+
+}  // namespace
+}  // namespace rabid::tile

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "timing/rc_tree.hpp"
+#include "util/rng.hpp"
+
+namespace rabid::timing {
+namespace {
+
+/// Independent Elmore reference: build an explicit resistor tree (no
+/// stages), then delay(i) = sum over nodes k of R(shared path of i and
+/// k) * C_k — the textbook pairwise formula.  The staged RcTree engine
+/// must agree exactly on single-stage topologies, and on multi-stage
+/// ones after manual stage splitting.
+struct FlatRc {
+  struct Node {
+    int parent = -1;
+    double r = 0.0;  // resistance of arc to parent
+    double c = 0.0;
+  };
+  std::vector<Node> nodes;
+
+  /// Resistance of the path from the root to `n`, accumulated per node.
+  std::vector<double> path_res() const {
+    std::vector<double> out(nodes.size(), 0.0);
+    for (std::size_t i = 1; i < nodes.size(); ++i) {
+      out[i] = out[static_cast<std::size_t>(nodes[i].parent)] + nodes[i].r;
+    }
+    return out;
+  }
+
+  /// R(shared path of a and b): walk both to the root collecting arcs.
+  double shared_res(int a, int b) const {
+    // Collect ancestor arc-resistance prefix for a.
+    std::vector<int> chain_a;
+    for (int x = a; x != -1; x = nodes[static_cast<std::size_t>(x)].parent) {
+      chain_a.push_back(x);
+    }
+    double shared = 0.0;
+    // For each node on b's root path, if it is an ancestor of a too, its
+    // arc is shared.
+    for (int x = b; x != -1; x = nodes[static_cast<std::size_t>(x)].parent) {
+      if (std::find(chain_a.begin(), chain_a.end(), x) != chain_a.end()) {
+        shared += nodes[static_cast<std::size_t>(x)].r;
+      }
+    }
+    return shared;
+  }
+
+  std::vector<double> delays(double drive_res) const {
+    std::vector<double> out(nodes.size(), 0.0);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      double d = 0.0;
+      for (std::size_t k = 0; k < nodes.size(); ++k) {
+        d += (drive_res + shared_res(static_cast<int>(i),
+                                     static_cast<int>(k))) *
+             nodes[k].c;
+      }
+      out[i] = d;
+    }
+    return out;
+  }
+};
+
+TEST(ElmoreReference, RandomSingleStageTreesMatchPairwiseFormula) {
+  util::Rng rng(20260705);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(1, 14));
+    FlatRc flat;
+    RcTree staged;
+    const double rd = rng.uniform(10.0, 300.0);
+    const auto root = staged.add_root(rd, 0.0);
+    std::vector<RcTree::NodeId> staged_ids{root};
+    flat.nodes.push_back({-1, 0.0, rng.uniform(0.0, 0.1)});
+    staged.add_cap(root, flat.nodes[0].c);
+    for (int i = 1; i < n; ++i) {
+      const int parent = static_cast<int>(rng.uniform_int(0, i - 1));
+      FlatRc::Node node;
+      node.parent = parent;
+      node.r = rng.uniform(1.0, 100.0);
+      node.c = rng.uniform(0.001, 0.2);
+      flat.nodes.push_back(node);
+      staged_ids.push_back(staged.add_node(
+          staged_ids[static_cast<std::size_t>(parent)], node.r, node.c));
+    }
+    const std::vector<double> want = flat.delays(rd);
+    const std::vector<double> got = staged.elmore_delays();
+    for (int i = 0; i < n; ++i) {
+      EXPECT_NEAR(got[static_cast<std::size_t>(
+                      staged_ids[static_cast<std::size_t>(i)])],
+                  want[static_cast<std::size_t>(i)],
+                  1e-9 * (1.0 + want[static_cast<std::size_t>(i)]))
+          << "trial " << trial << " node " << i;
+    }
+  }
+}
+
+TEST(ElmoreReference, BufferSplitsIntoIndependentStages) {
+  // Staged engine vs two manually separated flat stages.
+  util::Rng rng(777);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Stage A: chain of 3; buffer; stage B: chain of 2.
+    const double rd = rng.uniform(20, 200);
+    const double rb = rng.uniform(20, 200);
+    const double cb = rng.uniform(0.005, 0.05);
+    const double tb = rng.uniform(5, 60);
+    double ra[3], ca[3], rb2[2], cb2[2];
+    for (int i = 0; i < 3; ++i) {
+      ra[i] = rng.uniform(1, 80);
+      ca[i] = rng.uniform(0.001, 0.15);
+    }
+    for (int i = 0; i < 2; ++i) {
+      rb2[i] = rng.uniform(1, 80);
+      cb2[i] = rng.uniform(0.001, 0.15);
+    }
+
+    RcTree staged;
+    const auto root = staged.add_root(rd, 0.0);
+    auto a0 = staged.add_node(root, ra[0], ca[0]);
+    auto a1 = staged.add_node(a0, ra[1], ca[1]);
+    auto a2 = staged.add_node(a1, ra[2], ca[2]);
+    auto gate = staged.add_gate(a2, cb, rb, tb);
+    auto b0 = staged.add_node(gate, rb2[0], cb2[0]);
+    auto b1 = staged.add_node(b0, rb2[1], cb2[1]);
+
+    // Flat stage A: loads are ca[] plus cb at the buffer input (a2).
+    FlatRc flat_a;
+    flat_a.nodes.push_back({-1, 0.0, 0.0});
+    flat_a.nodes.push_back({0, ra[0], ca[0]});
+    flat_a.nodes.push_back({1, ra[1], ca[1]});
+    flat_a.nodes.push_back({2, ra[2], ca[2] + cb});
+    const double delay_a = flat_a.delays(rd)[3];
+    // Flat stage B behind the buffer.
+    FlatRc flat_b;
+    flat_b.nodes.push_back({-1, 0.0, 0.0});
+    flat_b.nodes.push_back({0, rb2[0], cb2[0]});
+    flat_b.nodes.push_back({1, rb2[1], cb2[1]});
+    const std::vector<double> d_b = flat_b.delays(rb);
+
+    const std::vector<double> got = staged.elmore_delays();
+    EXPECT_NEAR(got[static_cast<std::size_t>(a2)], delay_a, 1e-9);
+    EXPECT_NEAR(got[static_cast<std::size_t>(gate)], delay_a + tb + d_b[0],
+                1e-9);
+    EXPECT_NEAR(got[static_cast<std::size_t>(b1)], delay_a + tb + d_b[2],
+                1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace rabid::timing

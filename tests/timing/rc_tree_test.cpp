@@ -1,0 +1,92 @@
+#include "timing/rc_tree.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rabid::timing {
+namespace {
+
+TEST(RcTree, SingleLumpedLoad) {
+  RcTree t;
+  const auto root = t.add_root(/*drive_res=*/100.0, /*intrinsic=*/0.0);
+  t.add_cap(root, 0.5);
+  const auto d = t.elmore_delays();
+  EXPECT_DOUBLE_EQ(d[static_cast<std::size_t>(root)], 50.0);  // R*C
+}
+
+TEST(RcTree, WireSegmentElmore) {
+  // Driver --R1--o(C1) --R2--o(C2): classic two-segment ladder.
+  RcTree t;
+  const auto root = t.add_root(10.0, 0.0);
+  const auto n1 = t.add_node(root, 5.0, 1.0);
+  const auto n2 = t.add_node(n1, 5.0, 2.0);
+  const auto d = t.elmore_delays();
+  // delay(root) = 10*(1+2) = 30; delay(n1) = 30 + 5*(1+2) = 45;
+  // delay(n2) = 45 + 5*2 = 55.
+  EXPECT_DOUBLE_EQ(d[static_cast<std::size_t>(root)], 30.0);
+  EXPECT_DOUBLE_EQ(d[static_cast<std::size_t>(n1)], 45.0);
+  EXPECT_DOUBLE_EQ(d[static_cast<std::size_t>(n2)], 55.0);
+}
+
+TEST(RcTree, BranchingLoadsShareUpstreamDelay) {
+  RcTree t;
+  const auto root = t.add_root(10.0, 0.0);
+  const auto trunk = t.add_node(root, 2.0, 1.0);
+  const auto left = t.add_node(trunk, 3.0, 1.0);
+  const auto right = t.add_node(trunk, 4.0, 2.0);
+  const auto d = t.elmore_delays();
+  // Total cap 4: delay(root) = 40; delay(trunk) = 40 + 2*4 = 48.
+  EXPECT_DOUBLE_EQ(d[static_cast<std::size_t>(trunk)], 48.0);
+  // Branches see only their own downstream cap.
+  EXPECT_DOUBLE_EQ(d[static_cast<std::size_t>(left)], 48.0 + 3.0 * 1.0);
+  EXPECT_DOUBLE_EQ(d[static_cast<std::size_t>(right)], 48.0 + 4.0 * 2.0);
+}
+
+TEST(RcTree, GateSplitsStages) {
+  // Driver --R--o(C)-[buffer]--R--o(C): the buffer isolates downstream
+  // capacitance and adds its intrinsic delay.
+  RcTree t;
+  const auto root = t.add_root(10.0, 0.0);
+  const auto mid = t.add_node(root, 5.0, 1.0);
+  const auto buf = t.add_gate(mid, /*input_cap=*/0.5, /*drive_res=*/20.0,
+                              /*intrinsic=*/7.0);
+  const auto sink = t.add_node(buf, 5.0, 2.0);
+  const auto d = t.elmore_delays();
+  // Stage 1 load: wire cap 1 + buffer input 0.5 = 1.5.
+  // delay(mid) = 10*1.5 + 5*1.5 = 22.5.
+  EXPECT_DOUBLE_EQ(d[static_cast<std::size_t>(mid)], 22.5);
+  // Stage 2: delay(buf) = 22.5 + 7 + 20*2 = 69.5; sink += 5*2 = 79.5.
+  EXPECT_DOUBLE_EQ(d[static_cast<std::size_t>(buf)], 69.5);
+  EXPECT_DOUBLE_EQ(d[static_cast<std::size_t>(sink)], 79.5);
+  EXPECT_DOUBLE_EQ(t.stage_capacitance(root), 1.5);
+  EXPECT_DOUBLE_EQ(t.stage_capacitance(buf), 2.0);
+}
+
+TEST(RcTree, BufferingLongWireHelps) {
+  // The reason buffers exist: quadratic wire delay becomes linear.
+  auto build = [](bool buffered) {
+    RcTree t;
+    const auto root = t.add_root(100.0, 0.0);
+    RcTree::NodeId cur = root;
+    for (int seg = 0; seg < 10; ++seg) {
+      cur = t.add_node(cur, 50.0, 0.2);
+      if (buffered && seg == 4) {
+        cur = t.add_gate(cur, 0.02, 100.0, 30.0);
+      }
+    }
+    t.add_cap(cur, 0.05);
+    return t.elmore_delays().back();
+  };
+  EXPECT_LT(build(true), build(false));
+}
+
+TEST(RcTree, IntrinsicDelayAccumulatesPerGate) {
+  RcTree t;
+  const auto root = t.add_root(0.0, 0.0);
+  const auto g1 = t.add_gate(root, 0.0, 0.0, 11.0);
+  const auto g2 = t.add_gate(g1, 0.0, 0.0, 13.0);
+  const auto d = t.elmore_delays();
+  EXPECT_DOUBLE_EQ(d[static_cast<std::size_t>(g2)], 24.0);
+}
+
+}  // namespace
+}  // namespace rabid::timing

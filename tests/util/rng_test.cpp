@@ -1,0 +1,115 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace rabid::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u32(), b.next_u32());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u32() == b.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, StringSeedingIsStable) {
+  Rng a(std::string_view{"apte"});
+  Rng b(std::string_view{"apte"});
+  Rng c(std::string_view{"xerox"});
+  EXPECT_EQ(a.next_u32(), b.next_u32());
+  EXPECT_NE(Rng(std::string_view{"apte"}).next_u32(), c.next_u32());
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(7);
+  std::array<int, 5> seen{};
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = rng.uniform_int(10, 14);
+    ASSERT_GE(v, 10);
+    ASSERT_LE(v, 14);
+    ++seen[static_cast<std::size_t>(v - 10)];
+  }
+  for (const int count : seen) {
+    EXPECT_GT(count, 800);  // roughly uniform: expectation 1000
+    EXPECT_LT(count, 1200);
+  }
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.uniform_int(3, 3), 3);
+  }
+}
+
+TEST(Rng, UniformRealInHalfOpenUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.5, 7.5);
+    ASSERT_GE(v, -2.5);
+    ASSERT_LT(v, 7.5);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, FnvHashMatchesKnownVector) {
+  // FNV-1a 64-bit of the empty string is the offset basis.
+  EXPECT_EQ(Rng::hash(""), 14695981039346656037ULL);
+  // And hashing is stable.
+  EXPECT_EQ(Rng::hash("rabid"), Rng::hash("rabid"));
+  EXPECT_NE(Rng::hash("rabid"), Rng::hash("dibar"));
+}
+
+TEST(Rng, ShuffleIsPermutationAndDeterministic) {
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  Rng rng(23);
+  shuffle(v, rng);
+  std::vector<int> w{1, 2, 3, 4, 5, 6, 7, 8};
+  Rng rng2(23);
+  shuffle(w, rng2);
+  EXPECT_EQ(v, w);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(Rng, ReseedResetsStream) {
+  Rng a(5);
+  const std::uint32_t first = a.next_u32();
+  a.next_u32();
+  a.reseed(5);
+  EXPECT_EQ(a.next_u32(), first);
+}
+
+}  // namespace
+}  // namespace rabid::util

@@ -1,0 +1,209 @@
+// rabid_cli — run the full planning flow on any Table-I benchmark from
+// the command line.
+//
+//   rabid_cli --circuit xerox
+//   rabid_cli --circuit ami49 --grid 40x40 --sites 2000 --heatmaps
+//   rabid_cli --circuit hp --two-pin --bbp           # baseline instead
+//   rabid_cli --circuit apte --vg 20                 # timing rebuffering
+//
+// Flags:
+//   --circuit NAME     one of apte xerox hp ami33 ami49 playout ac3 xc5
+//                      hc7 a9c3 (required)
+//   --grid NxM         override the tiling (default: Table I)
+//   --sites N          override the buffer-site count (default: Table I)
+//   --no-blocked       disable the 9x9 blocked cache region
+//   --post             enable the congestion post-pass after stage 2
+//   --vg K             after stage 4, timing-driven rebuffer the K worst
+//                      nets (van Ginneken + power levels)
+//   --inverters        let --vg use inverting repeaters (parity-safe)
+//   --dump-design F    write the generated design (text format) to F
+//   --dump-solution F  write the final routes+buffers to F
+//   --svg F            render floorplan+routes+buffers as SVG to F
+//   --two-pin          decompose multi-pin nets first (Table V setup)
+//   --bbp              run the BBP/FR baseline instead of RABID
+//   --heatmaps         print congestion/density maps after the run
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <fstream>
+
+#include "bbp/bbp.hpp"
+#include "circuits/generator.hpp"
+#include "circuits/specs.hpp"
+#include "core/rabid.hpp"
+#include "core/solution_io.hpp"
+#include "netlist/io.hpp"
+#include "report/heatmap.hpp"
+#include "report/svg.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+struct Args {
+  std::string circuit;
+  std::int32_t nx = 0, ny = 0;
+  std::int64_t sites = -1;
+  bool no_blocked = false;
+  bool post = false;
+  std::size_t vg = 0;
+  bool inverters = false;
+  std::string dump_design;
+  std::string dump_solution;
+  std::string svg;
+  bool two_pin = false;
+  bool bbp = false;
+  bool heatmaps = false;
+};
+
+[[noreturn]] void usage(const char* msg) {
+  if (msg != nullptr) std::fprintf(stderr, "error: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: rabid_cli --circuit NAME [--grid NxM] [--sites N]\n"
+               "       [--no-blocked] [--post] [--vg K] [--inverters] [--two-pin]\n"
+               "       [--bbp] [--dump-design F] [--dump-solution F]\n"
+               "       [--heatmaps]\n");
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(("missing value for " + flag).c_str());
+      return argv[++i];
+    };
+    if (flag == "--circuit") {
+      a.circuit = value();
+    } else if (flag == "--grid") {
+      const char* v = value();
+      if (std::sscanf(v, "%dx%d", &a.nx, &a.ny) != 2 || a.nx < 1 || a.ny < 1)
+        usage("--grid expects NxM");
+    } else if (flag == "--sites") {
+      a.sites = std::atoll(value());
+      if (a.sites < 0) usage("--sites expects a non-negative count");
+    } else if (flag == "--no-blocked") {
+      a.no_blocked = true;
+    } else if (flag == "--post") {
+      a.post = true;
+    } else if (flag == "--vg") {
+      a.vg = static_cast<std::size_t>(std::atoll(value()));
+    } else if (flag == "--inverters") {
+      a.inverters = true;
+    } else if (flag == "--dump-design") {
+      a.dump_design = value();
+    } else if (flag == "--dump-solution") {
+      a.dump_solution = value();
+    } else if (flag == "--svg") {
+      a.svg = value();
+    } else if (flag == "--two-pin") {
+      a.two_pin = true;
+    } else if (flag == "--bbp") {
+      a.bbp = true;
+    } else if (flag == "--heatmaps") {
+      a.heatmaps = true;
+    } else if (flag == "--help" || flag == "-h") {
+      usage(nullptr);
+    } else {
+      usage(("unknown flag " + flag).c_str());
+    }
+  }
+  if (a.circuit.empty()) usage("--circuit is required");
+  if (a.bbp && !a.two_pin) usage("--bbp requires --two-pin");
+  return a;
+}
+
+void print_stats_row(rabid::report::Table& t,
+                     const rabid::core::StageStats& s) {
+  using rabid::report::fmt;
+  t.add_row({s.stage, fmt(s.max_wire_congestion, 2),
+             fmt(s.avg_wire_congestion, 2), fmt(s.overflow),
+             fmt(s.max_buffer_density, 2), fmt(s.buffers),
+             fmt(static_cast<std::int64_t>(s.failed_nets)),
+             fmt(s.wirelength_mm, 0), fmt(s.max_delay_ps, 0),
+             fmt(s.avg_delay_ps, 0), fmt(s.cpu_s, 2)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rabid;
+  const Args args = parse(argc, argv);
+
+  const circuits::CircuitSpec& spec = circuits::spec_by_name(args.circuit);
+  netlist::Design design = circuits::generate_design(spec);
+  if (args.two_pin) design = netlist::Design::decompose_to_two_pin(design);
+
+  circuits::TilingOptions topt;
+  topt.nx = args.nx;
+  topt.ny = args.ny;
+  topt.buffer_sites = args.sites;
+  if (args.no_blocked) topt.blocked_span = 0;
+  tile::TileGraph graph = circuits::build_tile_graph(design, spec, topt);
+
+  if (!args.dump_design.empty()) {
+    std::ofstream out(args.dump_design);
+    if (!out) usage("cannot open --dump-design file");
+    netlist::write_design(out, design);
+    std::printf("wrote design to %s\n", args.dump_design.c_str());
+  }
+
+  std::printf("%s: %zu nets, %zu sinks, %dx%d tiles, %lld sites, L=%d\n\n",
+              design.name().c_str(), design.nets().size(),
+              design.total_sinks(), graph.nx(), graph.ny(),
+              static_cast<long long>(graph.total_site_supply()),
+              design.default_length_limit());
+
+  if (args.bbp) {
+    bbp::BbpPlanner planner(design, graph);
+    bbp::BbpResult r = planner.run(circuits::kBufferSiteAreaUm2);
+    if (args.post) r = planner.congestion_post(circuits::kBufferSiteAreaUm2);
+    std::printf(
+        "BBP/FR: wireC max %.2f avg %.2f, overflow %lld, %lld buffers,\n"
+        "        MTAP %.2f%%, wl %.0f mm, delay max %.0f / avg %.0f ps\n",
+        r.max_wire_congestion, r.avg_wire_congestion,
+        static_cast<long long>(r.overflow),
+        static_cast<long long>(r.buffers), r.mtap_pct, r.wirelength_mm,
+        r.max_delay_ps, r.avg_delay_ps);
+  } else {
+    core::RabidOptions options;
+    options.congestion_post_after_stage2 = args.post;
+    core::Rabid rabid(design, graph, options);
+    report::Table table({"stage", "wireC max", "wireC avg", "overflows",
+                         "bufD max", "#bufs", "#fails", "wl (mm)",
+                         "delay max", "delay avg", "CPU (s)"});
+    for (const core::StageStats& s : rabid.run_all()) {
+      print_stats_row(table, s);
+    }
+    if (args.vg > 0) {
+      print_stats_row(
+          table, rabid.rebuffer_timing_driven(
+                     args.vg, timing::BufferLibrary::standard_180nm(),
+                     args.inverters));
+    }
+    table.print();
+    if (!args.dump_solution.empty()) {
+      std::ofstream out(args.dump_solution);
+      if (!out) usage("cannot open --dump-solution file");
+      core::write_solution(out, design, graph, rabid.nets());
+      std::printf("wrote solution to %s\n", args.dump_solution.c_str());
+    }
+    if (!args.svg.empty()) {
+      std::ofstream out(args.svg);
+      if (!out) usage("cannot open --svg file");
+      out << report::render_svg(design, graph, rabid.nets());
+      std::printf("wrote plot to %s\n", args.svg.c_str());
+    }
+  }
+
+  if (args.heatmaps) {
+    std::printf("\nwire congestion ('@' = overflow):\n%s",
+                report::wire_congestion_map(graph).c_str());
+    std::printf("\nbuffer occupancy ('X' = no sites):\n%s",
+                report::buffer_density_map(graph).c_str());
+  }
+  return 0;
+}
