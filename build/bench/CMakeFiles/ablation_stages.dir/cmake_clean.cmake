@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stages.dir/ablation_stages.cpp.o"
+  "CMakeFiles/ablation_stages.dir/ablation_stages.cpp.o.d"
+  "ablation_stages"
+  "ablation_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_complexity.dir/dp_complexity.cpp.o"
+  "CMakeFiles/dp_complexity.dir/dp_complexity.cpp.o.d"
+  "dp_complexity"
+  "dp_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

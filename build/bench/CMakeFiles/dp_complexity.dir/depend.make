@@ -1,0 +1,2 @@
+# Empty dependencies file for dp_complexity.
+# This may be replaced when dependencies are built.

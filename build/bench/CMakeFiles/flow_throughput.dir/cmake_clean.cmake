@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_throughput.dir/flow_throughput.cpp.o"
+  "CMakeFiles/flow_throughput.dir/flow_throughput.cpp.o.d"
+  "flow_throughput"
+  "flow_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

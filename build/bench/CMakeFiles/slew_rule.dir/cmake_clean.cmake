@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slew_rule.dir/slew_rule.cpp.o"
+  "CMakeFiles/slew_rule.dir/slew_rule.cpp.o.d"
+  "slew_rule"
+  "slew_rule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slew_rule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

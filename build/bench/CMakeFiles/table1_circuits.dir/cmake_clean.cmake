@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_circuits.dir/table1_circuits.cpp.o"
+  "CMakeFiles/table1_circuits.dir/table1_circuits.cpp.o.d"
+  "table1_circuits"
+  "table1_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

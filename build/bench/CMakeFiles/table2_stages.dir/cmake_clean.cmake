@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_stages.dir/table2_stages.cpp.o"
+  "CMakeFiles/table2_stages.dir/table2_stages.cpp.o.d"
+  "table2_stages"
+  "table2_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

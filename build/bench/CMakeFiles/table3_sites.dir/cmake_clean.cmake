@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_sites.dir/table3_sites.cpp.o"
+  "CMakeFiles/table3_sites.dir/table3_sites.cpp.o.d"
+  "table3_sites"
+  "table3_sites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_sites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_grids.dir/table4_grids.cpp.o"
+  "CMakeFiles/table4_grids.dir/table4_grids.cpp.o.d"
+  "table4_grids"
+  "table4_grids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_grids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_bbp.dir/table5_bbp.cpp.o"
+  "CMakeFiles/table5_bbp.dir/table5_bbp.cpp.o.d"
+  "table5_bbp"
+  "table5_bbp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_bbp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datapath_bus.dir/datapath_bus.cpp.o"
+  "CMakeFiles/datapath_bus.dir/datapath_bus.cpp.o.d"
+  "datapath_bus"
+  "datapath_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datapath_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

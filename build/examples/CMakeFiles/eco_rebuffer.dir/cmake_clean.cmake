@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eco_rebuffer.dir/eco_rebuffer.cpp.o"
+  "CMakeFiles/eco_rebuffer.dir/eco_rebuffer.cpp.o.d"
+  "eco_rebuffer"
+  "eco_rebuffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eco_rebuffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

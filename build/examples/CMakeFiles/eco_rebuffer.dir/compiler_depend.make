@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for eco_rebuffer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for eco_rebuffer.
+# This may be replaced when dependencies are built.

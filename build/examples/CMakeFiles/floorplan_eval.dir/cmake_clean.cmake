@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floorplan_eval.dir/floorplan_eval.cpp.o"
+  "CMakeFiles/floorplan_eval.dir/floorplan_eval.cpp.o.d"
+  "floorplan_eval"
+  "floorplan_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floorplan_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

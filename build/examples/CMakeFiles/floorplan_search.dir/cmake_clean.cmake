@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floorplan_search.dir/floorplan_search.cpp.o"
+  "CMakeFiles/floorplan_search.dir/floorplan_search.cpp.o.d"
+  "floorplan_search"
+  "floorplan_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floorplan_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

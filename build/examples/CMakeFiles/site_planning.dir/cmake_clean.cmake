@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/site_planning.dir/site_planning.cpp.o"
+  "CMakeFiles/site_planning.dir/site_planning.cpp.o.d"
+  "site_planning"
+  "site_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/site_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rabid_bbp.dir/bbp.cpp.o"
+  "CMakeFiles/rabid_bbp.dir/bbp.cpp.o.d"
+  "librabid_bbp.a"
+  "librabid_bbp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rabid_bbp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

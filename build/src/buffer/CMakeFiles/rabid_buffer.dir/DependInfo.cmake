@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/buffer/brute_force.cpp" "src/buffer/CMakeFiles/rabid_buffer.dir/brute_force.cpp.o" "gcc" "src/buffer/CMakeFiles/rabid_buffer.dir/brute_force.cpp.o.d"
+  "/root/repo/src/buffer/insertion.cpp" "src/buffer/CMakeFiles/rabid_buffer.dir/insertion.cpp.o" "gcc" "src/buffer/CMakeFiles/rabid_buffer.dir/insertion.cpp.o.d"
+  "/root/repo/src/buffer/single_sink.cpp" "src/buffer/CMakeFiles/rabid_buffer.dir/single_sink.cpp.o" "gcc" "src/buffer/CMakeFiles/rabid_buffer.dir/single_sink.cpp.o.d"
+  "/root/repo/src/buffer/timing_driven.cpp" "src/buffer/CMakeFiles/rabid_buffer.dir/timing_driven.cpp.o" "gcc" "src/buffer/CMakeFiles/rabid_buffer.dir/timing_driven.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/route/CMakeFiles/rabid_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/tile/CMakeFiles/rabid_tile.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rabid_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/rabid_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/rabid_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

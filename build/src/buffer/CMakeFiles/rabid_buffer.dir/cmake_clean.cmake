@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rabid_buffer.dir/brute_force.cpp.o"
+  "CMakeFiles/rabid_buffer.dir/brute_force.cpp.o.d"
+  "CMakeFiles/rabid_buffer.dir/insertion.cpp.o"
+  "CMakeFiles/rabid_buffer.dir/insertion.cpp.o.d"
+  "CMakeFiles/rabid_buffer.dir/single_sink.cpp.o"
+  "CMakeFiles/rabid_buffer.dir/single_sink.cpp.o.d"
+  "CMakeFiles/rabid_buffer.dir/timing_driven.cpp.o"
+  "CMakeFiles/rabid_buffer.dir/timing_driven.cpp.o.d"
+  "librabid_buffer.a"
+  "librabid_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rabid_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

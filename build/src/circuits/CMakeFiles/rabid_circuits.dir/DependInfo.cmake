@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuits/floorplan.cpp" "src/circuits/CMakeFiles/rabid_circuits.dir/floorplan.cpp.o" "gcc" "src/circuits/CMakeFiles/rabid_circuits.dir/floorplan.cpp.o.d"
+  "/root/repo/src/circuits/generator.cpp" "src/circuits/CMakeFiles/rabid_circuits.dir/generator.cpp.o" "gcc" "src/circuits/CMakeFiles/rabid_circuits.dir/generator.cpp.o.d"
+  "/root/repo/src/circuits/specs.cpp" "src/circuits/CMakeFiles/rabid_circuits.dir/specs.cpp.o" "gcc" "src/circuits/CMakeFiles/rabid_circuits.dir/specs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/rabid_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/tile/CMakeFiles/rabid_tile.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/rabid_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rabid_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rabid_circuits.dir/floorplan.cpp.o"
+  "CMakeFiles/rabid_circuits.dir/floorplan.cpp.o.d"
+  "CMakeFiles/rabid_circuits.dir/generator.cpp.o"
+  "CMakeFiles/rabid_circuits.dir/generator.cpp.o.d"
+  "CMakeFiles/rabid_circuits.dir/specs.cpp.o"
+  "CMakeFiles/rabid_circuits.dir/specs.cpp.o.d"
+  "librabid_circuits.a"
+  "librabid_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rabid_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

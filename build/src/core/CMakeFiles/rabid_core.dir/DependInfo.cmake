@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/congestion_post.cpp" "src/core/CMakeFiles/rabid_core.dir/congestion_post.cpp.o" "gcc" "src/core/CMakeFiles/rabid_core.dir/congestion_post.cpp.o.d"
+  "/root/repo/src/core/rabid.cpp" "src/core/CMakeFiles/rabid_core.dir/rabid.cpp.o" "gcc" "src/core/CMakeFiles/rabid_core.dir/rabid.cpp.o.d"
+  "/root/repo/src/core/site_planning.cpp" "src/core/CMakeFiles/rabid_core.dir/site_planning.cpp.o" "gcc" "src/core/CMakeFiles/rabid_core.dir/site_planning.cpp.o.d"
+  "/root/repo/src/core/sizing.cpp" "src/core/CMakeFiles/rabid_core.dir/sizing.cpp.o" "gcc" "src/core/CMakeFiles/rabid_core.dir/sizing.cpp.o.d"
+  "/root/repo/src/core/solution_io.cpp" "src/core/CMakeFiles/rabid_core.dir/solution_io.cpp.o" "gcc" "src/core/CMakeFiles/rabid_core.dir/solution_io.cpp.o.d"
+  "/root/repo/src/core/twopath.cpp" "src/core/CMakeFiles/rabid_core.dir/twopath.cpp.o" "gcc" "src/core/CMakeFiles/rabid_core.dir/twopath.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/buffer/CMakeFiles/rabid_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/rabid_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/rabid_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/tile/CMakeFiles/rabid_tile.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/rabid_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rabid_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/rabid_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rabid_core.dir/congestion_post.cpp.o"
+  "CMakeFiles/rabid_core.dir/congestion_post.cpp.o.d"
+  "CMakeFiles/rabid_core.dir/rabid.cpp.o"
+  "CMakeFiles/rabid_core.dir/rabid.cpp.o.d"
+  "CMakeFiles/rabid_core.dir/site_planning.cpp.o"
+  "CMakeFiles/rabid_core.dir/site_planning.cpp.o.d"
+  "CMakeFiles/rabid_core.dir/sizing.cpp.o"
+  "CMakeFiles/rabid_core.dir/sizing.cpp.o.d"
+  "CMakeFiles/rabid_core.dir/solution_io.cpp.o"
+  "CMakeFiles/rabid_core.dir/solution_io.cpp.o.d"
+  "CMakeFiles/rabid_core.dir/twopath.cpp.o"
+  "CMakeFiles/rabid_core.dir/twopath.cpp.o.d"
+  "librabid_core.a"
+  "librabid_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rabid_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

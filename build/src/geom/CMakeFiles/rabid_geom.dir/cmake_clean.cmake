@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rabid_geom.dir/rect.cpp.o"
+  "CMakeFiles/rabid_geom.dir/rect.cpp.o.d"
+  "librabid_geom.a"
+  "librabid_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rabid_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librabid_geom.a"
+)

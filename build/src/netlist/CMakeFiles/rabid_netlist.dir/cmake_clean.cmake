@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rabid_netlist.dir/design.cpp.o"
+  "CMakeFiles/rabid_netlist.dir/design.cpp.o.d"
+  "CMakeFiles/rabid_netlist.dir/io.cpp.o"
+  "CMakeFiles/rabid_netlist.dir/io.cpp.o.d"
+  "librabid_netlist.a"
+  "librabid_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rabid_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/report/heatmap.cpp" "src/report/CMakeFiles/rabid_report.dir/heatmap.cpp.o" "gcc" "src/report/CMakeFiles/rabid_report.dir/heatmap.cpp.o.d"
+  "/root/repo/src/report/svg.cpp" "src/report/CMakeFiles/rabid_report.dir/svg.cpp.o" "gcc" "src/report/CMakeFiles/rabid_report.dir/svg.cpp.o.d"
+  "/root/repo/src/report/table.cpp" "src/report/CMakeFiles/rabid_report.dir/table.cpp.o" "gcc" "src/report/CMakeFiles/rabid_report.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rabid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/rabid_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/tile/CMakeFiles/rabid_tile.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rabid_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/rabid_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/rabid_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/rabid_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/rabid_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rabid_report.dir/heatmap.cpp.o"
+  "CMakeFiles/rabid_report.dir/heatmap.cpp.o.d"
+  "CMakeFiles/rabid_report.dir/svg.cpp.o"
+  "CMakeFiles/rabid_report.dir/svg.cpp.o.d"
+  "CMakeFiles/rabid_report.dir/table.cpp.o"
+  "CMakeFiles/rabid_report.dir/table.cpp.o.d"
+  "librabid_report.a"
+  "librabid_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rabid_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/route/embed.cpp" "src/route/CMakeFiles/rabid_route.dir/embed.cpp.o" "gcc" "src/route/CMakeFiles/rabid_route.dir/embed.cpp.o.d"
+  "/root/repo/src/route/maze.cpp" "src/route/CMakeFiles/rabid_route.dir/maze.cpp.o" "gcc" "src/route/CMakeFiles/rabid_route.dir/maze.cpp.o.d"
+  "/root/repo/src/route/negotiated.cpp" "src/route/CMakeFiles/rabid_route.dir/negotiated.cpp.o" "gcc" "src/route/CMakeFiles/rabid_route.dir/negotiated.cpp.o.d"
+  "/root/repo/src/route/prim_dijkstra.cpp" "src/route/CMakeFiles/rabid_route.dir/prim_dijkstra.cpp.o" "gcc" "src/route/CMakeFiles/rabid_route.dir/prim_dijkstra.cpp.o.d"
+  "/root/repo/src/route/route_tree.cpp" "src/route/CMakeFiles/rabid_route.dir/route_tree.cpp.o" "gcc" "src/route/CMakeFiles/rabid_route.dir/route_tree.cpp.o.d"
+  "/root/repo/src/route/rsmt.cpp" "src/route/CMakeFiles/rabid_route.dir/rsmt.cpp.o" "gcc" "src/route/CMakeFiles/rabid_route.dir/rsmt.cpp.o.d"
+  "/root/repo/src/route/steiner.cpp" "src/route/CMakeFiles/rabid_route.dir/steiner.cpp.o" "gcc" "src/route/CMakeFiles/rabid_route.dir/steiner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tile/CMakeFiles/rabid_tile.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/rabid_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/rabid_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rabid_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

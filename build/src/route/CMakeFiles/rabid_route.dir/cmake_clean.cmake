@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rabid_route.dir/embed.cpp.o"
+  "CMakeFiles/rabid_route.dir/embed.cpp.o.d"
+  "CMakeFiles/rabid_route.dir/maze.cpp.o"
+  "CMakeFiles/rabid_route.dir/maze.cpp.o.d"
+  "CMakeFiles/rabid_route.dir/negotiated.cpp.o"
+  "CMakeFiles/rabid_route.dir/negotiated.cpp.o.d"
+  "CMakeFiles/rabid_route.dir/prim_dijkstra.cpp.o"
+  "CMakeFiles/rabid_route.dir/prim_dijkstra.cpp.o.d"
+  "CMakeFiles/rabid_route.dir/route_tree.cpp.o"
+  "CMakeFiles/rabid_route.dir/route_tree.cpp.o.d"
+  "CMakeFiles/rabid_route.dir/rsmt.cpp.o"
+  "CMakeFiles/rabid_route.dir/rsmt.cpp.o.d"
+  "CMakeFiles/rabid_route.dir/steiner.cpp.o"
+  "CMakeFiles/rabid_route.dir/steiner.cpp.o.d"
+  "librabid_route.a"
+  "librabid_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rabid_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

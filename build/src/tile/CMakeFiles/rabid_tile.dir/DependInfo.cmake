@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tile/decap.cpp" "src/tile/CMakeFiles/rabid_tile.dir/decap.cpp.o" "gcc" "src/tile/CMakeFiles/rabid_tile.dir/decap.cpp.o.d"
+  "/root/repo/src/tile/sites.cpp" "src/tile/CMakeFiles/rabid_tile.dir/sites.cpp.o" "gcc" "src/tile/CMakeFiles/rabid_tile.dir/sites.cpp.o.d"
+  "/root/repo/src/tile/tile_graph.cpp" "src/tile/CMakeFiles/rabid_tile.dir/tile_graph.cpp.o" "gcc" "src/tile/CMakeFiles/rabid_tile.dir/tile_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/rabid_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rabid_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rabid_tile.dir/decap.cpp.o"
+  "CMakeFiles/rabid_tile.dir/decap.cpp.o.d"
+  "CMakeFiles/rabid_tile.dir/sites.cpp.o"
+  "CMakeFiles/rabid_tile.dir/sites.cpp.o.d"
+  "CMakeFiles/rabid_tile.dir/tile_graph.cpp.o"
+  "CMakeFiles/rabid_tile.dir/tile_graph.cpp.o.d"
+  "librabid_tile.a"
+  "librabid_tile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rabid_tile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rabid_tile.
+# This may be replaced when dependencies are built.

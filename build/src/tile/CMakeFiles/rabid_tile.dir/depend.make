@@ -1,0 +1,2 @@
+# Empty dependencies file for rabid_tile.
+# This may be replaced when dependencies are built.

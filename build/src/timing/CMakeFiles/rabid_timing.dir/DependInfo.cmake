@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timing/buffer_library.cpp" "src/timing/CMakeFiles/rabid_timing.dir/buffer_library.cpp.o" "gcc" "src/timing/CMakeFiles/rabid_timing.dir/buffer_library.cpp.o.d"
+  "/root/repo/src/timing/delay.cpp" "src/timing/CMakeFiles/rabid_timing.dir/delay.cpp.o" "gcc" "src/timing/CMakeFiles/rabid_timing.dir/delay.cpp.o.d"
+  "/root/repo/src/timing/rc_tree.cpp" "src/timing/CMakeFiles/rabid_timing.dir/rc_tree.cpp.o" "gcc" "src/timing/CMakeFiles/rabid_timing.dir/rc_tree.cpp.o.d"
+  "/root/repo/src/timing/slack.cpp" "src/timing/CMakeFiles/rabid_timing.dir/slack.cpp.o" "gcc" "src/timing/CMakeFiles/rabid_timing.dir/slack.cpp.o.d"
+  "/root/repo/src/timing/slew.cpp" "src/timing/CMakeFiles/rabid_timing.dir/slew.cpp.o" "gcc" "src/timing/CMakeFiles/rabid_timing.dir/slew.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/route/CMakeFiles/rabid_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/tile/CMakeFiles/rabid_tile.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rabid_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/rabid_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/rabid_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

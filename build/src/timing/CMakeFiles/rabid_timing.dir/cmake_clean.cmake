@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rabid_timing.dir/buffer_library.cpp.o"
+  "CMakeFiles/rabid_timing.dir/buffer_library.cpp.o.d"
+  "CMakeFiles/rabid_timing.dir/delay.cpp.o"
+  "CMakeFiles/rabid_timing.dir/delay.cpp.o.d"
+  "CMakeFiles/rabid_timing.dir/rc_tree.cpp.o"
+  "CMakeFiles/rabid_timing.dir/rc_tree.cpp.o.d"
+  "CMakeFiles/rabid_timing.dir/slack.cpp.o"
+  "CMakeFiles/rabid_timing.dir/slack.cpp.o.d"
+  "CMakeFiles/rabid_timing.dir/slew.cpp.o"
+  "CMakeFiles/rabid_timing.dir/slew.cpp.o.d"
+  "librabid_timing.a"
+  "librabid_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rabid_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

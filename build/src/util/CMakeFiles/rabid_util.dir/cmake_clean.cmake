@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rabid_util.dir/rng.cpp.o"
+  "CMakeFiles/rabid_util.dir/rng.cpp.o.d"
+  "librabid_util.a"
+  "librabid_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rabid_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbp_test.dir/bbp/bbp_test.cpp.o"
+  "CMakeFiles/bbp_test.dir/bbp/bbp_test.cpp.o.d"
+  "bbp_test"
+  "bbp_test.pdb"
+  "bbp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

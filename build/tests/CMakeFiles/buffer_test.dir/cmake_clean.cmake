@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_test.dir/buffer/insertion_test.cpp.o"
+  "CMakeFiles/buffer_test.dir/buffer/insertion_test.cpp.o.d"
+  "CMakeFiles/buffer_test.dir/buffer/length_rule_test.cpp.o"
+  "CMakeFiles/buffer_test.dir/buffer/length_rule_test.cpp.o.d"
+  "CMakeFiles/buffer_test.dir/buffer/property_test.cpp.o"
+  "CMakeFiles/buffer_test.dir/buffer/property_test.cpp.o.d"
+  "CMakeFiles/buffer_test.dir/buffer/shape_sweep_test.cpp.o"
+  "CMakeFiles/buffer_test.dir/buffer/shape_sweep_test.cpp.o.d"
+  "CMakeFiles/buffer_test.dir/buffer/single_sink_test.cpp.o"
+  "CMakeFiles/buffer_test.dir/buffer/single_sink_test.cpp.o.d"
+  "CMakeFiles/buffer_test.dir/buffer/timing_driven_test.cpp.o"
+  "CMakeFiles/buffer_test.dir/buffer/timing_driven_test.cpp.o.d"
+  "buffer_test"
+  "buffer_test.pdb"
+  "buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/congestion_post_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/congestion_post_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/ordering_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/ordering_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/rabid_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/rabid_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/rebuffer_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/rebuffer_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/site_planning_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/site_planning_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/sizing_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/sizing_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/solution_io_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/solution_io_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/twopath_optimality_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/twopath_optimality_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/twopath_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/twopath_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_test.dir/integration/all_circuits_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/all_circuits_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/full_flow_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/full_flow_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/golden_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/golden_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/wide_wires_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/wide_wires_test.cpp.o.d"
+  "integration_test"
+  "integration_test.pdb"
+  "integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

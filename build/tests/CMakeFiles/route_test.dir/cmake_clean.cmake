@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_test.dir/route/embed_exact_test.cpp.o"
+  "CMakeFiles/route_test.dir/route/embed_exact_test.cpp.o.d"
+  "CMakeFiles/route_test.dir/route/embed_test.cpp.o"
+  "CMakeFiles/route_test.dir/route/embed_test.cpp.o.d"
+  "CMakeFiles/route_test.dir/route/maze_property_test.cpp.o"
+  "CMakeFiles/route_test.dir/route/maze_property_test.cpp.o.d"
+  "CMakeFiles/route_test.dir/route/maze_test.cpp.o"
+  "CMakeFiles/route_test.dir/route/maze_test.cpp.o.d"
+  "CMakeFiles/route_test.dir/route/negotiated_test.cpp.o"
+  "CMakeFiles/route_test.dir/route/negotiated_test.cpp.o.d"
+  "CMakeFiles/route_test.dir/route/prim_dijkstra_test.cpp.o"
+  "CMakeFiles/route_test.dir/route/prim_dijkstra_test.cpp.o.d"
+  "CMakeFiles/route_test.dir/route/route_tree_test.cpp.o"
+  "CMakeFiles/route_test.dir/route/route_tree_test.cpp.o.d"
+  "CMakeFiles/route_test.dir/route/rsmt_test.cpp.o"
+  "CMakeFiles/route_test.dir/route/rsmt_test.cpp.o.d"
+  "CMakeFiles/route_test.dir/route/steiner_test.cpp.o"
+  "CMakeFiles/route_test.dir/route/steiner_test.cpp.o.d"
+  "route_test"
+  "route_test.pdb"
+  "route_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

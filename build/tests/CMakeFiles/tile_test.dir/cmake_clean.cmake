@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tile_test.dir/tile/decap_test.cpp.o"
+  "CMakeFiles/tile_test.dir/tile/decap_test.cpp.o.d"
+  "CMakeFiles/tile_test.dir/tile/edge_cases_test.cpp.o"
+  "CMakeFiles/tile_test.dir/tile/edge_cases_test.cpp.o.d"
+  "CMakeFiles/tile_test.dir/tile/sites_test.cpp.o"
+  "CMakeFiles/tile_test.dir/tile/sites_test.cpp.o.d"
+  "CMakeFiles/tile_test.dir/tile/tile_graph_test.cpp.o"
+  "CMakeFiles/tile_test.dir/tile/tile_graph_test.cpp.o.d"
+  "tile_test"
+  "tile_test.pdb"
+  "tile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_test.dir/timing/buffer_library_test.cpp.o"
+  "CMakeFiles/timing_test.dir/timing/buffer_library_test.cpp.o.d"
+  "CMakeFiles/timing_test.dir/timing/delay_test.cpp.o"
+  "CMakeFiles/timing_test.dir/timing/delay_test.cpp.o.d"
+  "CMakeFiles/timing_test.dir/timing/elmore_reference_test.cpp.o"
+  "CMakeFiles/timing_test.dir/timing/elmore_reference_test.cpp.o.d"
+  "CMakeFiles/timing_test.dir/timing/rc_tree_test.cpp.o"
+  "CMakeFiles/timing_test.dir/timing/rc_tree_test.cpp.o.d"
+  "CMakeFiles/timing_test.dir/timing/slack_test.cpp.o"
+  "CMakeFiles/timing_test.dir/timing/slack_test.cpp.o.d"
+  "CMakeFiles/timing_test.dir/timing/slew_test.cpp.o"
+  "CMakeFiles/timing_test.dir/timing/slew_test.cpp.o.d"
+  "timing_test"
+  "timing_test.pdb"
+  "timing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/geom_test[1]_include.cmake")
+include("/root/repo/build/tests/netlist_test[1]_include.cmake")
+include("/root/repo/build/tests/tile_test[1]_include.cmake")
+include("/root/repo/build/tests/route_test[1]_include.cmake")
+include("/root/repo/build/tests/timing_test[1]_include.cmake")
+include("/root/repo/build/tests/buffer_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/bbp_test[1]_include.cmake")
+include("/root/repo/build/tests/circuits_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")

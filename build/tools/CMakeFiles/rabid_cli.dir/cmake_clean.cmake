@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rabid_cli.dir/rabid_cli.cpp.o"
+  "CMakeFiles/rabid_cli.dir/rabid_cli.cpp.o.d"
+  "rabid_cli"
+  "rabid_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rabid_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
