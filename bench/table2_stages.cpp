@@ -4,9 +4,15 @@
 // buffer count, length-rule failures, wirelength, max/avg sink delay,
 // and CPU seconds.
 //
-// Usage: table2_stages [--quick]   (--quick runs apte + hp only)
+// Usage: table2_stages [--quick] [--threads N]
+//   --quick      runs apte + hp only
+//   --threads N  worker threads for the per-net stages (0 = one per
+//                hardware thread; solutions are bit-identical, so the
+//                wall column directly charts the parallel speedup
+//                against a --threads 1 run)
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -26,14 +32,26 @@ void add_stats_row(rabid::report::Table& table, const std::string& circuit,
                  fmt(s.max_buffer_density, 2), fmt(s.avg_buffer_density, 2),
                  fmt(s.buffers), fmt(static_cast<std::int64_t>(s.failed_nets)),
                  fmt(s.wirelength_mm, 0), fmt(s.max_delay_ps, 0),
-                 fmt(s.avg_delay_ps, 0), fmt(s.cpu_s, 1)});
+                 fmt(s.avg_delay_ps, 0), fmt(s.cpu_s, 1),
+                 fmt(static_cast<std::int64_t>(s.threads))});
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace rabid;
-  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  bool quick = false;
+  std::int32_t threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: table2_stages [--quick] [--threads N]\n");
+      return 2;
+    }
+  }
 
   std::printf(
       "Table II: stage-by-stage results (CBL circuits: one row per stage;\n"
@@ -42,13 +60,16 @@ int main(int argc, char** argv) {
 
   report::Table table({"circuit", "stage", "wireC max", "wireC avg",
                        "overflows", "bufD max", "bufD avg", "#bufs", "#fails",
-                       "wl (mm)", "delay max", "delay avg", "CPU (s)"});
+                       "wl (mm)", "delay max", "delay avg", "wall (s)",
+                       "thr"});
 
   for (const circuits::CircuitSpec& spec : circuits::table1_specs()) {
     if (quick && spec.name != "apte" && spec.name != "hp") continue;
     const netlist::Design design = circuits::generate_design(spec);
     tile::TileGraph graph = circuits::build_tile_graph(design, spec);
-    core::Rabid rabid(design, graph);
+    core::RabidOptions options;
+    options.threads = threads;
+    core::Rabid rabid(design, graph, options);
     const std::vector<core::StageStats> stats = rabid.run_all();
 
     if (spec.cbl) {

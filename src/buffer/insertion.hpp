@@ -31,6 +31,12 @@
 ///
 /// Complexity: O(n L) for a single-sink chain plus O(m L^2) of join work
 /// over m sinks, matching Section III-C.
+///
+/// Reentrancy: the DP is a pure function of (tree, L, q) with no shared
+/// state; q is evaluated only on the tree's own node tiles.  Concurrent
+/// calls on distinct nets are safe whenever each q is itself safe to
+/// call concurrently — core::Rabid's speculative parallel Stage 3
+/// exploits both properties (the tile set bounds what can go stale).
 
 #include <functional>
 #include <span>

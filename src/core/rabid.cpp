@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
+#include <unordered_map>
 
 #include "buffer/timing_driven.hpp"
 #include "core/congestion_post.hpp"
@@ -66,12 +68,14 @@ Rabid::Rabid(const netlist::Design& design, tile::TileGraph& graph,
   RABID_ASSERT_MSG(graph.stats().buffers_used == 0 && graph.wire_feasible(),
                    "tile graph usage books must start empty");
   nets_.resize(design.nets().size());
+  const std::size_t workers = util::resolve_thread_count(options_.threads);
+  if (workers >= 2) pool_ = std::make_unique<util::ThreadPool>(workers);
 }
 
 void Rabid::refresh_delays() {
-  for (std::size_t i = 0; i < nets_.size(); ++i) {
+  const auto refresh_one = [this](std::size_t i) {
     NetState& n = nets_[i];
-    if (n.tree.empty()) continue;
+    if (n.tree.empty()) return;
     // Wide-wire classes scale the RC model per net (footnote 4).
     const timing::Technology tech = timing::scaled_for_width(
         options_.tech, design_.net(static_cast<netlist::NetId>(i)).width);
@@ -81,6 +85,13 @@ void Rabid::refresh_delays() {
       n.delay = timing::evaluate_delay_sized(n.tree, n.buffers,
                                              n.buffer_types, graph_, tech);
     }
+  };
+  // Each net touches only its own state; reads of the graph and design
+  // are shared and const, so any schedule gives identical delays.
+  if (pool_ != nullptr) {
+    pool_->parallel_for(0, nets_.size(), refresh_one);
+  } else {
+    for (std::size_t i = 0; i < nets_.size(); ++i) refresh_one(i);
   }
 }
 
@@ -99,6 +110,7 @@ std::vector<std::size_t> Rabid::nets_by_delay(bool ascending) const {
 StageStats Rabid::snapshot(std::string stage_name, double cpu_s) const {
   StageStats s;
   s.stage = std::move(stage_name);
+  s.threads = pool_ == nullptr ? 1 : static_cast<std::int32_t>(pool_->size());
   const tile::CongestionStats cs = graph_.stats();
   s.max_wire_congestion = cs.max_wire_congestion;
   s.avg_wire_congestion = cs.avg_wire_congestion;
@@ -158,26 +170,39 @@ void Rabid::check_books() const {
   }
 }
 
+route::RouteTree Rabid::build_net_tree(std::size_t index) const {
+  const netlist::Net& net = design_.net(static_cast<netlist::NetId>(index));
+  const auto terminals = static_cast<std::int32_t>(net.sinks.size()) + 1;
+  if (terminals <= options_.exact_steiner_max_terminals &&
+      terminals <= route::kMaxExactRsmtTerminals) {
+    std::vector<geom::Point> pts;
+    pts.push_back(net.source.location);
+    for (const netlist::Pin& p : net.sinks) pts.push_back(p.location);
+    return route::embed_tree(route::rsmt_exact(pts, 0), net, graph_);
+  }
+  return route::build_initial_route(net, graph_, options_.pd_alpha);
+}
+
 StageStats Rabid::run_stage1() {
   const auto start = std::chrono::steady_clock::now();
-  for (std::size_t i = 0; i < nets_.size(); ++i) {
+  const auto build_one = [this](std::size_t i) {
     NetState& state = nets_[i];
-    const netlist::Net& net = design_.net(static_cast<netlist::NetId>(i));
-    const auto terminals = static_cast<std::int32_t>(net.sinks.size()) + 1;
-    if (terminals <= options_.exact_steiner_max_terminals &&
-        terminals <= route::kMaxExactRsmtTerminals) {
-      std::vector<geom::Point> pts;
-      pts.push_back(net.source.location);
-      for (const netlist::Pin& p : net.sinks) pts.push_back(p.location);
-      state.tree = route::embed_tree(route::rsmt_exact(pts, 0), net, graph_);
-    } else {
-      state.tree =
-          route::build_initial_route(net, graph_, options_.pd_alpha);
-    }
-    state.tree.commit(graph_, net.width);
+    state.tree = build_net_tree(i);
     state.meets_length_rule =
         meets_rule(state.tree, {},
                    design_.length_limit(static_cast<netlist::NetId>(i)));
+  };
+  if (pool_ != nullptr) {
+    // Construction is a pure function of the net and the graph geometry
+    // (it never reads the usage books), so building out of order and
+    // committing in net order reproduces the serial run exactly.
+    pool_->parallel_for(0, nets_.size(), build_one);
+  } else {
+    for (std::size_t i = 0; i < nets_.size(); ++i) build_one(i);
+  }
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    nets_[i].tree.commit(graph_,
+                         design_.net(static_cast<netlist::NetId>(i)).width);
   }
   refresh_delays();
   stage1_done_ = true;
@@ -246,7 +271,8 @@ StageStats Rabid::run_stage2() {
   return snapshot("2", seconds_since(start));
 }
 
-void Rabid::buffer_net(std::size_t index, const std::vector<double>& demand) {
+void Rabid::buffer_net(std::size_t index, const std::vector<double>& demand,
+                       const buffer::InsertionResult* first_attempt) {
   NetState& state = nets_[index];
   const std::int32_t L =
       design_.length_limit(static_cast<netlist::NetId>(index));
@@ -264,7 +290,9 @@ void Rabid::buffer_net(std::size_t index, const std::vector<double>& demand) {
       return graph_.buffer_cost(t, demand[static_cast<std::size_t>(t)]);
     };
     buffer::InsertionResult result =
-        buffer::insert_buffers_relaxed(state.tree, L, q);
+        attempt == 0 && first_attempt != nullptr
+            ? *first_attempt
+            : buffer::insert_buffers_relaxed(state.tree, L, q);
 
     // Count proposed buffers per tile; find oversubscribed tiles.
     bool ok = true;
@@ -397,18 +425,91 @@ StageStats Rabid::run_stage3() {
       std::iota(order.begin(), order.end(), 0U);
       break;
   }
-  for (const std::size_t i : order) {
-    // The current net no longer counts as "future demand".
-    const double p =
-        1.0 / design_.length_limit(static_cast<netlist::NetId>(i));
-    for (const route::RouteNode& n : nets_[i].tree.nodes()) {
-      demand[static_cast<std::size_t>(n.tile)] -= p;
+  if (pool_ != nullptr) {
+    assign_buffers_parallel(order, demand);
+  } else {
+    for (const std::size_t i : order) {
+      // The current net no longer counts as "future demand".
+      const double p =
+          1.0 / design_.length_limit(static_cast<netlist::NetId>(i));
+      for (const route::RouteNode& n : nets_[i].tree.nodes()) {
+        demand[static_cast<std::size_t>(n.tile)] -= p;
+      }
+      buffer_net(i, demand);
     }
-    buffer_net(i, demand);
   }
   refresh_delays();
   stage3_done_ = true;
   return snapshot("3", seconds_since(start));
+}
+
+void Rabid::assign_buffers_parallel(const std::vector<std::size_t>& order,
+                                    std::vector<double>& demand) {
+  // Speculative batches: per-net DPs run concurrently against the books
+  // as of the batch start; commits then replay serially in `order`.  A
+  // net whose tree crossed a tile that gained a buffer earlier in the
+  // same batch has stale q-costs and falls back to the serial DP, so
+  // the solution is bit-identical to the single-threaded loop at any
+  // thread count.
+  const std::size_t batch = pool_->size();
+  std::vector<std::uint8_t> dirty(
+      static_cast<std::size_t>(graph_.tile_count()), 0);
+  std::vector<double> scratch;
+  for (std::size_t b0 = 0; b0 < order.size(); b0 += batch) {
+    const std::size_t count = std::min(batch, order.size() - b0);
+
+    // Demand progression: replicate the serial per-node subtraction
+    // order on a copy of the p(v) book, recording each net's
+    // post-subtraction values for exactly the tiles its DP prices.
+    scratch = demand;
+    std::vector<std::unordered_map<tile::TileId, double>> net_demand(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      const std::size_t i = order[b0 + k];
+      const double p =
+          1.0 / design_.length_limit(static_cast<netlist::NetId>(i));
+      for (const route::RouteNode& n : nets_[i].tree.nodes()) {
+        scratch[static_cast<std::size_t>(n.tile)] -= p;
+      }
+      for (const route::RouteNode& n : nets_[i].tree.nodes()) {
+        net_demand[k][n.tile] = scratch[static_cast<std::size_t>(n.tile)];
+      }
+    }
+
+    // Parallel phase: nothing mutates the graph while the DPs read it.
+    std::vector<buffer::InsertionResult> speculated(count);
+    pool_->parallel_for(0, count, [&](std::size_t k) {
+      const std::size_t i = order[b0 + k];
+      const std::unordered_map<tile::TileId, double>& dm = net_demand[k];
+      const auto q = [&](tile::TileId t) {
+        const auto it = dm.find(t);
+        RABID_ASSERT_MSG(it != dm.end(),
+                         "speculative DP priced an off-tree tile");
+        return graph_.buffer_cost(t, it->second);
+      };
+      speculated[k] = buffer::insert_buffers_relaxed(
+          nets_[i].tree, design_.length_limit(static_cast<netlist::NetId>(i)),
+          q);
+    });
+
+    // Serial phase: commits in net order, exactly as the serial loop
+    // would.  A speculated result is valid while no earlier commit in
+    // this batch placed a buffer in any tile its DP priced.
+    std::fill(dirty.begin(), dirty.end(), 0);
+    for (std::size_t k = 0; k < count; ++k) {
+      const std::size_t i = order[b0 + k];
+      const double p =
+          1.0 / design_.length_limit(static_cast<netlist::NetId>(i));
+      bool fresh = true;
+      for (const route::RouteNode& n : nets_[i].tree.nodes()) {
+        demand[static_cast<std::size_t>(n.tile)] -= p;
+        if (dirty[static_cast<std::size_t>(n.tile)] != 0) fresh = false;
+      }
+      buffer_net(i, demand, fresh ? &speculated[k] : nullptr);
+      for (const route::BufferPlacement& b : nets_[i].buffers) {
+        dirty[static_cast<std::size_t>(nets_[i].tree.node(b.node).tile)] = 1;
+      }
+    }
+  }
 }
 
 StageStats Rabid::run_stage4() {

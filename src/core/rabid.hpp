@@ -13,7 +13,13 @@
 /// The driver owns per-net state (route tree, buffers, delays) and keeps
 /// the tile graph's w(e)/b(v) books consistent at every step; stats()
 /// emits exactly the columns of Table II.
+///
+/// Per-net work in Stages 1 and 3 (and every delay refresh) runs on a
+/// fixed-size thread pool when RabidOptions::threads allows; all book
+/// mutations stay serialized in the paper's net order, so the solution
+/// is bit-identical at any thread count (see DESIGN.md, "Parallelism").
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -24,6 +30,7 @@
 #include "tile/tile_graph.hpp"
 #include "timing/delay.hpp"
 #include "timing/tech.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rabid::core {
 
@@ -62,6 +69,13 @@ struct RabidOptions {
   /// Prim-Dijkstra construction (0 = always PD).  Trades source-sink
   /// radius for wirelength; see the ablation bench.
   std::int32_t exact_steiner_max_terminals = 0;
+  /// Worker threads for the per-net stages (Stage-1 tree construction,
+  /// Stage-3 buffer DP, delay refreshes).  0 = one per hardware thread;
+  /// 1 = today's serial code path, instruction for instruction.  Any
+  /// value yields bit-identical solutions: per-net work runs in
+  /// parallel, but tile-site/wire-usage commits stay serialized in the
+  /// paper's net order.
+  std::int32_t threads = 0;
   timing::Technology tech = timing::kTech180nm;
 };
 
@@ -78,7 +92,11 @@ struct StageStats {
   double wirelength_mm = 0.0;
   double max_delay_ps = 0.0;
   double avg_delay_ps = 0.0;
+  /// Wall-clock seconds for the stage (the paper's "CPU" column).
   double cpu_s = 0.0;
+  /// Worker threads the stage ran with (1 == the serial reference path);
+  /// cpu_s at 1 thread over cpu_s at N threads is the stage's speedup.
+  std::int32_t threads = 1;
 };
 
 /// Per-net solution state.
@@ -137,7 +155,21 @@ class Rabid {
  private:
   /// Stage-3 core, shared with Stage 4's re-buffering: optimal buffers
   /// for one net under tile costs; updates books and the net state.
-  void buffer_net(std::size_t index, const std::vector<double>& demand);
+  /// `first_attempt`, when given, supplies a precomputed result for the
+  /// first DP attempt (the speculative parallel path); it must have been
+  /// computed against the exact q-costs the serial execution would see.
+  void buffer_net(std::size_t index, const std::vector<double>& demand,
+                  const buffer::InsertionResult* first_attempt = nullptr);
+
+  /// Stage-1 construction for one net (PD/RSMT + embedding).  Pure:
+  /// reads only the design and the graph's geometry, never its books.
+  route::RouteTree build_net_tree(std::size_t index) const;
+
+  /// Stage-3 buffer assignment over `order` with per-net DPs speculated
+  /// across the pool and commits serialized in `order` (bit-identical to
+  /// the serial loop).  `demand` is the live p(v) book.
+  void assign_buffers_parallel(const std::vector<std::size_t>& order,
+                               std::vector<double>& demand);
 
   /// Net indices ordered by current delay (ascending or descending).
   std::vector<std::size_t> nets_by_delay(bool ascending) const;
@@ -146,6 +178,8 @@ class Rabid {
   tile::TileGraph& graph_;
   RabidOptions options_;
   std::vector<NetState> nets_;
+  /// Live only when options_.threads resolves to >= 2 workers.
+  std::unique_ptr<util::ThreadPool> pool_;
   bool stage1_done_ = false;
   bool stage3_done_ = false;
 };

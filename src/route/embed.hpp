@@ -8,6 +8,11 @@
 /// (x-first, deterministically).  When a step lands on a tile already in
 /// the tree the walk re-anchors there, so the result is always a valid
 /// tree even when arcs cross.
+///
+/// Reentrancy: both entry points read only the net and the graph's
+/// geometry (tiling, never the w(e)/b(v) usage books) and keep no
+/// shared state, so distinct nets may be built concurrently against the
+/// same graph — the contract core::Rabid's parallel Stage 1 relies on.
 
 #include "netlist/design.hpp"
 #include "route/route_tree.hpp"

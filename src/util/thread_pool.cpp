@@ -1,0 +1,106 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace rabid::util {
+
+std::size_t resolve_thread_count(std::int32_t requested) {
+  if (requested >= 1) return static_cast<std::size_t>(requested);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  RABID_ASSERT_MSG(threads >= 1, "a thread pool needs at least one worker");
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RABID_ASSERT_MSG(!stopping_, "submit on a stopping thread pool");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+/// Shared state of one parallel_for call: a work counter plus the first
+/// exception any runner hit.
+struct ForState {
+  std::atomic<std::size_t> next;
+  std::size_t end;
+  std::mutex mu;
+  std::exception_ptr error;
+
+  /// Claims and runs indices until the range (or the error budget) is
+  /// exhausted.
+  void run(const std::function<void(std::size_t)>& fn) {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= end) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+        // Park the counter past the end so no new index is handed out.
+        next.store(end, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  auto state = std::make_shared<ForState>();
+  state->next.store(begin, std::memory_order_relaxed);
+  state->end = end;
+
+  // One helper task per worker (capped by the range); the calling thread
+  // is the final runner, so a pool of size 1 still overlaps with it.
+  const std::size_t helpers =
+      std::min(workers_.size(), end - begin > 1 ? end - begin - 1 : 0);
+  std::vector<std::future<void>> done;
+  done.reserve(helpers);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    done.push_back(submit([state, &fn] { state->run(fn); }));
+  }
+  state->run(fn);
+  for (std::future<void>& f : done) f.get();
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace rabid::util

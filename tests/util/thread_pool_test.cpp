@@ -1,0 +1,113 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace rabid::util {
+namespace {
+
+TEST(ThreadPool, StartupAndShutdownWithoutWork) {
+  for (std::size_t n = 1; n <= 8; ++n) {
+    ThreadPool pool(n);
+    EXPECT_EQ(pool.size(), n);
+  }
+}
+
+TEST(ThreadPool, ResolveThreadCount) {
+  EXPECT_GE(resolve_thread_count(0), 1U);
+  EXPECT_EQ(resolve_thread_count(1), 1U);
+  EXPECT_EQ(resolve_thread_count(3), 3U);
+  EXPECT_EQ(resolve_thread_count(-5), resolve_thread_count(0));
+}
+
+TEST(ThreadPool, SubmitReturnsValueThroughFuture) {
+  ThreadPool pool(2);
+  std::future<int> f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitRunsAllTasksBeforeShutdown) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(3);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 100; ++i) {
+      futures.push_back(pool.submit([&ran] { ++ran; }));
+    }
+    for (auto& f : futures) f.get();
+  }
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  std::future<int> f = pool.submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversExactBounds) {
+  ThreadPool pool(4);
+  const std::size_t begin = 3, end = 257;
+  std::vector<int> hits(end + 10, 0);
+  pool.parallel_for(begin, end, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], i >= begin && i < end ? 1 : 0) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForEmptyAndReversedRangesAreNoOps) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  pool.parallel_for(9, 2, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, ParallelForSingleIndexRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(7, 8, [&](std::size_t i) {
+    EXPECT_EQ(i, 7U);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  ThreadPool pool(4);
+  const auto boom = [](std::size_t i) {
+    if (i == 123) throw std::out_of_range("boom");
+  };
+  EXPECT_THROW(pool.parallel_for(0, 1000, boom), std::out_of_range);
+}
+
+TEST(ThreadPool, ParallelForComputesCorrectSum) {
+  ThreadPool pool(3);
+  const std::size_t n = 10000;
+  std::vector<std::int64_t> squares(n, 0);
+  pool.parallel_for(0, n, [&](std::size_t i) {
+    squares[i] = static_cast<std::int64_t>(i) * static_cast<std::int64_t>(i);
+  });
+  const std::int64_t total =
+      std::accumulate(squares.begin(), squares.end(), std::int64_t{0});
+  // sum of squares 0..n-1 = (n-1)n(2n-1)/6
+  EXPECT_EQ(total, static_cast<std::int64_t>(n - 1) * n * (2 * n - 1) / 6);
+}
+
+TEST(ThreadPool, ParallelForUsableRepeatedly) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<int> hits(64, 0);
+    pool.parallel_for(0, hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (const int h : hits) ASSERT_EQ(h, 1);
+  }
+}
+
+}  // namespace
+}  // namespace rabid::util

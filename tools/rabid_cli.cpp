@@ -9,6 +9,9 @@
 // Flags:
 //   --circuit NAME     one of apte xerox hp ami33 ami49 playout ac3 xc5
 //                      hc7 a9c3 (required)
+//   --threads N        worker threads for the per-net stages (default:
+//                      one per hardware thread; 1 = serial; any value
+//                      yields a bit-identical solution)
 //   --grid NxM         override the tiling (default: Table I)
 //   --sites N          override the buffer-site count (default: Table I)
 //   --no-blocked       disable the 9x9 blocked cache region
@@ -44,6 +47,7 @@ namespace {
 
 struct Args {
   std::string circuit;
+  std::int32_t threads = 0;
   std::int32_t nx = 0, ny = 0;
   std::int64_t sites = -1;
   bool no_blocked = false;
@@ -61,10 +65,10 @@ struct Args {
 [[noreturn]] void usage(const char* msg) {
   if (msg != nullptr) std::fprintf(stderr, "error: %s\n", msg);
   std::fprintf(stderr,
-               "usage: rabid_cli --circuit NAME [--grid NxM] [--sites N]\n"
-               "       [--no-blocked] [--post] [--vg K] [--inverters] [--two-pin]\n"
-               "       [--bbp] [--dump-design F] [--dump-solution F]\n"
-               "       [--heatmaps]\n");
+               "usage: rabid_cli --circuit NAME [--threads N] [--grid NxM]\n"
+               "       [--sites N] [--no-blocked] [--post] [--vg K]\n"
+               "       [--inverters] [--two-pin] [--bbp] [--dump-design F]\n"
+               "       [--dump-solution F] [--heatmaps]\n");
   std::exit(2);
 }
 
@@ -78,6 +82,9 @@ Args parse(int argc, char** argv) {
     };
     if (flag == "--circuit") {
       a.circuit = value();
+    } else if (flag == "--threads") {
+      a.threads = static_cast<std::int32_t>(std::atoi(value()));
+      if (a.threads < 0) usage("--threads expects a non-negative count");
     } else if (flag == "--grid") {
       const char* v = value();
       if (std::sscanf(v, "%dx%d", &a.nx, &a.ny) != 2 || a.nx < 1 || a.ny < 1)
@@ -124,7 +131,8 @@ void print_stats_row(rabid::report::Table& t,
              fmt(s.max_buffer_density, 2), fmt(s.buffers),
              fmt(static_cast<std::int64_t>(s.failed_nets)),
              fmt(s.wirelength_mm, 0), fmt(s.max_delay_ps, 0),
-             fmt(s.avg_delay_ps, 0), fmt(s.cpu_s, 2)});
+             fmt(s.avg_delay_ps, 0), fmt(s.cpu_s, 2),
+             fmt(static_cast<std::int64_t>(s.threads))});
 }
 
 }  // namespace
@@ -170,11 +178,12 @@ int main(int argc, char** argv) {
         r.max_delay_ps, r.avg_delay_ps);
   } else {
     core::RabidOptions options;
+    options.threads = args.threads;
     options.congestion_post_after_stage2 = args.post;
     core::Rabid rabid(design, graph, options);
     report::Table table({"stage", "wireC max", "wireC avg", "overflows",
                          "bufD max", "#bufs", "#fails", "wl (mm)",
-                         "delay max", "delay avg", "CPU (s)"});
+                         "delay max", "delay avg", "wall (s)", "thr"});
     for (const core::StageStats& s : rabid.run_all()) {
       print_stats_row(table, s);
     }
