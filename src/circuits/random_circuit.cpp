@@ -1,0 +1,60 @@
+#include "circuits/random_circuit.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace rabid::circuits {
+
+RandomCircuit::RandomCircuit(std::uint64_t seed,
+                             const RandomCircuitOptions& opt)
+    : seed_(seed), name_("fuzz-" + std::to_string(seed)) {
+  RABID_ASSERT(opt.min_cells >= 1 && opt.min_cells <= opt.max_cells);
+  RABID_ASSERT(opt.min_nets >= 1 && opt.min_nets <= opt.max_nets);
+  RABID_ASSERT(opt.min_grid >= 2 && opt.min_grid <= opt.max_grid);
+  RABID_ASSERT(opt.min_length_limit >= 1 &&
+               opt.min_length_limit <= opt.max_length_limit);
+
+  // This stream only picks the *shape* of the instance; the netlist and
+  // site sprinkle draw from generate_design/build_tile_graph's own
+  // name-keyed streams, exactly as for the Table-I circuits.
+  util::Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+
+  spec_.name = name_;
+  spec_.cbl = false;
+  spec_.cells = static_cast<std::int32_t>(
+      rng.uniform_int(opt.min_cells, opt.max_cells));
+  spec_.nets =
+      static_cast<std::int32_t>(rng.uniform_int(opt.min_nets, opt.max_nets));
+  const auto extra = static_cast<std::int32_t>(
+      rng.uniform(0.0, opt.max_extra_sink_factor) * spec_.nets);
+  spec_.sinks = spec_.nets + extra;
+  // Pads need a distinct (source or sink) slot each: nets + sinks slots.
+  spec_.pads = static_cast<std::int32_t>(
+      rng.uniform_int(0, std::min(spec_.nets, 12)));
+  spec_.grid_x =
+      static_cast<std::int32_t>(rng.uniform_int(opt.min_grid, opt.max_grid));
+  spec_.grid_y =
+      static_cast<std::int32_t>(rng.uniform_int(opt.min_grid, opt.max_grid));
+  const double side =
+      rng.uniform(opt.min_tile_side_um, opt.max_tile_side_um);
+  spec_.tile_area_mm2 = side * side * 1e-6;
+  spec_.length_limit = static_cast<std::int32_t>(
+      rng.uniform_int(opt.min_length_limit, opt.max_length_limit));
+  const double per_tile =
+      rng.uniform(opt.min_sites_per_tile, opt.max_sites_per_tile);
+  spec_.buffer_sites = static_cast<std::int32_t>(
+      per_tile * spec_.grid_x * spec_.grid_y);
+  spec_.pct_chip_area = pct_chip_area(spec_, spec_.buffer_sites);
+
+  tiling_ = {};
+  tiling_.target_avg_congestion = opt.target_avg_congestion;
+  const std::int32_t max_span = std::min(spec_.grid_x, spec_.grid_y) / 3;
+  tiling_.blocked_span =
+      opt.allow_blocked_region && max_span > 0
+          ? static_cast<std::int32_t>(rng.uniform_int(0, max_span))
+          : 0;
+}
+
+}  // namespace rabid::circuits

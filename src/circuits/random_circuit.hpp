@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file random_circuit.hpp
+/// Seeded random workloads beyond the ten Table-I circuits.
+///
+/// The published benchmarks exercise ten points of the input space; the
+/// fuzzed differential harness (fuzz/differential.hpp) and the
+/// randomized determinism tests need *hundreds* of structurally diverse
+/// instances.  A RandomCircuit derives a complete CircuitSpec — cells,
+/// nets, pads, sinks, grid, tile area, L_i, buffer sites — plus tiling
+/// options from a single 64-bit seed, then reuses the Table-I generator
+/// machinery verbatim, so every random instance goes through exactly the
+/// code paths the real workloads do.
+///
+/// Determinism: the same (seed, options) always produces the same
+/// design and tile graph, on every platform (util::Rng is PCG32 with
+/// portable mappings), which is what lets a fuzz failure be replayed
+/// from nothing but its seed.
+
+#include <cstdint>
+#include <string>
+
+#include "circuits/generator.hpp"
+#include "circuits/specs.hpp"
+#include "netlist/design.hpp"
+#include "tile/tile_graph.hpp"
+
+namespace rabid::circuits {
+
+/// Bounds for random instance generation.  The defaults keep instances
+/// small enough that a full four-stage flow runs in milliseconds —
+/// fuzzing wants many instances more than it wants big ones.
+struct RandomCircuitOptions {
+  std::int32_t min_cells = 3;
+  std::int32_t max_cells = 9;
+  std::int32_t min_nets = 4;
+  std::int32_t max_nets = 28;
+  /// Extra sinks beyond the mandatory one per net, as a fraction of the
+  /// net count (drawn uniformly in [0, max]).
+  double max_extra_sink_factor = 1.5;
+  std::int32_t min_grid = 6;    ///< per-axis tile count
+  std::int32_t max_grid = 14;
+  double min_tile_side_um = 90.0;
+  double max_tile_side_um = 220.0;
+  std::int32_t min_length_limit = 3;
+  std::int32_t max_length_limit = 8;
+  /// Buffer-site supply as sites-per-tile, drawn in [min, max].
+  double min_sites_per_tile = 1.0;
+  double max_sites_per_tile = 4.0;
+  /// Wire capacity calibration target (TilingOptions); lower = more
+  /// headroom, so the flow reliably reaches w(e) <= W(e).
+  double target_avg_congestion = 0.2;
+  /// Allow a blocked no-site region of up to min(grid)/3 tiles a side.
+  bool allow_blocked_region = true;
+};
+
+/// A deterministic random circuit: spec + tiling derived from `seed`.
+/// Non-copyable: CircuitSpec::name is a string_view into the owned
+/// name, so moving the wrapper would dangle it.
+class RandomCircuit {
+ public:
+  explicit RandomCircuit(std::uint64_t seed,
+                         const RandomCircuitOptions& options = {});
+  RandomCircuit(const RandomCircuit&) = delete;
+  RandomCircuit& operator=(const RandomCircuit&) = delete;
+
+  std::uint64_t seed() const { return seed_; }
+  const std::string& name() const { return name_; }
+  const CircuitSpec& spec() const { return spec_; }
+  const TilingOptions& tiling() const { return tiling_; }
+
+  /// The instance's netlist (deterministic in the seed).
+  netlist::Design design() const { return generate_design(spec_); }
+  /// A fresh tile graph for `design` (usage books empty).
+  tile::TileGraph graph(const netlist::Design& d) const {
+    return build_tile_graph(d, spec_, tiling_);
+  }
+
+ private:
+  std::uint64_t seed_;
+  std::string name_;
+  CircuitSpec spec_;
+  TilingOptions tiling_;
+};
+
+}  // namespace rabid::circuits

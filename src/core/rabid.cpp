@@ -206,7 +206,9 @@ StageStats Rabid::run_stage1() {
   }
   refresh_delays();
   stage1_done_ = true;
-  return snapshot("1", seconds_since(start));
+  StageStats stats = snapshot("1", seconds_since(start));
+  maybe_audit("1", /*final_stage=*/false);
+  return stats;
 }
 
 StageStats Rabid::run_stage2() {
@@ -268,7 +270,9 @@ StageStats Rabid::run_stage2() {
     }
   }
   refresh_delays();
-  return snapshot("2", seconds_since(start));
+  StageStats stats = snapshot("2", seconds_since(start));
+  maybe_audit("2", /*final_stage=*/false);
+  return stats;
 }
 
 void Rabid::buffer_net(std::size_t index, const std::vector<double>& demand,
@@ -393,7 +397,9 @@ StageStats Rabid::rebuffer_timing_driven(std::size_t worst_nets,
                    design_.length_limit(static_cast<netlist::NetId>(i)));
   }
   refresh_delays();
-  return snapshot("vG", seconds_since(start));
+  StageStats stats = snapshot("vG", seconds_since(start));
+  maybe_audit("vG", /*final_stage=*/true);
+  return stats;
 }
 
 StageStats Rabid::run_stage3() {
@@ -440,7 +446,9 @@ StageStats Rabid::run_stage3() {
   }
   refresh_delays();
   stage3_done_ = true;
-  return snapshot("3", seconds_since(start));
+  StageStats stats = snapshot("3", seconds_since(start));
+  maybe_audit("3", /*final_stage=*/false);
+  return stats;
 }
 
 void Rabid::assign_buffers_parallel(const std::vector<std::size_t>& order,
@@ -583,7 +591,9 @@ StageStats Rabid::run_stage4() {
     }
   }
   refresh_delays();
-  return snapshot("4", seconds_since(start));
+  StageStats stats = snapshot("4", seconds_since(start));
+  maybe_audit("4", /*final_stage=*/true);
+  return stats;
 }
 
 std::vector<StageStats> Rabid::run_all() {

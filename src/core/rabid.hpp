@@ -34,6 +34,16 @@
 
 namespace rabid::core {
 
+struct AuditReport;  // core/audit.hpp
+
+/// When the flow runs the independent SolutionAuditor (core/audit.hpp)
+/// on its own solution.  Results accumulate in last_audit().
+enum class AuditLevel {
+  kOff,       ///< never (the default; audit() is always available)
+  kFinal,     ///< once, after the last stage (stage 4 or rebuffering)
+  kPerStage,  ///< after every stage, stamped with the stage label
+};
+
 /// Net processing order for Stage-3 buffer assignment.
 enum class Stage3Order {
   kDescendingDelay,  ///< the paper's choice: worst nets claim sites first
@@ -76,6 +86,9 @@ struct RabidOptions {
   /// parallel, but tile-site/wire-usage commits stay serialized in the
   /// paper's net order.
   std::int32_t threads = 0;
+  /// Self-auditing: recompute every solution invariant from scratch at
+  /// the chosen points and accumulate violations in last_audit().
+  AuditLevel audit_level = AuditLevel::kOff;
   timing::Technology tech = timing::kTech180nm;
 };
 
@@ -141,6 +154,16 @@ class Rabid {
   const std::vector<NetState>& nets() const { return nets_; }
   const tile::TileGraph& graph() const { return graph_; }
   const netlist::Design& design() const { return design_; }
+  const RabidOptions& options() const { return options_; }
+
+  /// Runs the independent SolutionAuditor on the current solution
+  /// (core/audit.hpp): recounts both books from the per-net states,
+  /// re-verifies every tree, the length-rule flags, and the committed
+  /// delays.  Pure; does not touch last_audit().
+  AuditReport audit() const;
+  /// Violations accumulated per RabidOptions::audit_level; nullptr until
+  /// the first audited stage completes.
+  const AuditReport* last_audit() const { return last_audit_.get(); }
 
   /// Current solution snapshot (stats of the live books).
   StageStats snapshot(std::string stage_name, double cpu_s) const;
@@ -174,12 +197,20 @@ class Rabid {
   /// Net indices ordered by current delay (ascending or descending).
   std::vector<std::size_t> nets_by_delay(bool ascending) const;
 
+  /// Runs the auditor per options_.audit_level and accumulates the
+  /// report (defined in audit.cpp).  `final_stage` marks the flow's
+  /// last committed solution, where capacity overload is an error
+  /// rather than not-yet-resolved congestion.
+  void maybe_audit(const char* stage, bool final_stage);
+
   const netlist::Design& design_;
   tile::TileGraph& graph_;
   RabidOptions options_;
   std::vector<NetState> nets_;
   /// Live only when options_.threads resolves to >= 2 workers.
   std::unique_ptr<util::ThreadPool> pool_;
+  /// shared_ptr so the header needs only the forward declaration.
+  std::shared_ptr<AuditReport> last_audit_;
   bool stage1_done_ = false;
   bool stage3_done_ = false;
 };

@@ -5,17 +5,24 @@
 /// the artifact a downstream flow (global router, placer ECO step)
 /// would consume after early planning.
 ///
-/// Format (line-oriented, '#' comments):
+/// Format v2 (line-oriented, '#' comments):
 ///
 ///   solution DESIGN_NAME TILES_X TILES_Y
 ///   net NAME ok|fail
-///     arc X1 Y1 X2 Y2          # one tile step of the route tree
-///     buffer X Y drive|decouple [CELL]
+///     arc X1 Y1 X2 Y2          # one tile step, parent tile first
+///     buffer X Y drive [CELL]          # drives all branches (Fig. 8)
+///     buffer X Y decouple CX CY [CELL] # drives only the arc to (CX,CY)
 ///   end
 ///
-/// Coordinates are tile indices.  Parsing back is supported for the
-/// round-trip tests and for external tools that want to re-ingest a
-/// solution summary.
+/// Coordinates are tile indices; arcs are written parent-before-child,
+/// so a reader can rebuild each route tree in one pass.  (v1 omitted
+/// the decoupled child's tile, which made multi-branch placements
+/// ambiguous on re-ingestion.)
+///
+/// Two readers: read_solution_summary() for cheap structural counts,
+/// and read_solution() for a full NetState reconstruction — the
+/// round-trip tests feed the latter straight back into the
+/// SolutionAuditor (core/audit.hpp) to certify the dump is lossless.
 
 #include <cstdint>
 #include <istream>
@@ -25,6 +32,7 @@
 #include <vector>
 
 #include "core/rabid.hpp"
+#include "timing/buffer_library.hpp"
 
 namespace rabid::core {
 
@@ -49,5 +57,27 @@ struct SolutionSummary {
 };
 
 SolutionSummary read_solution_summary(std::istream& in);
+
+/// A full solution parsed back from a dump.
+struct LoadedSolution {
+  std::string design;
+  std::int32_t nx = 0, ny = 0;
+  /// One state per design net, in design order: reconstructed tree,
+  /// buffers (and types, when cells were dumped and found in `library`),
+  /// the ok/fail flag, and delays re-evaluated exactly as
+  /// Rabid::refresh_delays() would.
+  std::vector<NetState> nets;
+};
+
+/// Reconstructs the complete solution.  Nets must appear in design
+/// order under their design names; sink attachment is re-derived from
+/// the design's pin locations.  Aborts with a line-numbered message on
+/// malformed input.  `library` resolves dumped cell names (pass nullptr
+/// to ignore sizing and evaluate with unit buffers).
+LoadedSolution read_solution(std::istream& in, const netlist::Design& design,
+                             const tile::TileGraph& g,
+                             const timing::BufferLibrary* library = nullptr,
+                             const timing::Technology& tech =
+                                 timing::kTech180nm);
 
 }  // namespace rabid::core

@@ -1,0 +1,152 @@
+#include "fuzz/differential.hpp"
+
+#include <memory>
+#include <sstream>
+#include <utility>
+
+namespace rabid::fuzz {
+
+namespace {
+
+/// Appends one difference record, honoring the entry cap.
+class DiffSink {
+ public:
+  DiffSink(SolutionDiff& diff, std::size_t max_entries)
+      : diff_(diff), max_entries_(max_entries) {}
+
+  template <typename A, typename B>
+  void mismatch(const std::string& what, const A& expected, const B& actual) {
+    ++diff_.total;
+    if (diff_.entries.size() >= max_entries_) return;
+    std::ostringstream out;
+    out << what << ": " << expected << " vs " << actual;
+    diff_.entries.push_back(out.str());
+  }
+
+  template <typename A, typename B>
+  void expect_eq(const std::string& what, const A& expected,
+                 const B& actual) {
+    if (!(expected == actual)) mismatch(what, expected, actual);
+  }
+
+ private:
+  SolutionDiff& diff_;
+  std::size_t max_entries_;
+};
+
+std::string net_tag(const netlist::Design& design, std::size_t i) {
+  return "net " + std::to_string(i) + " (" +
+         design.net(static_cast<netlist::NetId>(i)).name + ")";
+}
+
+}  // namespace
+
+SolutionDiff diff_solutions(const netlist::Design& design,
+                            const tile::TileGraph& graph_a,
+                            std::span<const core::NetState> a,
+                            const tile::TileGraph& graph_b,
+                            std::span<const core::NetState> b,
+                            std::size_t max_entries) {
+  SolutionDiff diff;
+  DiffSink sink(diff, max_entries);
+  sink.expect_eq("net count", a.size(), b.size());
+  const std::size_t nets = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < nets; ++i) {
+    const core::NetState& na = a[i];
+    const core::NetState& nb = b[i];
+    const std::string tag = net_tag(design, i);
+    if (na.tree.node_count() != nb.tree.node_count()) {
+      sink.mismatch(tag + " node count", na.tree.node_count(),
+                    nb.tree.node_count());
+      continue;
+    }
+    for (std::size_t v = 0; v < na.tree.node_count(); ++v) {
+      const auto id = static_cast<route::NodeId>(v);
+      const route::RouteNode& va = na.tree.node(id);
+      const route::RouteNode& vb = nb.tree.node(id);
+      const std::string node_tag = tag + " node " + std::to_string(v);
+      sink.expect_eq(node_tag + " tile", va.tile, vb.tile);
+      sink.expect_eq(node_tag + " parent", va.parent, vb.parent);
+      sink.expect_eq(node_tag + " sinks", va.sink_count, vb.sink_count);
+    }
+    if (na.buffers.size() != nb.buffers.size()) {
+      sink.mismatch(tag + " buffer count", na.buffers.size(),
+                    nb.buffers.size());
+    } else {
+      for (std::size_t k = 0; k < na.buffers.size(); ++k) {
+        const std::string buf_tag = tag + " buffer " + std::to_string(k);
+        sink.expect_eq(buf_tag + " node", na.buffers[k].node,
+                       nb.buffers[k].node);
+        sink.expect_eq(buf_tag + " child", na.buffers[k].child,
+                       nb.buffers[k].child);
+      }
+    }
+    sink.expect_eq(tag + " meets_length_rule", na.meets_length_rule,
+                   nb.meets_length_rule);
+    // Identical arithmetic on identical inputs: delays match exactly.
+    sink.expect_eq(tag + " max delay", na.delay.max_ps, nb.delay.max_ps);
+    sink.expect_eq(tag + " delay sum", na.delay.sum_ps, nb.delay.sum_ps);
+  }
+
+  sink.expect_eq("edge count", graph_a.edge_count(), graph_b.edge_count());
+  sink.expect_eq("tile count", graph_a.tile_count(), graph_b.tile_count());
+  if (graph_a.edge_count() == graph_b.edge_count()) {
+    for (tile::EdgeId e = 0; e < graph_a.edge_count(); ++e) {
+      sink.expect_eq("edge " + std::to_string(e) + " w(e)",
+                     graph_a.wire_usage(e), graph_b.wire_usage(e));
+    }
+  }
+  if (graph_a.tile_count() == graph_b.tile_count()) {
+    for (tile::TileId t = 0; t < graph_a.tile_count(); ++t) {
+      sink.expect_eq("tile " + std::to_string(t) + " b(v)",
+                     graph_a.site_usage(t), graph_b.site_usage(t));
+    }
+  }
+  return diff;
+}
+
+std::string FuzzResult::describe() const {
+  if (ok()) return {};
+  std::ostringstream out;
+  out << "fuzz seed " << seed << " failed (" << nets << " nets, " << buffers
+      << " buffers):";
+  if (!diff.identical()) {
+    out << "\n  " << diff.total << " solution differences";
+    for (const std::string& e : diff.entries) out << "\n    " << e;
+  }
+  if (!audit_a.clean()) out << "\n  run A " << audit_a.summary();
+  if (!audit_b.clean()) out << "\n  run B " << audit_b.summary();
+  return out.str();
+}
+
+FuzzResult run_differential(std::uint64_t seed,
+                            const DifferentialOptions& options) {
+  const circuits::RandomCircuit circuit(seed, options.circuit);
+  const netlist::Design design = circuit.design();
+
+  const auto run = [&](std::int32_t threads, tile::TileGraph& graph) {
+    core::RabidOptions opt;
+    opt.threads = threads;
+    opt.audit_level = core::AuditLevel::kPerStage;
+    auto rabid = std::make_unique<core::Rabid>(design, graph, opt);
+    rabid->run_all();
+    return rabid;
+  };
+
+  tile::TileGraph graph_a = circuit.graph(design);
+  const auto a = run(options.threads_a, graph_a);
+  tile::TileGraph graph_b = circuit.graph(design);
+  const auto b = run(options.threads_b, graph_b);
+
+  FuzzResult result;
+  result.seed = seed;
+  result.nets = design.nets().size();
+  result.buffers = graph_a.stats().buffers_used;
+  result.diff =
+      diff_solutions(design, graph_a, a->nets(), graph_b, b->nets());
+  result.audit_a = *a->last_audit();
+  result.audit_b = *b->last_audit();
+  return result;
+}
+
+}  // namespace rabid::fuzz

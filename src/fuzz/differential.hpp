@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file differential.hpp
+/// Fuzzed differential testing across the full RABID flow.
+///
+/// One fuzz instance = one seeded RandomCircuit, planned end to end
+/// twice — once at `threads_a`, once at `threads_b` workers — with the
+/// SolutionAuditor (core/audit.hpp) running after every stage of both
+/// runs.  The two audited solutions are then diffed node for node:
+/// trees, buffer placements, length-rule flags, delays, and both usage
+/// books must match bit for bit (the PR-1 parallelism contract), and
+/// both audits must be violation-free.
+///
+/// This generalizes tests/core/determinism_test.cpp's two fixed
+/// circuits into a property checked across hundreds of random
+/// instances; tools/fuzz_flow.cpp drives it from the command line and
+/// CI runs a time-boxed smoke of it on every push.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "circuits/random_circuit.hpp"
+#include "core/audit.hpp"
+#include "core/rabid.hpp"
+
+namespace rabid::fuzz {
+
+/// Node-for-node comparison of two solutions over the same design.
+struct SolutionDiff {
+  /// Human-readable difference records, capped at `max_entries`.
+  std::vector<std::string> entries;
+  /// Total differences found (may exceed entries.size()).
+  std::int64_t total = 0;
+
+  bool identical() const { return total == 0; }
+};
+
+/// Diffs per-net trees/buffers/flags/delays and the two graphs' books.
+/// The designs behind `a` and `b` must be the same; `max_entries` caps
+/// the recorded strings, never the count.
+SolutionDiff diff_solutions(const netlist::Design& design,
+                            const tile::TileGraph& graph_a,
+                            std::span<const core::NetState> a,
+                            const tile::TileGraph& graph_b,
+                            std::span<const core::NetState> b,
+                            std::size_t max_entries = 64);
+
+struct DifferentialOptions {
+  std::int32_t threads_a = 1;
+  std::int32_t threads_b = 4;
+  circuits::RandomCircuitOptions circuit;
+};
+
+/// Everything a failure needs to be filed (and replayed from the seed).
+struct FuzzResult {
+  std::uint64_t seed = 0;
+  std::size_t nets = 0;
+  std::int64_t buffers = 0;
+  SolutionDiff diff;
+  core::AuditReport audit_a;
+  core::AuditReport audit_b;
+
+  bool ok() const {
+    return diff.identical() && audit_a.clean() && audit_b.clean();
+  }
+  /// Multi-line failure description (empty when ok()).
+  std::string describe() const;
+};
+
+/// Runs one differential fuzz instance.
+FuzzResult run_differential(std::uint64_t seed,
+                            const DifferentialOptions& options = {});
+
+}  // namespace rabid::fuzz

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "fuzz/differential.hpp"
+
+namespace rabid {
+namespace {
+
+/// Bounded in-tree slice of the fuzzed differential harness (the full
+/// sweep lives in tools/fuzz_flow.cpp): every seed generates a random
+/// circuit, plans it end to end at 1 worker and at 4, audits both runs
+/// after every stage, and diffs the two solutions node for node.  The
+/// fixed seed list makes any failure a stable, replayable regression.
+class AuditFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AuditFuzz, SerialAndParallelRunsIdenticalAndAuditClean) {
+  const fuzz::FuzzResult result = fuzz::run_differential(GetParam());
+  EXPECT_TRUE(result.ok()) << result.describe();
+  EXPECT_GT(result.nets, 0u);
+  EXPECT_TRUE(result.audit_a.clean()) << result.audit_a.summary();
+  EXPECT_TRUE(result.audit_b.clean()) << result.audit_b.summary();
+  EXPECT_EQ(result.diff.total, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AuditFuzz,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+TEST(AuditFuzz, UnusualThreadPairingsAlsoAgree) {
+  for (const auto [a, b] : {std::pair<std::int32_t, std::int32_t>{2, 8},
+                            {3, 5},
+                            {1, 7}}) {
+    fuzz::DifferentialOptions options;
+    options.threads_a = a;
+    options.threads_b = b;
+    const fuzz::FuzzResult result = fuzz::run_differential(99, options);
+    EXPECT_TRUE(result.ok())
+        << "threads " << a << " vs " << b << "\n" << result.describe();
+  }
+}
+
+TEST(AuditFuzz, DiffReportsInjectedDivergence) {
+  // The harness itself must be falsifiable: corrupt one run's solution
+  // and the diff has to say so, with the audit flagging the same run.
+  const circuits::RandomCircuit rc(7);
+  const netlist::Design design = rc.design();
+  tile::TileGraph ga = rc.graph(design);
+  tile::TileGraph gb = rc.graph(design);
+  core::Rabid a(design, ga);
+  core::Rabid b(design, gb);
+  a.run_all();
+  b.run_all();
+  std::vector<core::NetState> corrupted = b.nets();
+  corrupted[0].delay.max_ps += 1.0;
+  corrupted[0].meets_length_rule = !corrupted[0].meets_length_rule;
+  const fuzz::SolutionDiff diff =
+      fuzz::diff_solutions(design, ga, a.nets(), gb, corrupted);
+  EXPECT_FALSE(diff.identical());
+  EXPECT_GE(diff.total, 2);
+  EXPECT_FALSE(diff.entries.empty());
+  EXPECT_FALSE(
+      core::SolutionAuditor(design, gb).audit(corrupted).clean());
+}
+
+TEST(AuditFuzz, DiffEntryCapDoesNotCapTheCount) {
+  const circuits::RandomCircuit rc(11);
+  const netlist::Design design = rc.design();
+  tile::TileGraph ga = rc.graph(design);
+  tile::TileGraph gb = rc.graph(design);
+  core::Rabid a(design, ga);
+  core::Rabid b(design, gb);
+  a.run_all();
+  b.run_all();
+  std::vector<core::NetState> corrupted = b.nets();
+  for (core::NetState& n : corrupted) n.delay.max_ps += 1.0;
+  const fuzz::SolutionDiff diff = fuzz::diff_solutions(
+      design, ga, a.nets(), gb, corrupted, /*max_entries=*/2);
+  EXPECT_LE(diff.entries.size(), 2u);
+  EXPECT_GE(diff.total, static_cast<std::int64_t>(design.nets().size()));
+}
+
+}  // namespace
+}  // namespace rabid

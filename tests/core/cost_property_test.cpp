@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "tile/tile_graph.hpp"
+
+namespace rabid {
+namespace {
+
+/// Property tests for the paper's two congestion cost functions, which
+/// everything downstream (Prim-Dijkstra edge weights, the Stage-3 DP's
+/// q(v), Stage-4's joint objective) takes on faith:
+///   eq. (1)  Cost(e) = (w(e)+1) / (W(e)-w(e)),  infinite once w = W
+///   eq. (2)  q(v)    = (b(v)+p(v)+1) / (B(v)-b(v)),  infinite once b = B
+/// Both must be strictly increasing in usage so congested resources
+/// price themselves out *before* they run out.
+
+tile::TileGraph cost_graph() {
+  tile::TileGraph g(geom::Rect{{0, 0}, {300, 300}}, 3, 3);
+  g.set_uniform_wire_capacity(7);
+  for (tile::TileId t = 0; t < g.tile_count(); ++t) g.set_site_supply(t, 5);
+  return g;
+}
+
+TEST(WireCostEq1, StrictlyIncreasingInUsageAndInfiniteAtCapacity) {
+  tile::TileGraph g = cost_graph();
+  const tile::EdgeId e = 0;
+  const std::int32_t W = g.wire_capacity(e);
+  double prev = -std::numeric_limits<double>::infinity();
+  for (std::int32_t w = 0; w < W; ++w) {
+    const double cost = g.wire_cost(e);
+    ASSERT_TRUE(std::isfinite(cost)) << "w=" << w;
+    // Exact closed form, not just a trend.
+    EXPECT_DOUBLE_EQ(cost, static_cast<double>(w + 1) /
+                               static_cast<double>(W - w));
+    EXPECT_GT(cost, prev) << "w=" << w;
+    prev = cost;
+    g.add_wire(e);
+  }
+  // w == W: the edge prices itself out entirely.
+  EXPECT_TRUE(std::isinf(g.wire_cost(e)));
+  EXPECT_DOUBLE_EQ(g.wire_congestion(e), 1.0);
+}
+
+TEST(WireCostEq1, ZeroCapacityEdgeIsAlwaysInfinite) {
+  tile::TileGraph g = cost_graph();
+  g.set_wire_capacity(0, 0);
+  EXPECT_TRUE(std::isinf(g.wire_cost(0)));
+  EXPECT_DOUBLE_EQ(g.wire_congestion(0), 0.0);  // empty, not overfull
+}
+
+TEST(WireCostEq1, IndependentAcrossEdges) {
+  tile::TileGraph g = cost_graph();
+  const double before = g.wire_cost(1);
+  for (int i = 0; i < 3; ++i) g.add_wire(0);
+  EXPECT_DOUBLE_EQ(g.wire_cost(1), before);
+  EXPECT_GT(g.wire_cost(0), before);
+}
+
+TEST(BufferCostEq2, StrictlyIncreasingInUsageAndInfiniteAtCapacity) {
+  tile::TileGraph g = cost_graph();
+  const tile::TileId t = 4;
+  const std::int32_t B = g.site_supply(t);
+  const double p = 0.75;
+  double prev = -std::numeric_limits<double>::infinity();
+  for (std::int32_t b = 0; b < B; ++b) {
+    const double cost = g.buffer_cost(t, p);
+    ASSERT_TRUE(std::isfinite(cost)) << "b=" << b;
+    EXPECT_DOUBLE_EQ(cost, (static_cast<double>(b) + p + 1.0) /
+                               static_cast<double>(B - b));
+    EXPECT_GT(cost, prev) << "b=" << b;
+    prev = cost;
+    g.add_buffer(t);
+  }
+  EXPECT_TRUE(std::isinf(g.buffer_cost(t, p)));
+  EXPECT_DOUBLE_EQ(g.buffer_density(t), 1.0);
+}
+
+TEST(BufferCostEq2, MonotoneInExpectedDemand) {
+  tile::TileGraph g = cost_graph();
+  const tile::TileId t = 0;
+  // At fixed usage, a tile that more unprocessed nets are expected to
+  // want must look strictly more expensive (the p(v) term of eq. 2).
+  double prev = g.buffer_cost(t, 0.0);
+  for (const double p : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    const double cost = g.buffer_cost(t, p);
+    ASSERT_TRUE(std::isfinite(cost));
+    EXPECT_GT(cost, prev) << "p=" << p;
+    prev = cost;
+  }
+}
+
+TEST(BufferCostEq2, NoSupplyMeansNoSites) {
+  tile::TileGraph g = cost_graph();
+  g.set_site_supply(0, 0);
+  // A site-free tile (e.g. inside the blocked region) is unbuyable at
+  // any demand level.
+  EXPECT_TRUE(std::isinf(g.buffer_cost(0, 0.0)));
+  EXPECT_TRUE(std::isinf(g.buffer_cost(0, 3.0)));
+  EXPECT_DOUBLE_EQ(g.buffer_density(0), 0.0);
+}
+
+TEST(CostFunctions, UsageNeverCheapensTheOtherResource) {
+  tile::TileGraph g = cost_graph();
+  // Wires and buffer sites are separate books; spending one must not
+  // reprice the other (Stage 4 depends on summing them independently).
+  const double q0 = g.buffer_cost(0, 0.0);
+  g.add_wire(0);
+  EXPECT_DOUBLE_EQ(g.buffer_cost(0, 0.0), q0);
+  const double c0 = g.wire_cost(1);
+  g.add_buffer(1);
+  EXPECT_DOUBLE_EQ(g.wire_cost(1), c0);
+}
+
+}  // namespace
+}  // namespace rabid

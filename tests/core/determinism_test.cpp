@@ -3,7 +3,9 @@
 #include <vector>
 
 #include "circuits/generator.hpp"
+#include "circuits/random_circuit.hpp"
 #include "circuits/specs.hpp"
+#include "core/audit.hpp"
 #include "core/rabid.hpp"
 
 namespace rabid {
@@ -107,6 +109,41 @@ INSTANTIATE_TEST_SUITE_P(SeededCircuits, Determinism,
                          [](const auto& info) {
                            return std::string(info.param);
                          });
+
+/// The contract must hold beyond the two hand-picked circuits: sweep
+/// thread counts {1, 2, 4, 8} over seeded random instances (structurally
+/// diverse grids, L_i values, site supplies), requiring every run to be
+/// bit-identical to the serial one *and* clean under the independent
+/// SolutionAuditor — determinism of a corrupt solution would be
+/// worthless.
+class RandomDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomDeterminism, ThreadSweepIsBitIdenticalAndAuditClean) {
+  const circuits::RandomCircuit rc(GetParam());
+  const netlist::Design design = rc.design();
+
+  tile::TileGraph g1 = rc.graph(design);
+  std::vector<core::StageStats> s1;
+  const core::Rabid r1 = run_flow(design, g1, /*threads=*/1, s1);
+  const core::AuditReport serial_audit = r1.audit();
+  EXPECT_TRUE(serial_audit.clean()) << rc.name() << "\n"
+                                    << serial_audit.summary();
+  EXPECT_EQ(serial_audit.nets_audited, design.nets().size());
+
+  for (const std::int32_t threads : {2, 4, 8}) {
+    tile::TileGraph gn = rc.graph(design);
+    std::vector<core::StageStats> sn;
+    const core::Rabid rn = run_flow(design, gn, threads, sn);
+    expect_identical_solutions(r1, rn);
+    const core::AuditReport audit = rn.audit();
+    EXPECT_TRUE(audit.clean())
+        << rc.name() << " at " << threads << " threads\n"
+        << audit.summary();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDeterminism,
+                         ::testing::Values(17, 42, 137, 271, 828, 1009));
 
 TEST(Determinism, OddThreadCountAndAutoAlsoMatchSerial) {
   const circuits::CircuitSpec& spec = circuits::spec_by_name("apte");

@@ -2,6 +2,7 @@
 
 #include "circuits/generator.hpp"
 #include "circuits/specs.hpp"
+#include "core/audit.hpp"
 #include "core/rabid.hpp"
 
 namespace rabid {
@@ -16,8 +17,17 @@ TEST_P(AllCircuits, FullFlowInvariants) {
   const circuits::CircuitSpec& spec = circuits::spec_by_name(GetParam());
   const netlist::Design design = circuits::generate_design(spec);
   tile::TileGraph graph = circuits::build_tile_graph(design, spec);
-  core::Rabid rabid(design, graph);
+  core::RabidOptions options;
+  options.audit_level = core::AuditLevel::kPerStage;
+  core::Rabid rabid(design, graph, options);
   const auto stats = rabid.run_all();
+
+  // Every stage ran under the independent auditor: solution integrity
+  // (books, trees, flags, delays, site capacity) holds throughout, and
+  // the final solution is free even of wire-capacity errors.
+  ASSERT_NE(rabid.last_audit(), nullptr);
+  EXPECT_TRUE(rabid.last_audit()->clean())
+      << GetParam() << "\n" << rabid.last_audit()->summary();
 
   // The paper's two hard guarantees (Section IV-A).
   EXPECT_EQ(stats.back().overflow, 0) << GetParam();

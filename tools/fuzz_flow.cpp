@@ -1,0 +1,175 @@
+// fuzz_flow — fuzzed differential testing of the full RABID flow.
+//
+// Each instance generates a seeded random circuit (circuits/
+// random_circuit.hpp), runs the four-stage flow once serially and once
+// on a worker pool, audits both runs after every stage with the
+// independent SolutionAuditor, and diffs the two solutions node for
+// node.  Any difference or audit violation fails the instance; the
+// failing seeds replay the exact instance on any machine.
+//
+//   fuzz_flow --instances 200                 # the acceptance sweep
+//   fuzz_flow --time-budget 60 --json r.json  # CI smoke artifact
+//   fuzz_flow --seed 1234 --instances 1 --verbose
+//
+// Flags:
+//   --instances N      instances to run (default 200)
+//   --seed S           first seed; instance i uses S + i (default 1)
+//   --threads-a N      worker threads for run A (default 1)
+//   --threads-b N      worker threads for run B (default 4)
+//   --time-budget SEC  stop starting new instances after SEC seconds
+//                      (0 = no budget; default 0)
+//   --json F           write a machine-readable report to F (always;
+//                      failures embed the full audit reports + diffs)
+//   --verbose          print every instance, not just failures
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/differential.hpp"
+
+namespace {
+
+struct Args {
+  std::int64_t instances = 200;
+  std::uint64_t seed = 1;
+  std::int32_t threads_a = 1;
+  std::int32_t threads_b = 4;
+  double time_budget_s = 0.0;
+  std::string json;
+  bool verbose = false;
+};
+
+[[noreturn]] void usage(const char* msg) {
+  if (msg != nullptr) std::fprintf(stderr, "error: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: fuzz_flow [--instances N] [--seed S]\n"
+               "       [--threads-a N] [--threads-b N]\n"
+               "       [--time-budget SEC] [--json F] [--verbose]\n");
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(("missing value for " + flag).c_str());
+      return argv[++i];
+    };
+    if (flag == "--instances") {
+      a.instances = std::atoll(value());
+      if (a.instances < 1) usage("--instances expects a positive count");
+    } else if (flag == "--seed") {
+      a.seed = std::strtoull(value(), nullptr, 10);
+    } else if (flag == "--threads-a") {
+      a.threads_a = std::atoi(value());
+      if (a.threads_a < 0) usage("--threads-a expects >= 0");
+    } else if (flag == "--threads-b") {
+      a.threads_b = std::atoi(value());
+      if (a.threads_b < 0) usage("--threads-b expects >= 0");
+    } else if (flag == "--time-budget") {
+      a.time_budget_s = std::atof(value());
+      if (a.time_budget_s < 0) usage("--time-budget expects >= 0 seconds");
+    } else if (flag == "--json") {
+      a.json = value();
+    } else if (flag == "--verbose") {
+      a.verbose = true;
+    } else if (flag == "--help" || flag == "-h") {
+      usage(nullptr);
+    } else {
+      usage(("unknown flag " + flag).c_str());
+    }
+  }
+  return a;
+}
+
+void write_json(const std::string& path, const Args& args,
+                std::int64_t ran, double elapsed_s,
+                const std::vector<rabid::fuzz::FuzzResult>& failures) {
+  std::ofstream out(path);
+  if (!out) usage("cannot open --json file");
+  out << "{\n  \"instances_requested\": " << args.instances
+      << ",\n  \"instances_run\": " << ran
+      << ",\n  \"seed0\": " << args.seed << ",\n  \"threads\": ["
+      << args.threads_a << ", " << args.threads_b << "]"
+      << ",\n  \"elapsed_s\": " << elapsed_s
+      << ",\n  \"failures\": " << failures.size()
+      << ",\n  \"failed\": [";
+  for (std::size_t i = 0; i < failures.size(); ++i) {
+    const rabid::fuzz::FuzzResult& f = failures[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"seed\": " << f.seed
+        << ", \"nets\": " << f.nets << ", \"buffers\": " << f.buffers
+        << ", \"solution_differences\": " << f.diff.total
+        << ", \"diff\": [";
+    for (std::size_t k = 0; k < f.diff.entries.size(); ++k) {
+      if (k > 0) out << ", ";
+      out << '"';
+      for (const char c : f.diff.entries[k]) {
+        if (c == '"' || c == '\\') out << '\\';
+        out << c;
+      }
+      out << '"';
+    }
+    out << "], \"audit_a\": ";
+    f.audit_a.write_json(out);
+    out << ", \"audit_b\": ";
+    f.audit_b.write_json(out);
+    out << "}";
+  }
+  out << (failures.empty() ? "]" : "\n  ]") << "\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  rabid::fuzz::DifferentialOptions options;
+  options.threads_a = args.threads_a;
+  options.threads_b = args.threads_b;
+
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed = [&]() {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  std::vector<rabid::fuzz::FuzzResult> failures;
+  std::int64_t ran = 0;
+  for (; ran < args.instances; ++ran) {
+    if (args.time_budget_s > 0.0 && elapsed() > args.time_budget_s) break;
+    const std::uint64_t seed = args.seed + static_cast<std::uint64_t>(ran);
+    rabid::fuzz::FuzzResult result =
+        rabid::fuzz::run_differential(seed, options);
+    if (!result.ok()) {
+      std::printf("FAIL %s\n", result.describe().c_str());
+      failures.push_back(std::move(result));
+    } else if (args.verbose) {
+      std::printf("ok   seed %llu: %zu nets, %lld buffers, identical + "
+                  "audit-clean\n",
+                  static_cast<unsigned long long>(seed), result.nets,
+                  static_cast<long long>(result.buffers));
+    } else if ((ran + 1) % 25 == 0) {
+      std::printf("... %lld/%lld instances, %zu failures, %.1fs\n",
+                  static_cast<long long>(ran + 1),
+                  static_cast<long long>(args.instances), failures.size(),
+                  elapsed());
+    }
+  }
+
+  const double total_s = elapsed();
+  std::printf("fuzz: %lld instances (threads %d vs %d), %zu failures, "
+              "%.1fs\n",
+              static_cast<long long>(ran), args.threads_a, args.threads_b,
+              failures.size(), total_s);
+  if (!args.json.empty()) {
+    write_json(args.json, args, ran, total_s, failures);
+    std::printf("wrote report to %s\n", args.json.c_str());
+  }
+  return failures.empty() ? 0 : 1;
+}

@@ -19,6 +19,9 @@
 //   --vg K             after stage 4, timing-driven rebuffer the K worst
 //                      nets (van Ginneken + power levels)
 //   --inverters        let --vg use inverting repeaters (parity-safe)
+//   --audit            run the independent SolutionAuditor after every
+//                      stage; print its report and exit 1 on violations
+//   --audit-json F     write the accumulated audit report as JSON to F
 //   --dump-design F    write the generated design (text format) to F
 //   --dump-solution F  write the final routes+buffers to F
 //   --svg F            render floorplan+routes+buffers as SVG to F
@@ -36,6 +39,7 @@
 #include "bbp/bbp.hpp"
 #include "circuits/generator.hpp"
 #include "circuits/specs.hpp"
+#include "core/audit.hpp"
 #include "core/rabid.hpp"
 #include "core/solution_io.hpp"
 #include "netlist/io.hpp"
@@ -54,6 +58,8 @@ struct Args {
   bool post = false;
   std::size_t vg = 0;
   bool inverters = false;
+  bool audit = false;
+  std::string audit_json;
   std::string dump_design;
   std::string dump_solution;
   std::string svg;
@@ -67,7 +73,8 @@ struct Args {
   std::fprintf(stderr,
                "usage: rabid_cli --circuit NAME [--threads N] [--grid NxM]\n"
                "       [--sites N] [--no-blocked] [--post] [--vg K]\n"
-               "       [--inverters] [--two-pin] [--bbp] [--dump-design F]\n"
+               "       [--inverters] [--audit] [--audit-json F]\n"
+               "       [--two-pin] [--bbp] [--dump-design F]\n"
                "       [--dump-solution F] [--heatmaps]\n");
   std::exit(2);
 }
@@ -100,6 +107,10 @@ Args parse(int argc, char** argv) {
       a.vg = static_cast<std::size_t>(std::atoll(value()));
     } else if (flag == "--inverters") {
       a.inverters = true;
+    } else if (flag == "--audit") {
+      a.audit = true;
+    } else if (flag == "--audit-json") {
+      a.audit_json = value();
     } else if (flag == "--dump-design") {
       a.dump_design = value();
     } else if (flag == "--dump-solution") {
@@ -120,6 +131,8 @@ Args parse(int argc, char** argv) {
   }
   if (a.circuit.empty()) usage("--circuit is required");
   if (a.bbp && !a.two_pin) usage("--bbp requires --two-pin");
+  if (!a.audit_json.empty()) a.audit = true;
+  if (a.audit && a.bbp) usage("--audit applies to the RABID flow only");
   return a;
 }
 
@@ -180,6 +193,7 @@ int main(int argc, char** argv) {
     core::RabidOptions options;
     options.threads = args.threads;
     options.congestion_post_after_stage2 = args.post;
+    if (args.audit) options.audit_level = core::AuditLevel::kPerStage;
     core::Rabid rabid(design, graph, options);
     report::Table table({"stage", "wireC max", "wireC avg", "overflows",
                          "bufD max", "#bufs", "#fails", "wl (mm)",
@@ -194,6 +208,17 @@ int main(int argc, char** argv) {
                      args.inverters));
     }
     table.print();
+    if (args.audit) {
+      const core::AuditReport* report = rabid.last_audit();
+      std::printf("\n%s\n", report->summary().c_str());
+      if (!args.audit_json.empty()) {
+        std::ofstream out(args.audit_json);
+        if (!out) usage("cannot open --audit-json file");
+        report->write_json(out);
+        std::printf("wrote audit report to %s\n", args.audit_json.c_str());
+      }
+      if (!report->clean()) return 1;
+    }
     if (!args.dump_solution.empty()) {
       std::ofstream out(args.dump_solution);
       if (!out) usage("cannot open --dump-solution file");
