@@ -14,11 +14,11 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 using Array = std::vector<double>;
 
 /// K_w: child array advanced one tile toward the parent, plus the
-/// decoupling-buffer option at the parent (K[0]).
-Array advance_and_decouple(const Array& child, double q_v, std::int32_t L) {
-  Array k(static_cast<std::size_t>(L) + 1, kInf);
+/// decoupling-buffer option at the parent (out[0]).  `out` has L+1 slots.
+void advance_and_decouple(std::span<const double> child, double q_v,
+                          std::int32_t L, std::span<double> out) {
   for (std::int32_t j = 1; j <= L; ++j) {
-    k[static_cast<std::size_t>(j)] = child[static_cast<std::size_t>(j) - 1];
+    out[static_cast<std::size_t>(j)] = child[static_cast<std::size_t>(j) - 1];
   }
   // A buffer at the parent drives the 1-tile arc plus j units below the
   // child: legal when j + 1 <= L, i.e. j <= L-1.
@@ -26,13 +26,12 @@ Array advance_and_decouple(const Array& child, double q_v, std::int32_t L) {
   for (std::int32_t j = 0; j <= L - 1; ++j) {
     best = std::min(best, child[static_cast<std::size_t>(j)]);
   }
-  k[0] = q_v + best;
-  return k;
+  out[0] = q_v + best;
 }
 
 /// Index of the first minimum of child[0..L-1] — the decoupling-buffer
 /// traceback target. Mirrors advance_and_decouple's scan order.
-std::int32_t decouple_argmin(const Array& child, std::int32_t L) {
+std::int32_t decouple_argmin(std::span<const double> child, std::int32_t L) {
   double best = kInf;
   std::int32_t arg = 0;
   for (std::int32_t j = 0; j <= L - 1; ++j) {
@@ -45,9 +44,9 @@ std::int32_t decouple_argmin(const Array& child, std::int32_t L) {
 }
 
 /// Min-plus convolution truncated at L: unbuffered lengths of the two
-/// branch groups add at the merge node.
-Array join(const Array& a, const Array& b, std::int32_t L) {
-  Array c(static_cast<std::size_t>(L) + 1, kInf);
+/// branch groups add at the merge node.  `out` must not alias a or b.
+void join(std::span<const double> a, std::span<const double> b,
+          std::int32_t L, std::span<double> out) {
   for (std::int32_t j = 0; j <= L; ++j) {
     double best = kInf;
     for (std::int32_t x = 0; x <= j; ++x) {
@@ -55,15 +54,14 @@ Array join(const Array& a, const Array& b, std::int32_t L) {
                        b[static_cast<std::size_t>(j - x)];
       if (v < best) best = v;
     }
-    c[static_cast<std::size_t>(j)] = best;
+    out[static_cast<std::size_t>(j)] = best;
   }
-  return c;
 }
 
 /// Value/argmin of the driving-buffer option: a buffer at v drives the
 /// whole joined load j (j <= L).
-std::pair<double, std::int32_t> drive_option(const Array& joined, double q_v,
-                                             std::int32_t L) {
+std::pair<double, std::int32_t> drive_option(std::span<const double> joined,
+                                             double q_v, std::int32_t L) {
   double best = kInf;
   std::int32_t arg = 0;
   for (std::int32_t j = 0; j <= L; ++j) {
@@ -75,84 +73,85 @@ std::pair<double, std::int32_t> drive_option(const Array& joined, double q_v,
   return {q_v + best, arg};
 }
 
-/// Everything the traceback needs to re-derive one node's decisions.
-/// Recomputed on demand (bitwise-identical to the forward pass since it
-/// runs the same code on the same stored child arrays).
-struct NodeTrace {
-  std::vector<Array> k;  ///< per child
-  std::vector<Array> acc;  ///< fold partials; acc[s] joins k[0..s]
-  double drive_value = kInf;
-  std::int32_t drive_arg = 0;
-  bool has_drive = false;
-};
-
-NodeTrace trace_node(std::span<const Array> child_arrays, double q_v,
-                     std::int32_t L, bool allow_drive) {
-  NodeTrace t;
-  for (const Array& c : child_arrays) {
-    t.k.push_back(advance_and_decouple(c, q_v, L));
-  }
-  if (t.k.empty()) return t;
-  t.acc.push_back(t.k.front());
-  for (std::size_t s = 1; s < t.k.size(); ++s) {
-    t.acc.push_back(join(t.acc.back(), t.k[s], L));
-  }
-  if (allow_drive && t.k.size() >= 2) {
-    t.has_drive = true;
-    const auto [val, arg] = drive_option(t.acc.back(), q_v, L);
-    t.drive_value = val;
-    t.drive_arg = arg;
-  }
-  return t;
-}
-
 }  // namespace
 
 std::vector<double> dp_node_array(std::span<const Array> child_arrays,
                                   double q_v, std::int32_t L,
                                   bool allow_drive) {
   RABID_ASSERT_MSG(L >= 1, "length limit must be at least one tile");
+  const auto stride = static_cast<std::size_t>(L) + 1;
   if (child_arrays.empty()) {
     // Fig. 6 Step 1: the sink/leaf array is all zeros.
-    return Array(static_cast<std::size_t>(L) + 1, 0.0);
+    return Array(stride, 0.0);
   }
-  NodeTrace t = trace_node(child_arrays, q_v, L, allow_drive);
-  Array c = std::move(t.acc.back());
-  if (t.has_drive && t.drive_value < c[0]) c[0] = t.drive_value;
-  return c;
+  // Fold the children through the same span kernels the tree DP uses;
+  // two stride-wide scratch rows ping-pong as the join accumulator.
+  Array k(stride, kInf);
+  Array acc(stride, kInf);
+  Array next(stride, kInf);
+  advance_and_decouple(child_arrays[0], q_v, L, acc);
+  for (std::size_t s = 1; s < child_arrays.size(); ++s) {
+    advance_and_decouple(child_arrays[s], q_v, L, k);
+    join(acc, k, L, next);
+    std::swap(acc, next);
+  }
+  if (allow_drive && child_arrays.size() >= 2) {
+    const double val = drive_option(acc, q_v, L).first;
+    if (val < acc[0]) acc[0] = val;
+  }
+  return acc;
 }
 
 namespace {
 
 /// Bottom-up forward pass + top-down traceback over a route tree.
+///
+/// All per-node state lives in one arena: flat double buffers with a
+/// uniform stride of L+1 doubles per array.
+///
+///   c_    node x stride   C_v, drive-min applied
+///   k_    node x stride   K_w, stored at the *child* w (root row unused)
+///   acc_  (#children total) x stride   join prefixes; acc row s of node
+///         v folds K of children 0..s and keeps the PRE-drive-min values
+///         (the traceback compares drive_value against acc.back()[0])
+///
+/// The forward pass memoizes drive_value/drive_arg/has_drive per node, so
+/// the traceback is pure table lookups — no re-running of the DP kernels.
 class TreeDp {
  public:
   TreeDp(const route::RouteTree& tree, std::int32_t L, const TileCostFn& q)
-      : tree_(tree), L_(L) {
+      : tree_(tree), L_(L), stride_(static_cast<std::size_t>(L) + 1) {
+    RABID_ASSERT_MSG(L >= 1, "length limit must be at least one tile");
     const std::size_t n = tree.node_count();
     q_of_node_.resize(n);
-    arrays_.resize(n);
+    acc_off_.assign(n, 0);
+    std::size_t total_children = 0;
     for (std::size_t i = 0; i < n; ++i) {
       const auto v = static_cast<route::NodeId>(i);
       q_of_node_[i] = q(tree.node(v).tile);
+      acc_off_[i] = total_children;
+      total_children += tree.node(v).children.size();
     }
+    c_.assign(n * stride_, 0.0);
+    k_.assign(n * stride_, kInf);
+    acc_.assign(total_children * stride_, kInf);
+    drive_value_.assign(n, kInf);
+    drive_arg_.assign(n, 0);
+    has_drive_.assign(n, 0);
+
     for (const route::NodeId v : tree.postorder()) {
-      // Decoupling buffers may sit in the source tile, but nothing ever
-      // drives in series with the net driver itself.
-      arrays_[static_cast<std::size_t>(v)] = dp_node_array(
-          child_arrays(v), q_of_node_[static_cast<std::size_t>(v)], L_,
-          /*allow_drive=*/v != tree.root());
+      forward_node(v);
     }
   }
 
   double best_cost() const {
-    const Array& root = arrays_[static_cast<std::size_t>(tree_.root())];
+    const std::span<const double> root = c_of(tree_.root());
     return *std::min_element(root.begin(), root.end());
   }
 
   route::BufferList traceback() const {
     route::BufferList out;
-    const Array& root = arrays_[static_cast<std::size_t>(tree_.root())];
+    const std::span<const double> root = c_of(tree_.root());
     std::int32_t j = 0;
     double best = kInf;
     for (std::int32_t i = 0; i <= L_; ++i) {
@@ -167,34 +166,76 @@ class TreeDp {
   }
 
  private:
-  std::vector<Array> child_arrays(route::NodeId v) const {
-    std::vector<Array> out;
-    for (const route::NodeId w : tree_.node(v).children) {
-      out.push_back(arrays_[static_cast<std::size_t>(w)]);
+  std::span<double> row(std::vector<double>& a, std::size_t i) {
+    return std::span<double>(a).subspan(i * stride_, stride_);
+  }
+  std::span<const double> row(const std::vector<double>& a,
+                              std::size_t i) const {
+    return std::span<const double>(a).subspan(i * stride_, stride_);
+  }
+  std::span<const double> c_of(route::NodeId v) const {
+    return row(c_, static_cast<std::size_t>(v));
+  }
+  std::span<const double> k_of(route::NodeId w) const {
+    return row(k_, static_cast<std::size_t>(w));
+  }
+  std::span<const double> acc_of(route::NodeId v, std::size_t s) const {
+    return row(acc_, acc_off_[static_cast<std::size_t>(v)] + s);
+  }
+
+  void forward_node(route::NodeId v) {
+    const auto i = static_cast<std::size_t>(v);
+    const auto& children = tree_.node(v).children;
+    const std::span<double> c = row(c_, i);
+    if (children.empty()) {
+      // Fig. 6 Step 1: the sink/leaf array is all zeros (pre-filled).
+      return;
     }
-    return out;
+    const double q_v = q_of_node_[i];
+    for (std::size_t s = 0; s < children.size(); ++s) {
+      const auto w = static_cast<std::size_t>(children[s]);
+      advance_and_decouple(row(c_, w), q_v, L_, row(k_, w));
+    }
+    std::span<double> prev = row(k_, static_cast<std::size_t>(children[0]));
+    // acc[0] duplicates K of the first child so the traceback can index
+    // the prefixes uniformly.
+    std::copy(prev.begin(), prev.end(), row(acc_, acc_off_[i]).begin());
+    for (std::size_t s = 1; s < children.size(); ++s) {
+      const std::span<double> out = row(acc_, acc_off_[i] + s);
+      join(row(acc_, acc_off_[i] + s - 1),
+           row(k_, static_cast<std::size_t>(children[s])), L_, out);
+      prev = out;
+    }
+    std::copy(prev.begin(), prev.end(), c.begin());
+    // Decoupling buffers may sit in the source tile, but nothing ever
+    // drives in series with the net driver itself.
+    if (v != tree_.root() && children.size() >= 2) {
+      has_drive_[i] = 1;
+      const auto [val, arg] = drive_option(prev, q_v, L_);
+      drive_value_[i] = val;
+      drive_arg_[i] = arg;
+      if (val < c[0]) c[0] = val;
+    }
   }
 
   void trace(route::NodeId v, std::int32_t j, route::BufferList& out) const {
+    const auto i = static_cast<std::size_t>(v);
     const auto& children = tree_.node(v).children;
     if (children.empty()) return;  // leaf: nothing below
-    const std::vector<Array> kids = child_arrays(v);
-    const NodeTrace t =
-        trace_node(kids, q_of_node_[static_cast<std::size_t>(v)], L_,
-                   /*allow_drive=*/v != tree_.root());
+    const std::size_t m = children.size();
 
     // Was C_v[0] realized by the driving-buffer option?
-    if (j == 0 && t.has_drive &&
-        t.drive_value < t.acc.back()[0]) {
+    if (j == 0 && has_drive_[i] != 0 &&
+        drive_value_[i] < acc_of(v, m - 1)[0]) {
       out.push_back({v, route::kNoNode});
-      j = t.drive_arg;
+      j = drive_arg_[i];
     }
 
     // Unfold the convolution, last child first.
-    for (std::size_t s = children.size(); s-- > 1;) {
-      const Array& left = t.acc[s - 1];
-      const Array& right = t.k[s];
-      const double target = t.acc[s][static_cast<std::size_t>(j)];
+    for (std::size_t s = m; s-- > 1;) {
+      const std::span<const double> left = acc_of(v, s - 1);
+      const std::span<const double> right = k_of(children[s]);
+      const double target = acc_of(v, s)[static_cast<std::size_t>(j)];
       std::int32_t a = -1;
       for (std::int32_t x = 0; x <= j; ++x) {
         if (left[static_cast<std::size_t>(x)] +
@@ -205,19 +246,19 @@ class TreeDp {
         }
       }
       RABID_ASSERT_MSG(a >= 0, "join traceback lost the optimal split");
-      resolve_child(v, children[s], kids[s], j - a, out);
+      resolve_child(v, children[s], j - a, out);
       j = a;
     }
-    resolve_child(v, children[0], kids[0], j, out);
+    resolve_child(v, children[0], j, out);
   }
 
   /// Child w consumed K-index `b`: either a decoupling buffer at v (b==0)
   /// or a plain one-tile advance.
-  void resolve_child(route::NodeId v, route::NodeId w, const Array& child_c,
-                     std::int32_t b, route::BufferList& out) const {
+  void resolve_child(route::NodeId v, route::NodeId w, std::int32_t b,
+                     route::BufferList& out) const {
     if (b == 0) {
       out.push_back({v, w});
-      trace(w, decouple_argmin(child_c, L_), out);
+      trace(w, decouple_argmin(c_of(w), L_), out);
     } else {
       trace(w, b - 1, out);
     }
@@ -225,8 +266,15 @@ class TreeDp {
 
   const route::RouteTree& tree_;
   std::int32_t L_;
+  std::size_t stride_;
   std::vector<double> q_of_node_;
-  std::vector<Array> arrays_;
+  std::vector<double> c_;
+  std::vector<double> k_;
+  std::vector<double> acc_;
+  std::vector<std::size_t> acc_off_;
+  std::vector<double> drive_value_;
+  std::vector<std::int32_t> drive_arg_;
+  std::vector<std::uint8_t> has_drive_;
 };
 
 }  // namespace

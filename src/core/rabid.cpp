@@ -217,35 +217,81 @@ StageStats Rabid::run_stage2() {
   route::MazeRouter router(graph_);
   // Net ordering fixed up front: smallest delay first (Section III-B).
   const std::vector<std::size_t> order = nets_by_delay(/*ascending=*/true);
+  const bool astar = options_.router_heuristic == RouterHeuristic::kAStar;
 
-  auto reroute_all = [&](const route::EdgeCostFn& cost) {
-    for (const std::size_t i : order) {
-      NetState& state = nets_[i];
-      const netlist::Net& net = design_.net(static_cast<netlist::NetId>(i));
-      state.tree.uncommit(graph_, net.width);
-      state.tree = router.route_net(net, options_.pd_alpha, cost);
-      state.tree.commit(graph_, net.width);
-      state.meets_length_rule =
-          meets_rule(state.tree, {},
-                     design_.length_limit(static_cast<netlist::NetId>(i)));
-    }
+  // Per-pass flat edge costs: the eq. (1) / PathFinder evaluation is
+  // hoisted out of the wavefront inner loop into a cache that is
+  // refreshed only for edges a rip-up or commit actually changed.
+  auto reroute_net = [&](std::size_t i, route::EdgeCostCache& cache) {
+    NetState& state = nets_[i];
+    const netlist::Net& net = design_.net(static_cast<netlist::NetId>(i));
+    state.tree.uncommit(graph_, net.width);
+    cache.refresh_tree(state.tree);
+    state.tree = router.route_net(net, options_.pd_alpha, cache.values(),
+                                  astar ? cache.min_cost() : 0.0);
+    state.tree.commit(graph_, net.width);
+    cache.refresh_tree(state.tree);
+    state.meets_length_rule =
+        meets_rule(state.tree, {},
+                   design_.length_limit(static_cast<netlist::NetId>(i)));
   };
 
   if (options_.stage2_mode == Stage2Mode::kNegotiated) {
     // PathFinder-style negotiation (the future-work "industrial global
     // router"): overuse is legal but priced, history accumulates.
     route::NegotiationState nego(graph_);
+    route::EdgeCostCache cache(graph_,
+                               [&](tile::EdgeId e) { return nego.cost(e); });
     for (std::int32_t iter = 0; iter < nego.params().max_iterations;
          ++iter) {
-      reroute_all([&](tile::EdgeId e) { return nego.cost(e); });
+      // History and present-sharing moved between iterations.
+      cache.refresh_all();
+      for (const std::size_t i : order) reroute_net(i, cache);
       if (nego.finish_iteration() == 0) break;
     }
   } else {
-    const auto cost = [this](tile::EdgeId e) {
+    route::EdgeCostCache cache(graph_, [this](tile::EdgeId e) {
       return route::soft_wire_cost(graph_, e);
-    };
+    });
+    // Iteration-start cost snapshot driving the dirty-net filter.
+    std::vector<double> snapshot;
+    std::vector<std::uint8_t> edge_dirty;
     for (std::int32_t iter = 0; iter < options_.reroute_iterations; ++iter) {
-      reroute_all(cost);
+      cache.refresh_all();
+      const bool filter = options_.stage2_dirty_filter && iter > 0;
+      if (filter) {
+        edge_dirty.assign(static_cast<std::size_t>(graph_.edge_count()), 0);
+        for (tile::EdgeId e = 0; e < graph_.edge_count(); ++e) {
+          const auto k = static_cast<std::size_t>(e);
+          const bool overflowed =
+              graph_.wire_usage(e) > graph_.wire_capacity(e);
+          const bool moved =
+              std::abs(cache[e] - snapshot[k]) >
+              options_.stage2_dirty_threshold * snapshot[k];
+          if (overflowed || moved) edge_dirty[k] = 1;
+        }
+      }
+      snapshot.assign(cache.values().begin(), cache.values().end());
+      for (const std::size_t i : order) {
+        if (filter) {
+          // A net keeps its route unless the congestion picture under
+          // it changed: every overflowed edge is dirty, so any net
+          // still causing overflow is always ripped up.
+          bool dirty = false;
+          const route::RouteTree& tree = nets_[i].tree;
+          for (const route::RouteNode& n : tree.nodes()) {
+            if (n.parent == route::kNoNode) continue;
+            const tile::EdgeId e =
+                graph_.edge_between(n.tile, tree.node(n.parent).tile);
+            if (edge_dirty[static_cast<std::size_t>(e)] != 0) {
+              dirty = true;
+              break;
+            }
+          }
+          if (!dirty) continue;
+        }
+        reroute_net(i, cache);
+      }
       if (graph_.wire_feasible()) break;
     }
   }
@@ -525,15 +571,26 @@ StageStats Rabid::run_stage4() {
   const auto start = std::chrono::steady_clock::now();
   const std::vector<double> no_demand(
       static_cast<std::size_t>(graph_.tile_count()), 0.0);
-  const auto wire_cost = [this](tile::EdgeId e) {
+  const bool astar = options_.router_heuristic == RouterHeuristic::kAStar;
+
+  // Flat cost tables so the (tile x L) search pays one load per
+  // relaxation.  Wire usage only moves at uncommit/commit, buffer-site
+  // usage only at remove_buffer/buffer_net — each point below refreshes
+  // exactly the entries it touched.
+  route::EdgeCostCache wire_cache(graph_, [this](tile::EdgeId e) {
     return route::soft_wire_cost(graph_, e);
-  };
-  const auto site_cost = [this](tile::TileId t) {
-    return graph_.buffer_cost(t, 0.0);
-  };
+  });
+  std::vector<double> site_cost(static_cast<std::size_t>(graph_.tile_count()));
+  for (tile::TileId t = 0; t < graph_.tile_count(); ++t) {
+    site_cost[static_cast<std::size_t>(t)] = graph_.buffer_cost(t, 0.0);
+  }
+  // One search object for the whole stage: its stamped (tile x L) scratch
+  // warms up once and every later two-path touches only visited states.
+  TwoPathSearch search(graph_);
 
   for (std::int32_t iter = 0; iter < options_.postprocess_iterations;
        ++iter) {
+    wire_cache.refresh_all();
     for (const std::size_t i : nets_by_delay(/*ascending=*/true)) {
       NetState& state = nets_[i];
       const std::int32_t L =
@@ -541,12 +598,15 @@ StageStats Rabid::run_stage4() {
 
       // Rip out the net's buffers and wires from the books.
       for (const route::BufferPlacement& b : state.buffers) {
-        graph_.remove_buffer(state.tree.node(b.node).tile);
+        const tile::TileId t = state.tree.node(b.node).tile;
+        graph_.remove_buffer(t);
+        site_cost[static_cast<std::size_t>(t)] = graph_.buffer_cost(t, 0.0);
       }
       state.buffers.clear();
       const std::int32_t width =
           design_.net(static_cast<netlist::NetId>(i)).width;
       state.tree.uncommit(graph_, width);
+      wire_cache.refresh_tree(state.tree);
 
       // Reroute one two-path at a time with joint wire+buffer costs.
       // The decomposition is recomputed from the live tree after every
@@ -577,17 +637,23 @@ StageStats Rabid::run_stage4() {
           interior.push_back(current.node(n).tile);
         }
         editor.remove_path(key.first, interior, key.second);
-        const TwoPathRoute reroute = route_two_path(
-            graph_, key.second, key.first, L, wire_cost, site_cost,
-            options_.stage4_wire_weight, options_.stage4_buffer_weight);
+        const TwoPathRoute reroute = search.route(
+            key.second, key.first, L, wire_cache.values(), site_cost,
+            options_.stage4_wire_weight, options_.stage4_buffer_weight,
+            astar ? wire_cache.min_cost() : 0.0);
         editor.add_path(reroute.tiles);
         current = editor.rebuild();
       }
       state.tree = std::move(current);
       state.tree.commit(graph_, width);
+      wire_cache.refresh_tree(state.tree);
 
       // Re-insert buffers net-wide, exactly as in Stage 3.
       buffer_net(i, no_demand);
+      for (const route::BufferPlacement& b : state.buffers) {
+        const tile::TileId t = state.tree.node(b.node).tile;
+        site_cost[static_cast<std::size_t>(t)] = graph_.buffer_cost(t, 0.0);
+      }
     }
   }
   refresh_delays();

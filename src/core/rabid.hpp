@@ -60,9 +60,29 @@ enum class Stage2Mode {
   kNegotiated,
 };
 
+/// Wavefront expansion order for the rerouting stages (2 and 4).
+enum class RouterHeuristic {
+  /// Blind Dijkstra expansion — the paper-faithful reference mode.
+  kDijkstra,
+  /// A*-guided expansion: an admissible Manhattan-distance x min-edge-
+  /// cost bound aims the wavefront at the remaining targets.  Path costs
+  /// are provably identical to kDijkstra (the bound never overestimates);
+  /// only tie-breaking among equal-cost routes can differ.
+  kAStar,
+};
+
 struct RabidOptions {
   double pd_alpha = 0.4;        ///< Prim-Dijkstra trade-off (footnote 5)
   Stage2Mode stage2_mode = Stage2Mode::kRipUpReroute;
+  /// Wavefront order for stages 2 and 4 (see RouterHeuristic).
+  RouterHeuristic router_heuristic = RouterHeuristic::kAStar;
+  /// Dirty-net filtering for Stage-2 rip-up: after the first full Nair
+  /// pass, an iteration only rips up nets that cross an overflowed edge
+  /// or an edge whose eq. (1) cost moved by more than
+  /// stage2_dirty_threshold (relative) since the previous iteration
+  /// began.  Off reproduces the paper-faithful reroute-everything loop.
+  bool stage2_dirty_filter = true;
+  double stage2_dirty_threshold = 0.05;
   Stage3Order stage3_order = Stage3Order::kDescendingDelay;
   std::int32_t reroute_iterations = 3;      ///< Stage-2 cap (Section III-B)
   std::int32_t postprocess_iterations = 1;  ///< Stage-4 passes

@@ -13,55 +13,118 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
 
-TwoPathRoute route_two_path(const tile::TileGraph& g, tile::TileId from,
-                            tile::TileId to, std::int32_t L,
-                            const route::EdgeCostFn& wire_cost,
-                            const buffer::TileCostFn& buffer_cost,
-                            double wire_weight, double buffer_weight) {
+TwoPathSearch::TwoPathSearch(const tile::TileGraph& g)
+    : g_(g),
+      field_dist_(static_cast<std::size_t>(g.tile_count()), 0.0),
+      field_seen_(static_cast<std::size_t>(g.tile_count()), 0),
+      field_settled_(static_cast<std::size_t>(g.tile_count()), 0) {}
+
+void TwoPathSearch::ensure_states(std::size_t n_states) {
+  if (dist_.size() < n_states) {
+    dist_.resize(n_states, 0.0);
+    prev_.resize(n_states, -2);
+    stamp_.resize(n_states, 0);
+  }
+}
+
+double TwoPathSearch::field_distance(tile::TileId t,
+                                     std::span<const double> wire_cost) {
+  const auto ti = static_cast<std::size_t>(t);
+  while (field_settled_[ti] != epoch_) {
+    RABID_ASSERT_MSG(!field_heap_.empty(), "heuristic field ran dry");
+    std::pop_heap(field_heap_.begin(), field_heap_.end(), std::greater<>{});
+    const FieldEntry top = field_heap_.back();
+    field_heap_.pop_back();
+    const auto ui = static_cast<std::size_t>(top.t);
+    if (field_settled_[ui] == epoch_) continue;  // stale heap entry
+    field_settled_[ui] = epoch_;
+    tile::TileId nbr[4];
+    const int cnt = g_.neighbors(top.t, nbr);
+    for (int k = 0; k < cnt; ++k) {
+      const tile::EdgeId e = g_.edge_between(top.t, nbr[k]);
+      const double nd = top.d + wire_cost[static_cast<std::size_t>(e)];
+      const auto vi = static_cast<std::size_t>(nbr[k]);
+      if (field_seen_[vi] != epoch_ || nd < field_dist_[vi]) {
+        field_seen_[vi] = epoch_;
+        field_dist_[vi] = nd;
+        field_heap_.push_back({nd, nbr[k]});
+        std::push_heap(field_heap_.begin(), field_heap_.end(),
+                       std::greater<>{});
+      }
+    }
+  }
+  return field_dist_[ti];
+}
+
+void TwoPathSearch::heap_push(Entry e) {
+  heap_.push_back(e);
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+}
+
+TwoPathSearch::Entry TwoPathSearch::heap_pop() {
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  const Entry top = heap_.back();
+  heap_.pop_back();
+  return top;
+}
+
+TwoPathRoute TwoPathSearch::route(tile::TileId from, tile::TileId to,
+                                  std::int32_t L,
+                                  std::span<const double> wire_cost,
+                                  std::span<const double> buffer_cost,
+                                  double wire_weight, double buffer_weight,
+                                  double astar_floor) {
   RABID_ASSERT(L >= 1);
   RABID_ASSERT(wire_weight >= 0.0 && buffer_weight >= 0.0);
-  const auto n_tiles = static_cast<std::size_t>(g.tile_count());
-  const auto n_states = n_tiles * static_cast<std::size_t>(L);
+  const auto n_tiles = static_cast<std::size_t>(g_.tile_count());
+  ensure_states(n_tiles * static_cast<std::size_t>(L));
+  ++epoch_;
+  heap_.clear();
   auto state_of = [&](tile::TileId t, std::int32_t j) {
     return static_cast<std::size_t>(t) * static_cast<std::size_t>(L) +
            static_cast<std::size_t>(j);
   };
-
-  std::vector<double> dist(n_states, kInf);
-  // Predecessor state; -1 marks the start.
-  std::vector<std::int64_t> prev(n_states, -2);
-
-  struct Entry {
-    double d;
-    std::uint64_t s;
-    bool operator>(const Entry& o) const {
-      if (d != o.d) return d > o.d;
-      return s > o.s;
-    }
+  auto seen = [&](std::size_t s) { return stamp_[s] == epoch_; };
+  auto touch = [&](std::size_t s, double d, std::int64_t p) {
+    stamp_[s] = epoch_;
+    dist_[s] = d;
+    prev_[s] = p;
   };
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+
+  // A* bound per *tile* (states of one tile share it): the exact wire-
+  // only distance to the goal, settled lazily by a goal-rooted backward
+  // Dijkstra (see the class comment for the admissibility argument).
+  const bool use_h = astar_floor > 0.0;
+  if (use_h) {
+    field_heap_.clear();
+    field_seen_[static_cast<std::size_t>(to)] = epoch_;
+    field_dist_[static_cast<std::size_t>(to)] = 0.0;
+    field_heap_.push_back({0.0, to});
+  }
+  const auto h_of = [&](tile::TileId t) -> double {
+    if (!use_h) return 0.0;
+    return wire_weight * field_distance(t, wire_cost);
+  };
 
   // Start at the tail with j = 0 (the tail end is an anchor; the exact
   // downstream slack is re-established by the net-wide re-buffering).
   const std::size_t start = state_of(from, 0);
-  dist[start] = 0.0;
-  prev[start] = -1;
-  heap.push({0.0, start});
+  touch(start, 0.0, -1);
+  heap_push({h_of(from), 0.0, start});
 
-  auto relax = [&](std::size_t s, double d, std::size_t from_state) {
-    if (d < dist[s]) {
-      dist[s] = d;
-      prev[s] = static_cast<std::int64_t>(from_state);
-      heap.push({d, s});
+  auto relax = [&](std::size_t s, double d, std::size_t from_state,
+                   double h) {
+    if (!seen(s) || d < dist_[s]) {
+      touch(s, d, static_cast<std::int64_t>(from_state));
+      heap_push({d + h, d, s});
     }
   };
 
   std::size_t goal = static_cast<std::size_t>(-1);
-  while (!heap.empty()) {
-    const Entry top = heap.top();
-    heap.pop();
+  while (!heap_.empty()) {
+    const Entry top = heap_pop();
     const auto s = static_cast<std::size_t>(top.s);
-    if (top.d > dist[s]) continue;
+    if (top.d > dist_[s]) continue;
     const auto t = static_cast<tile::TileId>(s / static_cast<std::size_t>(L));
     const auto j = static_cast<std::int32_t>(s % static_cast<std::size_t>(L));
     if (t == to) {
@@ -70,18 +133,20 @@ TwoPathRoute route_two_path(const tile::TileGraph& g, tile::TileId from,
     }
     // Buffer here: pay q(t), reset the run length.
     if (j > 0) {
-      const double q = buffer_cost(t);
+      const double q = buffer_cost[static_cast<std::size_t>(t)];
       if (std::isfinite(q)) {
-        relax(state_of(t, 0), top.d + buffer_weight * q, s);
+        relax(state_of(t, 0), top.d + buffer_weight * q, s, h_of(t));
       }
     }
     // Step to a neighbor if the length rule still allows it.
     if (j + 1 < L) {
       tile::TileId nbr[4];
-      const int cnt = g.neighbors(t, nbr);
+      const int cnt = g_.neighbors(t, nbr);
       for (int k = 0; k < cnt; ++k) {
-        const tile::EdgeId e = g.edge_between(t, nbr[k]);
-        relax(state_of(nbr[k], j + 1), top.d + wire_weight * wire_cost(e), s);
+        const tile::EdgeId e = g_.edge_between(t, nbr[k]);
+        relax(state_of(nbr[k], j + 1),
+              top.d + wire_weight * wire_cost[static_cast<std::size_t>(e)], s,
+              h_of(nbr[k]));
       }
     }
   }
@@ -91,13 +156,13 @@ TwoPathRoute route_two_path(const tile::TileGraph& g, tile::TileId from,
     // The length rule made `to` unreachable (e.g. a blocked moat wider
     // than L).  Fall back to a pure-wire shortest path; the net will be
     // counted as a length failure by the re-buffering step.
-    route::MazeRouter fallback(g);
-    out.tiles = fallback.shortest_path(from, to, wire_cost);
+    route::MazeRouter fallback(g_);
+    out.tiles = fallback.shortest_path(from, to, wire_cost, astar_floor);
     out.cost = kInf;
     return out;
   }
 
-  out.cost = dist[goal];
+  out.cost = dist_[goal];
   std::size_t s = goal;
   tile::TileId last = tile::kNoTile;
   while (true) {
@@ -106,12 +171,40 @@ TwoPathRoute route_two_path(const tile::TileGraph& g, tile::TileId from,
       out.tiles.push_back(t);
       last = t;
     }
-    if (prev[s] < 0) break;
-    s = static_cast<std::size_t>(prev[s]);
+    if (prev_[s] < 0) break;
+    s = static_cast<std::size_t>(prev_[s]);
   }
   std::reverse(out.tiles.begin(), out.tiles.end());
   RABID_ASSERT(out.tiles.front() == from && out.tiles.back() == to);
   return out;
+}
+
+TwoPathRoute route_two_path(const tile::TileGraph& g, tile::TileId from,
+                            tile::TileId to, std::int32_t L,
+                            std::span<const double> wire_cost,
+                            std::span<const double> buffer_cost,
+                            double wire_weight, double buffer_weight,
+                            double astar_floor) {
+  TwoPathSearch search(g);
+  return search.route(from, to, L, wire_cost, buffer_cost, wire_weight,
+                      buffer_weight, astar_floor);
+}
+
+TwoPathRoute route_two_path(const tile::TileGraph& g, tile::TileId from,
+                            tile::TileId to, std::int32_t L,
+                            const route::EdgeCostFn& wire_cost,
+                            const buffer::TileCostFn& buffer_cost,
+                            double wire_weight, double buffer_weight) {
+  std::vector<double> wires(static_cast<std::size_t>(g.edge_count()));
+  for (tile::EdgeId e = 0; e < g.edge_count(); ++e) {
+    wires[static_cast<std::size_t>(e)] = wire_cost(e);
+  }
+  std::vector<double> sites(static_cast<std::size_t>(g.tile_count()));
+  for (tile::TileId t = 0; t < g.tile_count(); ++t) {
+    sites[static_cast<std::size_t>(t)] = buffer_cost(t);
+  }
+  return route_two_path(g, from, to, L, wires, sites, wire_weight,
+                        buffer_weight, /*astar_floor=*/0.0);
 }
 
 TileTreeEditor::TileTreeEditor(const route::RouteTree& tree,

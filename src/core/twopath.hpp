@@ -16,6 +16,7 @@
 /// buffer capacity exist.
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "buffer/insertion.hpp"
@@ -38,12 +39,97 @@ struct TwoPathRoute {
 /// wire_weight * wire + buffer_weight * buffer — footnote 7: the two
 /// costs "are of the same order of magnitude, so we simply add their
 /// costs. Alternatively, one could use any linear combination."
+///
+/// The span overload is the hot path: flat per-edge / per-tile cost
+/// arrays (one load per relaxation), plus optional A* targeting.
+/// `astar_floor > 0` (any positive value — pass e.g.
+/// EdgeCostCache::min_cost()) enables the goal-rooted exact-wire-
+/// distance heuristic described on TwoPathSearch; the returned cost is
+/// provably identical either way.  0 disables the heuristic and
+/// reproduces plain Dijkstra expansion order exactly.
+TwoPathRoute route_two_path(const tile::TileGraph& g, tile::TileId from,
+                            tile::TileId to, std::int32_t L,
+                            std::span<const double> wire_cost,
+                            std::span<const double> buffer_cost,
+                            double wire_weight = 1.0,
+                            double buffer_weight = 1.0,
+                            double astar_floor = 0.0);
+
+/// Callback convenience wrapper: materializes flat cost arrays once and
+/// runs the span overload (identical results; used by tests and one-off
+/// callers where the per-call O(V + E) evaluation is irrelevant).
 TwoPathRoute route_two_path(const tile::TileGraph& g, tile::TileId from,
                             tile::TileId to, std::int32_t L,
                             const route::EdgeCostFn& wire_cost,
                             const buffer::TileCostFn& buffer_cost,
                             double wire_weight = 1.0,
                             double buffer_weight = 1.0);
+
+/// Reusable (tile x L) search: all scratch — per-state distance/parent
+/// labels, the heap's backing store, the heuristic field — lives in
+/// stamped member arrays sized to the largest L seen, so a warm search
+/// touches only the states the wavefront actually visits.  Stage 4 keeps
+/// one TwoPathSearch alive across every two-path of every net.
+///
+/// With `astar_floor > 0` the search upgrades the Manhattan bound to the
+/// *exact* wire-only distance-to-goal: a goal-rooted tile-level Dijkstra
+/// over `wire_cost` (no length rule, no buffers) settled lazily, exactly
+/// as far as the forward wavefront asks.  h(t) = wire_weight * that
+/// distance is admissible (buffer costs are nonnegative and every legal
+/// continuation is in particular a wire path) and consistent (a shortest
+/// -path field obeys the triangle inequality edge by edge; buffering
+/// keeps the tile, leaving h unchanged), so the returned cost is
+/// identical to plain Dijkstra's — only equal-cost tie-breaking differs.
+/// Results are identical to route_two_path() given the same arguments.
+class TwoPathSearch {
+ public:
+  explicit TwoPathSearch(const tile::TileGraph& g);
+
+  TwoPathRoute route(tile::TileId from, tile::TileId to, std::int32_t L,
+                     std::span<const double> wire_cost,
+                     std::span<const double> buffer_cost,
+                     double wire_weight = 1.0, double buffer_weight = 1.0,
+                     double astar_floor = 0.0);
+
+ private:
+  struct Entry {
+    double key;  ///< d + heuristic; == d when A* is off
+    double d;
+    std::uint64_t s;
+    bool operator>(const Entry& o) const {
+      if (key != o.key) return key > o.key;
+      return s > o.s;
+    }
+  };
+  struct FieldEntry {
+    double d;
+    tile::TileId t;
+    bool operator>(const FieldEntry& o) const {
+      if (d != o.d) return d > o.d;
+      return t > o.t;
+    }
+  };
+
+  void ensure_states(std::size_t n_states);
+  void heap_push(Entry e);
+  Entry heap_pop();
+  /// Settles the goal-rooted wire-distance field up to `t` (lazy
+  /// backward Dijkstra); returns the unweighted wire distance t -> goal.
+  double field_distance(tile::TileId t, std::span<const double> wire_cost);
+
+  const tile::TileGraph& g_;
+  std::vector<double> dist_;
+  std::vector<std::int64_t> prev_;
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t epoch_ = 0;
+  std::vector<Entry> heap_;
+
+  // Heuristic field scratch (per goal tile, stamped by epoch_).
+  std::vector<double> field_dist_;
+  std::vector<std::uint32_t> field_seen_;
+  std::vector<std::uint32_t> field_settled_;
+  std::vector<FieldEntry> field_heap_;
+};
 
 /// An editable tile-level tree: a RouteTree exploded into undirected
 /// arcs, supporting two-path removal, path insertion, pruning of dangling

@@ -1,7 +1,7 @@
 #include "route/maze.hpp"
 
 #include <algorithm>
-#include <queue>
+#include <limits>
 
 #include "util/assert.hpp"
 
@@ -16,66 +16,135 @@ double soft_wire_cost(const tile::TileGraph& g, tile::EdgeId e) {
   return kOverflowPenalty * static_cast<double>(w - cap + 1);
 }
 
+EdgeCostCache::EdgeCostCache(const tile::TileGraph& g, EdgeCostFn base)
+    : g_(g),
+      base_(std::move(base)),
+      values_(static_cast<std::size_t>(g.edge_count()), 0.0) {
+  refresh_all();
+}
+
+void EdgeCostCache::refresh_all() {
+  double lo = std::numeric_limits<double>::infinity();
+  for (tile::EdgeId e = 0; e < g_.edge_count(); ++e) {
+    const double c = base_(e);
+    values_[static_cast<std::size_t>(e)] = c;
+    lo = std::min(lo, c);
+  }
+  min_cost_ = std::isfinite(lo) ? lo : 0.0;
+}
+
+void EdgeCostCache::refresh_edge(tile::EdgeId e) {
+  const double c = base_(e);
+  values_[static_cast<std::size_t>(e)] = c;
+  // Only ever lower the bound between full refreshes: raising it on the
+  // strength of one edge could overestimate some other (stale-cheaper)
+  // edge and break A* admissibility.
+  if (c < min_cost_) min_cost_ = c;
+}
+
+void EdgeCostCache::refresh_tree(const RouteTree& tree) {
+  for (const RouteNode& n : tree.nodes()) {
+    if (n.parent == kNoNode) continue;
+    refresh_edge(g_.edge_between(n.tile, tree.node(n.parent).tile));
+  }
+}
+
 MazeRouter::MazeRouter(const tile::TileGraph& g)
     : g_(g),
       dist_(static_cast<std::size_t>(g.tile_count()), 0.0),
       prev_(static_cast<std::size_t>(g.tile_count()), tile::kNoTile),
-      stamp_(static_cast<std::size_t>(g.tile_count()), 0) {}
+      stamp_(static_cast<std::size_t>(g.tile_count()), 0),
+      target_stamp_(static_cast<std::size_t>(g.tile_count()), 0),
+      h_(static_cast<std::size_t>(g.tile_count()), 0.0),
+      h_stamp_(static_cast<std::size_t>(g.tile_count()), 0) {}
 
 namespace {
 
-struct HeapEntry {
-  double dist;
-  tile::TileId tile;
-  // Tie-break on tile id so expansion order (and thus routes) is fully
-  // deterministic regardless of heap internals.
-  bool operator>(const HeapEntry& o) const {
-    if (dist != o.dist) return dist > o.dist;
-    return tile > o.tile;
+/// Cost accessors the templated search cores specialize over: a flat
+/// per-edge array (one load) or an arbitrary callback.
+struct SpanCost {
+  std::span<const double> v;
+  double operator()(tile::EdgeId e) const {
+    return v[static_cast<std::size_t>(e)];
   }
 };
-
-using MinHeap =
-    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+struct FnCost {
+  const EdgeCostFn& fn;
+  double operator()(tile::EdgeId e) const { return fn(e); }
+};
 
 }  // namespace
 
-RouteTree MazeRouter::grow(tile::TileId source_tile,
-                           std::span<const tile::TileId> sink_tiles,
-                           double alpha, const EdgeCostFn& cost) {
+void MazeRouter::heap_push(HeapEntry e) {
+  heap_.push_back(e);
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+}
+
+MazeRouter::HeapEntry MazeRouter::heap_pop() {
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  const HeapEntry top = heap_.back();
+  heap_.pop_back();
+  return top;
+}
+
+template <typename CostT>
+RouteTree MazeRouter::grow_impl(tile::TileId source_tile,
+                                std::span<const tile::TileId> sink_tiles,
+                                double alpha, const CostT& cost,
+                                double astar_floor) {
   RouteTree tree(source_tile);
 
   // Unconnected sink tiles (deduplicated); multiplicity handled at the end.
-  std::vector<tile::TileId> remaining(sink_tiles.begin(), sink_tiles.end());
-  std::sort(remaining.begin(), remaining.end());
-  remaining.erase(std::unique(remaining.begin(), remaining.end()),
-                  remaining.end());
-  std::erase(remaining, source_tile);
+  remaining_.assign(sink_tiles.begin(), sink_tiles.end());
+  std::sort(remaining_.begin(), remaining_.end());
+  remaining_.erase(std::unique(remaining_.begin(), remaining_.end()),
+                   remaining_.end());
+  std::erase(remaining_, source_tile);
+
+  ++target_epoch_;
+  for (const tile::TileId t : remaining_)
+    target_stamp_[static_cast<std::size_t>(t)] = target_epoch_;
 
   // Congestion-cost of the tree path from the source to each node, the
   // "path length" that alpha weighs in the PD objective.
-  std::vector<double> path_cost{0.0};
+  path_cost_.assign(1, 0.0);
 
-  std::vector<bool> is_target(static_cast<std::size_t>(g_.tile_count()),
-                              false);
-  for (const tile::TileId t : remaining)
-    is_target[static_cast<std::size_t>(t)] = true;
-
-  while (!remaining.empty()) {
+  const bool use_h = astar_floor > 0.0;
+  while (!remaining_.empty()) {
     begin_pass();
-    MinHeap heap;
+    heap_.clear();
+    if (use_h) {
+      target_coords_.clear();
+      for (const tile::TileId t : remaining_)
+        target_coords_.push_back(g_.coord_of(t));
+    }
+    // Admissible remaining-cost bound, memoized per tile per pass.
+    const auto h_of = [&](tile::TileId t) -> double {
+      if (!use_h) return 0.0;
+      const auto i = static_cast<std::size_t>(t);
+      if (h_stamp_[i] == epoch_) return h_[i];
+      const geom::TileCoord c = g_.coord_of(t);
+      std::int32_t best = std::numeric_limits<std::int32_t>::max();
+      for (const geom::TileCoord& tc : target_coords_)
+        best = std::min(best, geom::manhattan(c, tc));
+      const double v = astar_floor * static_cast<double>(best);
+      h_[i] = v;
+      h_stamp_[i] = epoch_;
+      return v;
+    };
+
     // Seed the wavefront with every tree tile at alpha-weighted path cost.
     for (std::size_t i = 0; i < tree.node_count(); ++i) {
       const tile::TileId t = tree.node(static_cast<NodeId>(i)).tile;
-      touch(t, alpha * path_cost[i], tile::kNoTile);
-      heap.push({alpha * path_cost[i], t});
+      const double d = alpha * path_cost_[i];
+      touch(t, d, tile::kNoTile);
+      heap_push({d + h_of(t), d, t});
     }
     tile::TileId reached = tile::kNoTile;
-    while (!heap.empty()) {
-      const HeapEntry top = heap.top();
-      heap.pop();
+    while (!heap_.empty()) {
+      const HeapEntry top = heap_pop();
       if (top.dist > dist_[static_cast<std::size_t>(top.tile)]) continue;
-      if (is_target[static_cast<std::size_t>(top.tile)]) {
+      if (is_target(top.tile)) {
         reached = top.tile;
         break;
       }
@@ -86,7 +155,7 @@ RouteTree MazeRouter::grow(tile::TileId source_tile,
         const double nd = top.dist + cost(e);
         if (!seen(nbr[k]) || nd < dist_[static_cast<std::size_t>(nbr[k])]) {
           touch(nbr[k], nd, top.tile);
-          heap.push({nd, nbr[k]});
+          heap_push({nd + h_of(nbr[k]), nd, nbr[k]});
         }
       }
     }
@@ -94,35 +163,35 @@ RouteTree MazeRouter::grow(tile::TileId source_tile,
                      "wavefront could not reach a sink tile");
 
     // Trace back to the tree, collect the new path (tree-side first).
-    std::vector<tile::TileId> path;
+    path_.clear();
     for (tile::TileId t = reached; t != tile::kNoTile;
          t = prev_[static_cast<std::size_t>(t)]) {
-      path.push_back(t);
+      path_.push_back(t);
       if (tree.contains(t) && t != reached) break;
     }
-    std::reverse(path.begin(), path.end());
-    RABID_ASSERT(tree.contains(path.front()));
+    std::reverse(path_.begin(), path_.end());
+    RABID_ASSERT(tree.contains(path_.front()));
 
-    NodeId anchor = tree.node_at(path.front());
-    double pc = path_cost[static_cast<std::size_t>(anchor)];
-    for (std::size_t i = 1; i < path.size(); ++i) {
-      const tile::EdgeId e = g_.edge_between(path[i - 1], path[i]);
+    NodeId anchor = tree.node_at(path_.front());
+    double pc = path_cost_[static_cast<std::size_t>(anchor)];
+    for (std::size_t i = 1; i < path_.size(); ++i) {
+      const tile::EdgeId e = g_.edge_between(path_[i - 1], path_[i]);
       pc += cost(e);
-      const NodeId existing = tree.node_at(path[i]);
+      const NodeId existing = tree.node_at(path_[i]);
       if (existing != kNoNode) {
         anchor = existing;
-        pc = path_cost[static_cast<std::size_t>(existing)];
+        pc = path_cost_[static_cast<std::size_t>(existing)];
         continue;
       }
-      anchor = tree.add_child(anchor, path[i]);
-      RABID_ASSERT(static_cast<std::size_t>(anchor) == path_cost.size());
-      path_cost.push_back(pc);
+      anchor = tree.add_child(anchor, path_[i]);
+      RABID_ASSERT(static_cast<std::size_t>(anchor) == path_cost_.size());
+      path_cost_.push_back(pc);
     }
 
     // Newly covered targets (the reached one, plus any the path crossed).
-    std::erase_if(remaining, [&](tile::TileId t) {
+    std::erase_if(remaining_, [&](tile::TileId t) {
       if (tree.contains(t)) {
-        is_target[static_cast<std::size_t>(t)] = false;
+        target_stamp_[static_cast<std::size_t>(t)] = 0;
         return true;
       }
       return false;
@@ -138,24 +207,61 @@ RouteTree MazeRouter::grow(tile::TileId source_tile,
   return tree;
 }
 
-RouteTree MazeRouter::route_net(const netlist::Net& net, double alpha,
-                                const EdgeCostFn& cost) {
-  std::vector<tile::TileId> sinks;
-  sinks.reserve(net.sinks.size());
-  for (const netlist::Pin& p : net.sinks) sinks.push_back(g_.tile_at(p.location));
-  return grow(g_.tile_at(net.source.location), sinks, alpha, cost);
+RouteTree MazeRouter::grow(tile::TileId source_tile,
+                           std::span<const tile::TileId> sink_tiles,
+                           double alpha, std::span<const double> cost,
+                           double astar_floor) {
+  return grow_impl(source_tile, sink_tiles, alpha, SpanCost{cost},
+                   astar_floor);
 }
 
-std::vector<tile::TileId> MazeRouter::shortest_path(tile::TileId from,
-                                                    tile::TileId to,
-                                                    const EdgeCostFn& cost) {
+RouteTree MazeRouter::grow(tile::TileId source_tile,
+                           std::span<const tile::TileId> sink_tiles,
+                           double alpha, const EdgeCostFn& cost,
+                           double astar_floor) {
+  return grow_impl(source_tile, sink_tiles, alpha, FnCost{cost}, astar_floor);
+}
+
+RouteTree MazeRouter::route_net(const netlist::Net& net, double alpha,
+                                std::span<const double> cost,
+                                double astar_floor) {
+  std::vector<tile::TileId> sinks;
+  sinks.reserve(net.sinks.size());
+  for (const netlist::Pin& p : net.sinks) {
+    sinks.push_back(g_.tile_at(p.location));
+  }
+  return grow(g_.tile_at(net.source.location), sinks, alpha, cost,
+              astar_floor);
+}
+
+RouteTree MazeRouter::route_net(const netlist::Net& net, double alpha,
+                                const EdgeCostFn& cost, double astar_floor) {
+  std::vector<tile::TileId> sinks;
+  sinks.reserve(net.sinks.size());
+  for (const netlist::Pin& p : net.sinks) {
+    sinks.push_back(g_.tile_at(p.location));
+  }
+  return grow(g_.tile_at(net.source.location), sinks, alpha, cost,
+              astar_floor);
+}
+
+template <typename CostT>
+std::vector<tile::TileId> MazeRouter::shortest_path_impl(tile::TileId from,
+                                                         tile::TileId to,
+                                                         const CostT& cost,
+                                                         double astar_floor) {
   begin_pass();
-  MinHeap heap;
+  heap_.clear();
+  const geom::TileCoord goal = g_.coord_of(to);
+  const auto h_of = [&](tile::TileId t) -> double {
+    if (astar_floor <= 0.0) return 0.0;
+    return astar_floor *
+           static_cast<double>(geom::manhattan(g_.coord_of(t), goal));
+  };
   touch(from, 0.0, tile::kNoTile);
-  heap.push({0.0, from});
-  while (!heap.empty()) {
-    const HeapEntry top = heap.top();
-    heap.pop();
+  heap_push({h_of(from), 0.0, from});
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_pop();
     if (top.dist > dist_[static_cast<std::size_t>(top.tile)]) continue;
     if (top.tile == to) break;
     tile::TileId nbr[4];
@@ -165,7 +271,7 @@ std::vector<tile::TileId> MazeRouter::shortest_path(tile::TileId from,
       const double nd = top.dist + cost(e);
       if (!seen(nbr[k]) || nd < dist_[static_cast<std::size_t>(nbr[k])]) {
         touch(nbr[k], nd, top.tile);
-        heap.push({nd, nbr[k]});
+        heap_push({nd + h_of(nbr[k]), nd, nbr[k]});
       }
     }
   }
@@ -177,6 +283,19 @@ std::vector<tile::TileId> MazeRouter::shortest_path(tile::TileId from,
   }
   std::reverse(path.begin(), path.end());
   return path;
+}
+
+std::vector<tile::TileId> MazeRouter::shortest_path(
+    tile::TileId from, tile::TileId to, std::span<const double> cost,
+    double astar_floor) {
+  return shortest_path_impl(from, to, SpanCost{cost}, astar_floor);
+}
+
+std::vector<tile::TileId> MazeRouter::shortest_path(tile::TileId from,
+                                                    tile::TileId to,
+                                                    const EdgeCostFn& cost,
+                                                    double astar_floor) {
+  return shortest_path_impl(from, to, FnCost{cost}, astar_floor);
 }
 
 }  // namespace rabid::route

@@ -6,9 +6,30 @@
 ///
 /// A net is rerouted by deleting it entirely and regrowing the tree with
 /// a Prim-Dijkstra-flavored wavefront: each connection step runs a
-/// Dijkstra seeded from every tree tile at cost alpha * (tree path cost),
-/// expands with the eq. (1) congestion edge cost, and commits the
-/// cheapest path to any unconnected sink.
+/// best-first search seeded from every tree tile at cost
+/// alpha * (tree path cost), expands with the eq. (1) congestion edge
+/// cost, and commits the cheapest path to any unconnected sink.
+///
+/// Two hot-path engineering layers sit on top of the textbook search
+/// (DESIGN.md section 10):
+///
+///   * **A\* targeting.**  Passing `astar_floor > 0` adds the admissible
+///     heuristic  h(t) = astar_floor * (Manhattan tile distance from t
+///     to the nearest remaining target).  Any single wavefront step
+///     costs at least `astar_floor` (a lower bound on every edge cost),
+///     and reaching a target takes at least the Manhattan distance in
+///     steps, so h never overestimates; it is also consistent (adjacent
+///     tiles differ by at most one step).  The first target popped
+///     therefore still carries the exact minimum cost — identical to
+///     Dijkstra's — but the wavefront stays aimed at the targets instead
+///     of flooding the chip.  `astar_floor == 0` reproduces plain
+///     Dijkstra expansion order bit for bit.
+///
+///   * **Flat edge costs.**  The inner loop takes a per-pass
+///     `std::span<const double>` of edge costs (one load per
+///     relaxation) instead of a `std::function` callback (an indirect
+///     call plus the eq. 1 division per relaxation).  EdgeCostCache
+///     owns such an array and keeps it consistent under rip-up/commit.
 ///
 /// Eq. (1) is infinite on a full edge; to guarantee the router always
 /// completes (the paper's Table III shows overflow IS possible when
@@ -16,6 +37,7 @@
 /// so overflow happens only when no feasible path exists and is then
 /// minimal.
 
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <vector>
@@ -36,7 +58,45 @@ double soft_wire_cost(const tile::TileGraph& g, tile::EdgeId e);
 /// Edge-cost callback; defaults to soft_wire_cost.
 using EdgeCostFn = std::function<double(tile::EdgeId)>;
 
-/// Reusable wavefront router; scratch arrays are sized once per graph.
+/// Per-pass flat cache of edge costs: `values()[e]` is the current cost
+/// of edge e, so the router's inner loop is one array load instead of a
+/// std::function call plus a division.  The owner refreshes entries only
+/// when usage actually changes (rip-up / commit), via refresh_edge() or
+/// refresh_tree().
+///
+/// min_cost() is a conservative lower bound on every cached cost — the
+/// admissible A* step floor.  refresh_all() recomputes it exactly;
+/// point refreshes only ever lower it (a stale-high bound would break
+/// admissibility, a stale-low one merely weakens the heuristic).
+class EdgeCostCache {
+ public:
+  EdgeCostCache(const tile::TileGraph& g, EdgeCostFn base);
+
+  /// Recomputes every edge cost and the exact minimum.
+  void refresh_all();
+  /// Recomputes one edge's cost (after add_wire/remove_wire on it).
+  void refresh_edge(tile::EdgeId e);
+  /// Recomputes the cost of every tile-graph edge `tree` crosses — the
+  /// exact set whose usage a commit() or uncommit() of `tree` changed.
+  void refresh_tree(const RouteTree& tree);
+
+  std::span<const double> values() const { return values_; }
+  double min_cost() const { return min_cost_; }
+  double operator[](tile::EdgeId e) const {
+    return values_[static_cast<std::size_t>(e)];
+  }
+
+ private:
+  const tile::TileGraph& g_;
+  EdgeCostFn base_;
+  std::vector<double> values_;
+  double min_cost_ = 0.0;
+};
+
+/// Reusable wavefront router.  All scratch — distance/parent labels,
+/// target flags, the heap's backing storage, per-pass A* bounds — lives
+/// in stamped member arrays sized once per graph, so routing a net
+/// performs no allocation after warm-up (beyond the returned tree).
 class MazeRouter {
  public:
   explicit MazeRouter(const tile::TileGraph& g);
@@ -44,25 +104,77 @@ class MazeRouter {
   /// Grows a tree from `source_tile` to every tile in `sink_tiles`
   /// (duplicates allowed; multiplicity becomes sink_count).  `alpha` is
   /// the PD radius/length trade-off; `cost` the per-edge cost.
+  /// `astar_floor` > 0 enables A* targeting (see file comment); it must
+  /// be a lower bound on every edge cost, e.g. EdgeCostCache::min_cost().
   RouteTree grow(tile::TileId source_tile,
                  std::span<const tile::TileId> sink_tiles, double alpha,
-                 const EdgeCostFn& cost);
+                 std::span<const double> cost, double astar_floor = 0.0);
+  RouteTree grow(tile::TileId source_tile,
+                 std::span<const tile::TileId> sink_tiles, double alpha,
+                 const EdgeCostFn& cost, double astar_floor = 0.0);
 
   /// Convenience for a Net: maps pins to tiles and grows.
   RouteTree route_net(const netlist::Net& net, double alpha,
-                      const EdgeCostFn& cost);
+                      std::span<const double> cost, double astar_floor = 0.0);
+  RouteTree route_net(const netlist::Net& net, double alpha,
+                      const EdgeCostFn& cost, double astar_floor = 0.0);
 
   /// Lowest-cost tile path between two tiles under `cost` (both endpoints
   /// included).  Used by tests and simple point-to-point reconnects.
   std::vector<tile::TileId> shortest_path(tile::TileId from, tile::TileId to,
-                                          const EdgeCostFn& cost);
+                                          std::span<const double> cost,
+                                          double astar_floor = 0.0);
+  std::vector<tile::TileId> shortest_path(tile::TileId from, tile::TileId to,
+                                          const EdgeCostFn& cost,
+                                          double astar_floor = 0.0);
 
  private:
+  struct HeapEntry {
+    double key;  ///< dist + heuristic; == dist when A* is off
+    double dist;
+    tile::TileId tile;
+    // Tie-break on tile id so expansion order (and thus routes) is fully
+    // deterministic regardless of heap internals.
+    bool operator>(const HeapEntry& o) const {
+      if (key != o.key) return key > o.key;
+      return tile > o.tile;
+    }
+  };
+
+  template <typename CostT>
+  RouteTree grow_impl(tile::TileId source_tile,
+                      std::span<const tile::TileId> sink_tiles, double alpha,
+                      const CostT& cost, double astar_floor);
+  template <typename CostT>
+  std::vector<tile::TileId> shortest_path_impl(tile::TileId from,
+                                               tile::TileId to,
+                                               const CostT& cost,
+                                               double astar_floor);
+
+  void heap_push(HeapEntry e);
+  HeapEntry heap_pop();
+
   const tile::TileGraph& g_;
   std::vector<double> dist_;
   std::vector<tile::TileId> prev_;
   std::vector<std::uint32_t> stamp_;
   std::uint32_t epoch_ = 0;
+
+  // Targets of the in-flight grow(), stamped instead of refilled per call.
+  std::vector<std::uint32_t> target_stamp_;
+  std::uint32_t target_epoch_ = 0;
+
+  // Per-pass memo of the A* bound (Manhattan distance to the nearest
+  // remaining target is worth recomputing at most once per tile).
+  std::vector<double> h_;
+  std::vector<std::uint32_t> h_stamp_;
+  std::vector<geom::TileCoord> target_coords_;
+
+  // Reusable wavefront storage: heap backing plus grow()'s worklists.
+  std::vector<HeapEntry> heap_;
+  std::vector<tile::TileId> remaining_;
+  std::vector<double> path_cost_;
+  std::vector<tile::TileId> path_;
 
   void begin_pass() { ++epoch_; }
   bool seen(tile::TileId t) const {
@@ -72,6 +184,9 @@ class MazeRouter {
     stamp_[static_cast<std::size_t>(t)] = epoch_;
     dist_[static_cast<std::size_t>(t)] = d;
     prev_[static_cast<std::size_t>(t)] = p;
+  }
+  bool is_target(tile::TileId t) const {
+    return target_stamp_[static_cast<std::size_t>(t)] == target_epoch_;
   }
 };
 

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "circuits/random_circuit.hpp"
+#include "route/maze.hpp"
+#include "util/rng.hpp"
+
+namespace rabid::route {
+namespace {
+
+/// A* with an admissible floor must find paths of exactly the same cost
+/// as blind Dijkstra — only tie-breaking among equal-cost routes can
+/// differ.  Jittering every edge cost by a seeded multiplicative factor
+/// makes shortest paths (almost surely) unique, so the property tests
+/// can demand full tree equality, not just equal totals.
+std::vector<double> jittered_costs(const tile::TileGraph& g,
+                                   std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> cost(static_cast<std::size_t>(g.edge_count()));
+  for (tile::EdgeId e = 0; e < g.edge_count(); ++e) {
+    cost[static_cast<std::size_t>(e)] =
+        soft_wire_cost(g, e) * rng.uniform(0.9, 1.1);
+  }
+  return cost;
+}
+
+double floor_of(const std::vector<double>& cost) {
+  double lo = cost.front();
+  for (const double c : cost) lo = std::min(lo, c);
+  return lo;
+}
+
+double tree_cost(const tile::TileGraph& g, const RouteTree& tree,
+                 const std::vector<double>& cost) {
+  double total = 0.0;
+  for (const RouteNode& n : tree.nodes()) {
+    if (n.parent == kNoNode) continue;
+    const tile::EdgeId e = g.edge_between(n.tile, tree.node(n.parent).tile);
+    total += cost[static_cast<std::size_t>(e)];
+  }
+  return total;
+}
+
+bool same_arcs(const tile::TileGraph& g, const RouteTree& a,
+               const RouteTree& b) {
+  if (a.node_count() != b.node_count()) return false;
+  std::vector<tile::EdgeId> ea;
+  std::vector<tile::EdgeId> eb;
+  for (const RouteNode& n : a.nodes()) {
+    if (n.parent != kNoNode)
+      ea.push_back(g.edge_between(n.tile, a.node(n.parent).tile));
+  }
+  for (const RouteNode& n : b.nodes()) {
+    if (n.parent != kNoNode)
+      eb.push_back(g.edge_between(n.tile, b.node(n.parent).tile));
+  }
+  std::sort(ea.begin(), ea.end());
+  std::sort(eb.begin(), eb.end());
+  return ea == eb;
+}
+
+TEST(AStarEquivalence, TreesMatchDijkstraOn100FuzzedCircuits) {
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    const circuits::RandomCircuit circuit(seed);
+    const netlist::Design design = circuit.design();
+    tile::TileGraph graph = circuit.graph(design);
+    const std::vector<double> cost = jittered_costs(graph, seed * 7919);
+    const double floor = floor_of(cost);
+    ASSERT_GT(floor, 0.0) << circuit.name();
+
+    MazeRouter dijkstra(graph);
+    MazeRouter astar(graph);
+    for (std::size_t i = 0; i < design.nets().size(); ++i) {
+      const netlist::Net& net = design.net(static_cast<netlist::NetId>(i));
+      const RouteTree blind =
+          dijkstra.route_net(net, /*alpha=*/0.4, cost, /*astar_floor=*/0.0);
+      const RouteTree aimed =
+          astar.route_net(net, /*alpha=*/0.4, cost, floor);
+      const double blind_cost = tree_cost(graph, blind, cost);
+      const double aimed_cost = tree_cost(graph, aimed, cost);
+      EXPECT_NEAR(aimed_cost, blind_cost,
+                  1e-9 * std::max(1.0, std::abs(blind_cost)))
+          << circuit.name() << " net " << i;
+      EXPECT_TRUE(same_arcs(graph, blind, aimed))
+          << circuit.name() << " net " << i;
+    }
+  }
+}
+
+TEST(AStarEquivalence, ShortestPathCostMatchesAcrossHeuristics) {
+  const circuits::RandomCircuit circuit(42);
+  const netlist::Design design = circuit.design();
+  tile::TileGraph graph = circuit.graph(design);
+  const std::vector<double> cost = jittered_costs(graph, 1234);
+  const double floor = floor_of(cost);
+
+  MazeRouter router(graph);
+  util::Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto from = static_cast<tile::TileId>(
+        rng.uniform_int(0, graph.tile_count() - 1));
+    const auto to = static_cast<tile::TileId>(
+        rng.uniform_int(0, graph.tile_count() - 1));
+    if (from == to) continue;
+    const auto blind = router.shortest_path(from, to, cost, 0.0);
+    const auto aimed = router.shortest_path(from, to, cost, floor);
+    auto path_cost = [&](const std::vector<tile::TileId>& p) {
+      double total = 0.0;
+      for (std::size_t k = 1; k < p.size(); ++k) {
+        total += cost[static_cast<std::size_t>(
+            graph.edge_between(p[k - 1], p[k]))];
+      }
+      return total;
+    };
+    EXPECT_NEAR(path_cost(aimed), path_cost(blind), 1e-12);
+  }
+}
+
+/// Scratch reuse: the same router object must produce identical trees on
+/// repeat calls (the stamped arrays fully reset between nets).
+TEST(AStarEquivalence, RouterScratchReuseIsDeterministic) {
+  const circuits::RandomCircuit circuit(7);
+  const netlist::Design design = circuit.design();
+  tile::TileGraph graph = circuit.graph(design);
+  const std::vector<double> cost = jittered_costs(graph, 7);
+  const double floor = floor_of(cost);
+
+  MazeRouter reused(graph);
+  for (std::size_t i = 0; i < design.nets().size(); ++i) {
+    const netlist::Net& net = design.net(static_cast<netlist::NetId>(i));
+    const RouteTree first = reused.route_net(net, 0.4, cost, floor);
+    const RouteTree again = reused.route_net(net, 0.4, cost, floor);
+    MazeRouter fresh(graph);
+    const RouteTree cold = fresh.route_net(net, 0.4, cost, floor);
+    EXPECT_TRUE(same_arcs(graph, first, again)) << "net " << i;
+    EXPECT_TRUE(same_arcs(graph, first, cold)) << "net " << i;
+  }
+}
+
+/// The callback overload is a convenience veneer over the same core: it
+/// must route exactly like the span overload.
+TEST(AStarEquivalence, FnOverloadMatchesSpanOverload) {
+  const circuits::RandomCircuit circuit(11);
+  const netlist::Design design = circuit.design();
+  tile::TileGraph graph = circuit.graph(design);
+  const std::vector<double> cost = jittered_costs(graph, 11);
+
+  MazeRouter router(graph);
+  const EdgeCostFn fn = [&](tile::EdgeId e) {
+    return cost[static_cast<std::size_t>(e)];
+  };
+  for (std::size_t i = 0; i < design.nets().size(); ++i) {
+    const netlist::Net& net = design.net(static_cast<netlist::NetId>(i));
+    const RouteTree via_span = router.route_net(net, 0.4, cost);
+    const RouteTree via_fn = router.route_net(net, 0.4, fn);
+    EXPECT_TRUE(same_arcs(graph, via_span, via_fn)) << "net " << i;
+  }
+}
+
+}  // namespace
+}  // namespace rabid::route

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "route/maze.hpp"
+
+namespace rabid::route {
+namespace {
+
+tile::TileGraph make_graph(std::int32_t cap = 4) {
+  tile::TileGraph g(geom::Rect{{0, 0}, {800, 800}}, 8, 8);
+  g.set_uniform_wire_capacity(cap);
+  return g;
+}
+
+TEST(EdgeCostCache, ConstructionSnapshotsEveryEdgeAndExactMin) {
+  tile::TileGraph g = make_graph(3);
+  g.add_wire(5);  // one edge more expensive than the rest
+  const EdgeCostCache cache(
+      g, [&](tile::EdgeId e) { return soft_wire_cost(g, e); });
+  ASSERT_EQ(cache.values().size(), static_cast<std::size_t>(g.edge_count()));
+  for (tile::EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_DOUBLE_EQ(cache[e], soft_wire_cost(g, e));
+  }
+  EXPECT_DOUBLE_EQ(cache.min_cost(),
+                   *std::min_element(cache.values().begin(),
+                                     cache.values().end()));
+}
+
+TEST(EdgeCostCache, RefreshEdgeTracksUsageChanges) {
+  tile::TileGraph g = make_graph(3);
+  EdgeCostCache cache(g,
+                      [&](tile::EdgeId e) { return soft_wire_cost(g, e); });
+  const double before = cache[7];
+  g.add_wire(7);
+  EXPECT_DOUBLE_EQ(cache[7], before);  // stale until told
+  cache.refresh_edge(7);
+  EXPECT_DOUBLE_EQ(cache[7], soft_wire_cost(g, 7));
+  EXPECT_GT(cache[7], before);
+}
+
+/// min_cost() must stay a valid lower bound under point refreshes: it
+/// may only move down between refresh_all() calls, even when the true
+/// minimum rose (a stale-high bound would break A* admissibility).
+TEST(EdgeCostCache, MinIsConservativeLowerBoundUnderPointRefresh) {
+  tile::TileGraph g = make_graph(2);
+  EdgeCostCache cache(g,
+                      [&](tile::EdgeId e) { return soft_wire_cost(g, e); });
+  const double initial_min = cache.min_cost();
+
+  // Raise every edge's cost; point-refresh them all.  The cached values
+  // move, the bound must not rise.
+  for (tile::EdgeId e = 0; e < g.edge_count(); ++e) {
+    g.add_wire(e);
+    cache.refresh_edge(e);
+  }
+  EXPECT_LE(cache.min_cost(), initial_min);
+  for (const double c : cache.values()) {
+    EXPECT_LE(cache.min_cost(), c);
+  }
+
+  // refresh_all recomputes the exact minimum.
+  cache.refresh_all();
+  EXPECT_DOUBLE_EQ(cache.min_cost(),
+                   *std::min_element(cache.values().begin(),
+                                     cache.values().end()));
+  EXPECT_GT(cache.min_cost(), initial_min);
+}
+
+TEST(EdgeCostCache, RefreshTreeUpdatesExactlyTheCommittedEdges) {
+  tile::TileGraph g = make_graph(3);
+  EdgeCostCache cache(g,
+                      [&](tile::EdgeId e) { return soft_wire_cost(g, e); });
+
+  // A 3-tile L-shaped tree: (0,0) -> (1,0) -> (1,1).
+  RouteTree tree(g.id_of({0, 0}));
+  const NodeId a = tree.add_child(tree.root(), g.id_of({1, 0}));
+  const NodeId b = tree.add_child(a, g.id_of({1, 1}));
+  tree.add_sink(b);
+  tree.commit(g, 1);
+
+  const tile::EdgeId e1 = g.edge_between(g.id_of({0, 0}), g.id_of({1, 0}));
+  const tile::EdgeId e2 = g.edge_between(g.id_of({1, 0}), g.id_of({1, 1}));
+  const double stale = cache[e1];
+  cache.refresh_tree(tree);
+  EXPECT_DOUBLE_EQ(cache[e1], soft_wire_cost(g, e1));
+  EXPECT_DOUBLE_EQ(cache[e2], soft_wire_cost(g, e2));
+  EXPECT_GT(cache[e1], stale);
+  // Edges the tree does not cross keep their snapshot.
+  const tile::EdgeId other =
+      g.edge_between(g.id_of({5, 5}), g.id_of({6, 5}));
+  EXPECT_DOUBLE_EQ(cache[other], soft_wire_cost(g, other));
+}
+
+}  // namespace
+}  // namespace rabid::route

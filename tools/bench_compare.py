@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Compare a bench_report.py run against a committed baseline.
+
+Fails (exit 1) if any benchmark's real wall time regressed by more than
+--max-regression (default 20%).  Entries present on only one side are
+reported but never fail the build (new benchmarks must be able to land).
+
+Aggregate rows (run_type "aggregate", e.g. the BigO/RMS entries emitted
+by --benchmark_complexity) are skipped: only run_type "iteration" rows
+carry comparable wall times.  Time units are normalized, so a baseline
+recorded in ns compares correctly against a run reporting us.
+
+Cross-machine noise: raw wall times are only comparable on similar
+hardware.  --calibrate NAME divides every time on each side by that
+side's time for benchmark NAME (a machine-speed probe, e.g.
+BM_Generator/playout — pure single-thread work untouched by routing
+changes), so what is compared is the *ratio* to the probe.  CI uses
+this; local A/B runs on one machine can omit it.
+
+Usage:
+  tools/bench_compare.py BENCH_baseline.json current.json \
+      [--max-regression 0.20] [--calibrate BM_Generator/playout]
+"""
+
+import argparse
+import json
+import sys
+
+UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_times(path):
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        name = bench["name"]
+        unit = UNIT_NS.get(bench.get("time_unit", "ns"))
+        if unit is None:
+            raise SystemExit(f"{path}: unknown time_unit in {name}")
+        times[name] = bench["real_time"] * unit
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--max-regression", type=float, default=0.20,
+                        help="fail when time grows by more than this "
+                             "fraction (default 0.20)")
+    parser.add_argument("--calibrate", default="",
+                        help="benchmark name used as a machine-speed "
+                             "probe; both sides are normalized by it")
+    args = parser.parse_args()
+
+    base = load_times(args.baseline)
+    cur = load_times(args.current)
+
+    if args.calibrate:
+        for side, times in (("baseline", base), ("current", cur)):
+            probe = times.get(args.calibrate)
+            if not probe:
+                raise SystemExit(
+                    f"--calibrate {args.calibrate} missing from {side}")
+            for name in times:
+                times[name] /= probe
+
+    regressions = []
+    improvements = []
+    width = max((len(n) for n in base), default=10)
+    print(f"{'benchmark':<{width}}  {'baseline':>12} {'current':>12} "
+          f"{'ratio':>7}")
+    for name in sorted(base):
+        if name not in cur:
+            print(f"{name:<{width}}  {base[name]:>12.0f} {'gone':>12}")
+            continue
+        ratio = cur[name] / base[name]
+        print(f"{name:<{width}}  {base[name]:>12.0f} {cur[name]:>12.0f} "
+              f"{ratio:>7.3f}")
+        if name == args.calibrate:
+            continue  # the probe compares to itself as exactly 1.0
+        if ratio > 1.0 + args.max_regression:
+            regressions.append((name, ratio))
+        elif ratio < 1.0 - args.max_regression:
+            improvements.append((name, ratio))
+    for name in sorted(set(cur) - set(base)):
+        print(f"{name:<{width}}  {'new':>12} {cur[name]:>12.0f}")
+
+    if improvements:
+        print(f"\n{len(improvements)} benchmark(s) improved past the "
+              "threshold; consider re-recording the baseline:")
+        for name, ratio in improvements:
+            print(f"  {name}: {ratio:.3f}x")
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more "
+              f"than {args.max_regression:.0%}:")
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.3f}x")
+        sys.exit(1)
+    print("\nOK: no benchmark regressed past "
+          f"{args.max_regression:.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Run the benchmark suite and merge the results into one JSON report.
+
+Runs flow_throughput and dp_complexity with --benchmark_format=json and
+writes a single merged document whose "benchmarks" array concatenates
+both binaries' entries (each entry gains a "binary" field).  The output
+is the input format of bench_compare.py; committing one such report as
+BENCH_baseline.json is what arms the CI regression gate.
+
+Usage:
+  tools/bench_report.py --build-dir build --out BENCH_baseline.json \
+      [--min-time 0.2] [--filter REGEX]
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+BINARIES = ["flow_throughput", "dp_complexity"]
+
+
+def run_binary(path, min_time, bench_filter):
+    cmd = [
+        str(path),
+        "--benchmark_format=json",
+        f"--benchmark_min_time={min_time}",
+    ]
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
+    print(f"+ {' '.join(cmd)}", file=sys.stderr)
+    proc = subprocess.run(cmd, capture_output=True, text=True, check=False)
+    if proc.returncode != 0:
+        print(proc.stderr, file=sys.stderr)
+        raise SystemExit(f"{path.name} exited with {proc.returncode}")
+    return json.loads(proc.stdout)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="CMake build directory containing bench/")
+    parser.add_argument("--out", required=True, help="output JSON path")
+    parser.add_argument("--min-time", type=float, default=0.2,
+                        help="--benchmark_min_time per benchmark (seconds)")
+    parser.add_argument("--filter", default="",
+                        help="optional --benchmark_filter regex")
+    args = parser.parse_args()
+
+    bench_dir = Path(args.build_dir) / "bench"
+    merged = {"context": None, "benchmarks": []}
+    for name in BINARIES:
+        path = bench_dir / name
+        if not path.exists():
+            raise SystemExit(f"missing benchmark binary: {path} "
+                             "(build the project first)")
+        doc = run_binary(path, args.min_time, args.filter)
+        if merged["context"] is None:
+            merged["context"] = doc.get("context", {})
+        for bench in doc.get("benchmarks", []):
+            bench["binary"] = name
+            merged["benchmarks"].append(bench)
+
+    out = Path(args.out)
+    out.write_text(json.dumps(merged, indent=2) + "\n")
+    iterations = [b for b in merged["benchmarks"]
+                  if b.get("run_type", "iteration") == "iteration"]
+    print(f"wrote {out} ({len(iterations)} measurements, "
+          f"{len(merged['benchmarks'])} entries)", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,10 @@
 //   --sites N          override the buffer-site count (default: Table I)
 //   --no-blocked       disable the 9x9 blocked cache region
 //   --post             enable the congestion post-pass after stage 2
+//   --dijkstra         blind Dijkstra wavefronts in stages 2/4 (the
+//                      paper-faithful reference; default is A* targeting)
+//   --no-dirty-filter  stage 2 reroutes every net every iteration
+//                      instead of only nets whose congestion moved
 //   --vg K             after stage 4, timing-driven rebuffer the K worst
 //                      nets (van Ginneken + power levels)
 //   --inverters        let --vg use inverting repeaters (parity-safe)
@@ -56,6 +60,8 @@ struct Args {
   std::int64_t sites = -1;
   bool no_blocked = false;
   bool post = false;
+  bool dijkstra = false;
+  bool no_dirty_filter = false;
   std::size_t vg = 0;
   bool inverters = false;
   bool audit = false;
@@ -73,6 +79,7 @@ struct Args {
   std::fprintf(stderr,
                "usage: rabid_cli --circuit NAME [--threads N] [--grid NxM]\n"
                "       [--sites N] [--no-blocked] [--post] [--vg K]\n"
+               "       [--dijkstra] [--no-dirty-filter]\n"
                "       [--inverters] [--audit] [--audit-json F]\n"
                "       [--two-pin] [--bbp] [--dump-design F]\n"
                "       [--dump-solution F] [--heatmaps]\n");
@@ -103,6 +110,10 @@ Args parse(int argc, char** argv) {
       a.no_blocked = true;
     } else if (flag == "--post") {
       a.post = true;
+    } else if (flag == "--dijkstra") {
+      a.dijkstra = true;
+    } else if (flag == "--no-dirty-filter") {
+      a.no_dirty_filter = true;
     } else if (flag == "--vg") {
       a.vg = static_cast<std::size_t>(std::atoll(value()));
     } else if (flag == "--inverters") {
@@ -193,6 +204,9 @@ int main(int argc, char** argv) {
     core::RabidOptions options;
     options.threads = args.threads;
     options.congestion_post_after_stage2 = args.post;
+    if (args.dijkstra)
+      options.router_heuristic = core::RouterHeuristic::kDijkstra;
+    options.stage2_dirty_filter = !args.no_dirty_filter;
     if (args.audit) options.audit_level = core::AuditLevel::kPerStage;
     core::Rabid rabid(design, graph, options);
     report::Table table({"stage", "wireC max", "wireC avg", "overflows",
