@@ -9,10 +9,19 @@
 #include "circuits/generator.hpp"
 #include "circuits/specs.hpp"
 #include "core/rabid.hpp"
+#include "obs/counters.hpp"
+#include "util/assert.hpp"
 
 namespace {
 
 using namespace rabid;
+
+// The observability contract: the default options record nothing, so
+// every benchmark here measures the uninstrumented hot paths and the
+// BENCH_baseline gate stays meaningful.  Checked at compile time — if a
+// future change flips the default, this file refuses to build.
+static_assert(core::RabidOptions{}.obs_level == obs::Level::kOff,
+              "benchmarks assume observability defaults to off");
 
 void BM_FullFlow(benchmark::State& state, const char* circuit) {
   const circuits::CircuitSpec& spec = circuits::spec_by_name(circuit);
@@ -126,6 +135,30 @@ BENCHMARK_CAPTURE(BM_StageThreads, ami49_stage3, "ami49", 3)
     ->Arg(2)
     ->Arg(4)
     ->UseRealTime();
+
+// The same flow with counters on: the spread against BM_FullFlow/apte
+// is the total counting overhead (a relaxed level load per record site
+// plus one sharded fetch_add per flush), expected in the noise.  Runs
+// last-alphabetically irrelevant: the registry level is raised for the
+// run and restored after, so the obs-off benchmarks above stay honest
+// regardless of registration order.
+void BM_FullFlowObs(benchmark::State& state, const char* circuit) {
+  const circuits::CircuitSpec& spec = circuits::spec_by_name(circuit);
+  const netlist::Design design = circuits::generate_design(spec);
+  const tile::TileGraph prototype = circuits::build_tile_graph(design, spec);
+  core::RabidOptions options;
+  options.obs_level = obs::Level::kCounters;
+  for (auto _ : state) {
+    tile::TileGraph graph = prototype;
+    core::Rabid rabid(design, graph, options);
+    benchmark::DoNotOptimize(rabid.run_all());
+  }
+  obs::Registry::instance().set_level(obs::Level::kOff);
+  obs::Registry::instance().reset();
+  RABID_ASSERT_MSG(!obs::counting(),
+                   "obs level must return to off after BM_FullFlowObs");
+}
+BENCHMARK_CAPTURE(BM_FullFlowObs, apte, "apte");
 
 void BM_Generator(benchmark::State& state, const char* circuit) {
   const circuits::CircuitSpec& spec = circuits::spec_by_name(circuit);

@@ -1,8 +1,10 @@
 #include "buffer/insertion.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 
+#include "obs/counters.hpp"
 #include "util/assert.hpp"
 
 namespace rabid::buffer {
@@ -149,6 +151,17 @@ class TreeDp {
     return *std::min_element(root.begin(), root.end());
   }
 
+  /// Cost-array cells this DP filled (the c_/k_/acc_ arena).
+  std::uint64_t cells_computed() const {
+    return static_cast<std::uint64_t>(c_.size() + k_.size() + acc_.size());
+  }
+
+  /// C_v cells left at +inf — candidate states no buffering realizes.
+  std::uint64_t cells_infeasible() const {
+    return static_cast<std::uint64_t>(
+        std::count(c_.begin(), c_.end(), kInf));
+  }
+
   route::BufferList traceback() const {
     route::BufferList out;
     const std::span<const double> root = c_of(tree_.root());
@@ -288,6 +301,12 @@ InsertionResult insert_buffers(const route::RouteTree& tree, std::int32_t L,
   result.cost = dp.best_cost();
   result.feasible = std::isfinite(result.cost);
   if (result.feasible) result.buffers = dp.traceback();
+  if (obs::counting()) {
+    obs::count(obs::Counter::kDpNets);
+    obs::count(obs::Counter::kDpCellsComputed, dp.cells_computed());
+    obs::count(obs::Counter::kDpCellsInfeasible, dp.cells_infeasible());
+    obs::observe(obs::HistogramId::kDpCellsPerNet, dp.cells_computed());
+  }
   return result;
 }
 
@@ -301,6 +320,7 @@ InsertionResult insert_buffers_relaxed(const route::RouteTree& tree,
     RABID_ASSERT_MSG(limit <= 2 * std::max(wirelength, std::int32_t{1}),
                      "relaxation failed to converge");
     limit *= 2;
+    obs::count(obs::Counter::kDpLimitRelaxations);
     result = insert_buffers(tree, limit, q);
     result.effective_limit = limit;
   }

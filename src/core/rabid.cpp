@@ -10,6 +10,7 @@
 #include "buffer/timing_driven.hpp"
 #include "core/congestion_post.hpp"
 #include "core/twopath.hpp"
+#include "obs/trace.hpp"
 #include "route/embed.hpp"
 #include "route/maze.hpp"
 #include "route/negotiated.hpp"
@@ -67,12 +68,16 @@ Rabid::Rabid(const netlist::Design& design, tile::TileGraph& graph,
     : design_(design), graph_(graph), options_(options) {
   RABID_ASSERT_MSG(graph.stats().buffers_used == 0 && graph.wire_feasible(),
                    "tile graph usage books must start empty");
+  // Observability is process-global; raise-only, so a default-options
+  // instance (obs off) never silences a concurrently observed flow.
+  obs::Registry::instance().raise_level(options_.obs_level);
   nets_.resize(design.nets().size());
   const std::size_t workers = util::resolve_thread_count(options_.threads);
   if (workers >= 2) pool_ = std::make_unique<util::ThreadPool>(workers);
 }
 
 void Rabid::refresh_delays() {
+  obs::ScopedTimer obs_timer("refresh_delays", "flow");
   const auto refresh_one = [this](std::size_t i) {
     NetState& n = nets_[i];
     if (n.tree.empty()) return;
@@ -184,6 +189,7 @@ route::RouteTree Rabid::build_net_tree(std::size_t index) const {
 }
 
 StageStats Rabid::run_stage1() {
+  obs::ScopedTimer obs_timer("stage1", "stage");
   const auto start = std::chrono::steady_clock::now();
   const auto build_one = [this](std::size_t i) {
     NetState& state = nets_[i];
@@ -207,12 +213,14 @@ StageStats Rabid::run_stage1() {
   refresh_delays();
   stage1_done_ = true;
   StageStats stats = snapshot("1", seconds_since(start));
+  stage_history_.push_back(stats);
   maybe_audit("1", /*final_stage=*/false);
   return stats;
 }
 
 StageStats Rabid::run_stage2() {
   RABID_ASSERT_MSG(stage1_done_, "stage 2 requires stage 1");
+  obs::ScopedTimer obs_timer("stage2", "stage");
   const auto start = std::chrono::steady_clock::now();
   route::MazeRouter router(graph_);
   // Net ordering fixed up front: smallest delay first (Section III-B).
@@ -244,9 +252,13 @@ StageStats Rabid::run_stage2() {
                                [&](tile::EdgeId e) { return nego.cost(e); });
     for (std::int32_t iter = 0; iter < nego.params().max_iterations;
          ++iter) {
+      obs::ScopedTimer iter_timer("stage2 iteration", "stage");
+      obs::count(obs::Counter::kStage2Iterations);
       // History and present-sharing moved between iterations.
       cache.refresh_all();
       for (const std::size_t i : order) reroute_net(i, cache);
+      obs::count(obs::Counter::kStage2NetsRipped,
+                 static_cast<std::uint64_t>(order.size()));
       if (nego.finish_iteration() == 0) break;
     }
   } else {
@@ -257,8 +269,11 @@ StageStats Rabid::run_stage2() {
     std::vector<double> snapshot;
     std::vector<std::uint8_t> edge_dirty;
     for (std::int32_t iter = 0; iter < options_.reroute_iterations; ++iter) {
+      obs::ScopedTimer iter_timer("stage2 iteration", "stage");
+      obs::count(obs::Counter::kStage2Iterations);
       cache.refresh_all();
       const bool filter = options_.stage2_dirty_filter && iter > 0;
+      std::uint64_t dirty_edges = 0;
       if (filter) {
         edge_dirty.assign(static_cast<std::size_t>(graph_.edge_count()), 0);
         for (tile::EdgeId e = 0; e < graph_.edge_count(); ++e) {
@@ -268,10 +283,15 @@ StageStats Rabid::run_stage2() {
           const bool moved =
               std::abs(cache[e] - snapshot[k]) >
               options_.stage2_dirty_threshold * snapshot[k];
-          if (overflowed || moved) edge_dirty[k] = 1;
+          if (overflowed || moved) {
+            edge_dirty[k] = 1;
+            ++dirty_edges;
+          }
         }
       }
       snapshot.assign(cache.values().begin(), cache.values().end());
+      std::uint64_t ripped = 0;
+      std::uint64_t kept = 0;
       for (const std::size_t i : order) {
         if (filter) {
           // A net keeps its route unless the congestion picture under
@@ -288,9 +308,18 @@ StageStats Rabid::run_stage2() {
               break;
             }
           }
-          if (!dirty) continue;
+          if (!dirty) {
+            ++kept;
+            continue;
+          }
         }
+        ++ripped;
         reroute_net(i, cache);
+      }
+      if (obs::counting()) {
+        obs::count(obs::Counter::kStage2DirtyEdges, dirty_edges);
+        obs::count(obs::Counter::kStage2NetsRipped, ripped);
+        obs::count(obs::Counter::kStage2NetsKept, kept);
       }
       if (graph_.wire_feasible()) break;
     }
@@ -317,6 +346,7 @@ StageStats Rabid::run_stage2() {
   }
   refresh_delays();
   StageStats stats = snapshot("2", seconds_since(start));
+  stage_history_.push_back(stats);
   maybe_audit("2", /*final_stage=*/false);
   return stats;
 }
@@ -334,6 +364,7 @@ void Rabid::buffer_net(std::size_t index, const std::vector<double>& demand,
   std::vector<tile::TileId> forbidden;
   for (int attempt = 0;; ++attempt) {
     RABID_ASSERT_MSG(attempt < 64, "buffer commit failed to converge");
+    if (attempt > 0) obs::count(obs::Counter::kBufferCommitRetries);
     const auto q = [&](tile::TileId t) {
       if (std::find(forbidden.begin(), forbidden.end(), t) != forbidden.end())
         return tile::kInfCost;
@@ -368,6 +399,8 @@ void Rabid::buffer_net(std::size_t index, const std::vector<double>& demand,
     for (const auto& [t, count] : per_tile) {
       for (std::int32_t k = 0; k < count; ++k) graph_.add_buffer(t);
     }
+    obs::count(obs::Counter::kBuffersCommitted,
+               static_cast<std::uint64_t>(result.buffers.size()));
     state.buffers = std::move(result.buffers);
     state.buffer_types.clear();  // stages 3/4 plan with unit buffers
     state.meets_length_rule = result.feasible && result.effective_limit <= L;
@@ -379,6 +412,7 @@ StageStats Rabid::rebuffer_timing_driven(std::size_t worst_nets,
                                          const timing::BufferLibrary& lib,
                                          bool use_inverters) {
   RABID_ASSERT_MSG(stage3_done_, "timing-driven rebuffering needs buffers");
+  obs::ScopedTimer obs_timer("rebuffer_vG", "stage");
   const auto start = std::chrono::steady_clock::now();
 
   std::vector<std::size_t> order = nets_by_delay(/*ascending=*/false);
@@ -388,6 +422,8 @@ StageStats Rabid::rebuffer_timing_driven(std::size_t worst_nets,
     NetState& state = nets_[i];
     // Return this net's sites to the pool; its old solution stays
     // reachable, so the optimum can only improve.
+    obs::count(obs::Counter::kBuffersRemoved,
+               static_cast<std::uint64_t>(state.buffers.size()));
     for (const route::BufferPlacement& b : state.buffers) {
       graph_.remove_buffer(state.tree.node(b.node).tile);
     }
@@ -397,6 +433,7 @@ StageStats Rabid::rebuffer_timing_driven(std::size_t worst_nets,
     std::vector<tile::TileId> forbidden;
     for (int attempt = 0;; ++attempt) {
       RABID_ASSERT_MSG(attempt < 64, "vG commit failed to converge");
+      if (attempt > 0) obs::count(obs::Counter::kBufferCommitRetries);
       const buffer::TileAllowFn allow = [&](tile::TileId t) {
         if (graph_.site_usage(t) >= graph_.site_supply(t)) return false;
         return std::find(forbidden.begin(), forbidden.end(), t) ==
@@ -433,6 +470,8 @@ StageStats Rabid::rebuffer_timing_driven(std::size_t worst_nets,
       for (const auto& [t, count] : per_tile) {
         for (std::int32_t k = 0; k < count; ++k) graph_.add_buffer(t);
       }
+      obs::count(obs::Counter::kBuffersCommitted,
+                 static_cast<std::uint64_t>(result.buffers.size()));
       state.buffers = std::move(result.buffers);
       state.buffer_types = std::move(result.types);
       break;
@@ -444,12 +483,14 @@ StageStats Rabid::rebuffer_timing_driven(std::size_t worst_nets,
   }
   refresh_delays();
   StageStats stats = snapshot("vG", seconds_since(start));
+  stage_history_.push_back(stats);
   maybe_audit("vG", /*final_stage=*/true);
   return stats;
 }
 
 StageStats Rabid::run_stage3() {
   RABID_ASSERT_MSG(stage1_done_, "stage 3 requires a routing");
+  obs::ScopedTimer obs_timer("stage3", "stage");
   const auto start = std::chrono::steady_clock::now();
 
   // p(v): expected demand from unprocessed nets — 1/L_i per crossed tile.
@@ -493,6 +534,7 @@ StageStats Rabid::run_stage3() {
   refresh_delays();
   stage3_done_ = true;
   StageStats stats = snapshot("3", seconds_since(start));
+  stage_history_.push_back(stats);
   maybe_audit("3", /*final_stage=*/false);
   return stats;
 }
@@ -510,6 +552,7 @@ void Rabid::assign_buffers_parallel(const std::vector<std::size_t>& order,
       static_cast<std::size_t>(graph_.tile_count()), 0);
   std::vector<double> scratch;
   for (std::size_t b0 = 0; b0 < order.size(); b0 += batch) {
+    obs::ScopedTimer batch_timer("stage3 batch", "batch");
     const std::size_t count = std::min(batch, order.size() - b0);
 
     // Demand progression: replicate the serial per-node subtraction
@@ -558,6 +601,8 @@ void Rabid::assign_buffers_parallel(const std::vector<std::size_t>& order,
         demand[static_cast<std::size_t>(n.tile)] -= p;
         if (dirty[static_cast<std::size_t>(n.tile)] != 0) fresh = false;
       }
+      obs::count(fresh ? obs::Counter::kStage3SpecHits
+                       : obs::Counter::kStage3SpecMisses);
       buffer_net(i, demand, fresh ? &speculated[k] : nullptr);
       for (const route::BufferPlacement& b : nets_[i].buffers) {
         dirty[static_cast<std::size_t>(nets_[i].tree.node(b.node).tile)] = 1;
@@ -568,6 +613,7 @@ void Rabid::assign_buffers_parallel(const std::vector<std::size_t>& order,
 
 StageStats Rabid::run_stage4() {
   RABID_ASSERT_MSG(stage3_done_, "stage 4 requires stage 3");
+  obs::ScopedTimer obs_timer("stage4", "stage");
   const auto start = std::chrono::steady_clock::now();
   const std::vector<double> no_demand(
       static_cast<std::size_t>(graph_.tile_count()), 0.0);
@@ -597,6 +643,8 @@ StageStats Rabid::run_stage4() {
           design_.length_limit(static_cast<netlist::NetId>(i));
 
       // Rip out the net's buffers and wires from the books.
+      obs::count(obs::Counter::kBuffersRemoved,
+                 static_cast<std::uint64_t>(state.buffers.size()));
       for (const route::BufferPlacement& b : state.buffers) {
         const tile::TileId t = state.tree.node(b.node).tile;
         graph_.remove_buffer(t);
@@ -658,6 +706,7 @@ StageStats Rabid::run_stage4() {
   }
   refresh_delays();
   StageStats stats = snapshot("4", seconds_since(start));
+  stage_history_.push_back(stats);
   maybe_audit("4", /*final_stage=*/true);
   return stats;
 }

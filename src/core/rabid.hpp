@@ -25,6 +25,7 @@
 
 #include "buffer/insertion.hpp"
 #include "netlist/design.hpp"
+#include "obs/counters.hpp"
 #include "route/buffers.hpp"
 #include "route/route_tree.hpp"
 #include "tile/tile_graph.hpp"
@@ -35,6 +36,7 @@
 namespace rabid::core {
 
 struct AuditReport;  // core/audit.hpp
+struct RunReport;    // core/run_report.hpp
 
 /// When the flow runs the independent SolutionAuditor (core/audit.hpp)
 /// on its own solution.  Results accumulate in last_audit().
@@ -109,6 +111,12 @@ struct RabidOptions {
   /// Self-auditing: recompute every solution invariant from scratch at
   /// the chosen points and accumulate violations in last_audit().
   AuditLevel audit_level = AuditLevel::kOff;
+  /// Observability (src/obs): off records nothing (the default, and
+  /// required for the BENCH_baseline gate); counters feeds the registry
+  /// catalogue; trace additionally records chrome-trace events.  The
+  /// level is process-global — constructing a Rabid *raises* the
+  /// registry to this level but never lowers it.
+  obs::Level obs_level = obs::Level::kOff;
   timing::Technology tech = timing::kTech180nm;
 };
 
@@ -188,6 +196,17 @@ class Rabid {
   /// Current solution snapshot (stats of the live books).
   StageStats snapshot(std::string stage_name, double cpu_s) const;
 
+  /// Every StageStats this instance produced, in execution order (the
+  /// Table II rows a RunReport serializes; see core/run_report.hpp).
+  const std::vector<StageStats>& stage_history() const {
+    return stage_history_;
+  }
+
+  /// The structured run report for the current state: stage history,
+  /// obs counter/histogram snapshot, utilization histograms, audit
+  /// summary (defined in run_report.cpp; == build_run_report(*this)).
+  RunReport run_report() const;
+
   /// Recomputes every net's delay from its current tree + buffers.
   void refresh_delays();
 
@@ -231,6 +250,7 @@ class Rabid {
   std::unique_ptr<util::ThreadPool> pool_;
   /// shared_ptr so the header needs only the forward declaration.
   std::shared_ptr<AuditReport> last_audit_;
+  std::vector<StageStats> stage_history_;
   bool stage1_done_ = false;
   bool stage3_done_ = false;
 };

@@ -5,6 +5,7 @@
 #include <limits>
 #include <queue>
 
+#include "obs/counters.hpp"
 #include "util/assert.hpp"
 
 namespace rabid::core {
@@ -106,23 +107,30 @@ TwoPathRoute TwoPathSearch::route(tile::TileId from, tile::TileId to,
     return wire_weight * field_distance(t, wire_cost);
   };
 
+  // (tile x L) heap work, flushed to the registry once per search.
+  std::uint64_t pushes = 0;
+  std::uint64_t pops = 0;
+
   // Start at the tail with j = 0 (the tail end is an anchor; the exact
   // downstream slack is re-established by the net-wide re-buffering).
   const std::size_t start = state_of(from, 0);
   touch(start, 0.0, -1);
   heap_push({h_of(from), 0.0, start});
+  ++pushes;
 
   auto relax = [&](std::size_t s, double d, std::size_t from_state,
                    double h) {
     if (!seen(s) || d < dist_[s]) {
       touch(s, d, static_cast<std::int64_t>(from_state));
       heap_push({d + h, d, s});
+      ++pushes;
     }
   };
 
   std::size_t goal = static_cast<std::size_t>(-1);
   while (!heap_.empty()) {
     const Entry top = heap_pop();
+    ++pops;
     const auto s = static_cast<std::size_t>(top.s);
     if (top.d > dist_[s]) continue;
     const auto t = static_cast<tile::TileId>(s / static_cast<std::size_t>(L));
@@ -149,6 +157,12 @@ TwoPathRoute TwoPathSearch::route(tile::TileId from, tile::TileId to,
               h_of(nbr[k]));
       }
     }
+  }
+
+  if (obs::counting()) {
+    obs::count(obs::Counter::kTwoPathSearches);
+    obs::count(obs::Counter::kTwoPathHeapPushes, pushes);
+    obs::count(obs::Counter::kTwoPathHeapPops, pops);
   }
 
   TwoPathRoute out;

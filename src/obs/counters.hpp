@@ -1,0 +1,202 @@
+#pragma once
+
+/// \file counters.hpp
+/// The observability registry: named monotonic counters and log2-bucket
+/// histograms, recorded from any thread, merged on snapshot.
+///
+/// Design constraints (DESIGN.md section 11):
+///
+///   * **Zero overhead when off.**  Every record path starts with one
+///     relaxed atomic load of the global level; at kOff nothing else
+///     happens.  Hot loops (the maze wavefront, the DP kernels)
+///     accumulate into plain stack locals and flush once per call, so
+///     even at kCounters the inner loops stay untouched.
+///
+///   * **No contention.**  Each thread writes its own shard — a flat
+///     array of relaxed atomics indexed by the Counter/Histogram enums.
+///     Shards are registered once per thread under a mutex and never
+///     freed, so snapshot() can merge them at any time without
+///     coordinating with writers (TSan-clean by construction).
+///
+///   * **Monotonic.**  Counters only ever grow between reset() calls;
+///     a snapshot is a consistent-enough sum for reporting (each slot is
+///     read atomically; cross-slot skew is bounded by in-flight work).
+///
+/// The catalogue is a compile-time enum rather than string keys: a
+/// counter costs one array slot, names live in one table, and a typo is
+/// a compile error.  See docs/OBSERVABILITY.md for the full catalogue
+/// with per-counter semantics.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace rabid::obs {
+
+class TraceWriter;
+
+/// How much the process records (RabidOptions::obs_level mirrors this).
+enum class Level : std::uint8_t {
+  kOff,       ///< record nothing (the default; near-zero overhead)
+  kCounters,  ///< counters + histograms
+  kTrace,     ///< counters + chrome-trace events (ScopedTimer active)
+};
+
+std::string_view level_name(Level level);
+/// Inverse of level_name; false when `name` matches no level.
+bool level_from_name(std::string_view name, Level* out);
+
+/// Monotonic counter catalogue.  Grouped by subsystem; the name table
+/// in counters.cpp must stay in sync (a static_assert enforces size).
+enum class Counter : std::uint16_t {
+  // route/maze.cpp — wavefront work in stages 2 and 4.
+  kMazeRoutes,        ///< grow() calls (one per net connection pass set)
+  kMazeHeapPushes,    ///< wavefront heap insertions
+  kMazeHeapPops,      ///< wavefront heap extractions
+  kMazeStalePops,     ///< pops discarded because a cheaper label landed
+  kMazePrunedTouches, ///< neighbor relaxations rejected (not better)
+  // route/maze.cpp — EdgeCostCache.
+  kEdgeCacheFullRefreshes,  ///< refresh_all() calls
+  kEdgeCacheInvalidations,  ///< single-edge recomputes (refresh_edge)
+  // core/rabid.cpp — stage-2 dirty-net filter.
+  kStage2Iterations,  ///< rip-up/reroute iterations actually run
+  kStage2NetsRipped,  ///< nets ripped up and rerouted
+  kStage2NetsKept,    ///< nets the dirty filter left untouched
+  kStage2DirtyEdges,  ///< edges marked dirty at iteration starts
+  // buffer/insertion.cpp — the stage-3 DP.
+  kDpNets,             ///< insert_buffers() calls
+  kDpCellsComputed,    ///< C_v/K_w cost-array cells filled
+  kDpCellsInfeasible,  ///< cells left at +inf (no candidate survives)
+  kDpLimitRelaxations, ///< insert_buffers_relaxed limit doublings
+  // core/rabid.cpp — stage-3 speculative parallel batches.
+  kStage3SpecHits,    ///< speculated DP results committed as-is
+  kStage3SpecMisses,  ///< stale speculations re-run serially
+  // core/rabid.cpp — buffer commits against the b(v) book.
+  kBuffersCommitted,     ///< add_buffer calls from the flow
+  kBuffersRemoved,       ///< remove_buffer calls from the flow
+  kBufferCommitRetries,  ///< per-net DP re-runs after oversubscription
+  // route/route_tree.cpp — wire commits against the w(e) book.
+  kWireUnitsCommitted,  ///< add_wire units from tree commits
+  kWireUnitsRemoved,    ///< remove_wire units from tree uncommits
+  // core/twopath.cpp — the stage-4 (tile x L) search.
+  kTwoPathSearches,    ///< route() calls
+  kTwoPathHeapPushes,  ///< (tile, j) state heap insertions
+  kTwoPathHeapPops,    ///< (tile, j) state heap extractions
+  // util/thread_pool.cpp.
+  kPoolTasks,          ///< queue tasks executed by workers
+  kPoolParallelFors,   ///< parallel_for() calls
+  kPoolIndicesInline,  ///< parallel_for indices run by the calling thread
+  kPoolIndicesWorker,  ///< parallel_for indices run by pool workers
+  kCount,
+};
+
+std::string_view counter_name(Counter c);
+
+/// Log2-bucket histogram catalogue (bucket b counts values in
+/// [2^(b-1), 2^b), bucket 0 counts zeros).
+enum class HistogramId : std::uint16_t {
+  kMazePopsPerRoute,  ///< wavefront pops per grow() call
+  kDpCellsPerNet,     ///< DP cells per insert_buffers() call
+  kPoolQueueDepth,    ///< queue length observed at each enqueue
+  kCount,
+};
+
+std::string_view histogram_name(HistogramId h);
+
+constexpr std::size_t kHistogramBuckets = 32;
+
+/// A merged view of every shard at one instant.
+struct Snapshot {
+  std::array<std::uint64_t, static_cast<std::size_t>(Counter::kCount)>
+      counters{};
+  std::array<std::array<std::uint64_t, kHistogramBuckets>,
+             static_cast<std::size_t>(HistogramId::kCount)>
+      histograms{};
+
+  std::uint64_t operator[](Counter c) const {
+    return counters[static_cast<std::size_t>(c)];
+  }
+  const std::array<std::uint64_t, kHistogramBuckets>& operator[](
+      HistogramId h) const {
+    return histograms[static_cast<std::size_t>(h)];
+  }
+};
+
+/// The process-wide registry.  All members are safe to call from any
+/// thread; reset() assumes no flow is concurrently recording (tests and
+/// the CLI call it between runs, not during them).
+class Registry {
+ public:
+  static Registry& instance();
+
+  Level level() const { return level_.load(std::memory_order_relaxed); }
+  /// Sets the recording level; enables/disables the trace writer.
+  void set_level(Level level);
+  /// Raises the level if `level` is higher; never lowers it (so a
+  /// default-options Rabid constructed mid-run cannot silence an
+  /// observed one).
+  void raise_level(Level level);
+
+  bool counting() const { return level() >= Level::kCounters; }
+
+  void add(Counter c, std::uint64_t n = 1) {
+    if (!counting()) return;
+    shard().counters[static_cast<std::size_t>(c)].fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  void observe(HistogramId h, std::uint64_t value) {
+    if (!counting()) return;
+    shard()
+        .histograms[static_cast<std::size_t>(h)][bucket_of(value)]
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Sums every thread's shard.
+  Snapshot snapshot() const;
+
+  /// Zeroes all counters/histograms and clears the trace buffer.  The
+  /// level is left unchanged.
+  void reset();
+
+  /// The chrome-trace event sink (records only at Level::kTrace).
+  TraceWriter& trace() { return *trace_; }
+
+  /// Log2 bucket index for a histogram value.
+  static std::size_t bucket_of(std::uint64_t value);
+
+ private:
+  struct Shard {
+    std::array<std::atomic<std::uint64_t>,
+               static_cast<std::size_t>(Counter::kCount)>
+        counters{};
+    std::array<std::array<std::atomic<std::uint64_t>, kHistogramBuckets>,
+               static_cast<std::size_t>(HistogramId::kCount)>
+        histograms{};
+  };
+
+  Registry();
+  Shard& shard();
+
+  std::atomic<Level> level_{Level::kOff};
+  mutable std::mutex mu_;
+  /// Shards live for the life of the process: a worker thread may exit
+  /// while a snapshot is being taken, so shards are never reclaimed.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<TraceWriter> trace_;
+};
+
+// Free-function shorthands for instrumentation sites.
+inline void count(Counter c, std::uint64_t n = 1) {
+  Registry::instance().add(c, n);
+}
+inline void observe(HistogramId h, std::uint64_t value) {
+  Registry::instance().observe(h, value);
+}
+inline bool counting() { return Registry::instance().counting(); }
+
+}  // namespace rabid::obs

@@ -1,0 +1,218 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/assert.hpp"
+
+namespace rabid::obs::json {
+
+const Value* Value::find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+bool Value::as_bool() const {
+  RABID_ASSERT_MSG(type == Type::kBool, "JSON value is not a bool");
+  return boolean;
+}
+
+double Value::as_number() const {
+  RABID_ASSERT_MSG(type == Type::kNumber, "JSON value is not a number");
+  return number;
+}
+
+std::int64_t Value::as_int() const {
+  return static_cast<std::int64_t>(std::llround(as_number()));
+}
+
+const std::string& Value::as_string() const {
+  RABID_ASSERT_MSG(type == Type::kString, "JSON value is not a string");
+  return string;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Value> run(std::string* error) {
+    Value root;
+    if (!parse_value(root) || !at_end()) {
+      if (error != nullptr) {
+        *error = ok_ ? "trailing characters after document" : message_;
+        *error += " (at byte " + std::to_string(pos_) + ")";
+      }
+      return std::nullopt;
+    }
+    return root;
+  }
+
+ private:
+  bool fail(const char* message) {
+    if (ok_) message_ = message;
+    ok_ = false;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return fail("bad literal");
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_value(Value& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"': out.type = Value::Type::kString; return parse_string(out.string);
+      case 't': out.type = Value::Type::kBool; out.boolean = true;
+                return literal("true");
+      case 'f': out.type = Value::Type::kBool; out.boolean = false;
+                return literal("false");
+      case 'n': out.type = Value::Type::kNull; return literal("null");
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(Value& out) {
+    out.type = Value::Type::kObject;
+    ++pos_;  // '{'
+    if (consume('}')) return true;
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"' || !parse_string(key)) {
+        return fail("expected object key");
+      }
+      if (!consume(':')) return fail("expected ':' after key");
+      Value value;
+      if (!parse_value(value)) return false;
+      out.members.emplace_back(std::move(key), std::move(value));
+      if (consume(',')) continue;
+      if (consume('}')) return true;
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parse_array(Value& out) {
+    out.type = Value::Type::kArray;
+    ++pos_;  // '['
+    if (consume(']')) return true;
+    for (;;) {
+      Value value;
+      if (!parse_value(value)) return false;
+      out.items.push_back(std::move(value));
+      if (consume(',')) continue;
+      if (consume(']')) return true;
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // '"'
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return fail("bad \\u escape digit");
+          }
+          out.push_back(code < 0x80 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default: return fail("bad escape character");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(Value& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return fail("malformed number");
+    out.type = Value::Type::kNumber;
+    out.number = v;
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+  const char* message_ = "";
+};
+
+}  // namespace
+
+std::optional<Value> parse(std::string_view text, std::string* error) {
+  return Parser(text).run(error);
+}
+
+}  // namespace rabid::obs::json

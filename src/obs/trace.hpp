@@ -1,0 +1,107 @@
+#pragma once
+
+/// \file trace.hpp
+/// Chrome-trace (about://tracing, Perfetto) event recording.
+///
+/// TraceWriter buffers "complete" (ph "X") duration events plus thread
+/// metadata and serializes them in the Trace Event Format that
+/// https://ui.perfetto.dev loads directly.  Recording is mutex-guarded
+/// and only happens at obs::Level::kTrace — tracing is a diagnosis
+/// mode, not a production mode, so a lock per event is acceptable and
+/// keeps the writer trivially TSan-clean.
+///
+/// ScopedTimer is the one-liner instrumentation point:
+///
+///   { obs::ScopedTimer t("stage2"); run(); }   // one "X" event
+///
+/// Timestamps are microseconds since the writer's epoch (construction
+/// or the last clear()), on the steady clock.  Thread ids are small
+/// dense integers assigned on first use; name threads for the viewer
+/// via set_thread_name().
+///
+/// The buffer is capped (kMaxEvents); events past the cap are counted
+/// and reported in the JSON as "droppedEvents" instead of growing
+/// without bound on a runaway run.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rabid::obs {
+
+class TraceWriter {
+ public:
+  static constexpr std::size_t kMaxEvents = 1u << 20;
+
+  TraceWriter();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Microseconds since the epoch, on the steady clock.
+  double now_us() const;
+
+  /// Records a ph "X" (complete) event on the calling thread's track.
+  void complete(std::string name, const char* category, double ts_us,
+                double dur_us);
+  /// Records a ph "i" (instant) event at now.
+  void instant(std::string name, const char* category);
+
+  /// Names the calling thread's track (recorded even when disabled, so
+  /// pool workers started before tracing was enabled still get names).
+  void set_thread_name(std::string name);
+
+  std::size_t event_count() const;
+  std::size_t dropped_count() const;
+
+  /// Drops all buffered events and restarts the epoch.
+  void clear();
+
+  /// Serializes {"traceEvents": [...], ...} — valid chrome-trace JSON.
+  void write_json(std::ostream& out) const;
+
+ private:
+  struct Event {
+    std::string name;
+    const char* category;
+    double ts_us;
+    double dur_us;
+    std::uint32_t tid;
+    char phase;
+  };
+
+  static std::uint32_t thread_id();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::vector<std::pair<std::uint32_t, std::string>> thread_names_;
+  std::size_t dropped_ = 0;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII complete-event recorder; inert unless the registry is tracing
+/// when the timer is constructed.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string name, const char* category = "flow");
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::string name_;
+  const char* category_;
+  double start_us_ = 0.0;
+  bool active_;
+};
+
+}  // namespace rabid::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/counters.hpp"
 #include "util/assert.hpp"
 
 namespace rabid::route {
@@ -24,6 +25,7 @@ EdgeCostCache::EdgeCostCache(const tile::TileGraph& g, EdgeCostFn base)
 }
 
 void EdgeCostCache::refresh_all() {
+  obs::count(obs::Counter::kEdgeCacheFullRefreshes);
   double lo = std::numeric_limits<double>::infinity();
   for (tile::EdgeId e = 0; e < g_.edge_count(); ++e) {
     const double c = base_(e);
@@ -34,6 +36,7 @@ void EdgeCostCache::refresh_all() {
 }
 
 void EdgeCostCache::refresh_edge(tile::EdgeId e) {
+  obs::count(obs::Counter::kEdgeCacheInvalidations);
   const double c = base_(e);
   values_[static_cast<std::size_t>(e)] = c;
   // Only ever lower the bound between full refreshes: raising it on the
@@ -109,6 +112,13 @@ RouteTree MazeRouter::grow_impl(tile::TileId source_tile,
   // "path length" that alpha weighs in the PD objective.
   path_cost_.assign(1, 0.0);
 
+  // Wavefront work, accumulated in registers and flushed to the
+  // observability registry once per call (the inner loop stays clean).
+  std::uint64_t pushes = 0;
+  std::uint64_t pops = 0;
+  std::uint64_t stale_pops = 0;
+  std::uint64_t pruned = 0;
+
   const bool use_h = astar_floor > 0.0;
   while (!remaining_.empty()) {
     begin_pass();
@@ -139,11 +149,16 @@ RouteTree MazeRouter::grow_impl(tile::TileId source_tile,
       const double d = alpha * path_cost_[i];
       touch(t, d, tile::kNoTile);
       heap_push({d + h_of(t), d, t});
+      ++pushes;
     }
     tile::TileId reached = tile::kNoTile;
     while (!heap_.empty()) {
       const HeapEntry top = heap_pop();
-      if (top.dist > dist_[static_cast<std::size_t>(top.tile)]) continue;
+      ++pops;
+      if (top.dist > dist_[static_cast<std::size_t>(top.tile)]) {
+        ++stale_pops;
+        continue;
+      }
       if (is_target(top.tile)) {
         reached = top.tile;
         break;
@@ -156,6 +171,9 @@ RouteTree MazeRouter::grow_impl(tile::TileId source_tile,
         if (!seen(nbr[k]) || nd < dist_[static_cast<std::size_t>(nbr[k])]) {
           touch(nbr[k], nd, top.tile);
           heap_push({nd + h_of(nbr[k]), nd, nbr[k]});
+          ++pushes;
+        } else {
+          ++pruned;
         }
       }
     }
@@ -203,6 +221,15 @@ RouteTree MazeRouter::grow_impl(tile::TileId source_tile,
     const NodeId n = tree.node_at(t);
     RABID_ASSERT(n != kNoNode);
     tree.add_sink(n);
+  }
+
+  if (obs::counting()) {
+    obs::count(obs::Counter::kMazeRoutes);
+    obs::count(obs::Counter::kMazeHeapPushes, pushes);
+    obs::count(obs::Counter::kMazeHeapPops, pops);
+    obs::count(obs::Counter::kMazeStalePops, stale_pops);
+    obs::count(obs::Counter::kMazePrunedTouches, pruned);
+    obs::observe(obs::HistogramId::kMazePopsPerRoute, pops);
   }
   return tree;
 }

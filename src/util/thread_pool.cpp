@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <string>
+
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace rabid::util {
 
@@ -15,7 +19,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
   RABID_ASSERT_MSG(threads >= 1, "a thread pool needs at least one worker");
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -29,15 +33,23 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::enqueue(std::function<void()> task) {
+  std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     RABID_ASSERT_MSG(!stopping_, "submit on a stopping thread pool");
     queue_.push_back(std::move(task));
+    depth = queue_.size();
   }
   cv_.notify_one();
+  obs::observe(obs::HistogramId::kPoolQueueDepth,
+               static_cast<std::uint64_t>(depth));
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t index) {
+  // Label this worker's track in the chrome trace (recorded even when
+  // tracing starts later — names are metadata, not events).
+  obs::Registry::instance().trace().set_thread_name(
+      "pool-worker-" + std::to_string(index));
   for (;;) {
     std::function<void()> task;
     {
@@ -47,6 +59,7 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    obs::count(obs::Counter::kPoolTasks);
     task();
   }
 }
@@ -62,19 +75,21 @@ struct ForState {
   std::exception_ptr error;
 
   /// Claims and runs indices until the range (or the error budget) is
-  /// exhausted.
-  void run(const std::function<void(std::size_t)>& fn) {
+  /// exhausted; returns how many indices this runner processed.
+  std::size_t run(const std::function<void(std::size_t)>& fn) {
+    std::size_t processed = 0;
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= end) return;
+      if (i >= end) return processed;
       try {
         fn(i);
+        ++processed;
       } catch (...) {
         std::lock_guard<std::mutex> lock(mu);
         if (!error) error = std::current_exception();
         // Park the counter past the end so no new index is handed out.
         next.store(end, std::memory_order_relaxed);
-        return;
+        return processed;
       }
     }
   }
@@ -85,6 +100,7 @@ struct ForState {
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& fn) {
   if (begin >= end) return;
+  obs::count(obs::Counter::kPoolParallelFors);
   auto state = std::make_shared<ForState>();
   state->next.store(begin, std::memory_order_relaxed);
   state->end = end;
@@ -96,9 +112,12 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   std::vector<std::future<void>> done;
   done.reserve(helpers);
   for (std::size_t h = 0; h < helpers; ++h) {
-    done.push_back(submit([state, &fn] { state->run(fn); }));
+    done.push_back(submit([state, &fn] {
+      obs::ScopedTimer timer("parallel_for worker", "pool");
+      obs::count(obs::Counter::kPoolIndicesWorker, state->run(fn));
+    }));
   }
-  state->run(fn);
+  obs::count(obs::Counter::kPoolIndicesInline, state->run(fn));
   for (std::future<void>& f : done) f.get();
   if (state->error) std::rethrow_exception(state->error);
 }

@@ -78,7 +78,7 @@ class ThreadPool {
 
  private:
   void enqueue(std::function<void()> task);
-  void worker_loop();
+  void worker_loop(std::size_t index);
 
   std::mutex mu_;
   std::condition_variable cv_;

@@ -1,0 +1,142 @@
+// End-to-end observability check on ami49: run the full flow with
+// counters on, then cross-check the incrementally maintained counter
+// totals against the auditor's ground-up recounts and the tile-graph
+// books.  The counters and the audit take completely independent
+// paths — the flow bumps counters at every commit/uncommit while the
+// auditor recounts the books from the per-net states — so agreement
+// here certifies both.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <sstream>
+
+#include "circuits/generator.hpp"
+#include "circuits/specs.hpp"
+#include "core/audit.hpp"
+#include "core/rabid.hpp"
+#include "core/run_report.hpp"
+#include "obs/counters.hpp"
+
+namespace rabid {
+namespace {
+
+std::int64_t counter_value(const core::RunReport& report,
+                           std::string_view name) {
+  for (const auto& [key, value] : report.counters) {
+    if (key == name) return value;
+  }
+  ADD_FAILURE() << "counter " << name << " missing from report";
+  return -1;
+}
+
+TEST(ObsReportIntegration, Ami49CountersMatchAuditRecounts) {
+  obs::Registry& registry = obs::Registry::instance();
+  registry.set_level(obs::Level::kCounters);
+  registry.reset();
+
+  const circuits::CircuitSpec& spec = circuits::spec_by_name("ami49");
+  const netlist::Design design = circuits::generate_design(spec);
+  tile::TileGraph graph = circuits::build_tile_graph(design, spec);
+
+  core::RabidOptions options;
+  options.obs_level = obs::Level::kCounters;
+  options.audit_level = core::AuditLevel::kFinal;
+  core::Rabid rabid(design, graph, options);
+  rabid.run_all();
+
+  const core::RunReport report = rabid.run_report();
+  registry.set_level(obs::Level::kOff);
+  registry.reset();
+
+  // The audit's ground-up recount must be clean — everything below
+  // leans on the books being exactly the sum of the per-net states.
+  ASSERT_TRUE(report.audited);
+  EXPECT_TRUE(report.audit_clean);
+  EXPECT_EQ(report.audit_errors, 0);
+  EXPECT_GT(report.audit_checks, 0);
+  EXPECT_EQ(report.audit_nets,
+            static_cast<std::int64_t>(design.nets().size()));
+
+  // Wire book: units committed minus units removed over the whole flow
+  // equals the final w(e) totals the audit just recounted.
+  std::int64_t wire_in_books = 0;
+  for (tile::EdgeId e = 0; e < graph.edge_count(); ++e) {
+    wire_in_books += graph.wire_usage(e);
+  }
+  EXPECT_EQ(counter_value(report, "wire.units_committed") -
+                counter_value(report, "wire.units_removed"),
+            wire_in_books);
+
+  // Buffer book: commits minus removals equals b(v) in the books and
+  // the final Table II row.
+  const std::int64_t buffers_in_books = graph.stats().buffers_used;
+  EXPECT_GT(buffers_in_books, 0);
+  EXPECT_EQ(counter_value(report, "buffers.committed") -
+                counter_value(report, "buffers.removed"),
+            buffers_in_books);
+  ASSERT_FALSE(report.stages.empty());
+  EXPECT_EQ(report.stages.back().buffers, buffers_in_books);
+
+  // Stage 2 accounting: every iteration classifies every net as ripped
+  // or kept, and each ripped net is exactly one maze route.
+  const std::int64_t nets = static_cast<std::int64_t>(design.nets().size());
+  const std::int64_t iterations = counter_value(report, "stage2.iterations");
+  EXPECT_GE(iterations, 1);
+  const std::int64_t ripped = counter_value(report, "stage2.nets_ripped");
+  const std::int64_t kept = counter_value(report, "stage2.nets_kept");
+  EXPECT_EQ(ripped + kept, nets * iterations);
+  EXPECT_EQ(counter_value(report, "maze.routes"), ripped);
+
+  // Heap conservation: nothing popped that was never pushed.
+  EXPECT_GT(counter_value(report, "maze.heap_pushes"), 0);
+  EXPECT_LE(counter_value(report, "maze.heap_pops"),
+            counter_value(report, "maze.heap_pushes"));
+  EXPECT_GT(counter_value(report, "twopath.searches"), 0);
+  EXPECT_LE(counter_value(report, "twopath.heap_pops"),
+            counter_value(report, "twopath.heap_pushes"));
+
+  // Every net ran the buffer DP at least once in stage 3 and once more
+  // in the stage-4 re-buffering.
+  EXPECT_GE(counter_value(report, "dp.nets"), 2 * nets);
+  EXPECT_GT(counter_value(report, "dp.cells_computed"), 0);
+
+  // The pops-per-route histogram saw exactly one observation per route.
+  bool found_histogram = false;
+  for (const core::RunReport::HistogramRow& h : report.histograms) {
+    if (h.name != "maze.pops_per_route") continue;
+    found_histogram = true;
+    const std::int64_t observations =
+        std::accumulate(h.buckets.begin(), h.buckets.end(), std::int64_t{0});
+    EXPECT_EQ(observations, counter_value(report, "maze.routes"));
+  }
+  EXPECT_TRUE(found_histogram);
+
+  // Utilization histograms cover every edge and tile exactly once.
+  EXPECT_EQ(report.wire_utilization.total + report.wire_utilization.skipped,
+            static_cast<std::int64_t>(graph.edge_count()));
+  EXPECT_EQ(report.site_utilization.total + report.site_utilization.skipped,
+            static_cast<std::int64_t>(graph.tile_count()));
+  EXPECT_GT(report.site_utilization.max_utilization, 0.0);
+
+  // Shape: one Table II row per stage, counters in catalogue order.
+  ASSERT_EQ(report.stages.size(), 4u);
+  EXPECT_EQ(report.stages.front().stage, "1");
+  EXPECT_EQ(report.stages.back().stage, "4");
+  EXPECT_EQ(report.counters.size(),
+            static_cast<std::size_t>(obs::Counter::kCount));
+  EXPECT_EQ(report.nets, nets);
+
+  // And the whole thing survives the JSON round trip.
+  std::ostringstream out;
+  report.write_json(out);
+  std::string error;
+  const auto parsed = core::RunReport::parse(out.str(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->counters, report.counters);
+  EXPECT_EQ(parsed->stages.size(), report.stages.size());
+}
+
+}  // namespace
+}  // namespace rabid

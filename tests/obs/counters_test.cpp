@@ -1,0 +1,171 @@
+// Registry semantics: level gating, sharded-merge correctness under
+// threads, histogram bucketing, catalogue name hygiene.
+//
+// The registry is process-global, so every test here restores
+// Level::kOff and reset() on exit — the fixture enforces it.
+
+#include "obs/counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rabid::obs {
+namespace {
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Registry::instance().set_level(Level::kOff);
+    Registry::instance().reset();
+  }
+  void TearDown() override {
+    Registry::instance().set_level(Level::kOff);
+    Registry::instance().reset();
+  }
+};
+
+TEST_F(RegistryTest, OffRecordsNothing) {
+  ASSERT_FALSE(counting());
+  count(Counter::kMazeRoutes, 100);
+  observe(HistogramId::kMazePopsPerRoute, 42);
+  const Snapshot snap = Registry::instance().snapshot();
+  EXPECT_EQ(snap[Counter::kMazeRoutes], 0u);
+  for (const std::uint64_t b : snap[HistogramId::kMazePopsPerRoute]) {
+    EXPECT_EQ(b, 0u);
+  }
+}
+
+TEST_F(RegistryTest, CountersAccumulate) {
+  Registry::instance().set_level(Level::kCounters);
+  ASSERT_TRUE(counting());
+  count(Counter::kDpNets);
+  count(Counter::kDpNets, 4);
+  count(Counter::kBuffersCommitted, 7);
+  const Snapshot snap = Registry::instance().snapshot();
+  EXPECT_EQ(snap[Counter::kDpNets], 5u);
+  EXPECT_EQ(snap[Counter::kBuffersCommitted], 7u);
+  EXPECT_EQ(snap[Counter::kBuffersRemoved], 0u);
+}
+
+TEST_F(RegistryTest, ResetZeroesEverything) {
+  Registry::instance().set_level(Level::kCounters);
+  count(Counter::kMazeRoutes, 3);
+  observe(HistogramId::kDpCellsPerNet, 9);
+  Registry::instance().reset();
+  const Snapshot snap = Registry::instance().snapshot();
+  EXPECT_EQ(snap[Counter::kMazeRoutes], 0u);
+  for (const std::uint64_t b : snap[HistogramId::kDpCellsPerNet]) {
+    EXPECT_EQ(b, 0u);
+  }
+  // The level survives a reset.
+  EXPECT_TRUE(counting());
+}
+
+TEST_F(RegistryTest, RaiseLevelNeverLowers) {
+  Registry::instance().raise_level(Level::kTrace);
+  EXPECT_EQ(Registry::instance().level(), Level::kTrace);
+  Registry::instance().raise_level(Level::kOff);
+  EXPECT_EQ(Registry::instance().level(), Level::kTrace);
+  Registry::instance().raise_level(Level::kCounters);
+  EXPECT_EQ(Registry::instance().level(), Level::kTrace);
+  Registry::instance().set_level(Level::kOff);
+  EXPECT_EQ(Registry::instance().level(), Level::kOff);
+}
+
+// The ISSUE's merge-correctness check: 8 threads hammer their own
+// shards; the snapshot must equal the exact arithmetic total.
+TEST_F(RegistryTest, SnapshotMergesThreadShards) {
+  Registry::instance().set_level(Level::kCounters);
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        count(Counter::kMazeHeapPushes);
+        count(Counter::kMazeHeapPops, 2);
+        observe(HistogramId::kPoolQueueDepth, static_cast<std::uint64_t>(t));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const Snapshot snap = Registry::instance().snapshot();
+  EXPECT_EQ(snap[Counter::kMazeHeapPushes], kThreads * kPerThread);
+  EXPECT_EQ(snap[Counter::kMazeHeapPops], 2 * kThreads * kPerThread);
+  std::uint64_t observed = 0;
+  for (const std::uint64_t b : snap[HistogramId::kPoolQueueDepth]) {
+    observed += b;
+  }
+  EXPECT_EQ(observed, kThreads * kPerThread);
+}
+
+// Snapshots are safe while writers are live (the TSan job exercises
+// the race-freedom; this checks the sums stay monotonic).
+TEST_F(RegistryTest, SnapshotDuringWritesIsMonotonic) {
+  Registry::instance().set_level(Level::kCounters);
+  std::thread writer([] {
+    for (int i = 0; i < 50000; ++i) count(Counter::kPoolTasks);
+  });
+  std::uint64_t last = 0;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t now =
+        Registry::instance().snapshot()[Counter::kPoolTasks];
+    EXPECT_GE(now, last);
+    last = now;
+  }
+  writer.join();
+  EXPECT_EQ(Registry::instance().snapshot()[Counter::kPoolTasks], 50000u);
+}
+
+TEST(HistogramBuckets, Log2Bucketing) {
+  EXPECT_EQ(Registry::bucket_of(0), 0u);
+  EXPECT_EQ(Registry::bucket_of(1), 1u);
+  EXPECT_EQ(Registry::bucket_of(2), 2u);
+  EXPECT_EQ(Registry::bucket_of(3), 2u);
+  EXPECT_EQ(Registry::bucket_of(4), 3u);
+  EXPECT_EQ(Registry::bucket_of(7), 3u);
+  EXPECT_EQ(Registry::bucket_of(8), 4u);
+  EXPECT_EQ(Registry::bucket_of(1023), 10u);
+  EXPECT_EQ(Registry::bucket_of(1024), 11u);
+  // Huge values saturate into the last bucket instead of overflowing.
+  EXPECT_EQ(Registry::bucket_of(~std::uint64_t{0}), kHistogramBuckets - 1);
+}
+
+TEST(CounterCatalogue, NamesAreUniqueAndWellFormed) {
+  std::set<std::string> seen;
+  for (std::size_t c = 0; c < static_cast<std::size_t>(Counter::kCount);
+       ++c) {
+    const std::string name{counter_name(static_cast<Counter>(c))};
+    EXPECT_FALSE(name.empty());
+    // subsystem.metric convention, lowercase, no spaces.
+    EXPECT_NE(name.find('.'), std::string::npos) << name;
+    EXPECT_EQ(name.find(' '), std::string::npos) << name;
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate name " << name;
+  }
+  for (std::size_t h = 0; h < static_cast<std::size_t>(HistogramId::kCount);
+       ++h) {
+    const std::string name{histogram_name(static_cast<HistogramId>(h))};
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate name " << name;
+  }
+}
+
+TEST(CounterCatalogue, LevelNamesRoundTrip) {
+  for (const Level level : {Level::kOff, Level::kCounters, Level::kTrace}) {
+    Level parsed = Level::kOff;
+    ASSERT_TRUE(level_from_name(level_name(level), &parsed));
+    EXPECT_EQ(parsed, level);
+  }
+  Level parsed = Level::kOff;
+  EXPECT_FALSE(level_from_name("verbose", &parsed));
+  EXPECT_FALSE(level_from_name("", &parsed));
+}
+
+}  // namespace
+}  // namespace rabid::obs

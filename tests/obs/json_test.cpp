@@ -1,0 +1,100 @@
+// Unit tests for the minimal JSON parser the observability layer uses
+// to read its own output back.
+
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace rabid::obs::json {
+namespace {
+
+Value parse_ok(std::string_view text) {
+  std::string error;
+  const auto v = parse(text, &error);
+  EXPECT_TRUE(v.has_value()) << "on \"" << text << "\": " << error;
+  return v.value_or(Value{});
+}
+
+void parse_fails(std::string_view text) {
+  std::string error;
+  EXPECT_FALSE(parse(text, &error).has_value()) << "on \"" << text << "\"";
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonParser, Scalars) {
+  EXPECT_TRUE(parse_ok("null").is_null());
+  EXPECT_TRUE(parse_ok("true").as_bool());
+  EXPECT_FALSE(parse_ok("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse_ok("0").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(parse_ok("-17").as_number(), -17.0);
+  EXPECT_DOUBLE_EQ(parse_ok("3.5e2").as_number(), 350.0);
+  EXPECT_EQ(parse_ok("12345678901").as_int(), 12345678901LL);
+  EXPECT_EQ(parse_ok("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParser, StringEscapes) {
+  EXPECT_EQ(parse_ok(R"("a\"b\\c\/d\ne\tf")").as_string(), "a\"b\\c/d\ne\tf");
+  // ASCII \u escapes decode; non-ASCII ones degrade to '?' (the obs
+  // writers never emit them) rather than failing the parse.
+  EXPECT_EQ(parse_ok(R"("\u0041z")").as_string(), "Az");
+  EXPECT_EQ(parse_ok(R"("\u20ac")").as_string(), "?");
+  parse_fails(R"("\u12g4")");
+  parse_fails(R"("\u12")");
+  // Raw (unescaped) high bytes pass through untouched.
+  EXPECT_EQ(parse_ok("\"caf\xc3\xa9\"").as_string(), "caf\xc3\xa9");
+}
+
+TEST(JsonParser, NestedStructures) {
+  const Value v = parse_ok(
+      R"({"a": [1, 2, {"b": true}], "c": {"d": null}, "e": "x"})");
+  ASSERT_TRUE(v.is_object());
+  const Value* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->items.size(), 3u);
+  EXPECT_EQ(a->items[1].as_int(), 2);
+  EXPECT_TRUE(a->items[2].find("b")->as_bool());
+  EXPECT_TRUE(v.find("c")->find("d")->is_null());
+  EXPECT_EQ(v.find("e")->as_string(), "x");
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParser, PreservesMemberOrder) {
+  const Value v = parse_ok(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_EQ(v.members.size(), 3u);
+  EXPECT_EQ(v.members[0].first, "z");
+  EXPECT_EQ(v.members[1].first, "a");
+  EXPECT_EQ(v.members[2].first, "m");
+}
+
+TEST(JsonParser, EmptyContainersAndWhitespace) {
+  EXPECT_TRUE(parse_ok("  [ ]  ").items.empty());
+  EXPECT_TRUE(parse_ok("\n{\t}\n").members.empty());
+  EXPECT_EQ(parse_ok("[[], {}, []]").items.size(), 3u);
+}
+
+TEST(JsonParser, RejectsMalformedInput) {
+  parse_fails("");
+  parse_fails("{");
+  parse_fails("[1, 2");
+  parse_fails("[1,]");
+  parse_fails("{\"a\" 1}");
+  parse_fails("{\"a\": 1,}");
+  parse_fails("\"unterminated");
+  parse_fails("\"bad\\escape\"");
+  parse_fails("truthy");
+  parse_fails("12 34");     // trailing garbage
+  parse_fails("{} extra");  // trailing garbage
+  parse_fails("'single'");
+}
+
+TEST(JsonParser, ErrorsCarryPosition) {
+  std::string error;
+  ASSERT_FALSE(parse("[1, x]", &error).has_value());
+  EXPECT_NE(error.find("4"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace rabid::obs::json

@@ -26,6 +26,10 @@
 //   --audit            run the independent SolutionAuditor after every
 //                      stage; print its report and exit 1 on violations
 //   --audit-json F     write the accumulated audit report as JSON to F
+//   --obs LEVEL        observability level: off, counters, trace
+//                      (implied counters by --report, trace by --trace)
+//   --report F         write the structured RunReport JSON to F
+//   --trace F          write a chrome-trace (Perfetto) JSON to F
 //   --dump-design F    write the generated design (text format) to F
 //   --dump-solution F  write the final routes+buffers to F
 //   --svg F            render floorplan+routes+buffers as SVG to F
@@ -45,7 +49,9 @@
 #include "circuits/specs.hpp"
 #include "core/audit.hpp"
 #include "core/rabid.hpp"
+#include "core/run_report.hpp"
 #include "core/solution_io.hpp"
+#include "obs/trace.hpp"
 #include "netlist/io.hpp"
 #include "report/heatmap.hpp"
 #include "report/svg.hpp"
@@ -66,6 +72,9 @@ struct Args {
   bool inverters = false;
   bool audit = false;
   std::string audit_json;
+  rabid::obs::Level obs_level = rabid::obs::Level::kOff;
+  std::string report_json;
+  std::string trace_json;
   std::string dump_design;
   std::string dump_solution;
   std::string svg;
@@ -81,6 +90,7 @@ struct Args {
                "       [--sites N] [--no-blocked] [--post] [--vg K]\n"
                "       [--dijkstra] [--no-dirty-filter]\n"
                "       [--inverters] [--audit] [--audit-json F]\n"
+               "       [--obs off|counters|trace] [--report F] [--trace F]\n"
                "       [--two-pin] [--bbp] [--dump-design F]\n"
                "       [--dump-solution F] [--heatmaps]\n");
   std::exit(2);
@@ -122,6 +132,13 @@ Args parse(int argc, char** argv) {
       a.audit = true;
     } else if (flag == "--audit-json") {
       a.audit_json = value();
+    } else if (flag == "--obs") {
+      if (!rabid::obs::level_from_name(value(), &a.obs_level))
+        usage("--obs expects off, counters, or trace");
+    } else if (flag == "--report") {
+      a.report_json = value();
+    } else if (flag == "--trace") {
+      a.trace_json = value();
     } else if (flag == "--dump-design") {
       a.dump_design = value();
     } else if (flag == "--dump-solution") {
@@ -144,6 +161,12 @@ Args parse(int argc, char** argv) {
   if (a.bbp && !a.two_pin) usage("--bbp requires --two-pin");
   if (!a.audit_json.empty()) a.audit = true;
   if (a.audit && a.bbp) usage("--audit applies to the RABID flow only");
+  // Writing a report implies counting; writing a trace implies tracing.
+  if (!a.report_json.empty() && a.obs_level < rabid::obs::Level::kCounters)
+    a.obs_level = rabid::obs::Level::kCounters;
+  if (!a.trace_json.empty()) a.obs_level = rabid::obs::Level::kTrace;
+  if ((!a.report_json.empty() || !a.trace_json.empty()) && a.bbp)
+    usage("--report/--trace apply to the RABID flow only");
   return a;
 }
 
@@ -203,6 +226,7 @@ int main(int argc, char** argv) {
   } else {
     core::RabidOptions options;
     options.threads = args.threads;
+    options.obs_level = args.obs_level;
     options.congestion_post_after_stage2 = args.post;
     if (args.dijkstra)
       options.router_heuristic = core::RouterHeuristic::kDijkstra;
@@ -232,6 +256,19 @@ int main(int argc, char** argv) {
         std::printf("wrote audit report to %s\n", args.audit_json.c_str());
       }
       if (!report->clean()) return 1;
+    }
+    if (!args.report_json.empty()) {
+      std::ofstream out(args.report_json);
+      if (!out) usage("cannot open --report file");
+      rabid.run_report().write_json(out);
+      std::printf("wrote run report to %s\n", args.report_json.c_str());
+    }
+    if (!args.trace_json.empty()) {
+      std::ofstream out(args.trace_json);
+      if (!out) usage("cannot open --trace file");
+      obs::Registry::instance().trace().write_json(out);
+      std::printf("wrote chrome trace to %s (open in ui.perfetto.dev)\n",
+                  args.trace_json.c_str());
     }
     if (!args.dump_solution.empty()) {
       std::ofstream out(args.dump_solution);
