@@ -48,11 +48,17 @@ double CircuitSpec::chip_height_um() const {
 
 std::span<const CircuitSpec> table1_specs() { return kSpecs; }
 
-const CircuitSpec& spec_by_name(std::string_view name) {
+const CircuitSpec* find_spec(std::string_view name) {
   for (const CircuitSpec& s : kSpecs) {
-    if (s.name == name) return s;
+    if (s.name == name) return &s;
   }
-  RABID_ASSERT_MSG(false, "unknown benchmark circuit name");
+  return nullptr;
+}
+
+const CircuitSpec& spec_by_name(std::string_view name) {
+  const CircuitSpec* spec = find_spec(name);
+  RABID_ASSERT_MSG(spec != nullptr, "unknown benchmark circuit name");
+  return *spec;
 }
 
 std::span<const SiteSweep> table3_site_sweeps() { return kSiteSweeps; }

@@ -40,6 +40,10 @@ struct CircuitSpec {
 /// All ten circuits, in Table I order.
 std::span<const CircuitSpec> table1_specs();
 
+/// Lookup by name; nullptr if unknown (callers that can report errors —
+/// the CLI — use this instead of the asserting variant below).
+const CircuitSpec* find_spec(std::string_view name);
+
 /// Lookup by name; aborts if unknown.
 const CircuitSpec& spec_by_name(std::string_view name);
 

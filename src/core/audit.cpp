@@ -162,7 +162,13 @@ void SolutionAuditor::audit_net(netlist::NetId id, const NetState& state,
 
   ++report.checks_run;
   if (tree.empty()) {
-    violation(AuditCheck::kTreeStructure, 1.0, 0.0, "net has no route");
+    report.violations.push_back(
+        {AuditCheck::kTreeStructure,
+         options_.allow_unrouted ? AuditSeverity::kWarning
+                                 : AuditSeverity::kError,
+         id, tile::kNoTile, tile::kNoEdge, 1.0, 0.0,
+         net_label(design_, id) + ": net has no route",
+         {}});
     return;
   }
 
@@ -490,6 +496,13 @@ void Rabid::maybe_audit(const char* stage, bool final_stage) {
   // Stages 1-2 run before (or while) wire feasibility is being earned;
   // overload there is heuristic progress, not book corruption.
   if (!final_stage && (stage[0] == '1' || stage[0] == '2')) {
+    opt.wire_overflow_severity = AuditSeverity::kWarning;
+  }
+  // A deadline-cancelled run is honest about what it skipped: unrouted
+  // nets and unresolved congestion are expected partial-solution state,
+  // not corruption — integrity checks stay at full severity.
+  if (timed_out()) {
+    opt.allow_unrouted = true;
     opt.wire_overflow_severity = AuditSeverity::kWarning;
   }
   AuditReport fresh = SolutionAuditor(design_, graph_, opt).audit(nets_);

@@ -103,6 +103,11 @@ struct AuditOptions {
   /// Recompute and cross-check Elmore delays (skippable for states that
   /// never had delays evaluated, e.g. a freshly loaded solution).
   bool check_delays = true;
+  /// Accept nets with no route as warnings instead of errors.  A
+  /// deadline-cancelled run legitimately leaves nets unrouted; with this
+  /// set, clean() still certifies the *integrity* of everything that was
+  /// produced while the missing nets stay visible as warnings.
+  bool allow_unrouted = false;
   /// Technology the delays were committed under (RabidOptions::tech).
   timing::Technology tech = timing::kTech180nm;
 };

@@ -1,0 +1,198 @@
+#include "core/checkpoint.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/rabid.hpp"
+#include "core/solution_io.hpp"
+#include "obs/counters.hpp"
+#include "obs/json.hpp"
+
+namespace rabid::core {
+
+namespace {
+
+void json_escape(std::ostream& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out << "\\u00" << (c < 0x10 ? "0" : "") << std::hex
+              << static_cast<int>(c) << std::dec;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+/// Writes `contents` to `path` via a `.tmp` sibling + rename, so a
+/// reader never sees a torn file and a crash leaves any previous
+/// version intact.
+Status write_file_atomic(const std::string& path,
+                         const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      return Status::io_error("cannot open for writing", tmp);
+    }
+    out << contents;
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::io_error("write failed", tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::io_error("rename failed", path);
+  }
+  return Status::ok();
+}
+
+Result<std::string> read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::io_error("cannot open for reading", path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return Status::io_error("read failed", path);
+  return buf.str();
+}
+
+}  // namespace
+
+Status write_checkpoint(const std::string& dir, const Rabid& rabid,
+                        int completed_stage) {
+  if (completed_stage < 1 || completed_stage > 4) {
+    return Status::failed_precondition(
+        "checkpoint stage must be between 1 and 4");
+  }
+  const std::string sol_name =
+      "stage" + std::to_string(completed_stage) + ".sol";
+
+  std::ostringstream sol;
+  write_solution(sol, rabid.design(), rabid.graph(), rabid.nets());
+  if (Status s = write_file_atomic(dir + "/" + sol_name, sol.str()); !s) {
+    return s;
+  }
+
+  std::ostringstream manifest;
+  manifest << "{\n  \"schema\": \"" << CheckpointManifest::kSchema
+           << "\",\n  \"design\": \"";
+  json_escape(manifest, rabid.design().name());
+  manifest << "\",\n  \"grid\": {\"nx\": " << rabid.graph().nx()
+           << ", \"ny\": " << rabid.graph().ny()
+           << "},\n  \"stage\": " << completed_stage
+           << ",\n  \"solution\": \"";
+  json_escape(manifest, sol_name);
+  manifest << "\"\n}\n";
+  if (Status s = write_file_atomic(dir + "/manifest.json", manifest.str());
+      !s) {
+    return s;
+  }
+  obs::count(obs::Counter::kCheckpointWrites);
+  return Status::ok();
+}
+
+Result<CheckpointManifest> read_checkpoint_manifest(const std::string& dir) {
+  const std::string path = dir + "/manifest.json";
+  Result<std::string> text = read_file(path);
+  if (!text.ok()) return text.status();
+
+  std::string error;
+  const std::optional<obs::json::Value> doc =
+      obs::json::parse(text.value(), &error);
+  if (!doc.has_value()) {
+    return Status::invalid_input("manifest is not valid JSON: " + error,
+                                 path);
+  }
+  if (!doc->is_object()) {
+    return Status::invalid_input("manifest top level is not an object", path);
+  }
+  const obs::json::Value* schema = doc->find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string != CheckpointManifest::kSchema) {
+    return Status::invalid_input("manifest schema missing or unknown", path);
+  }
+
+  CheckpointManifest m;
+  const obs::json::Value* design = doc->find("design");
+  if (design == nullptr || !design->is_string()) {
+    return Status::invalid_input("manifest missing design name", path);
+  }
+  m.design = design->string;
+
+  const obs::json::Value* grid = doc->find("grid");
+  if (grid == nullptr || !grid->is_object()) {
+    return Status::invalid_input("manifest missing grid", path);
+  }
+  const obs::json::Value* nx = grid->find("nx");
+  const obs::json::Value* ny = grid->find("ny");
+  if (nx == nullptr || !nx->is_number() || ny == nullptr ||
+      !ny->is_number()) {
+    return Status::invalid_input("manifest grid needs numeric nx/ny", path);
+  }
+  m.nx = static_cast<std::int32_t>(nx->as_int());
+  m.ny = static_cast<std::int32_t>(ny->as_int());
+
+  const obs::json::Value* stage = doc->find("stage");
+  if (stage == nullptr || !stage->is_number()) {
+    return Status::invalid_input("manifest missing stage", path);
+  }
+  m.stage = static_cast<int>(stage->as_int());
+  if (m.stage < 1 || m.stage > 4) {
+    return Status::invalid_input("manifest stage out of range (1..4)", path);
+  }
+
+  const obs::json::Value* sol = doc->find("solution");
+  if (sol == nullptr || !sol->is_string() || sol->string.empty()) {
+    return Status::invalid_input("manifest missing solution file", path);
+  }
+  // The dump must live inside the checkpoint directory: a manifest that
+  // points elsewhere (absolute path, `../` traversal) is hostile.
+  if (sol->string.find('/') != std::string::npos ||
+      sol->string.find('\\') != std::string::npos) {
+    return Status::invalid_input(
+        "manifest solution file must be a bare file name", path);
+  }
+  m.solution_file = sol->string;
+  return m;
+}
+
+Status resume_from_checkpoint(const std::string& dir, Rabid& rabid,
+                              int* completed_stage) {
+  Result<CheckpointManifest> manifest = read_checkpoint_manifest(dir);
+  if (!manifest.ok()) return manifest.status();
+  const CheckpointManifest& m = manifest.value();
+
+  if (m.design != rabid.design().name()) {
+    return Status::invalid_input(
+        "checkpoint was written for design '" + m.design + "', not '" +
+            rabid.design().name() + "'",
+        dir + "/manifest.json");
+  }
+  if (m.nx != rabid.graph().nx() || m.ny != rabid.graph().ny()) {
+    return Status::invalid_input(
+        "checkpoint grid differs from the tile graph",
+        dir + "/manifest.json");
+  }
+
+  const std::string sol_path = dir + "/" + m.solution_file;
+  std::ifstream in(sol_path);
+  if (!in) return Status::io_error("cannot open for reading", sol_path);
+  Result<LoadedSolution> sol =
+      read_solution_checked(in, rabid.design(), rabid.graph());
+  if (!sol.ok()) return sol.status();
+
+  if (Status s = rabid.restore_solution(sol.value(), m.stage); !s) return s;
+  if (completed_stage != nullptr) *completed_stage = m.stage;
+  return Status::ok();
+}
+
+}  // namespace rabid::core

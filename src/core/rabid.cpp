@@ -9,6 +9,7 @@
 
 #include "buffer/timing_driven.hpp"
 #include "core/congestion_post.hpp"
+#include "core/solution_io.hpp"
 #include "core/twopath.hpp"
 #include "obs/trace.hpp"
 #include "route/embed.hpp"
@@ -74,6 +75,79 @@ Rabid::Rabid(const netlist::Design& design, tile::TileGraph& graph,
   nets_.resize(design.nets().size());
   const std::size_t workers = util::resolve_thread_count(options_.threads);
   if (workers >= 2) pool_ = std::make_unique<util::ThreadPool>(workers);
+  if (options_.deadline_ms > 0.0) {
+    has_deadline_ = true;
+    deadline_ =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(options_.deadline_ms));
+  }
+}
+
+Status Rabid::restore_solution(const LoadedSolution& solution,
+                               int completed_stage) {
+  if (completed_stage < 1 || completed_stage > 4) {
+    return Status::failed_precondition("completed_stage must be in 1..4");
+  }
+  if (stage1_done_ || !stage_history_.empty()) {
+    return Status::failed_precondition(
+        "restore_solution needs a fresh instance (no stage has run)");
+  }
+  if (solution.nets.size() != design_.nets().size()) {
+    return Status::invalid_input("solution net count != design net count",
+                                 "solution");
+  }
+  if (solution.nx != graph_.nx() || solution.ny != graph_.ny()) {
+    return Status::invalid_input("solution grid differs from the tile graph",
+                                 "solution");
+  }
+  // Dry-run the buffer-site commits first: a checkpoint written against
+  // different supplies must come back as an error, not trip
+  // add_buffer's supply assert after half the books are mutated.
+  std::vector<std::int32_t> site_need(
+      static_cast<std::size_t>(graph_.tile_count()), 0);
+  for (const NetState& n : solution.nets) {
+    const auto node_count = static_cast<route::NodeId>(n.tree.node_count());
+    for (const route::BufferPlacement& b : n.buffers) {
+      if (b.node < 0 || b.node >= node_count) {
+        return Status::invalid_input("buffer placement at nonexistent node",
+                                     "solution");
+      }
+      const tile::TileId t = n.tree.node(b.node).tile;
+      if (t < 0 || t >= graph_.tile_count()) {
+        return Status::invalid_input("buffer placement outside the grid",
+                                     "solution");
+      }
+      ++site_need[static_cast<std::size_t>(t)];
+    }
+  }
+  for (tile::TileId t = 0; t < graph_.tile_count(); ++t) {
+    const auto k = static_cast<std::size_t>(t);
+    if (site_need[k] > graph_.site_supply(t) - graph_.site_usage(t)) {
+      return Status::invalid_input(
+          "solution needs " + std::to_string(site_need[k]) +
+              " buffer sites in tile " + std::to_string(t) + " but only " +
+              std::to_string(graph_.site_supply(t) - graph_.site_usage(t)) +
+              " are free",
+          "solution");
+    }
+  }
+  nets_ = solution.nets;
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    nets_[i].tree.commit(graph_,
+                         design_.net(static_cast<netlist::NetId>(i)).width);
+    for (const route::BufferPlacement& b : nets_[i].buffers) {
+      graph_.add_buffer(nets_[i].tree.node(b.node).tile);
+    }
+  }
+  stage1_done_ = true;
+  stage3_done_ = completed_stage >= 3;
+  // The dump's delays were evaluated under a caller-provided tech;
+  // re-derive them under ours so the state is exactly what the stages
+  // would have left behind.
+  refresh_delays();
+  obs::count(obs::Counter::kCheckpointLoads);
+  return Status::ok();
 }
 
 void Rabid::refresh_delays() {
@@ -193,6 +267,9 @@ StageStats Rabid::run_stage1() {
   const auto start = std::chrono::steady_clock::now();
   const auto build_one = [this](std::size_t i) {
     NetState& state = nets_[i];
+    // Expired deadline: leave the net unrouted (empty tree, flagged
+    // fail) rather than overrun — the honest partial solution.
+    if (deadline_hit()) return;
     state.tree = build_net_tree(i);
     state.meets_length_rule =
         meets_rule(state.tree, {},
@@ -206,9 +283,19 @@ StageStats Rabid::run_stage1() {
   } else {
     for (std::size_t i = 0; i < nets_.size(); ++i) build_one(i);
   }
+  std::int64_t cancelled = 0;
   for (std::size_t i = 0; i < nets_.size(); ++i) {
+    if (nets_[i].tree.empty()) {
+      ++cancelled;
+      continue;
+    }
     nets_[i].tree.commit(graph_,
                          design_.net(static_cast<netlist::NetId>(i)).width);
+  }
+  if (cancelled > 0) {
+    nets_cancelled_ += cancelled;
+    obs::count(obs::Counter::kDeadlineNetsCancelled,
+               static_cast<std::uint64_t>(cancelled));
   }
   refresh_delays();
   stage1_done_ = true;
@@ -232,6 +319,8 @@ StageStats Rabid::run_stage2() {
   // refreshed only for edges a rip-up or commit actually changed.
   auto reroute_net = [&](std::size_t i, route::EdgeCostCache& cache) {
     NetState& state = nets_[i];
+    // A net stage 1 never routed (deadline) stays unrouted and flagged.
+    if (state.tree.empty()) return;
     const netlist::Net& net = design_.net(static_cast<netlist::NetId>(i));
     state.tree.uncommit(graph_, net.width);
     cache.refresh_tree(state.tree);
@@ -252,6 +341,7 @@ StageStats Rabid::run_stage2() {
                                [&](tile::EdgeId e) { return nego.cost(e); });
     for (std::int32_t iter = 0; iter < nego.params().max_iterations;
          ++iter) {
+      if (deadline_hit()) break;  // per-pass cancellation point
       obs::ScopedTimer iter_timer("stage2 iteration", "stage");
       obs::count(obs::Counter::kStage2Iterations);
       // History and present-sharing moved between iterations.
@@ -269,6 +359,7 @@ StageStats Rabid::run_stage2() {
     std::vector<double> snapshot;
     std::vector<std::uint8_t> edge_dirty;
     for (std::int32_t iter = 0; iter < options_.reroute_iterations; ++iter) {
+      if (deadline_hit()) break;  // per-pass cancellation point
       obs::ScopedTimer iter_timer("stage2 iteration", "stage");
       obs::count(obs::Counter::kStage2Iterations);
       cache.refresh_all();
@@ -332,6 +423,7 @@ StageStats Rabid::run_stage2() {
     std::vector<route::RouteTree> trees;
     for (std::size_t i = 0; i < nets_.size(); ++i) {
       if (design_.net(static_cast<netlist::NetId>(i)).width != 1) continue;
+      if (nets_[i].tree.empty()) continue;  // deadline-cancelled in stage 1
       eligible.push_back(i);
       trees.push_back(std::move(nets_[i].tree));
     }
@@ -419,7 +511,11 @@ StageStats Rabid::rebuffer_timing_driven(std::size_t worst_nets,
   if (order.size() > worst_nets) order.resize(worst_nets);
 
   for (const std::size_t i : order) {
+    // Per-net cancellation point: a skipped net keeps its complete
+    // stage-3/4 buffering.
+    if (deadline_hit()) break;
     NetState& state = nets_[i];
+    if (state.tree.empty()) continue;
     // Return this net's sites to the pool; its old solution stays
     // reachable, so the optimum can only improve.
     obs::count(obs::Counter::kBuffersRemoved,
@@ -521,7 +617,18 @@ StageStats Rabid::run_stage3() {
   if (pool_ != nullptr) {
     assign_buffers_parallel(order, demand);
   } else {
-    for (const std::size_t i : order) {
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      // Per-net cancellation point: remaining nets keep their legal
+      // stage-2 routes, honestly flagged (no buffers, rule unmet).
+      if (deadline_hit()) {
+        const auto cancelled = static_cast<std::int64_t>(order.size() - k);
+        nets_cancelled_ += cancelled;
+        obs::count(obs::Counter::kDeadlineNetsCancelled,
+                   static_cast<std::uint64_t>(cancelled));
+        break;
+      }
+      const std::size_t i = order[k];
+      if (nets_[i].tree.empty()) continue;
       // The current net no longer counts as "future demand".
       const double p =
           1.0 / design_.length_limit(static_cast<netlist::NetId>(i));
@@ -552,6 +659,15 @@ void Rabid::assign_buffers_parallel(const std::vector<std::size_t>& order,
       static_cast<std::size_t>(graph_.tile_count()), 0);
   std::vector<double> scratch;
   for (std::size_t b0 = 0; b0 < order.size(); b0 += batch) {
+    // Per-batch cancellation point (a batch is at most pool-size nets,
+    // so the granularity matches the serial per-net check).
+    if (deadline_hit()) {
+      const auto cancelled = static_cast<std::int64_t>(order.size() - b0);
+      nets_cancelled_ += cancelled;
+      obs::count(obs::Counter::kDeadlineNetsCancelled,
+                 static_cast<std::uint64_t>(cancelled));
+      break;
+    }
     obs::ScopedTimer batch_timer("stage3 batch", "batch");
     const std::size_t count = std::min(batch, order.size() - b0);
 
@@ -576,6 +692,7 @@ void Rabid::assign_buffers_parallel(const std::vector<std::size_t>& order,
     std::vector<buffer::InsertionResult> speculated(count);
     pool_->parallel_for(0, count, [&](std::size_t k) {
       const std::size_t i = order[b0 + k];
+      if (nets_[i].tree.empty()) return;  // deadline-cancelled in stage 1
       const std::unordered_map<tile::TileId, double>& dm = net_demand[k];
       const auto q = [&](tile::TileId t) {
         const auto it = dm.find(t);
@@ -594,6 +711,7 @@ void Rabid::assign_buffers_parallel(const std::vector<std::size_t>& order,
     std::fill(dirty.begin(), dirty.end(), 0);
     for (std::size_t k = 0; k < count; ++k) {
       const std::size_t i = order[b0 + k];
+      if (nets_[i].tree.empty()) continue;
       const double p =
           1.0 / design_.length_limit(static_cast<netlist::NetId>(i));
       bool fresh = true;
@@ -636,9 +754,14 @@ StageStats Rabid::run_stage4() {
 
   for (std::int32_t iter = 0; iter < options_.postprocess_iterations;
        ++iter) {
+    if (deadline_hit()) break;
     wire_cache.refresh_all();
     for (const std::size_t i : nets_by_delay(/*ascending=*/true)) {
+      // Per-net cancellation point: a skipped net keeps its complete
+      // (stage-3) solution, so the state stays fully legal.
+      if (deadline_hit()) break;
       NetState& state = nets_[i];
+      if (state.tree.empty()) continue;
       const std::int32_t L =
           design_.length_limit(static_cast<netlist::NetId>(i));
 
@@ -714,9 +837,19 @@ StageStats Rabid::run_stage4() {
 std::vector<StageStats> Rabid::run_all() {
   std::vector<StageStats> stats;
   stats.push_back(run_stage1());
-  stats.push_back(run_stage2());
-  stats.push_back(run_stage3());
-  stats.push_back(run_stage4());
+  // Stage-boundary cancellation points: once the deadline expires the
+  // remaining stages are skipped outright and the current (legal,
+  // audited-tolerant) partial solution is the result.
+  if (!deadline_hit()) stats.push_back(run_stage2());
+  if (!deadline_hit()) stats.push_back(run_stage3());
+  if (!deadline_hit()) {
+    stats.push_back(run_stage4());
+  } else {
+    // Stage 4 never started, so its final-stage audit never ran — but
+    // the partial solution *is* final now, and a kFinal-level run still
+    // has to see it audited.
+    maybe_audit("deadline", /*final_stage=*/true);
+  }
   return stats;
 }
 

@@ -19,11 +19,14 @@
 /// mutations stay serialized in the paper's net order, so the solution
 /// is bit-identical at any thread count (see DESIGN.md, "Parallelism").
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "buffer/insertion.hpp"
+#include "core/status.hpp"
 #include "netlist/design.hpp"
 #include "obs/counters.hpp"
 #include "route/buffers.hpp"
@@ -35,8 +38,9 @@
 
 namespace rabid::core {
 
-struct AuditReport;  // core/audit.hpp
-struct RunReport;    // core/run_report.hpp
+struct AuditReport;      // core/audit.hpp
+struct RunReport;        // core/run_report.hpp
+struct LoadedSolution;   // core/solution_io.hpp
 
 /// When the flow runs the independent SolutionAuditor (core/audit.hpp)
 /// on its own solution.  Results accumulate in last_audit().
@@ -108,6 +112,20 @@ struct RabidOptions {
   /// parallel, but tile-site/wire-usage commits stay serialized in the
   /// paper's net order.
   std::int32_t threads = 0;
+  /// Wall-clock budget for the whole run, in milliseconds (0 = none).
+  /// The clock starts when the Rabid instance is constructed.  Checked
+  /// cooperatively — per net in stages 1/3/4 and the vG rebuffering,
+  /// per pass in stage 2, and between stages — so an expired run stops
+  /// at the next check and returns the best *legal* partial solution:
+  /// already-processed nets keep their committed state, skipped nets
+  /// keep their previous legal state (or stay unrouted, honestly
+  /// flagged), the books stay exactly consistent, and timed_out() /
+  /// nets_cancelled() report what happened.  Fractional values are
+  /// honored (sub-millisecond budgets are real for fuzz-sized
+  /// circuits).  Under a deadline the result depends on wall-clock
+  /// timing, so the bit-identical-at-any-thread-count guarantee is
+  /// deliberately waived for runs that actually time out.
+  double deadline_ms = 0.0;
   /// Self-auditing: recompute every solution invariant from scratch at
   /// the chosen points and accumulate violations in last_audit().
   AuditLevel audit_level = AuditLevel::kOff;
@@ -207,6 +225,28 @@ class Rabid {
   /// summary (defined in run_report.cpp; == build_run_report(*this)).
   RunReport run_report() const;
 
+  /// True once the cooperative deadline (RabidOptions::deadline_ms)
+  /// expired; the solution is the best legal partial state.
+  bool timed_out() const {
+    return deadline_expired_.load(std::memory_order_relaxed);
+  }
+  /// Net-processing steps skipped because the deadline expired (stage-1
+  /// routings never built, stage-3 bufferings never attempted).  Nets
+  /// skipped by stages 2/4/vG keep a complete earlier solution and are
+  /// not counted.
+  std::int64_t nets_cancelled() const { return nets_cancelled_; }
+
+  /// Installs a previously dumped solution (core/solution_io.hpp) as
+  /// the current state, as if the stages that produced it had just run:
+  /// trees and buffers are committed to the books, stage-completion
+  /// flags are set from `completed_stage` (1..4), and delays are
+  /// re-evaluated under options_.tech.  Requires a fresh instance
+  /// (no stage run yet, books empty).  On error the books are left
+  /// untouched and a structured Status explains the mismatch — a
+  /// hostile checkpoint cannot corrupt the instance.
+  Status restore_solution(const LoadedSolution& solution,
+                          int completed_stage);
+
   /// Recomputes every net's delay from its current tree + buffers.
   void refresh_delays();
 
@@ -236,6 +276,22 @@ class Rabid {
   /// Net indices ordered by current delay (ascending or descending).
   std::vector<std::size_t> nets_by_delay(bool ascending) const;
 
+  /// Cooperative deadline probe: false when no deadline is configured
+  /// (one predictable branch — the bench-compare gate holds the
+  /// no-deadline flow to within 2%); latches deadline_expired_ on first
+  /// expiry.  Safe to call from pool workers.
+  bool deadline_hit() {
+    if (!has_deadline_) return false;
+    if (deadline_expired_.load(std::memory_order_relaxed)) return true;
+    if (std::chrono::steady_clock::now() >= deadline_) {
+      if (!deadline_expired_.exchange(true, std::memory_order_relaxed)) {
+        obs::count(obs::Counter::kDeadlineExpirations);
+      }
+      return true;
+    }
+    return false;
+  }
+
   /// Runs the auditor per options_.audit_level and accumulates the
   /// report (defined in audit.cpp).  `final_stage` marks the flow's
   /// last committed solution, where capacity overload is an error
@@ -253,6 +309,30 @@ class Rabid {
   std::vector<StageStats> stage_history_;
   bool stage1_done_ = false;
   bool stage3_done_ = false;
+  /// Cooperative-deadline state (see RabidOptions::deadline_ms).
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_;
+  /// Latched on first expiry; atomic because pool workers probe it.
+  /// The wrapper restores movability (Rabid is only ever moved between
+  /// runs, never while workers are live, so a relaxed copy is safe).
+  struct ExpiredFlag {
+    std::atomic<bool> v{false};
+    ExpiredFlag() = default;
+    ExpiredFlag(ExpiredFlag&& o) noexcept
+        : v(o.v.load(std::memory_order_relaxed)) {}
+    ExpiredFlag& operator=(ExpiredFlag&& o) noexcept {
+      v.store(o.v.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+      return *this;
+    }
+    bool load(std::memory_order order) const { return v.load(order); }
+    bool exchange(bool desired, std::memory_order order) {
+      return v.exchange(desired, order);
+    }
+  };
+  ExpiredFlag deadline_expired_;
+  /// Mutated only from serial sections.
+  std::int64_t nets_cancelled_ = 0;
 };
 
 }  // namespace rabid::core

@@ -89,9 +89,15 @@ bool parse_utilization(const obs::json::Value& obj, std::string_view key,
 }  // namespace
 
 std::size_t UtilizationHistogram::bucket_of(double utilization) {
+  // NaN and everything <= 0 land in bucket 0; anything at or beyond
+  // 100% (including +inf, for which the double->size_t cast would be
+  // UB) lands in the overflow bucket.  Comparison before cast keeps
+  // the cast's argument provably in range.
   if (!(utilization > 0.0)) return 0;
-  const auto b = static_cast<std::size_t>(utilization / 0.05);
-  return std::min(b, kBuckets - 1);
+  if (utilization >= 0.05 * static_cast<double>(kBuckets - 1)) {
+    return kBuckets - 1;
+  }
+  return static_cast<std::size_t>(utilization / 0.05);
 }
 
 void UtilizationHistogram::add(double utilization) {
@@ -154,6 +160,9 @@ void RunReport::write_json(std::ostream& out) const {
   write_utilization(out, "wire_utilization", wire_utilization, "  ");
   out << ",\n";
   write_utilization(out, "site_utilization", site_utilization, "  ");
+  out << ",\n  \"verdict\": \"";
+  json_escape(out, verdict);
+  out << "\",\n  \"nets_cancelled\": " << nets_cancelled;
   out << ",\n  \"audit\": {\"run\": " << (audited ? "true" : "false")
       << ", \"clean\": " << (audit_clean ? "true" : "false")
       << ", \"errors\": " << audit_errors << ", \"warnings\": "
@@ -270,6 +279,17 @@ std::optional<RunReport> RunReport::parse(std::string_view text,
     return std::nullopt;
   }
 
+  // Reports written before the deadline work lack these two members;
+  // default them rather than rejecting the document.
+  if (const obs::json::Value* verdict = doc->find("verdict");
+      verdict != nullptr && verdict->is_string()) {
+    r.verdict = verdict->string;
+  }
+  if (const obs::json::Value* cancelled = doc->find("nets_cancelled");
+      cancelled != nullptr) {
+    r.nets_cancelled = cancelled->as_int();
+  }
+
   const obs::json::Value* audit = doc->find("audit");
   if (audit == nullptr || !audit->is_object()) {
     if (error != nullptr) *error = "run report: missing audit";
@@ -353,6 +373,9 @@ RunReport build_run_report(const Rabid& rabid) {
     }
     r.site_utilization.add(static_cast<double>(graph.site_usage(t)) / supply);
   }
+
+  r.verdict = rabid.timed_out() ? "timed_out" : "ok";
+  r.nets_cancelled = rabid.nets_cancelled();
 
   if (const AuditReport* audit = rabid.last_audit()) {
     r.audited = true;

@@ -85,6 +85,12 @@ struct RunReport {
   UtilizationHistogram wire_utilization;  ///< w(e)/W(e) over all edges
   UtilizationHistogram site_utilization;  ///< b(v)/B(v) over all tiles
 
+  /// "ok" for a full run, "timed_out" when the deadline expired and the
+  /// flow returned a partial solution (see RabidOptions::deadline_ms).
+  std::string verdict = "ok";
+  /// Net-processing steps skipped after the deadline expired.
+  std::int64_t nets_cancelled = 0;
+
   bool audited = false;  ///< the audit block reflects a real audit run
   bool audit_clean = true;
   std::int64_t audit_errors = 0;

@@ -17,8 +17,13 @@ void write_solution(std::ostream& out, const netlist::Design& design,
       << '\n';
   for (std::size_t i = 0; i < nets.size(); ++i) {
     const NetState& n = nets[i];
+    // "unrouted": a deadline-cancelled net with no tree at all — distinct
+    // from "fail" (routed but length rule unmet) so a resumed run can
+    // reconstruct the exact partial state.
+    const char* status =
+        n.tree.empty() ? "unrouted" : (n.meets_length_rule ? "ok" : "fail");
     out << "net " << design.net(static_cast<netlist::NetId>(i)).name << ' '
-        << (n.meets_length_rule ? "ok" : "fail") << '\n';
+        << status << '\n';
     for (const route::RouteNode& node : n.tree.nodes()) {
       if (node.parent == route::kNoNode) continue;
       const geom::TileCoord a =
@@ -84,7 +89,9 @@ SolutionSummary read_solution_summary(std::istream& in) {
       current = {};
       std::string status;
       if (!(ss >> current.name >> status)) fail("net needs name + status");
-      if (status != "ok" && status != "fail") fail("bad net status");
+      if (status != "ok" && status != "fail" && status != "unrouted") {
+        fail("bad net status");
+      }
       current.ok = status == "ok";
       open = &current;
     } else if (cmd == "arc") {
@@ -105,17 +112,30 @@ SolutionSummary read_solution_summary(std::istream& in) {
   return summary;
 }
 
-LoadedSolution read_solution(std::istream& in, const netlist::Design& design,
-                             const tile::TileGraph& g,
-                             const timing::BufferLibrary* library,
-                             const timing::Technology& tech) {
+namespace {
+
+/// Thrown by read_solution_impl on malformed input; converted to an
+/// abort (legacy read_solution) or a Status (read_solution_checked).
+struct SolutionParseError {
+  std::string message;
+  int line;
+};
+
+/// `strict` additionally enforces header-before-nets and a design-name
+/// match — requirements of the checkpoint/resume path that the legacy
+/// trusted round-trip reader never had.
+LoadedSolution read_solution_impl(std::istream& in,
+                                  const netlist::Design& design,
+                                  const tile::TileGraph& g,
+                                  const timing::BufferLibrary* library,
+                                  const timing::Technology& tech,
+                                  bool strict) {
   LoadedSolution sol;
   std::string line;
   int line_no = 0;
+  bool have_header = false;
   auto fail = [&](const char* msg) {
-    std::fprintf(stderr, "solution parse error at line %d: %s\n", line_no,
-                 msg);
-    std::abort();
+    throw SolutionParseError{msg, line_no};
   };
 
   std::size_t net_index = 0;  // design net the open block must match
@@ -133,6 +153,12 @@ LoadedSolution read_solution(std::istream& in, const netlist::Design& design,
   auto close_net = [&]() {
     const auto id = static_cast<netlist::NetId>(net_index);
     const netlist::Net& net = design.net(id);
+    // A deadline-cancelled net: no tree, no buffers, default delay.
+    if (current.tree.empty()) {
+      sol.nets.push_back(std::move(current));
+      ++net_index;
+      return;
+    }
     // Sink attachment is not dumped; re-derive it from the pins, which
     // is the same mapping the embedder used.
     for (const netlist::Pin& pin : net.sinks) {
@@ -182,7 +208,12 @@ LoadedSolution read_solution(std::istream& in, const netlist::Design& design,
       if (sol.nx != g.nx() || sol.ny != g.ny()) {
         fail("solution grid differs from the tile graph");
       }
+      if (strict && sol.design != design.name()) {
+        fail("solution was written for a different design");
+      }
+      have_header = true;
     } else if (cmd == "net") {
+      if (strict && !have_header) fail("net before the solution header");
       if (open) fail("nested net");
       if (net_index >= design.nets().size()) fail("more nets than design");
       std::string name;
@@ -191,12 +222,18 @@ LoadedSolution read_solution(std::istream& in, const netlist::Design& design,
       if (name != design.net(static_cast<netlist::NetId>(net_index)).name) {
         fail("net name out of design order");
       }
-      if (status != "ok" && status != "fail") fail("bad net status");
+      if (status != "ok" && status != "fail" && status != "unrouted") {
+        fail("bad net status");
+      }
       current = {};
       current.meets_length_rule = status == "ok";
-      current.tree = route::RouteTree(g.tile_at(
-          design.net(static_cast<netlist::NetId>(net_index))
-              .source.location));
+      // "unrouted" nets keep an empty tree; any arc/buffer line under
+      // them fails the usual not-in-tree checks below.
+      if (status != "unrouted") {
+        current.tree = route::RouteTree(g.tile_at(
+            design.net(static_cast<netlist::NetId>(net_index))
+                .source.location));
+      }
       cell_names.clear();
       open = true;
     } else if (cmd == "arc") {
@@ -248,6 +285,31 @@ LoadedSolution read_solution(std::istream& in, const netlist::Design& design,
   if (open) fail("unterminated net");
   if (net_index != design.nets().size()) fail("fewer nets than design");
   return sol;
+}
+
+}  // namespace
+
+LoadedSolution read_solution(std::istream& in, const netlist::Design& design,
+                             const tile::TileGraph& g,
+                             const timing::BufferLibrary* library,
+                             const timing::Technology& tech) {
+  try {
+    return read_solution_impl(in, design, g, library, tech, /*strict=*/false);
+  } catch (const SolutionParseError& e) {
+    std::fprintf(stderr, "solution parse error at line %d: %s\n", e.line,
+                 e.message.c_str());
+    std::abort();
+  }
+}
+
+Result<LoadedSolution> read_solution_checked(
+    std::istream& in, const netlist::Design& design, const tile::TileGraph& g,
+    const timing::BufferLibrary* library, const timing::Technology& tech) {
+  try {
+    return read_solution_impl(in, design, g, library, tech, /*strict=*/true);
+  } catch (const SolutionParseError& e) {
+    return Status::invalid_input(e.message, "solution", e.line);
+  }
 }
 
 }  // namespace rabid::core

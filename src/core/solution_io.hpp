@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/rabid.hpp"
+#include "core/status.hpp"
 #include "timing/buffer_library.hpp"
 
 namespace rabid::core {
@@ -79,5 +80,16 @@ LoadedSolution read_solution(std::istream& in, const netlist::Design& design,
                              const timing::BufferLibrary* library = nullptr,
                              const timing::Technology& tech =
                                  timing::kTech180nm);
+
+/// Hardened variant of read_solution() for untrusted dumps (checkpoint
+/// resume, fuzzed files): malformed input comes back as a structured
+/// Status with the offending line instead of an abort.  Additionally
+/// requires the header to precede any net and the dumped design name to
+/// match `design` — a checkpoint written for a different circuit must
+/// not silently load.
+Result<LoadedSolution> read_solution_checked(
+    std::istream& in, const netlist::Design& design, const tile::TileGraph& g,
+    const timing::BufferLibrary* library = nullptr,
+    const timing::Technology& tech = timing::kTech180nm);
 
 }  // namespace rabid::core

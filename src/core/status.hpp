@@ -1,0 +1,180 @@
+#pragma once
+
+/// \file status.hpp
+/// Structured, propagating errors for every entry point of the flow.
+///
+/// The library grew up on trusted research inputs, where an abort with a
+/// line number was an acceptable answer to a malformed file.  A serving
+/// stack cannot abort: a hostile circuit, an inconsistent tile graph, or
+/// an unwritable output path must surface as a *value* the caller can
+/// route, log, and map to an exit code.  Status is that value: a code, a
+/// human-readable message, and (for parse errors) the offending input
+/// line.
+///
+/// Result<T> is the success-or-Status sum type the checked parsers
+/// return (netlist::read_design_checked, core::read_solution_checked,
+/// core::read_checkpoint_manifest).  The legacy abort-on-error entry
+/// points remain as thin wrappers for tests and research scripts.
+///
+/// This header is deliberately dependency-free (header-only, no link
+/// target) so the lowest layers — netlist, tile — can return core
+/// statuses without inverting the library layering.
+///
+/// Exit-code taxonomy (docs/ROBUSTNESS.md; enforced by rabid_cli and
+/// tests/cli/exit_codes_test.py):
+///   0  success
+///   1  solution violations (audit failed)
+///   2  usage error (bad flags)
+///   3  input or I/O error (malformed circuit, unwritable output)
+///   4  deadline exceeded (honest partial solution returned)
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace rabid::core {
+
+enum class StatusCode : std::uint8_t {
+  kOk,
+  /// Malformed or semantically invalid input (parse errors, duplicate
+  /// pins, inconsistent tile graphs, mismatched checkpoints).
+  kInvalidInput,
+  /// The filesystem said no: unopenable path, short write, failed rename.
+  kIoError,
+  /// The cooperative deadline expired before the work completed.
+  kDeadlineExceeded,
+  /// A caller violated an API precondition (e.g. resuming onto a graph
+  /// whose usage books are not empty).
+  kFailedPrecondition,
+  /// An invariant the library itself is responsible for broke.
+  kInternal,
+};
+
+inline const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidInput: return "invalid-input";
+    case StatusCode::kIoError: return "io-error";
+    case StatusCode::kDeadlineExceeded: return "deadline-exceeded";
+    case StatusCode::kFailedPrecondition: return "failed-precondition";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+/// The error value.  `line` is the 1-based line of the offending input
+/// when the error came from a parser (0 = not applicable); `context`
+/// names the artifact ("design", "solution", "checkpoint manifest", a
+/// file path) so a message is actionable without a stack trace.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message, std::string context = {},
+         int line = 0)
+      : code_(code),
+        message_(std::move(message)),
+        context_(std::move(context)),
+        line_(line) {}
+
+  static Status ok() { return Status(); }
+  static Status invalid_input(std::string message, std::string context = {},
+                              int line = 0) {
+    return {StatusCode::kInvalidInput, std::move(message), std::move(context),
+            line};
+  }
+  static Status io_error(std::string message, std::string context = {}) {
+    return {StatusCode::kIoError, std::move(message), std::move(context)};
+  }
+  static Status deadline_exceeded(std::string message) {
+    return {StatusCode::kDeadlineExceeded, std::move(message)};
+  }
+  static Status failed_precondition(std::string message) {
+    return {StatusCode::kFailedPrecondition, std::move(message)};
+  }
+  static Status internal(std::string message) {
+    return {StatusCode::kInternal, std::move(message)};
+  }
+
+  bool ok_status() const { return code_ == StatusCode::kOk; }
+  explicit operator bool() const { return ok_status(); }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  const std::string& context() const { return context_; }
+  int line() const { return line_; }
+
+  /// "error[invalid-input] design line 12: malformed number '1e'"
+  std::string to_string() const {
+    if (ok_status()) return "ok";
+    std::string out = "error[";
+    out += status_code_name(code_);
+    out += ']';
+    if (!context_.empty()) {
+      out += ' ';
+      out += context_;
+    }
+    if (line_ > 0) {
+      out += " line ";
+      out += std::to_string(line_);
+    }
+    out += ": ";
+    out += message_;
+    return out;
+  }
+
+  /// The documented CLI exit code for this status (see file comment).
+  int exit_code() const {
+    switch (code_) {
+      case StatusCode::kOk: return 0;
+      case StatusCode::kDeadlineExceeded: return 4;
+      case StatusCode::kInvalidInput:
+      case StatusCode::kIoError:
+      case StatusCode::kFailedPrecondition:
+      case StatusCode::kInternal: return 3;
+    }
+    return 3;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+  std::string context_;
+  int line_ = 0;
+};
+
+/// Success-or-Status.  A Result is either a value (status().ok_status())
+/// or an error; value() on an error aborts (callers check first — the
+/// whole point is that the *check* is now possible).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    RABID_ASSERT_MSG(!status_.ok_status(),
+                     "a Result error needs a non-ok Status");
+  }
+
+  bool ok() const { return status_.ok_status(); }
+  explicit operator bool() const { return ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    RABID_ASSERT_MSG(ok(), "Result::value() on an error");
+    return value_;
+  }
+  const T& value() const {
+    RABID_ASSERT_MSG(ok(), "Result::value() on an error");
+    return value_;
+  }
+  T&& take() {
+    RABID_ASSERT_MSG(ok(), "Result::take() on an error");
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace rabid::core

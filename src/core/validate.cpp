@@ -1,0 +1,44 @@
+#include "core/validate.hpp"
+
+#include <string>
+
+#include "netlist/validate.hpp"
+
+namespace rabid::core {
+
+Status validate_inputs(const netlist::Design& design,
+                       const tile::TileGraph& graph) {
+  if (Status s = netlist::validate_design(design); !s) return s;
+  const geom::Rect& chip = graph.chip();
+  const geom::Rect& outline = design.outline();
+  if (!chip.contains(outline.lo()) || !chip.contains(outline.hi())) {
+    return Status::invalid_input(
+        "tile graph does not cover the design outline", "tile graph");
+  }
+  for (tile::TileId t = 0; t < graph.tile_count(); ++t) {
+    if (graph.site_usage(t) > graph.site_supply(t)) {
+      return Status::invalid_input(
+          "tile " + std::to_string(t) + " has b(v)=" +
+              std::to_string(graph.site_usage(t)) + " buffers but only B(v)=" +
+              std::to_string(graph.site_supply(t)) + " sites",
+          "tile graph");
+    }
+    if (graph.site_usage(t) != 0) {
+      return Status::failed_precondition(
+          "tile graph usage books are not empty (tile " + std::to_string(t) +
+          " has b(v)=" + std::to_string(graph.site_usage(t)) +
+          "); a fresh run needs zeroed books");
+    }
+  }
+  for (tile::EdgeId e = 0; e < graph.edge_count(); ++e) {
+    if (graph.wire_usage(e) != 0) {
+      return Status::failed_precondition(
+          "tile graph usage books are not empty (edge " + std::to_string(e) +
+          " has w(e)=" + std::to_string(graph.wire_usage(e)) +
+          "); a fresh run needs zeroed books");
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace rabid::core

@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file validate.hpp
+/// Boundary validation of a (design, tile graph) pair before planning.
+/// The planner's internal asserts assume these hold; hostile callers and
+/// fuzzed graphs go through here first so violations surface as a
+/// structured Status instead of an abort mid-flow.
+
+#include "core/status.hpp"
+#include "netlist/design.hpp"
+#include "tile/tile_graph.hpp"
+
+namespace rabid::core {
+
+/// Checks that `graph` is a consistent, fresh planning substrate for
+/// `design`: the design itself validates (netlist::validate_design), the
+/// grid covers the outline so every pin maps to a tile, no tile carries
+/// more buffers than sites (a B(v) < b(v) seed), and the usage books are
+/// empty — a fresh run must start from zero w(e)/b(v).
+Status validate_inputs(const netlist::Design& design,
+                       const tile::TileGraph& graph);
+
+}  // namespace rabid::core

@@ -1,8 +1,13 @@
 #include "fuzz/differential.hpp"
 
+#include <chrono>
+#include <filesystem>
 #include <memory>
 #include <sstream>
 #include <utility>
+
+#include "core/checkpoint.hpp"
+#include "core/solution_io.hpp"
 
 namespace rabid::fuzz {
 
@@ -146,6 +151,145 @@ FuzzResult run_differential(std::uint64_t seed,
       diff_solutions(design, graph_a, a->nets(), graph_b, b->nets());
   result.audit_a = *a->last_audit();
   result.audit_b = *b->last_audit();
+  return result;
+}
+
+std::string RobustnessResult::describe() const {
+  if (ok()) return {};
+  std::ostringstream out;
+  out << "robustness seed " << seed << " failed:";
+  for (const std::string& f : failures) out << "\n  " << f;
+  return out.str();
+}
+
+RobustnessResult run_robustness(std::uint64_t seed,
+                                const std::string& scratch_dir,
+                                const DifferentialOptions& options) {
+  namespace fs = std::filesystem;
+  RobustnessResult result;
+  result.seed = seed;
+
+  const circuits::RandomCircuit circuit(seed, options.circuit);
+  const netlist::Design design = circuit.design();
+
+  core::RabidOptions base;
+  base.threads = options.threads_a;
+  base.audit_level = core::AuditLevel::kFinal;
+
+  // Reference run, checkpointed after every stage (each stage into its
+  // own directory, so every boundary stays resumable).
+  const std::string root =
+      scratch_dir + "/rob-" + std::to_string(seed);
+  std::error_code ec;
+  fs::create_directories(root, ec);
+  if (ec) {
+    result.failures.push_back("cannot create scratch dir " + root + ": " +
+                              ec.message());
+    return result;
+  }
+
+  tile::TileGraph ref_graph = circuit.graph(design);
+  core::Rabid reference(design, ref_graph, base);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int stage = 1; stage <= 4; ++stage) {
+    switch (stage) {
+      case 1: reference.run_stage1(); break;
+      case 2: reference.run_stage2(); break;
+      case 3: reference.run_stage3(); break;
+      case 4: reference.run_stage4(); break;
+    }
+    const std::string dir = root + "/s" + std::to_string(stage);
+    fs::create_directories(dir, ec);
+    if (core::Status s = ec ? core::Status::io_error(ec.message(), dir)
+                            : core::write_checkpoint(dir, reference, stage);
+        !s) {
+      result.failures.push_back("stage " + std::to_string(stage) +
+                                " checkpoint: " + s.to_string());
+    }
+  }
+  const double full_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  if (const core::AuditReport* audit = reference.last_audit();
+      audit == nullptr || !audit->clean()) {
+    result.failures.push_back("reference run not audit-clean");
+  }
+
+  // Resume from every stage boundary; the completed flow must be
+  // bit-identical to the reference.
+  for (int stage = 1; stage <= 4; ++stage) {
+    const std::string dir = root + "/s" + std::to_string(stage);
+    tile::TileGraph graph = circuit.graph(design);
+    core::Rabid resumed(design, graph, base);
+    int completed = 0;
+    if (core::Status s =
+            core::resume_from_checkpoint(dir, resumed, &completed);
+        !s) {
+      result.failures.push_back("resume from stage " +
+                                std::to_string(stage) + ": " +
+                                s.to_string());
+      continue;
+    }
+    if (completed < 2) resumed.run_stage2();
+    if (completed < 3) resumed.run_stage3();
+    if (completed < 4) resumed.run_stage4();
+    const SolutionDiff diff = diff_solutions(
+        design, ref_graph, reference.nets(), graph, resumed.nets());
+    if (!diff.identical()) {
+      std::ostringstream out;
+      out << "resume from stage " << stage << ": " << diff.total
+          << " differences vs straight run";
+      for (const std::string& e : diff.entries) out << "; " << e;
+      result.failures.push_back(out.str());
+    }
+    // Pure ground-up audit (last_audit() is empty when resuming from
+    // the final stage's checkpoint, where nothing re-runs).
+    if (!resumed.audit().clean()) {
+      result.failures.push_back("resume from stage " +
+                                std::to_string(stage) +
+                                ": final audit not clean");
+    }
+  }
+
+  // Deadline sweep: absolute floors plus fractions of the measured
+  // full-run time, so some budgets expire mid-flow and some don't.
+  const double budgets_ms[] = {0.05, 0.25 * full_ms, 0.75 * full_ms};
+  for (const double budget : budgets_ms) {
+    core::RabidOptions opt = base;
+    opt.deadline_ms = budget > 0.0 ? budget : 0.05;
+    tile::TileGraph graph = circuit.graph(design);
+    core::Rabid run(design, graph, opt);
+    run.run_all();
+    if (run.timed_out()) result.deadline_expired = true;
+    if (const core::AuditReport* audit = run.last_audit();
+        audit == nullptr || !audit->clean()) {
+      std::ostringstream out;
+      out << "deadline " << opt.deadline_ms << "ms: audit not clean ("
+          << (run.timed_out() ? "timed out" : "completed") << ", "
+          << run.nets_cancelled() << " nets cancelled)";
+      result.failures.push_back(out.str());
+    }
+    // The partial solution must round-trip the strict reader and
+    // restore into a fresh instance ("unrouted" nets included).
+    std::stringstream dump;
+    core::write_solution(dump, design, graph, run.nets());
+    core::Result<core::LoadedSolution> loaded =
+        core::read_solution_checked(dump, design, graph);
+    if (!loaded.ok()) {
+      result.failures.push_back("deadline partial does not re-parse: " +
+                                loaded.status().to_string());
+      continue;
+    }
+    tile::TileGraph graph2 = circuit.graph(design);
+    core::Rabid restored(design, graph2, base);
+    if (core::Status s = restored.restore_solution(loaded.value(), 1); !s) {
+      result.failures.push_back("deadline partial does not restore: " +
+                                s.to_string());
+    }
+  }
+
+  fs::remove_all(root, ec);  // best-effort scratch cleanup
   return result;
 }
 

@@ -73,4 +73,38 @@ struct FuzzResult {
 FuzzResult run_differential(std::uint64_t seed,
                             const DifferentialOptions& options = {});
 
+/// One robustness fuzz instance over the same seeded circuits: the
+/// hardening paths of the flow, exercised end to end.
+///
+///   * Deadline sweep: the flow re-runs under mid-run wall-clock
+///     budgets (fractions of the measured full-run time, down to
+///     sub-millisecond).  Every run — timed out or not — must pass the
+///     final audit, and its dumped solution must survive the strict
+///     reader and restore into a fresh instance (partial solutions
+///     round-trip, "unrouted" nets included).
+///   * Checkpoint/resume: the reference run checkpoints after every
+///     stage; each checkpoint is resumed into a fresh instance, the
+///     remaining stages re-run, and the final solution diffed against
+///     the reference.  Any difference is a failure — resume is
+///     bit-identical by contract.
+struct RobustnessResult {
+  std::uint64_t seed = 0;
+  /// Stages whose checkpoint-resume produced a different final
+  /// solution (or failed to restore), with diff summaries.
+  std::vector<std::string> failures;
+  /// True when at least one deadline run actually expired mid-flow
+  /// (coverage signal: the sweep hit the cancellation paths).
+  bool deadline_expired = false;
+
+  bool ok() const { return failures.empty(); }
+  /// Multi-line failure description (empty when ok()).
+  std::string describe() const;
+};
+
+/// Runs one robustness instance.  `scratch_dir` must be an existing
+/// writable directory; checkpoints are written under it.
+RobustnessResult run_robustness(std::uint64_t seed,
+                                const std::string& scratch_dir,
+                                const DifferentialOptions& options = {});
+
 }  // namespace rabid::fuzz

@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file faults.hpp
+/// Fault injection against the hardened flow (docs/ROBUSTNESS.md).
+///
+/// The harness starts from *valid* seeded circuits and solutions, then
+/// mutates them the way hostile or corrupted inputs would: truncation,
+/// NaN/overflow numerics, duplicate pins, teleporting arcs, capacity
+/// lies, torn checkpoint files, unwritable paths.  The contract under
+/// test is binary:
+///
+///   every injected fault ends in a structured core::Status error, or
+///   in a flow whose solution passes the independent integrity audit —
+///   never a crash, a hang, or silent corruption.
+///
+/// A violated contract is recorded in FaultReport::failures (an abort
+/// anywhere kills the harness process, which the CI job treats as the
+/// loudest possible failure).  tools/fault_flow.cpp drives the
+/// catalogue from the command line; tests/core/fault_injection_test.cpp
+/// runs a fixed slice in-process.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuits/random_circuit.hpp"
+
+namespace rabid::fuzz {
+
+struct FaultOptions {
+  circuits::RandomCircuitOptions circuit;
+  std::int32_t threads = 2;
+  /// Wall-clock bound on every injected flow run, so a pathological
+  /// mutant can stall the harness for at most this long (the "no
+  /// hangs" half of the contract).
+  double flow_deadline_ms = 2000.0;
+};
+
+/// Aggregated outcome of a fault-injection sweep.
+struct FaultReport {
+  std::int64_t injected = 0;           ///< faults exercised in total
+  std::int64_t structured_errors = 0;  ///< rejected with a Status
+  std::int64_t clean_runs = 0;         ///< survived mutation, audit-clean
+  /// Contract violations: the fault neither produced a structured
+  /// error nor an integrity-clean result.  Empty == harness passed.
+  std::vector<std::string> failures;
+
+  bool ok() const { return failures.empty(); }
+  void merge(const FaultReport& other);
+};
+
+/// Mutates one seeded circuit's text dump (truncation, poisoned
+/// numerics, duplicate sinks, dropped/garbage lines, degenerate
+/// outlines, ...) and pushes each mutant through parse -> validate ->
+/// flow -> audit.  Several mutants per seed.
+FaultReport fuzz_circuit_faults(std::uint64_t seed,
+                                const FaultOptions& options = {});
+
+/// Runs one valid flow, dumps its solution, and mutates the dump
+/// (teleporting/revisiting arcs, off-tree buffers, truncation, lying
+/// statuses) against the strict reader and restore path.
+FaultReport fuzz_solution_faults(std::uint64_t seed,
+                                 const FaultOptions& options = {});
+
+/// Lies about resources in the tile graph (W(e)=0 edges, B(v)=0 tiles,
+/// pre-seeded b(v) > B(v) books) and checks validation or a
+/// degraded-but-consistent flow.
+FaultReport fuzz_graph_faults(std::uint64_t seed,
+                              const FaultOptions& options = {});
+
+/// Injects filesystem failures around checkpoint/resume: missing and
+/// unwritable directories, torn manifests, path-traversal solution
+/// references, truncated dumps, wrong-design checkpoints.  Needs an
+/// existing writable `scratch_dir`; cleans up after itself.
+FaultReport fuzz_io_faults(std::uint64_t seed,
+                           const std::string& scratch_dir,
+                           const FaultOptions& options = {});
+
+}  // namespace rabid::fuzz

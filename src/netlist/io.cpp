@@ -1,8 +1,11 @@
 #include "netlist/io.hpp"
 
+#include <cmath>
+#include <cstdint>
 #include <iomanip>
 #include <sstream>
 
+#include "netlist/validate.hpp"
 #include "util/assert.hpp"
 
 namespace rabid::netlist {
@@ -25,7 +28,14 @@ void write_pin(std::ostream& out, const char* tag, const Pin& p) {
   out << '\n';
 }
 
-/// Line-based tokenizer with abort-on-error diagnostics.
+/// Thrown by the tokenizer on malformed input; caught at the two public
+/// entry points and converted to an abort (legacy) or a Status (checked).
+struct ParseError {
+  std::string message;
+  int line;
+};
+
+/// Line-based tokenizer with throw-on-error diagnostics.
 class Parser {
  public:
   explicit Parser(std::istream& in) : in_(in) {}
@@ -47,9 +57,7 @@ class Parser {
   }
 
   [[noreturn]] void fail(const std::string& msg) const {
-    std::fprintf(stderr, "design parse error at line %d: %s\n", line_no_,
-                 msg.c_str());
-    std::abort();
+    throw ParseError{msg, line_no_};
   }
 
   double num(const std::string& tok) const {
@@ -58,9 +66,31 @@ class Parser {
       const double v = std::stod(tok, &used);
       if (used != tok.size()) fail("malformed number '" + tok + "'");
       return v;
+    } catch (const ParseError&) {
+      throw;
     } catch (...) {
       fail("malformed number '" + tok + "'");
     }
+  }
+
+  /// An integer field.  Rejecting non-finite and out-of-range values here
+  /// matters: static_cast<int32_t> of NaN or 1e308 is undefined behavior,
+  /// and those are exactly the values a hostile file contains.
+  std::int32_t int_num(const std::string& tok) const {
+    const double v = num(tok);
+    if (!std::isfinite(v) || v < -2147483648.0 || v > 2147483647.0 ||
+        v != std::floor(v)) {
+      fail("expected an integer, got '" + tok + "'");
+    }
+    return static_cast<std::int32_t>(v);
+  }
+
+  /// A coordinate: any finite real (NaN/inf would poison every geometric
+  /// predicate downstream).
+  double coord(const std::string& tok) const {
+    const double v = num(tok);
+    if (!std::isfinite(v)) fail("non-finite coordinate '" + tok + "'");
+    return v;
   }
 
   PinKind kind(const std::string& tok) const {
@@ -70,10 +100,132 @@ class Parser {
     fail("unknown pin kind '" + tok + "'");
   }
 
+  /// Four coordinate tokens into a rectangle; ordering is checked here
+  /// because geom::Rect's own precondition assert would abort on a
+  /// hostile file instead of reporting a parse error.
+  geom::Rect rect(const std::string& x1, const std::string& y1,
+                  const std::string& x2, const std::string& y2) const {
+    const geom::Point lo{coord(x1), coord(y1)};
+    const geom::Point hi{coord(x2), coord(y2)};
+    if (lo.x > hi.x || lo.y > hi.y) {
+      fail("rectangle corners must be ordered lo <= hi");
+    }
+    return geom::Rect{lo, hi};
+  }
+
  private:
   std::istream& in_;
   int line_no_ = 0;
 };
+
+/// Parsed file content before Design construction.  Kept raw so the
+/// checked path can validate it *before* feeding Design::add_net /
+/// add_block, whose precondition asserts would abort on hostile data.
+struct RawDesign {
+  std::string name = "unnamed";
+  geom::Rect outline{{0, 0}, {1, 1}};
+  std::int32_t default_limit = 0;
+  std::vector<Block> blocks;
+  std::vector<Net> nets;
+};
+
+RawDesign parse_design(std::istream& in) {
+  Parser p(in);
+  std::vector<std::string> tok;
+  RawDesign raw;
+  bool have_outline = false;
+
+  Net* open_net = nullptr;
+  Net current;
+
+  auto parse_pin = [&](const std::vector<std::string>& t) {
+    if (t.size() < 4) p.fail("pin needs: tag X Y KIND [BLOCK]");
+    Pin pin;
+    pin.location = {p.coord(t[1]), p.coord(t[2])};
+    pin.kind = p.kind(t[3]);
+    if (pin.kind == PinKind::kBlock) {
+      if (t.size() < 5) p.fail("block pin needs a block index");
+      pin.block = p.int_num(t[4]);
+    }
+    return pin;
+  };
+
+  while (p.next_line(tok)) {
+    const std::string& cmd = tok[0];
+    if (open_net != nullptr) {
+      if (cmd == "source") {
+        open_net->source = parse_pin(tok);
+      } else if (cmd == "sink") {
+        open_net->sinks.push_back(parse_pin(tok));
+      } else if (cmd == "end") {
+        raw.nets.push_back(std::move(current));
+        open_net = nullptr;
+      } else {
+        p.fail("expected source/sink/end inside net, got '" + cmd + "'");
+      }
+      continue;
+    }
+    if (cmd == "design") {
+      if (tok.size() != 2) p.fail("design needs a name");
+      raw.name = tok[1];
+    } else if (cmd == "outline") {
+      if (tok.size() != 5) p.fail("outline needs 4 coordinates");
+      raw.outline = p.rect(tok[1], tok[2], tok[3], tok[4]);
+      have_outline = true;
+    } else if (cmd == "length_limit") {
+      if (tok.size() != 2) p.fail("length_limit needs a value");
+      raw.default_limit = p.int_num(tok[1]);
+    } else if (cmd == "block") {
+      if (tok.size() != 7) p.fail("block needs: name 4 coords fraction");
+      raw.blocks.push_back(Block{
+          tok[1], p.rect(tok[2], tok[3], tok[4], tok[5]), p.num(tok[6])});
+    } else if (cmd == "net") {
+      if (tok.size() < 2) p.fail("net needs a name");
+      current = Net{};
+      current.name = tok[1];
+      if (tok.size() > 2) {
+        current.length_limit = p.int_num(tok[2]);
+      }
+      if (tok.size() > 3) {
+        current.width = p.int_num(tok[3]);
+        if (current.width < 1) p.fail("net width must be >= 1");
+      }
+      open_net = &current;
+    } else {
+      p.fail("unknown directive '" + cmd + "'");
+    }
+  }
+  if (open_net != nullptr) p.fail("unterminated net (missing 'end')");
+  if (!have_outline) p.fail("missing outline");
+  return raw;
+}
+
+/// Checks the exact preconditions Design::add_block / add_net assert, so
+/// the checked path can refuse hostile data without tripping them.
+core::Status check_buildable(const RawDesign& raw) {
+  for (const Block& b : raw.blocks) {
+    if (!std::isfinite(b.site_fraction) || b.site_fraction < 0.0 ||
+        b.site_fraction > 1.0) {
+      return core::Status::invalid_input(
+          "block '" + b.name + "' site_fraction must be in [0,1]", "design");
+    }
+  }
+  for (const Net& n : raw.nets) {
+    if (n.sinks.empty()) {
+      return core::Status::invalid_input(
+          "net '" + n.name + "' has no sinks", "design");
+    }
+  }
+  return core::Status::ok();
+}
+
+Design build_design(RawDesign&& raw) {
+  Design design{raw.name, raw.outline};
+  if (raw.default_limit > 0) design.set_default_length_limit(raw.default_limit);
+  for (Block& b : raw.blocks) design.add_block(std::move(b));
+  for (Net& n : raw.nets) design.add_net(std::move(n));
+  return design;
+}
 
 }  // namespace
 
@@ -102,89 +254,29 @@ void write_design(std::ostream& out, const Design& design) {
 }
 
 Design read_design(std::istream& in) {
-  Parser p(in);
-  std::vector<std::string> tok;
-
-  std::string name = "unnamed";
-  geom::Rect outline{{0, 0}, {1, 1}};
-  Design design;
-  bool have_outline = false;
-  std::int32_t default_limit = 0;
-  std::vector<Block> blocks;
-  std::vector<Net> nets;
-
-  Net* open_net = nullptr;
-  Net current;
-
-  auto parse_pin = [&](const std::vector<std::string>& t) {
-    if (t.size() < 4) p.fail("pin needs: tag X Y KIND [BLOCK]");
-    Pin pin;
-    pin.location = {p.num(t[1]), p.num(t[2])};
-    pin.kind = p.kind(t[3]);
-    if (pin.kind == PinKind::kBlock) {
-      if (t.size() < 5) p.fail("block pin needs a block index");
-      pin.block = static_cast<BlockId>(p.num(t[4]));
-    }
-    return pin;
-  };
-
-  while (p.next_line(tok)) {
-    const std::string& cmd = tok[0];
-    if (open_net != nullptr) {
-      if (cmd == "source") {
-        open_net->source = parse_pin(tok);
-      } else if (cmd == "sink") {
-        open_net->sinks.push_back(parse_pin(tok));
-      } else if (cmd == "end") {
-        nets.push_back(std::move(current));
-        open_net = nullptr;
-      } else {
-        p.fail("expected source/sink/end inside net, got '" + cmd + "'");
-      }
-      continue;
-    }
-    if (cmd == "design") {
-      if (tok.size() != 2) p.fail("design needs a name");
-      name = tok[1];
-    } else if (cmd == "outline") {
-      if (tok.size() != 5) p.fail("outline needs 4 coordinates");
-      outline = geom::Rect{{p.num(tok[1]), p.num(tok[2])},
-                           {p.num(tok[3]), p.num(tok[4])}};
-      have_outline = true;
-    } else if (cmd == "length_limit") {
-      if (tok.size() != 2) p.fail("length_limit needs a value");
-      default_limit = static_cast<std::int32_t>(p.num(tok[1]));
-    } else if (cmd == "block") {
-      if (tok.size() != 7) p.fail("block needs: name 4 coords fraction");
-      blocks.push_back(Block{
-          tok[1],
-          geom::Rect{{p.num(tok[2]), p.num(tok[3])},
-                     {p.num(tok[4]), p.num(tok[5])}},
-          p.num(tok[6])});
-    } else if (cmd == "net") {
-      if (tok.size() < 2) p.fail("net needs a name");
-      current = Net{};
-      current.name = tok[1];
-      if (tok.size() > 2) {
-        current.length_limit = static_cast<std::int32_t>(p.num(tok[2]));
-      }
-      if (tok.size() > 3) {
-        current.width = static_cast<std::int32_t>(p.num(tok[3]));
-        if (current.width < 1) p.fail("net width must be >= 1");
-      }
-      open_net = &current;
-    } else {
-      p.fail("unknown directive '" + cmd + "'");
-    }
+  RawDesign raw;
+  try {
+    raw = parse_design(in);
+  } catch (const ParseError& e) {
+    std::fprintf(stderr, "design parse error at line %d: %s\n", e.line,
+                 e.message.c_str());
+    std::abort();
   }
-  if (open_net != nullptr) p.fail("unterminated net (missing 'end')");
-  if (!have_outline) p.fail("missing outline");
-
-  design = Design{name, outline};
-  if (default_limit > 0) design.set_default_length_limit(default_limit);
-  for (Block& b : blocks) design.add_block(std::move(b));
-  for (Net& n : nets) design.add_net(std::move(n));
+  Design design = build_design(std::move(raw));
   design.check_invariants();
+  return design;
+}
+
+core::Result<Design> read_design_checked(std::istream& in) {
+  RawDesign raw;
+  try {
+    raw = parse_design(in);
+  } catch (const ParseError& e) {
+    return core::Status::invalid_input(e.message, "design", e.line);
+  }
+  if (core::Status s = check_buildable(raw); !s) return s;
+  Design design = build_design(std::move(raw));
+  if (core::Status s = validate_design(design); !s) return s;
   return design;
 }
 
@@ -197,6 +289,11 @@ std::string to_string(const Design& design) {
 Design design_from_string(const std::string& text) {
   std::istringstream in(text);
   return read_design(in);
+}
+
+core::Result<Design> design_from_string_checked(const std::string& text) {
+  std::istringstream in(text);
+  return read_design_checked(in);
 }
 
 }  // namespace rabid::netlist

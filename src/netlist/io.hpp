@@ -24,6 +24,7 @@
 #include <ostream>
 #include <string>
 
+#include "core/status.hpp"
 #include "netlist/design.hpp"
 
 namespace rabid::netlist {
@@ -32,12 +33,21 @@ namespace rabid::netlist {
 void write_design(std::ostream& out, const Design& design);
 
 /// Parses a design; aborts with a line-numbered message on malformed
-/// input (this is a trusted-input research format, not a hardened
-/// parser).
+/// input.  Trusted-input convenience wrapper around
+/// read_design_checked() for tests and research scripts.
 Design read_design(std::istream& in);
+
+/// Hardened parser for untrusted input: grammar errors come back as a
+/// structured Status carrying the offending 1-based line, and the parsed
+/// design is run through validate_design() before it is returned — so a
+/// success here is a design the planner can safely consume.  Never
+/// aborts, never exhibits UB (non-finite or out-of-range numeric fields
+/// are parse errors, not casts).
+core::Result<Design> read_design_checked(std::istream& in);
 
 /// Convenience: round-trip through a string.
 std::string to_string(const Design& design);
 Design design_from_string(const std::string& text);
+core::Result<Design> design_from_string_checked(const std::string& text);
 
 }  // namespace rabid::netlist

@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file validate.hpp
+/// Semantic validation of a Design beyond what the parser's grammar can
+/// see: finite geometry, pins inside the outline, duplicate sink pins,
+/// in-range block references.  Returns a structured core::Status instead
+/// of asserting, so hostile inputs (fuzzed circuits, user files) can be
+/// rejected without tearing down the process.
+///
+/// Relationship to Design::check_invariants(): check_invariants() is the
+/// internal abort-on-violation contract check for trusted in-process
+/// construction; validate_design() is the *boundary* check for data that
+/// crossed a parse or came from an untrusted caller.  Every condition
+/// check_invariants() asserts is also reported here.
+
+#include "core/status.hpp"
+#include "netlist/design.hpp"
+
+namespace rabid::netlist {
+
+/// Full semantic validation; the first violation found is returned.
+core::Status validate_design(const Design& design);
+
+}  // namespace rabid::netlist

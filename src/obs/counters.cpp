@@ -41,6 +41,11 @@ constexpr std::array<std::string_view,
         "pool.parallel_fors",
         "pool.indices_inline",
         "pool.indices_worker",
+        "deadline.expirations",
+        "deadline.nets_cancelled",
+        "checkpoint.writes",
+        "checkpoint.loads",
+        "faults.injected",
 };
 
 constexpr std::array<std::string_view,

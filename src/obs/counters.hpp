@@ -91,6 +91,14 @@ enum class Counter : std::uint16_t {
   kPoolParallelFors,   ///< parallel_for() calls
   kPoolIndicesInline,  ///< parallel_for indices run by the calling thread
   kPoolIndicesWorker,  ///< parallel_for indices run by pool workers
+  // core/rabid.cpp — cooperative deadlines (RabidOptions::deadline_ms).
+  kDeadlineExpirations,    ///< deadlines that actually expired (<= 1/run)
+  kDeadlineNetsCancelled,  ///< net-processing steps skipped after expiry
+  // core/checkpoint.cpp — stage-granular checkpoint/resume.
+  kCheckpointWrites,  ///< stage checkpoints committed (atomic renames)
+  kCheckpointLoads,   ///< solutions restored from a checkpoint
+  // src/fuzz/faults.cpp — fault-injection harness.
+  kFaultsInjected,  ///< hostile mutations / IO faults exercised
   kCount,
 };
 

@@ -7,11 +7,11 @@
 /// dependency.
 ///
 /// Supported: the full JSON grammar (objects, arrays, strings with the
-/// common escapes, numbers, true/false/null).  \uXXXX escapes decode
-/// only the ASCII range; anything higher is preserved as a '?' (the
-/// observability writers never emit non-ASCII).  Parsing is strict:
-/// trailing garbage, unterminated literals, and bad escapes all fail
-/// with a position-stamped error message.
+/// common escapes, numbers, true/false/null).  \uXXXX escapes decode to
+/// shortest-form UTF-8, including surrogate pairs; lone or mis-ordered
+/// surrogate halves are rejected.  Parsing is strict: trailing garbage,
+/// unterminated literals, and bad escapes all fail with a
+/// position-stamped error message.
 
 #include <optional>
 #include <string>

@@ -66,9 +66,13 @@ void ThreadPool::worker_loop(std::size_t index) {
 
 namespace {
 
-/// Shared state of one parallel_for call: a work counter plus the first
-/// exception any runner hit.
+/// Shared state of one parallel_for call: the body, a work counter,
+/// plus the first exception any runner hit.  Owns a *copy* of the body
+/// so helper tasks never reference the caller's stack — parallel_for
+/// can unwind (a throwing body, a failed submit) while helpers are
+/// still draining, and nothing dangles.
 struct ForState {
+  std::function<void(std::size_t)> fn;
   std::atomic<std::size_t> next;
   std::size_t end;
   std::mutex mu;
@@ -76,7 +80,9 @@ struct ForState {
 
   /// Claims and runs indices until the range (or the error budget) is
   /// exhausted; returns how many indices this runner processed.
-  std::size_t run(const std::function<void(std::size_t)>& fn) {
+  /// Never throws: a throwing body records the first exception and
+  /// parks the counter so no new index is handed out.
+  std::size_t run() {
     std::size_t processed = 0;
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -102,6 +108,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   if (begin >= end) return;
   obs::count(obs::Counter::kPoolParallelFors);
   auto state = std::make_shared<ForState>();
+  state->fn = fn;
   state->next.store(begin, std::memory_order_relaxed);
   state->end = end;
 
@@ -111,13 +118,22 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       std::min(workers_.size(), end - begin > 1 ? end - begin - 1 : 0);
   std::vector<std::future<void>> done;
   done.reserve(helpers);
-  for (std::size_t h = 0; h < helpers; ++h) {
-    done.push_back(submit([state, &fn] {
-      obs::ScopedTimer timer("parallel_for worker", "pool");
-      obs::count(obs::Counter::kPoolIndicesWorker, state->run(fn));
-    }));
+  try {
+    for (std::size_t h = 0; h < helpers; ++h) {
+      done.push_back(submit([state] {
+        obs::ScopedTimer timer("parallel_for worker", "pool");
+        obs::count(obs::Counter::kPoolIndicesWorker, state->run());
+      }));
+    }
+    obs::count(obs::Counter::kPoolIndicesInline, state->run());
+  } catch (...) {
+    // submit() itself failed (allocation, queue assert).  Park the
+    // counter and wait for already-launched helpers before unwinding so
+    // the pool is quiescent when the caller sees the exception.
+    state->next.store(end, std::memory_order_relaxed);
+    for (std::future<void>& f : done) f.wait();
+    throw;
   }
-  obs::count(obs::Counter::kPoolIndicesInline, state->run(fn));
   for (std::future<void>& f : done) f.get();
   if (state->error) std::rethrow_exception(state->error);
 }

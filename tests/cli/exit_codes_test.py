@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Exit-code taxonomy of rabid_cli (docs/ROBUSTNESS.md, core/status.hpp):
+
+    0  success
+    1  solution violations (audit failed)
+    2  usage error (bad flags)
+    3  input or I/O error (malformed circuit, unwritable output)
+    4  deadline exceeded (honest partial solution returned)
+
+Usage: exit_codes_test.py <path-to-rabid_cli>
+"""
+
+import subprocess
+import sys
+import tempfile
+import os
+
+
+def run(cli, *args):
+    proc = subprocess.run(
+        [cli, *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        timeout=300,
+        text=True,
+    )
+    return proc
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: exit_codes_test.py <rabid_cli>", file=sys.stderr)
+        return 2
+    cli = sys.argv[1]
+    failures = []
+
+    def expect(name, proc, code, stderr_contains=None):
+        if proc.returncode != code:
+            failures.append(
+                f"{name}: expected exit {code}, got {proc.returncode}\n"
+                f"  stdout: {proc.stdout[-300:]}\n  stderr: {proc.stderr[-300:]}"
+            )
+        elif stderr_contains and stderr_contains not in proc.stderr:
+            failures.append(
+                f"{name}: stderr missing {stderr_contains!r}: {proc.stderr[-300:]}"
+            )
+        else:
+            print(f"ok   {name} -> exit {code}")
+
+    # 2: usage errors never reach the flow.
+    expect("no-args", run(cli), 2)
+    expect("unknown-flag", run(cli, "--bogus"), 2)
+    expect("bad-grid", run(cli, "--circuit", "apte", "--grid", "banana"), 2)
+    expect("resume-without-dir", run(cli, "--circuit", "apte", "--resume"), 2)
+
+    # 3: structured input/I-O errors, printed in Status::to_string form.
+    expect(
+        "unknown-circuit",
+        run(cli, "--circuit", "nosuch"),
+        3,
+        stderr_contains="error[invalid-input]",
+    )
+    expect(
+        "unwritable-output",
+        run(cli, "--circuit", "apte",
+            "--dump-solution", "/nonexistent/dir/x.sol"),
+        3,
+        stderr_contains="error[io-error]",
+    )
+    expect(
+        "resume-missing-checkpoint",
+        run(cli, "--circuit", "apte", "--resume",
+            "--checkpoint-dir", "/nonexistent/rabid-ckpt"),
+        3,
+        stderr_contains="error[io-error]",
+    )
+
+    # 4: deadline expiry (the audit must still be clean -> not exit 1).
+    expect(
+        "deadline-expired",
+        run(cli, "--circuit", "apte", "--deadline-ms", "0.05", "--audit"),
+        4,
+    )
+
+    # 0: a clean full run, plus checkpoint -> resume reproducing it
+    # bit for bit.
+    with tempfile.TemporaryDirectory() as tmp:
+        ckpt = os.path.join(tmp, "ckpt")
+        os.mkdir(ckpt)
+        full = os.path.join(tmp, "full.sol")
+        resumed = os.path.join(tmp, "resumed.sol")
+        expect(
+            "full-run-with-checkpoints",
+            run(cli, "--circuit", "apte", "--checkpoint-dir", ckpt,
+                "--dump-solution", full),
+            0,
+        )
+        expect(
+            "resume-from-checkpoint",
+            run(cli, "--circuit", "apte", "--checkpoint-dir", ckpt,
+                "--resume", "--audit", "--dump-solution", resumed),
+            0,
+        )
+        if os.path.exists(full) and os.path.exists(resumed):
+            with open(full, "rb") as a, open(resumed, "rb") as b:
+                if a.read() != b.read():
+                    failures.append("resume-from-checkpoint: solution differs "
+                                    "from the straight run")
+                else:
+                    print("ok   resumed solution is bit-identical")
+
+    if failures:
+        print("\n".join(failures), file=sys.stderr)
+        return 1
+    print("all exit-code cases passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

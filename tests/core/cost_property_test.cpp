@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 
+#include "core/run_report.hpp"
+#include "route/maze.hpp"
 #include "tile/tile_graph.hpp"
 
 namespace rabid {
@@ -111,6 +113,66 @@ TEST(CostFunctions, UsageNeverCheapensTheOtherResource) {
   const double c0 = g.wire_cost(1);
   g.add_buffer(1);
   EXPECT_DOUBLE_EQ(g.wire_cost(1), c0);
+}
+
+TEST(SoftWireCost, FiniteAndMonotoneForEveryCapacity) {
+  // The router's soft tier must stay finite (the A* bound and the
+  // overflow accounting depend on it) and strictly increase with usage
+  // for *any* capacity a hostile tile graph can carry — including zero.
+  for (const std::int32_t cap : {0, 1, 2, 7, 1000}) {
+    tile::TileGraph g = cost_graph();
+    g.set_wire_capacity(0, cap);
+    double prev = 0.0;
+    for (std::int32_t w = 0; w < cap + 4; ++w) {
+      const double cost = route::soft_wire_cost(g, 0);
+      ASSERT_TRUE(std::isfinite(cost)) << "cap=" << cap << " w=" << w;
+      ASSERT_GT(cost, 0.0) << "cap=" << cap << " w=" << w;
+      ASSERT_GT(cost, prev) << "cap=" << cap << " w=" << w;
+      prev = cost;
+      g.add_wire(0);
+    }
+  }
+}
+
+TEST(SoftWireCost, ZeroCapacityEdgeCostsTheOverflowTier) {
+  tile::TileGraph g = cost_graph();
+  g.set_wire_capacity(0, 0);
+  // Using a W(e)=0 edge at all is overflow by definition: its cost must
+  // sit in the penalty tier, above any feasible edge at any usage.
+  EXPECT_GE(route::soft_wire_cost(g, 0), route::kOverflowPenalty);
+}
+
+TEST(UtilizationHistogramBuckets, WellDefinedForHostileInputs) {
+  using core::UtilizationHistogram;
+  const std::size_t last = UtilizationHistogram::kBuckets - 1;
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // NaN and non-positive utilizations land in bucket 0; >= 100%
+  // (including +inf, where a raw double->size_t cast would be UB) lands
+  // in the overflow bucket.  Every input maps to a valid bucket.
+  EXPECT_EQ(UtilizationHistogram::bucket_of(nan), 0u);
+  EXPECT_EQ(UtilizationHistogram::bucket_of(-inf), 0u);
+  EXPECT_EQ(UtilizationHistogram::bucket_of(-1.0), 0u);
+  EXPECT_EQ(UtilizationHistogram::bucket_of(0.0), 0u);
+  EXPECT_EQ(UtilizationHistogram::bucket_of(0.04), 0u);
+  EXPECT_EQ(UtilizationHistogram::bucket_of(0.05), 1u);
+  EXPECT_EQ(UtilizationHistogram::bucket_of(0.999), last - 1);
+  EXPECT_EQ(UtilizationHistogram::bucket_of(1.0), last);
+  EXPECT_EQ(UtilizationHistogram::bucket_of(1e300), last);
+  EXPECT_EQ(UtilizationHistogram::bucket_of(inf), last);
+  for (double u = -0.3; u < 2.0; u += 0.01) {
+    ASSERT_LT(UtilizationHistogram::bucket_of(u),
+              UtilizationHistogram::kBuckets);
+  }
+
+  UtilizationHistogram h;
+  h.add(inf);
+  h.add(nan);
+  h.add(0.5);
+  EXPECT_EQ(h.total, 3);
+  EXPECT_EQ(h.buckets[last], 1);
+  EXPECT_EQ(h.buckets[0], 1);
+  EXPECT_EQ(h.buckets[UtilizationHistogram::bucket_of(0.5)], 1);
 }
 
 }  // namespace

@@ -36,14 +36,71 @@ TEST(JsonParser, Scalars) {
 
 TEST(JsonParser, StringEscapes) {
   EXPECT_EQ(parse_ok(R"("a\"b\\c\/d\ne\tf")").as_string(), "a\"b\\c/d\ne\tf");
-  // ASCII \u escapes decode; non-ASCII ones degrade to '?' (the obs
-  // writers never emit them) rather than failing the parse.
   EXPECT_EQ(parse_ok(R"("\u0041z")").as_string(), "Az");
-  EXPECT_EQ(parse_ok(R"("\u20ac")").as_string(), "?");
   parse_fails(R"("\u12g4")");
   parse_fails(R"("\u12")");
   // Raw (unescaped) high bytes pass through untouched.
   EXPECT_EQ(parse_ok("\"caf\xc3\xa9\"").as_string(), "caf\xc3\xa9");
+}
+
+TEST(JsonParser, UnicodeEscapesDecodeToUtf8) {
+  // Shortest-form UTF-8 at each width boundary.
+  EXPECT_EQ(parse_ok(R"("\u007f")").as_string(), "\x7f");
+  EXPECT_EQ(parse_ok(R"("\u0080")").as_string(), "\xc2\x80");
+  EXPECT_EQ(parse_ok(R"("\u07ff")").as_string(), "\xdf\xbf");
+  EXPECT_EQ(parse_ok(R"("\u0800")").as_string(), "\xe0\xa0\x80");
+  EXPECT_EQ(parse_ok(R"("\u20ac")").as_string(), "\xe2\x82\xac");
+  EXPECT_EQ(parse_ok(R"("\uFFFD")").as_string(), "\xef\xbf\xbd");
+}
+
+TEST(JsonParser, SurrogatePairsCombine) {
+  // U+1F600 = D83D DE00 -> F0 9F 98 80.
+  EXPECT_EQ(parse_ok(R"("\ud83d\ude00")").as_string(), "\xf0\x9f\x98\x80");
+  // U+10000, the first supplementary code point.
+  EXPECT_EQ(parse_ok(R"("\uD800\uDC00")").as_string(), "\xf0\x90\x80\x80");
+  // U+10FFFF, the last one.
+  EXPECT_EQ(parse_ok(R"("\udbff\udfff")").as_string(), "\xf4\x8f\xbf\xbf");
+}
+
+TEST(JsonParser, RejectsLoneAndMisorderedSurrogates) {
+  parse_fails(R"("\ud800")");        // lone high half
+  parse_fails(R"("\udc00")");        // lone low half
+  parse_fails(R"("\ud800x")");       // high half then raw text
+  parse_fails(R"("\ud800\u0041")");  // high half then non-surrogate
+  parse_fails(R"("\udc00\ud800")");  // halves reversed
+  parse_fails(R"("\ud800\ud800")");  // two high halves
+  parse_fails(R"("\ud83d\ude0")");   // truncated low half
+}
+
+TEST(JsonParser, FuzzedStringsNeverCrash) {
+  // Deterministic mutation fuzz of the string/escape path: every result
+  // is either a parse or a position-stamped error, never a crash.
+  const std::string seeds[] = {
+      R"("\ud83d\ude00")",
+      R"("A\u20ac\u0041")",
+      R"({"k": "\ud800\udc00"})",
+      R"(["\\", "\n", "\u007f"])",
+  };
+  int parsed = 0, rejected = 0;
+  for (const std::string& seed : seeds) {
+    for (std::size_t pos = 0; pos < seed.size(); ++pos) {
+      for (const char mut :
+           {'"', '\\', 'u', 'd', '0', 'x', '\x01', '\x7f'}) {
+        std::string text = seed;
+        text[pos] = mut;
+        std::string error;
+        if (parse(text, &error).has_value()) {
+          ++parsed;
+        } else {
+          ++rejected;
+          EXPECT_FALSE(error.empty());
+        }
+        // Truncations of the mutant, too.
+        parse(text.substr(0, pos), &error);
+      }
+    }
+  }
+  EXPECT_GT(parsed + rejected, 0);
 }
 
 TEST(JsonParser, NestedStructures) {

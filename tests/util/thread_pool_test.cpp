@@ -87,6 +87,56 @@ TEST(ThreadPool, ParallelForPropagatesFirstException) {
   EXPECT_THROW(pool.parallel_for(0, 1000, boom), std::out_of_range);
 }
 
+TEST(ThreadPool, ParallelForSurvivesThrowingBody) {
+  // A throwing body must neither deadlock the join nor kill the
+  // process, and the pool must stay fully usable afterwards.
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> ran{0};
+    EXPECT_THROW(pool.parallel_for(0, 64,
+                                   [&](std::size_t i) {
+                                     ++ran;
+                                     if (i % 7 == 0) {
+                                       throw std::runtime_error("boom");
+                                     }
+                                   }),
+                 std::runtime_error);
+    EXPECT_GE(ran.load(), 1);
+    // The same pool still runs clean work to completion.
+    std::atomic<int> clean{0};
+    pool.parallel_for(0, 64, [&](std::size_t) { ++clean; });
+    EXPECT_EQ(clean.load(), 64);
+    std::future<int> f = pool.submit([] { return 7; });
+    EXPECT_EQ(f.get(), 7);
+  }
+}
+
+TEST(ThreadPool, ThrowingBodyInEveryIndexStopsEarly) {
+  // Once an exception is recorded no new index is handed out, so a
+  // pathological body cannot turn one failure into thousands.
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for(0, 100000,
+                                 [&](std::size_t) {
+                                   ++ran;
+                                   throw std::logic_error("always");
+                                 }),
+               std::logic_error);
+  // At most one in-flight index per runner (workers + caller).
+  EXPECT_LE(ran.load(), 3);
+}
+
+TEST(ThreadPool, DestructionAfterThrowingParallelForDoesNotHang) {
+  for (int round = 0; round < 10; ++round) {
+    ThreadPool pool(3);
+    EXPECT_THROW(pool.parallel_for(0, 256,
+                                   [](std::size_t i) {
+                                     if (i == 0) throw std::bad_alloc();
+                                   }),
+                 std::bad_alloc);
+  }  // ~ThreadPool here: must join, not deadlock
+}
+
 TEST(ThreadPool, ParallelForComputesCorrectSum) {
   ThreadPool pool(3);
   const std::size_t n = 10000;

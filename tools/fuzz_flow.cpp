@@ -7,6 +7,12 @@
 // node.  Any difference or audit violation fails the instance; the
 // failing seeds replay the exact instance on any machine.
 //
+// Unless --no-robustness is given, every seed additionally runs the
+// hardening sweep (fuzz::run_robustness): the same circuit re-planned
+// under mid-run deadlines and resumed from each stage's checkpoint,
+// with every result audited and the resumes diffed bit for bit against
+// the straight run.
+//
 //   fuzz_flow --instances 200                 # the acceptance sweep
 //   fuzz_flow --time-budget 60 --json r.json  # CI smoke artifact
 //   fuzz_flow --seed 1234 --instances 1 --verbose
@@ -20,12 +26,16 @@
 //                      (0 = no budget; default 0)
 //   --json F           write a machine-readable report to F (always;
 //                      failures embed the full audit reports + diffs)
+//   --no-robustness    skip the per-seed deadline/checkpoint sweep
+//   --scratch DIR      writable directory for checkpoint scratch space
+//                      (default: the system temp directory)
 //   --verbose          print every instance, not just failures
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -41,6 +51,8 @@ struct Args {
   std::int32_t threads_b = 4;
   double time_budget_s = 0.0;
   std::string json;
+  std::string scratch;
+  bool robustness = true;
   bool verbose = false;
 };
 
@@ -49,7 +61,8 @@ struct Args {
   std::fprintf(stderr,
                "usage: fuzz_flow [--instances N] [--seed S]\n"
                "       [--threads-a N] [--threads-b N]\n"
-               "       [--time-budget SEC] [--json F] [--verbose]\n");
+               "       [--time-budget SEC] [--json F] [--no-robustness]\n"
+               "       [--scratch DIR] [--verbose]\n");
   std::exit(2);
 }
 
@@ -77,6 +90,10 @@ Args parse(int argc, char** argv) {
       if (a.time_budget_s < 0) usage("--time-budget expects >= 0 seconds");
     } else if (flag == "--json") {
       a.json = value();
+    } else if (flag == "--no-robustness") {
+      a.robustness = false;
+    } else if (flag == "--scratch") {
+      a.scratch = value();
     } else if (flag == "--verbose") {
       a.verbose = true;
     } else if (flag == "--help" || flag == "-h") {
@@ -90,7 +107,9 @@ Args parse(int argc, char** argv) {
 
 void write_json(const std::string& path, const Args& args,
                 std::int64_t ran, double elapsed_s,
-                const std::vector<rabid::fuzz::FuzzResult>& failures) {
+                const std::vector<rabid::fuzz::FuzzResult>& failures,
+                const std::vector<std::string>& robustness_failures,
+                std::int64_t deadline_expirations) {
   std::ofstream out(path);
   if (!out) usage("cannot open --json file");
   out << "{\n  \"instances_requested\": " << args.instances
@@ -98,6 +117,22 @@ void write_json(const std::string& path, const Args& args,
       << ",\n  \"seed0\": " << args.seed << ",\n  \"threads\": ["
       << args.threads_a << ", " << args.threads_b << "]"
       << ",\n  \"elapsed_s\": " << elapsed_s
+      << ",\n  \"robustness\": " << (args.robustness ? "true" : "false")
+      << ",\n  \"deadline_expirations\": " << deadline_expirations
+      << ",\n  \"robustness_failures\": [";
+  for (std::size_t i = 0; i < robustness_failures.size(); ++i) {
+    out << (i == 0 ? "\n    " : ",\n    ") << '"';
+    for (const char c : robustness_failures[i]) {
+      if (c == '"' || c == '\\') out << '\\';
+      if (c == '\n') {
+        out << "\\n";
+      } else {
+        out << c;
+      }
+    }
+    out << '"';
+  }
+  out << (robustness_failures.empty() ? "]" : "\n  ]")
       << ",\n  \"failures\": " << failures.size()
       << ",\n  \"failed\": [";
   for (std::size_t i = 0; i < failures.size(); ++i) {
@@ -132,6 +167,19 @@ int main(int argc, char** argv) {
   options.threads_a = args.threads_a;
   options.threads_b = args.threads_b;
 
+  std::string scratch = args.scratch;
+  if (args.robustness) {
+    if (scratch.empty()) {
+      std::error_code ec;
+      scratch = std::filesystem::temp_directory_path(ec).string();
+      if (ec || scratch.empty()) scratch = ".";
+    }
+    scratch += "/fuzz-flow-" + std::to_string(args.seed);
+    std::error_code ec;
+    std::filesystem::create_directories(scratch, ec);
+    if (ec) usage(("cannot create scratch dir " + scratch).c_str());
+  }
+
   const auto start = std::chrono::steady_clock::now();
   auto elapsed = [&]() {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -140,12 +188,23 @@ int main(int argc, char** argv) {
   };
 
   std::vector<rabid::fuzz::FuzzResult> failures;
+  std::vector<std::string> robustness_failures;
+  std::int64_t deadline_expirations = 0;
   std::int64_t ran = 0;
   for (; ran < args.instances; ++ran) {
     if (args.time_budget_s > 0.0 && elapsed() > args.time_budget_s) break;
     const std::uint64_t seed = args.seed + static_cast<std::uint64_t>(ran);
     rabid::fuzz::FuzzResult result =
         rabid::fuzz::run_differential(seed, options);
+    if (args.robustness) {
+      const rabid::fuzz::RobustnessResult rob =
+          rabid::fuzz::run_robustness(seed, scratch, options);
+      if (rob.deadline_expired) ++deadline_expirations;
+      if (!rob.ok()) {
+        std::printf("FAIL %s\n", rob.describe().c_str());
+        robustness_failures.push_back(rob.describe());
+      }
+    }
     if (!result.ok()) {
       std::printf("FAIL %s\n", result.describe().c_str());
       failures.push_back(std::move(result));
@@ -163,13 +222,19 @@ int main(int argc, char** argv) {
   }
 
   const double total_s = elapsed();
+  if (args.robustness) {
+    std::error_code ec;
+    std::filesystem::remove_all(scratch, ec);  // best-effort cleanup
+  }
   std::printf("fuzz: %lld instances (threads %d vs %d), %zu failures, "
-              "%.1fs\n",
+              "%zu robustness failures, %lld deadline expirations, %.1fs\n",
               static_cast<long long>(ran), args.threads_a, args.threads_b,
-              failures.size(), total_s);
+              failures.size(), robustness_failures.size(),
+              static_cast<long long>(deadline_expirations), total_s);
   if (!args.json.empty()) {
-    write_json(args.json, args, ran, total_s, failures);
+    write_json(args.json, args, ran, total_s, failures, robustness_failures,
+               deadline_expirations);
     std::printf("wrote report to %s\n", args.json.c_str());
   }
-  return failures.empty() ? 0 : 1;
+  return failures.empty() && robustness_failures.empty() ? 0 : 1;
 }

@@ -36,6 +36,16 @@
 //   --two-pin          decompose multi-pin nets first (Table V setup)
 //   --bbp              run the BBP/FR baseline instead of RABID
 //   --heatmaps         print congestion/density maps after the run
+//   --deadline-ms MS   wall-clock budget for the flow; on expiry the
+//                      best legal partial solution is kept and the
+//                      process exits 4
+//   --checkpoint-dir D write a checkpoint into D after every stage
+//                      (atomic; resumable with --resume)
+//   --resume           restore the checkpoint in --checkpoint-dir and
+//                      run only the remaining stages
+//
+// Exit codes (docs/ROBUSTNESS.md): 0 success, 1 audit violations,
+// 2 usage error, 3 input/I-O error, 4 deadline exceeded.
 
 #include <cstdio>
 #include <cstdlib>
@@ -48,9 +58,12 @@
 #include "circuits/generator.hpp"
 #include "circuits/specs.hpp"
 #include "core/audit.hpp"
+#include "core/checkpoint.hpp"
 #include "core/rabid.hpp"
 #include "core/run_report.hpp"
 #include "core/solution_io.hpp"
+#include "core/status.hpp"
+#include "core/validate.hpp"
 #include "obs/trace.hpp"
 #include "netlist/io.hpp"
 #include "report/heatmap.hpp"
@@ -81,6 +94,9 @@ struct Args {
   bool two_pin = false;
   bool bbp = false;
   bool heatmaps = false;
+  double deadline_ms = 0.0;
+  std::string checkpoint_dir;
+  bool resume = false;
 };
 
 [[noreturn]] void usage(const char* msg) {
@@ -92,8 +108,16 @@ struct Args {
                "       [--inverters] [--audit] [--audit-json F]\n"
                "       [--obs off|counters|trace] [--report F] [--trace F]\n"
                "       [--two-pin] [--bbp] [--dump-design F]\n"
-               "       [--dump-solution F] [--heatmaps]\n");
+               "       [--dump-solution F] [--heatmaps] [--deadline-ms MS]\n"
+               "       [--checkpoint-dir D] [--resume]\n");
   std::exit(2);
+}
+
+/// Reports a structured error on stderr and returns its documented
+/// exit code (3 for input/I-O errors, 4 for deadline expiry).
+int fail(const rabid::core::Status& status) {
+  std::fprintf(stderr, "%s\n", status.to_string().c_str());
+  return status.exit_code();
 }
 
 Args parse(int argc, char** argv) {
@@ -151,6 +175,13 @@ Args parse(int argc, char** argv) {
       a.bbp = true;
     } else if (flag == "--heatmaps") {
       a.heatmaps = true;
+    } else if (flag == "--deadline-ms") {
+      a.deadline_ms = std::atof(value());
+      if (a.deadline_ms < 0) usage("--deadline-ms expects >= 0");
+    } else if (flag == "--checkpoint-dir") {
+      a.checkpoint_dir = value();
+    } else if (flag == "--resume") {
+      a.resume = true;
     } else if (flag == "--help" || flag == "-h") {
       usage(nullptr);
     } else {
@@ -167,6 +198,10 @@ Args parse(int argc, char** argv) {
   if (!a.trace_json.empty()) a.obs_level = rabid::obs::Level::kTrace;
   if ((!a.report_json.empty() || !a.trace_json.empty()) && a.bbp)
     usage("--report/--trace apply to the RABID flow only");
+  if (a.resume && a.checkpoint_dir.empty())
+    usage("--resume needs --checkpoint-dir");
+  if ((a.resume || !a.checkpoint_dir.empty() || a.deadline_ms > 0) && a.bbp)
+    usage("--deadline-ms/--checkpoint-dir apply to the RABID flow only");
   return a;
 }
 
@@ -188,8 +223,14 @@ int main(int argc, char** argv) {
   using namespace rabid;
   const Args args = parse(argc, argv);
 
-  const circuits::CircuitSpec& spec = circuits::spec_by_name(args.circuit);
-  netlist::Design design = circuits::generate_design(spec);
+  const circuits::CircuitSpec* spec = circuits::find_spec(args.circuit);
+  if (spec == nullptr) {
+    return fail(core::Status::invalid_input(
+        "unknown circuit '" + args.circuit +
+            "' (expected a Table-I benchmark name)",
+        "--circuit"));
+  }
+  netlist::Design design = circuits::generate_design(*spec);
   if (args.two_pin) design = netlist::Design::decompose_to_two_pin(design);
 
   circuits::TilingOptions topt;
@@ -197,11 +238,17 @@ int main(int argc, char** argv) {
   topt.ny = args.ny;
   topt.buffer_sites = args.sites;
   if (args.no_blocked) topt.blocked_span = 0;
-  tile::TileGraph graph = circuits::build_tile_graph(design, spec, topt);
+  tile::TileGraph graph = circuits::build_tile_graph(design, *spec, topt);
+  if (core::Status s = core::validate_inputs(design, graph); !s) {
+    return fail(s);
+  }
 
   if (!args.dump_design.empty()) {
     std::ofstream out(args.dump_design);
-    if (!out) usage("cannot open --dump-design file");
+    if (!out) {
+      return fail(core::Status::io_error("cannot open for writing",
+                                         args.dump_design));
+    }
     netlist::write_design(out, design);
     std::printf("wrote design to %s\n", args.dump_design.c_str());
   }
@@ -212,6 +259,7 @@ int main(int argc, char** argv) {
               static_cast<long long>(graph.total_site_supply()),
               design.default_length_limit());
 
+  int rc = 0;
   if (args.bbp) {
     bbp::BbpPlanner planner(design, graph);
     bbp::BbpResult r = planner.run(circuits::kBufferSiteAreaUm2);
@@ -232,53 +280,119 @@ int main(int argc, char** argv) {
       options.router_heuristic = core::RouterHeuristic::kDijkstra;
     options.stage2_dirty_filter = !args.no_dirty_filter;
     if (args.audit) options.audit_level = core::AuditLevel::kPerStage;
+    options.deadline_ms = args.deadline_ms;
     core::Rabid rabid(design, graph, options);
     report::Table table({"stage", "wireC max", "wireC avg", "overflows",
                          "bufD max", "#bufs", "#fails", "wl (mm)",
                          "delay max", "delay avg", "wall (s)", "thr"});
-    for (const core::StageStats& s : rabid.run_all()) {
-      print_stats_row(table, s);
+    if (args.checkpoint_dir.empty() && !args.resume) {
+      for (const core::StageStats& s : rabid.run_all()) {
+        print_stats_row(table, s);
+      }
+    } else {
+      int completed = 0;
+      if (args.resume) {
+        if (core::Status s = core::resume_from_checkpoint(
+                args.checkpoint_dir, rabid, &completed);
+            !s) {
+          return fail(s);
+        }
+        std::printf("resumed from %s (stages 1..%d already complete)\n\n",
+                    args.checkpoint_dir.c_str(), completed);
+      }
+      // A stage that the deadline cancelled mid-way is deliberately not
+      // checkpointed: the checkpoint would claim the stage completed.
+      const auto after_stage = [&](int stage) -> core::Status {
+        if (args.checkpoint_dir.empty() || rabid.timed_out()) {
+          return core::Status::ok();
+        }
+        return core::write_checkpoint(args.checkpoint_dir, rabid, stage);
+      };
+      const auto run_stage = [&](int stage) -> core::Status {
+        if (completed >= stage || rabid.timed_out()) {
+          return core::Status::ok();
+        }
+        switch (stage) {
+          case 1: print_stats_row(table, rabid.run_stage1()); break;
+          case 2: print_stats_row(table, rabid.run_stage2()); break;
+          case 3: print_stats_row(table, rabid.run_stage3()); break;
+          case 4: print_stats_row(table, rabid.run_stage4()); break;
+        }
+        return after_stage(stage);
+      };
+      for (int stage = 1; stage <= 4; ++stage) {
+        if (core::Status s = run_stage(stage); !s) return fail(s);
+      }
     }
-    if (args.vg > 0) {
+    if (args.vg > 0 && !rabid.timed_out()) {
       print_stats_row(
           table, rabid.rebuffer_timing_driven(
                      args.vg, timing::BufferLibrary::standard_180nm(),
                      args.inverters));
     }
     table.print();
+    if (rabid.timed_out()) {
+      std::printf("\ndeadline of %.1f ms expired: %lld nets returned "
+                  "unprocessed (solution is a legal partial)\n",
+                  args.deadline_ms,
+                  static_cast<long long>(rabid.nets_cancelled()));
+      rc = 4;
+    }
     if (args.audit) {
+      // A resume that had nothing left to run produced no per-stage
+      // audits; fall back to a fresh ground-up audit of the solution.
+      core::AuditReport resumed_audit;
       const core::AuditReport* report = rabid.last_audit();
+      if (report == nullptr) {
+        resumed_audit = rabid.audit();
+        report = &resumed_audit;
+      }
       std::printf("\n%s\n", report->summary().c_str());
       if (!args.audit_json.empty()) {
         std::ofstream out(args.audit_json);
-        if (!out) usage("cannot open --audit-json file");
+        if (!out) {
+          return fail(core::Status::io_error("cannot open for writing",
+                                             args.audit_json));
+        }
         report->write_json(out);
         std::printf("wrote audit report to %s\n", args.audit_json.c_str());
       }
-      if (!report->clean()) return 1;
+      if (!report->clean()) rc = 1;
     }
     if (!args.report_json.empty()) {
       std::ofstream out(args.report_json);
-      if (!out) usage("cannot open --report file");
+      if (!out) {
+        return fail(core::Status::io_error("cannot open for writing",
+                                           args.report_json));
+      }
       rabid.run_report().write_json(out);
       std::printf("wrote run report to %s\n", args.report_json.c_str());
     }
     if (!args.trace_json.empty()) {
       std::ofstream out(args.trace_json);
-      if (!out) usage("cannot open --trace file");
+      if (!out) {
+        return fail(core::Status::io_error("cannot open for writing",
+                                           args.trace_json));
+      }
       obs::Registry::instance().trace().write_json(out);
       std::printf("wrote chrome trace to %s (open in ui.perfetto.dev)\n",
                   args.trace_json.c_str());
     }
     if (!args.dump_solution.empty()) {
       std::ofstream out(args.dump_solution);
-      if (!out) usage("cannot open --dump-solution file");
+      if (!out) {
+        return fail(core::Status::io_error("cannot open for writing",
+                                           args.dump_solution));
+      }
       core::write_solution(out, design, graph, rabid.nets());
       std::printf("wrote solution to %s\n", args.dump_solution.c_str());
     }
     if (!args.svg.empty()) {
       std::ofstream out(args.svg);
-      if (!out) usage("cannot open --svg file");
+      if (!out) {
+        return fail(core::Status::io_error("cannot open for writing",
+                                           args.svg));
+      }
       out << report::render_svg(design, graph, rabid.nets());
       std::printf("wrote plot to %s\n", args.svg.c_str());
     }
@@ -290,5 +404,5 @@ int main(int argc, char** argv) {
     std::printf("\nbuffer occupancy ('X' = no sites):\n%s",
                 report::buffer_density_map(graph).c_str());
   }
-  return 0;
+  return rc;
 }
