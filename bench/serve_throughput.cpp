@@ -1,0 +1,281 @@
+// Load benchmark for the rabid_serve stack: an in-process Server behind
+// a real TcpTransport on an ephemeral loopback port, hammered by N
+// closed-loop client threads over real sockets.  Reports jobs/sec and
+// p50/p99 end-to-end latency (submit -> done event) per client count,
+// as BENCH_serve.json (schema rabid.bench_serve.v1).
+//
+// Closed loop: each client keeps exactly one job in flight, so `clients`
+// is also the offered concurrency.  The default 1/4/16 sweep matches
+// the serve acceptance criteria; p99 over the small default sample
+// count is effectively the max — raise --jobs for tighter tails.
+//
+// Usage:
+//   serve_throughput [--out FILE] [--clients 1,4,16] [--jobs N]
+//                    [--circuits apte,xerox,hp] [--workers K]
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/net.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/assert.hpp"
+
+namespace {
+
+using namespace rabid;
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Minimal blocking NDJSON client socket for the closed loop.
+class ClientSocket {
+ public:
+  explicit ClientSocket(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    RABID_ASSERT(fd_ >= 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    const int rc =
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    RABID_ASSERT_MSG(rc == 0, "connect to the bench server failed");
+  }
+  ~ClientSocket() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  ClientSocket(const ClientSocket&) = delete;
+  ClientSocket& operator=(const ClientSocket&) = delete;
+
+  void send_line(const std::string& line) {
+    std::string framed = line;
+    framed += '\n';
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t n = ::send(fd_, framed.data() + sent,
+                               framed.size() - sent, MSG_NOSIGNAL);
+      RABID_ASSERT_MSG(n > 0, "send to the bench server failed");
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Blocks until one full line arrives.
+  std::string recv_line() {
+    std::string line;
+    while (true) {
+      const std::size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      RABID_ASSERT_MSG(n > 0, "server closed mid-benchmark");
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+struct SweepResult {
+  int clients = 0;
+  int jobs = 0;
+  double wall_s = 0;
+  double jobs_per_sec = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+};
+
+double percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(q * (sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+SweepResult run_sweep(std::uint16_t port, int clients, int total_jobs,
+                      const std::vector<std::string>& circuits) {
+  std::vector<std::vector<double>> latencies(clients);
+  const auto wall_start = Clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    const int jobs =
+        total_jobs / clients + (c < total_jobs % clients ? 1 : 0);
+    threads.emplace_back([&, c, jobs] {
+      ClientSocket sock(port);
+      for (int j = 0; j < jobs; ++j) {
+        const std::string id =
+            "bench-c" + std::to_string(c) + "-" + std::to_string(j);
+        const std::string& circuit = circuits[(c + j) % circuits.size()];
+        const auto start = Clock::now();
+        sock.send_line(R"({"type":"plan","id":")" + id +
+                       R"(","circuit":")" + circuit + R"("})");
+        // Closed loop: wait for this job's terminal event before the
+        // next submit.  Every line on this connection belongs to us.
+        while (true) {
+          const std::string line = sock.recv_line();
+          if (line.find("\"event\":\"done\"") == std::string::npos) {
+            RABID_ASSERT_MSG(
+                line.find("\"event\":\"rejected\"") == std::string::npos &&
+                    line.find("\"event\":\"failed\"") == std::string::npos,
+                "bench job rejected or failed — raise the queue capacity");
+            continue;  // queued / started
+          }
+          RABID_ASSERT_MSG(line.find("\"id\":\"" + id + "\"") !=
+                               std::string::npos,
+                           "closed loop saw a foreign job id");
+          break;
+        }
+        latencies[c].push_back(ms_between(start, Clock::now()));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - wall_start).count();
+
+  std::vector<double> all;
+  for (const auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  std::sort(all.begin(), all.end());
+
+  SweepResult result;
+  result.clients = clients;
+  result.jobs = static_cast<int>(all.size());
+  result.wall_s = wall_s;
+  result.jobs_per_sec = wall_s > 0 ? all.size() / wall_s : 0;
+  result.p50_ms = percentile(all, 0.50);
+  result.p99_ms = percentile(all, 0.99);
+  result.max_ms = all.empty() ? 0 : all.back();
+  return result;
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::vector<int> client_counts = {1, 4, 16};
+  int total_jobs = 64;
+  std::vector<std::string> circuits = {"apte", "xerox", "hp"};
+  int workers = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--clients") {
+      client_counts.clear();
+      for (const std::string& n : split_csv(next())) {
+        client_counts.push_back(std::stoi(n));
+      }
+    } else if (arg == "--jobs") {
+      total_jobs = std::stoi(next());
+    } else if (arg == "--circuits") {
+      circuits = split_csv(next());
+    } else if (arg == "--workers") {
+      workers = std::stoi(next());
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return 2;
+    }
+  }
+
+  serve::ServerOptions options;
+  options.workers = workers;
+  // Deep enough that a 16-client closed loop never trips admission
+  // control — this bench measures throughput, not rejection.
+  options.queue_capacity = 256;
+  serve::Server server(options);
+  core::Status status;
+  serve::TcpTransport transport(server, 0, &status);
+  if (!status.ok()) {
+    std::cerr << status.to_string() << "\n";
+    return 3;
+  }
+  std::thread acceptor([&transport] { transport.accept_loop(); });
+
+  std::vector<SweepResult> results;
+  for (int clients : client_counts) {
+    SweepResult r = run_sweep(transport.port(), clients, total_jobs, circuits);
+    std::fprintf(stderr,
+                 "clients=%2d jobs=%d wall=%.2fs jobs/sec=%.2f "
+                 "p50=%.1fms p99=%.1fms\n",
+                 r.clients, r.jobs, r.wall_s, r.jobs_per_sec, r.p50_ms,
+                 r.p99_ms);
+    results.push_back(r);
+  }
+
+  transport.stop_accepting();
+  acceptor.join();
+  server.begin_drain();
+  server.drain_and_join();
+  transport.close_connections();
+
+  std::ostringstream json;
+  json << "{\n  \"schema\": \"rabid.bench_serve.v1\",\n";
+  json << "  \"total_jobs_per_sweep\": " << total_jobs << ",\n";
+  json << "  \"circuits\": [";
+  for (std::size_t i = 0; i < circuits.size(); ++i) {
+    json << (i ? ", " : "") << '"' << circuits[i] << '"';
+  }
+  json << "],\n  \"sweeps\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SweepResult& r = results[i];
+    char row[256];
+    std::snprintf(row, sizeof(row),
+                  "    {\"clients\": %d, \"jobs\": %d, \"wall_s\": %.3f, "
+                  "\"jobs_per_sec\": %.2f, \"p50_ms\": %.2f, "
+                  "\"p99_ms\": %.2f, \"max_ms\": %.2f}%s\n",
+                  r.clients, r.jobs, r.wall_s, r.jobs_per_sec, r.p50_ms,
+                  r.p99_ms, r.max_ms, i + 1 < results.size() ? "," : "");
+    json << row;
+  }
+  json << "  ]\n}\n";
+
+  if (out_path.empty()) {
+    std::cout << json.str();
+  } else {
+    std::ofstream out(out_path);
+    out << json.str();
+    std::cout << "wrote " << out_path << "\n";
+  }
+  return 0;
+}

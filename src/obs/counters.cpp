@@ -46,6 +46,11 @@ constexpr std::array<std::string_view,
         "checkpoint.writes",
         "checkpoint.loads",
         "faults.injected",
+        "serve.jobs_accepted",
+        "serve.jobs_rejected",
+        "serve.jobs_completed",
+        "serve.jobs_timed_out",
+        "serve.jobs_cancelled",
 };
 
 constexpr std::array<std::string_view,
@@ -54,6 +59,7 @@ constexpr std::array<std::string_view,
         "maze.pops_per_route",
         "dp.cells_per_net",
         "pool.queue_depth",
+        "serve.queue_depth",
 };
 
 }  // namespace

@@ -99,6 +99,12 @@ enum class Counter : std::uint16_t {
   kCheckpointLoads,   ///< solutions restored from a checkpoint
   // src/fuzz/faults.cpp — fault-injection harness.
   kFaultsInjected,  ///< hostile mutations / IO faults exercised
+  // serve/server.cpp — the rabid_serve planning daemon.
+  kServeJobsAccepted,   ///< jobs admitted into the queue
+  kServeJobsRejected,   ///< jobs refused (overload, drain, bad request)
+  kServeJobsCompleted,  ///< jobs that ran to a full solution
+  kServeJobsTimedOut,   ///< jobs whose per-job deadline expired mid-run
+  kServeJobsCancelled,  ///< queued jobs cancelled before they started
   kCount,
 };
 
@@ -110,6 +116,7 @@ enum class HistogramId : std::uint16_t {
   kMazePopsPerRoute,  ///< wavefront pops per grow() call
   kDpCellsPerNet,     ///< DP cells per insert_buffers() call
   kPoolQueueDepth,    ///< queue length observed at each enqueue
+  kServeQueueDepth,   ///< total job-queue depth observed at each admit
   kCount,
 };
 

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 #include "util/assert.hpp"
@@ -257,6 +258,90 @@ class Parser {
 
 std::optional<Value> parse(std::string_view text, std::string* error) {
   return Parser(text).run(error);
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dump(const Value& value, std::string& out) {
+  switch (value.type) {
+    case Value::Type::kNull:
+      out += "null";
+      break;
+    case Value::Type::kBool:
+      out += value.boolean ? "true" : "false";
+      break;
+    case Value::Type::kNumber: {
+      // Integers (the common case: counters, ids) print exactly;
+      // everything else gets enough digits to round-trip.
+      const double v = value.number;
+      char buf[32];
+      if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+      } else if (std::isfinite(v)) {
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+      } else {
+        // JSON has no inf/nan; mirror the RunReport writer's quoting.
+        std::snprintf(buf, sizeof(buf), "\"%s\"",
+                      v > 0 ? "inf" : (v < 0 ? "-inf" : "nan"));
+      }
+      out += buf;
+      break;
+    }
+    case Value::Type::kString:
+      append_escaped(out, value.string);
+      break;
+    case Value::Type::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const Value& item : value.items) {
+        if (!first) out.push_back(',');
+        first = false;
+        dump(item, out);
+      }
+      out.push_back(']');
+      break;
+    }
+    case Value::Type::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, member] : value.members) {
+        if (!first) out.push_back(',');
+        first = false;
+        append_escaped(out, key);
+        out.push_back(':');
+        dump(member, out);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string dump(const Value& value) {
+  std::string out;
+  dump(value, out);
+  return out;
 }
 
 }  // namespace rabid::obs::json

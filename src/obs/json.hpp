@@ -55,4 +55,15 @@ class Value {
 /// byte offset.
 std::optional<Value> parse(std::string_view text, std::string* error = nullptr);
 
+/// Appends a string literal (quotes + escapes) to `out`.  Control
+/// characters become \uXXXX; the output re-parses to exactly `s`.
+void append_escaped(std::string& out, std::string_view s);
+
+/// Serializes `value` compactly (no whitespace, no newlines) — the
+/// single-line form the serving protocol needs for NDJSON framing.
+/// dump(parse(dump(v))) is a fixed point; numbers print with enough
+/// digits to round-trip a double.
+void dump(const Value& value, std::string& out);
+std::string dump(const Value& value);
+
 }  // namespace rabid::obs::json

@@ -1,0 +1,166 @@
+#pragma once
+
+/// \file job_queue.hpp
+/// The serving stack's admission queue: one bounded FIFO per priority
+/// class, popped highest-priority-first.
+///
+/// The shape follows the MessageBuffer / virtual-channel discipline of
+/// on-chip-network simulators (ROADMAP item 1): each priority class is
+/// its own "virtual channel" with an independent capacity, so a flood
+/// of low-priority work can never starve the high-priority channel of
+/// *buffer space* — admission control is per channel, not global.
+/// Within a channel, order is strict FIFO (fairness among equals);
+/// across channels, pop() always drains the highest non-empty priority
+/// first (strict priority scheduling — the paper's "worst nets claim
+/// sites first" stage-3 discipline, applied to jobs).
+///
+/// Overload is an *answer*, not an exception: push() returns kRejected
+/// when the target channel is full, and the caller turns that into a
+/// structured protocol error.  Nothing ever blocks on push.
+///
+/// Drain semantics (graceful shutdown): close() flips the queue into
+/// drain mode — every subsequent push() is refused with kClosed, but
+/// pop() keeps handing out the jobs already accepted until the queue
+/// is empty, and only then returns false.  An accepted job is therefore
+/// never lost by a shutdown, which is exactly the SIGTERM contract of
+/// rabid_serve (docs/SERVING.md).
+
+#include <array>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace rabid::serve {
+
+/// Job priority classes, highest first.  kCount is the channel count.
+enum class Priority : std::uint8_t { kHigh = 0, kNormal = 1, kLow = 2 };
+constexpr std::size_t kPriorityCount = 3;
+
+inline const char* priority_name(Priority p) {
+  switch (p) {
+    case Priority::kHigh: return "high";
+    case Priority::kNormal: return "normal";
+    case Priority::kLow: return "low";
+  }
+  return "unknown";
+}
+
+/// Inverse of priority_name; false when `name` matches no class.
+inline bool priority_from_name(std::string_view name, Priority* out) {
+  if (name == "high") { *out = Priority::kHigh; return true; }
+  if (name == "normal") { *out = Priority::kNormal; return true; }
+  if (name == "low") { *out = Priority::kLow; return true; }
+  return false;
+}
+
+/// What happened to a push().
+enum class PushResult : std::uint8_t {
+  kAccepted,  ///< enqueued; a pop() will eventually return it
+  kRejected,  ///< the priority channel is at capacity (overload)
+  kClosed,    ///< the queue is draining; no new work is admitted
+};
+
+/// Bounded multi-priority FIFO.  T must be movable.  All members are
+/// thread-safe; pop() blocks until an item or drain-complete.
+template <typename T>
+class JobQueue {
+ public:
+  /// Every priority channel holds at most `capacity_per_channel` items.
+  explicit JobQueue(std::size_t capacity_per_channel)
+      : capacity_(capacity_per_channel) {
+    RABID_ASSERT(capacity_per_channel >= 1);
+  }
+
+  /// Non-blocking admission.  On kAccepted a waiting pop() is woken.
+  PushResult push(Priority priority, T item) {
+    const auto channel = static_cast<std::size_t>(priority);
+    RABID_ASSERT(channel < kPriorityCount);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return PushResult::kClosed;
+      if (channels_[channel].size() >= capacity_) return PushResult::kRejected;
+      channels_[channel].push_back(std::move(item));
+      ++size_;
+    }
+    cv_.notify_one();
+    return PushResult::kAccepted;
+  }
+
+  /// Blocks until an item is available (returns true, highest non-empty
+  /// priority, FIFO within it) or the queue is closed *and* empty
+  /// (returns false — the drain is complete).
+  bool pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return size_ > 0 || closed_; });
+    if (size_ == 0) return false;  // closed and drained
+    for (auto& channel : channels_) {
+      if (channel.empty()) continue;
+      *out = std::move(channel.front());
+      channel.pop_front();
+      --size_;
+      return true;
+    }
+    RABID_ASSERT_MSG(false, "size_ > 0 with every channel empty");
+    return false;
+  }
+
+  /// Non-blocking pop; nullopt when nothing is queued right now.
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (size_ == 0) return std::nullopt;
+    for (auto& channel : channels_) {
+      if (channel.empty()) continue;
+      T item = std::move(channel.front());
+      channel.pop_front();
+      --size_;
+      return item;
+    }
+    return std::nullopt;
+  }
+
+  /// Enters drain mode: refuses new pushes, wakes every blocked pop()
+  /// so consumers can finish the backlog and observe the drain.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  /// Total queued items over all channels.
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return size_;
+  }
+
+  /// Queued items in one priority channel.
+  std::size_t depth(Priority priority) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return channels_[static_cast<std::size_t>(priority)].size();
+  }
+
+  std::size_t capacity_per_channel() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::array<std::deque<T>, kPriorityCount> channels_;
+  std::size_t size_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace rabid::serve

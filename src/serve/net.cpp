@@ -1,0 +1,170 @@
+#include "serve/net.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace rabid::serve {
+
+namespace {
+
+/// Writes all of `line` plus a newline; returns false once the peer is
+/// gone.  MSG_NOSIGNAL turns a closed peer into EPIPE, not SIGPIPE.
+bool write_line(int fd, std::string_view line) {
+  std::string framed(line);
+  framed.push_back('\n');
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n =
+        ::send(fd, framed.data() + off, framed.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(Server& server, std::uint16_t port,
+                           core::Status* status, std::size_t max_line_bytes)
+    : server_(server), max_line_bytes_(max_line_bytes) {
+  *status = core::Status::ok();
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    *status = core::Status::io_error(
+        std::string("socket: ") + std::strerror(errno), "tcp");
+    return;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    *status = core::Status::io_error(
+        "bind 127.0.0.1:" + std::to_string(port) + ": " +
+            std::strerror(errno),
+        "tcp");
+    return;
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    *status = core::Status::io_error(
+        std::string("listen: ") + std::strerror(errno), "tcp");
+    return;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+}
+
+TcpTransport::~TcpTransport() {
+  stop_accepting();
+  close_connections();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void TcpTransport::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // stop_accepting() shut the listener down; anything else is a
+      // transient accept failure worth retrying only while live.
+      if (stopping_.load(std::memory_order_relaxed)) return;
+      if (errno == ECONNABORTED || errno == EMFILE || errno == ENFILE)
+        continue;
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(conn);
+    }
+    conn->reader = std::thread([this, conn] { serve_connection(conn); });
+  }
+}
+
+void TcpTransport::stop_accepting() {
+  if (stopping_.exchange(true, std::memory_order_relaxed)) return;
+  // shutdown() wakes a blocked accept(); close alone does not on Linux.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+}
+
+void TcpTransport::close_connections() {
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& conn : conns) {
+    if (conn->open.exchange(false, std::memory_order_relaxed)) {
+      ::shutdown(conn->fd, SHUT_RDWR);
+    }
+    if (conn->reader.joinable()) conn->reader.join();
+    ::close(conn->fd);
+  }
+}
+
+void TcpTransport::serve_connection(const std::shared_ptr<Connection>& conn) {
+  // The sink outlives this reader (worker threads hold it through their
+  // jobs), so it owns the connection handle and checks liveness.
+  Sink sink = [conn](std::string_view line) {
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    if (!conn->open.load(std::memory_order_relaxed)) return;
+    if (!write_line(conn->fd, line)) {
+      conn->open.store(false, std::memory_order_relaxed);
+    }
+  };
+
+  LineReader reader(max_line_bytes_);
+  std::vector<LineReader::Line> lines;
+  char buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    lines.clear();
+    reader.feed(std::string_view(buf, static_cast<std::size_t>(n)), &lines);
+    for (const LineReader::Line& line : lines) {
+      if (line.oversized) {
+        sink(event_error(core::Status::invalid_input(
+            "request line exceeds " + std::to_string(max_line_bytes_) +
+                " bytes (" + std::to_string(line.dropped_bytes) +
+                " dropped)",
+            "framing")));
+        continue;
+      }
+      if (line.text.empty()) continue;  // blank keep-alives are fine
+      server_.handle_line(line.text, sink);
+    }
+  }
+  std::size_t partial = 0;
+  if (reader.finish(&partial)) {
+    sink(event_error(core::Status::invalid_input(
+        "connection closed mid-line (" + std::to_string(partial) +
+            " bytes after the last newline discarded)",
+        "framing")));
+  }
+}
+
+}  // namespace rabid::serve

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file net.hpp
+/// The TCP transport for rabid_serve: a listener plus one reader thread
+/// per connection, each framing NDJSON lines (protocol.hpp) into
+/// Server::handle_line and writing events back under a per-connection
+/// lock (so concurrent jobs' event lines interleave whole, never
+/// byte-wise).
+///
+/// POSIX sockets only (the serving stack targets Linux); nothing here
+/// leaks into the planning library — the transport depends on Server,
+/// not the other way around.
+///
+/// Shutdown: stop_accepting() wakes the accept loop; after the Server
+/// has drained, close_connections() shuts every socket and joins the
+/// reader threads.  Events emitted while a client was still connected
+/// are delivered; writes to a vanished client are dropped (never a
+/// SIGPIPE — sends use MSG_NOSIGNAL).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/status.hpp"
+#include "serve/server.hpp"
+
+namespace rabid::serve {
+
+class TcpTransport {
+ public:
+  /// Binds and listens on 127.0.0.1:`port` (0 = ephemeral; see port()).
+  /// On failure returns a Status through `status` and the instance must
+  /// be destroyed.
+  TcpTransport(Server& server, std::uint16_t port, core::Status* status,
+               std::size_t max_line_bytes = kDefaultMaxLineBytes);
+  ~TcpTransport();
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  /// The bound port (resolves an ephemeral request).
+  std::uint16_t port() const { return port_; }
+
+  /// Accepts connections until stop_accepting(); blocks the caller.
+  void accept_loop();
+
+  /// Wakes accept_loop() and makes it return; idempotent.
+  void stop_accepting();
+
+  /// Shuts down every live connection socket and joins the reader
+  /// threads.  Call after the Server drained so terminal events have
+  /// already been written.
+  void close_connections();
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mu;
+    std::atomic<bool> open{true};
+    std::thread reader;
+  };
+
+  void serve_connection(const std::shared_ptr<Connection>& conn);
+
+  Server& server_;
+  std::size_t max_line_bytes_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+};
+
+}  // namespace rabid::serve

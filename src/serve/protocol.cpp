@@ -1,0 +1,372 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "netlist/io.hpp"
+#include "obs/json.hpp"
+
+namespace rabid::serve {
+
+// ---------------------------------------------------------------------
+// Framing.
+
+void LineReader::feed(std::string_view data, std::vector<Line>* out) {
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    const std::size_t nl = data.find('\n', pos);
+    if (skipping_) {
+      if (nl == std::string_view::npos) {
+        skipped_bytes_ += data.size() - pos;
+        return;
+      }
+      skipped_bytes_ += nl - pos;
+      Line line;
+      line.oversized = true;
+      line.dropped_bytes = skipped_bytes_;
+      out->push_back(std::move(line));
+      skipping_ = false;
+      skipped_bytes_ = 0;
+      pos = nl + 1;
+      continue;
+    }
+    if (nl == std::string_view::npos) {
+      buffer_.append(data.substr(pos));
+      if (buffer_.size() > max_line_bytes_) {
+        skipping_ = true;
+        skipped_bytes_ = buffer_.size();
+        buffer_.clear();
+      }
+      return;
+    }
+    buffer_.append(data.substr(pos, nl - pos));
+    pos = nl + 1;
+    if (buffer_.size() > max_line_bytes_) {
+      Line line;
+      line.oversized = true;
+      line.dropped_bytes = buffer_.size();
+      out->push_back(std::move(line));
+      buffer_.clear();
+      continue;
+    }
+    // Tolerate CRLF clients: the framing strips a trailing '\r'.
+    if (!buffer_.empty() && buffer_.back() == '\r') buffer_.pop_back();
+    Line line;
+    line.text = std::move(buffer_);
+    buffer_.clear();
+    out->push_back(std::move(line));
+  }
+}
+
+bool LineReader::finish(std::size_t* partial_bytes) {
+  const std::size_t lost = skipping_ ? skipped_bytes_ : buffer_.size();
+  if (partial_bytes != nullptr) *partial_bytes = lost;
+  buffer_.clear();
+  skipping_ = false;
+  skipped_bytes_ = 0;
+  return lost > 0;
+}
+
+// ---------------------------------------------------------------------
+// Request parsing.
+
+namespace {
+
+using obs::json::Value;
+
+core::Status bad(std::string message) {
+  return core::Status::invalid_input(std::move(message), "request");
+}
+
+/// Finite JSON number or error; integers additionally range-checked by
+/// the callers below.
+bool finite_number(const Value& v, double* out) {
+  if (!v.is_number() || !std::isfinite(v.number)) return false;
+  *out = v.number;
+  return true;
+}
+
+bool int_field(const Value& v, std::int64_t lo, std::int64_t hi,
+               std::int64_t* out) {
+  double d = 0.0;
+  if (!finite_number(v, &d) || d != std::floor(d)) return false;
+  if (d < static_cast<double>(lo) || d > static_cast<double>(hi)) return false;
+  *out = static_cast<std::int64_t>(d);
+  return true;
+}
+
+core::Result<Request> parse_plan(const Value& doc) {
+  Request req;
+  req.kind = Request::Kind::kPlan;
+  JobRequest& job = req.job;
+
+  const Value* id = doc.find("id");
+  if (id == nullptr || !id->is_string() || id->string.empty())
+    return bad("a plan needs a non-empty string \"id\"");
+  if (id->string.size() > 256) return bad("\"id\" longer than 256 bytes");
+  job.id = id->string;
+
+  const Value* circuit = doc.find("circuit");
+  const Value* design = doc.find("design");
+  if ((circuit != nullptr) == (design != nullptr))
+    return bad("a plan needs exactly one of \"circuit\" or \"design\"");
+  if (circuit != nullptr) {
+    if (!circuit->is_string() || circuit->string.empty())
+      return bad("\"circuit\" must be a benchmark name");
+    job.circuit = circuit->string;
+  } else {
+    if (!design->is_string())
+      return bad("\"design\" must be a string in the netlist text format");
+    core::Result<netlist::Design> parsed =
+        netlist::design_from_string_checked(design->string);
+    if (!parsed) return parsed.status();
+    job.design = parsed.take();
+  }
+
+  if (const Value* priority = doc.find("priority"); priority != nullptr) {
+    if (!priority->is_string() ||
+        !priority_from_name(priority->string, &job.priority))
+      return bad("\"priority\" must be high, normal, or low");
+  }
+  if (const Value* deadline = doc.find("deadline_ms"); deadline != nullptr) {
+    if (!finite_number(*deadline, &job.deadline_ms) || job.deadline_ms < 0)
+      return bad("\"deadline_ms\" must be a finite number >= 0");
+  }
+  if (const Value* threads = doc.find("threads"); threads != nullptr) {
+    std::int64_t n = 0;
+    if (!int_field(*threads, 0, 1024, &n))
+      return bad("\"threads\" must be an integer in [0, 1024]");
+    job.threads = static_cast<std::int32_t>(n);
+  }
+  if (const Value* grid = doc.find("grid"); grid != nullptr) {
+    std::int64_t nx = 0, ny = 0;
+    if (!grid->is_array() || grid->items.size() != 2 ||
+        !int_field(grid->items[0], 1, 4096, &nx) ||
+        !int_field(grid->items[1], 1, 4096, &ny))
+      return bad("\"grid\" must be [nx, ny] with 1 <= nx, ny <= 4096");
+    job.nx = static_cast<std::int32_t>(nx);
+    job.ny = static_cast<std::int32_t>(ny);
+  }
+  if (const Value* sites = doc.find("sites"); sites != nullptr) {
+    std::int64_t n = 0;
+    if (!int_field(*sites, 0, 100000000, &n))
+      return bad("\"sites\" must be an integer in [0, 1e8]");
+    job.sites = n;
+  }
+  if (const Value* audit = doc.find("audit"); audit != nullptr) {
+    if (!audit->is_bool()) return bad("\"audit\" must be a boolean");
+    job.audit = audit->boolean;
+  }
+  if (job.design.has_value() && (job.nx == 0 || job.sites < 0))
+    return bad("an inline \"design\" also needs \"grid\" and \"sites\"");
+  return req;
+}
+
+}  // namespace
+
+core::Result<Request> parse_request(std::string_view line) {
+  std::string error;
+  std::optional<Value> doc = obs::json::parse(line, &error);
+  if (!doc.has_value())
+    return core::Status::invalid_input("malformed JSON: " + error, "request");
+  if (!doc->is_object()) return bad("a request must be a JSON object");
+
+  const Value* type = doc->find("type");
+  if (type == nullptr || !type->is_string())
+    return bad("a request needs a string \"type\"");
+
+  if (type->string == "plan") return parse_plan(*doc);
+  if (type->string == "cancel") {
+    const Value* id = doc->find("id");
+    if (id == nullptr || !id->is_string() || id->string.empty())
+      return bad("a cancel needs a non-empty string \"id\"");
+    Request req;
+    req.kind = Request::Kind::kCancel;
+    req.cancel_id = id->string;
+    return req;
+  }
+  if (type->string == "stats") {
+    Request req;
+    req.kind = Request::Kind::kStats;
+    return req;
+  }
+  if (type->string == "ping") {
+    Request req;
+    req.kind = Request::Kind::kPing;
+    return req;
+  }
+  if (type->string == "drain") {
+    Request req;
+    req.kind = Request::Kind::kDrain;
+    return req;
+  }
+  return bad("unknown request type '" + type->string + "'");
+}
+
+// ---------------------------------------------------------------------
+// Event serialization.
+
+namespace {
+
+void append_number(std::string& out, double v) {
+  char buf[32];
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  out += buf;
+}
+
+void append_kv(std::string& out, std::string_view key, std::string_view value) {
+  obs::json::append_escaped(out, key);
+  out += ':';
+  obs::json::append_escaped(out, value);
+}
+
+void append_kv(std::string& out, std::string_view key, double value) {
+  obs::json::append_escaped(out, key);
+  out += ':';
+  append_number(out, value);
+}
+
+std::string event_head(std::string_view event, std::string_view id) {
+  std::string out = "{";
+  append_kv(out, "event", event);
+  if (!id.empty()) {
+    out += ',';
+    append_kv(out, "id", id);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string event_queued(std::string_view id, Priority priority,
+                         std::size_t queue_depth) {
+  std::string out = event_head("queued", id);
+  out += ',';
+  append_kv(out, "priority", priority_name(priority));
+  out += ',';
+  append_kv(out, "queue_depth", static_cast<double>(queue_depth));
+  out += '}';
+  return out;
+}
+
+std::string event_started(std::string_view id, std::size_t worker,
+                          double queue_ms) {
+  std::string out = event_head("started", id);
+  out += ',';
+  append_kv(out, "worker", static_cast<double>(worker));
+  out += ',';
+  append_kv(out, "queue_ms", queue_ms);
+  out += '}';
+  return out;
+}
+
+std::string event_done(std::string_view id, std::string_view verdict,
+                       double elapsed_ms, double queue_ms,
+                       std::string_view report_json) {
+  std::string out = event_head("done", id);
+  out += ',';
+  append_kv(out, "verdict", verdict);
+  out += ',';
+  append_kv(out, "elapsed_ms", elapsed_ms);
+  out += ',';
+  append_kv(out, "queue_ms", queue_ms);
+  out += ',';
+  obs::json::append_escaped(out, "report");
+  out += ':';
+  out += report_json;
+  out += '}';
+  return out;
+}
+
+std::string event_rejected(std::string_view id, std::string_view code,
+                           std::string_view message) {
+  std::string out = event_head("rejected", id);
+  out += ",\"error\":{";
+  append_kv(out, "code", code);
+  out += ',';
+  append_kv(out, "message", message);
+  out += "}}";
+  return out;
+}
+
+std::string event_cancelled(std::string_view id) {
+  std::string out = event_head("cancelled", id);
+  out += '}';
+  return out;
+}
+
+std::string event_failed(std::string_view id, std::string_view message) {
+  std::string out = event_head("failed", id);
+  out += ",\"error\":{";
+  append_kv(out, "code", "internal");
+  out += ',';
+  append_kv(out, "message", message);
+  out += "}}";
+  return out;
+}
+
+std::string event_error(const core::Status& status) {
+  std::string out = event_head("error", {});
+  out += ",\"error\":{";
+  append_kv(out, "code", status_code_name(status.code()));
+  out += ',';
+  append_kv(out, "message", status.message());
+  if (!status.context().empty()) {
+    out += ',';
+    append_kv(out, "context", status.context());
+  }
+  if (status.line() > 0) {
+    out += ',';
+    append_kv(out, "line", static_cast<double>(status.line()));
+  }
+  out += "}}";
+  return out;
+}
+
+std::string event_pong() {
+  std::string out = event_head("pong", {});
+  out += '}';
+  return out;
+}
+
+std::string event_draining() {
+  std::string out = event_head("draining", {});
+  out += '}';
+  return out;
+}
+
+std::string event_stats(const ServerStats& s) {
+  std::string out = event_head("stats", {});
+  out += ",\"queued\":{";
+  append_kv(out, "high", static_cast<double>(s.queued_high));
+  out += ',';
+  append_kv(out, "normal", static_cast<double>(s.queued_normal));
+  out += ',';
+  append_kv(out, "low", static_cast<double>(s.queued_low));
+  out += "},";
+  append_kv(out, "running", static_cast<double>(s.running));
+  out += ',';
+  append_kv(out, "accepted", static_cast<double>(s.accepted));
+  out += ',';
+  append_kv(out, "rejected", static_cast<double>(s.rejected));
+  out += ',';
+  append_kv(out, "completed", static_cast<double>(s.completed));
+  out += ',';
+  append_kv(out, "timed_out", static_cast<double>(s.timed_out));
+  out += ',';
+  append_kv(out, "cancelled", static_cast<double>(s.cancelled));
+  out += ',';
+  append_kv(out, "failed", static_cast<double>(s.failed));
+  out += ',';
+  obs::json::append_escaped(out, "draining");
+  out += ':';
+  out += s.draining ? "true" : "false";
+  out += '}';
+  return out;
+}
+
+}  // namespace rabid::serve

@@ -1,0 +1,161 @@
+#pragma once
+
+/// \file protocol.hpp
+/// The rabid_serve wire protocol: newline-delimited JSON (NDJSON), one
+/// request or event per line, over TCP or stdin/stdout.
+///
+/// Requests (client -> server; "type" selects the verb):
+///
+///   {"type":"plan","id":"j1","circuit":"apte","priority":"high",
+///    "deadline_ms":500,"threads":1,"grid":[20,20],"sites":1000,
+///    "audit":true}
+///   {"type":"plan","id":"j2","design":"design mine\n...","grid":[16,16],
+///    "sites":800}
+///   {"type":"cancel","id":"j1"}
+///   {"type":"stats"}        {"type":"ping"}        {"type":"drain"}
+///
+/// A plan names either a Table-I `circuit` (served from the shared
+/// immutable cache) or carries an inline `design` in the text format of
+/// netlist/io.hpp, validated by the hardened read path
+/// (design_from_string_checked + validate_inputs) before it is
+/// admitted; inline designs must also give `grid` and `sites`.
+///
+/// Events (server -> client; "event" names the lifecycle step):
+///
+///   {"event":"queued","id":"j1","priority":"high","queue_depth":3}
+///   {"event":"started","id":"j1","worker":2,"queue_ms":12.5}
+///   {"event":"done","id":"j1","verdict":"ok","elapsed_ms":54.2,
+///    "queue_ms":12.5,"report":{...rabid.run_report.v1...}}
+///   {"event":"rejected","id":"j1","error":{"code":"overloaded",...}}
+///   {"event":"cancelled","id":"j1"}
+///   {"event":"failed","id":"j1","error":{...}}
+///   {"event":"error","error":{"code":"invalid-input","message":...}}
+///   {"event":"pong"}   {"event":"draining"}   {"event":"stats",...}
+///
+/// Responses from concurrent jobs interleave freely; every job-scoped
+/// event carries its "id", so clients demultiplex by id, never by
+/// arrival order.  Each line is written atomically (one write under the
+/// connection's lock), so lines never interleave *within* a line.
+///
+/// Framing is hostile-input hardened: a line longer than the configured
+/// cap is consumed and rejected with a structured error (the stream
+/// stays usable), and an EOF in the middle of a line is reported rather
+/// than silently dropped.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.hpp"
+#include "netlist/design.hpp"
+#include "serve/job_queue.hpp"
+
+namespace rabid::serve {
+
+/// Default per-line byte cap (inline designs are the big payload; the
+/// largest Table-I design text is well under this).
+constexpr std::size_t kDefaultMaxLineBytes = 4u << 20;
+
+/// Incremental NDJSON framer.  Feed raw chunks as they arrive; complete
+/// lines come out in order.  A line exceeding `max_line_bytes` is
+/// consumed to its newline and surfaced with `oversized` set (its bytes
+/// are discarded); subsequent lines frame normally.
+class LineReader {
+ public:
+  explicit LineReader(std::size_t max_line_bytes = kDefaultMaxLineBytes)
+      : max_line_bytes_(max_line_bytes) {}
+
+  struct Line {
+    std::string text;     ///< without the trailing newline (empty if oversized)
+    bool oversized = false;
+    std::size_t dropped_bytes = 0;  ///< bytes discarded when oversized
+  };
+
+  /// Consumes `data`, appending every completed line to `out`.
+  void feed(std::string_view data, std::vector<Line>* out);
+
+  /// Call at EOF.  Returns true when the stream ended mid-line (bytes
+  /// after the final newline); `partial` receives how many were lost.
+  bool finish(std::size_t* partial_bytes);
+
+  std::size_t max_line_bytes() const { return max_line_bytes_; }
+
+ private:
+  std::size_t max_line_bytes_;
+  std::string buffer_;
+  bool skipping_ = false;          ///< inside an oversized line
+  std::size_t skipped_bytes_ = 0;  ///< bytes dropped so far while skipping
+};
+
+/// One validated planning job, ready for admission.
+struct JobRequest {
+  std::string id;
+  /// Table-I circuit name; empty when the job carried an inline design.
+  std::string circuit;
+  /// Parsed inline design (already through the checked parser); unset
+  /// when `circuit` names a cached benchmark.
+  std::optional<netlist::Design> design;
+  Priority priority = Priority::kNormal;
+  double deadline_ms = 0.0;  ///< 0 = server default
+  std::int32_t threads = 0;  ///< 0 = server default (typically 1)
+  std::int32_t nx = 0, ny = 0;   ///< 0 = circuit-spec default
+  std::int64_t sites = -1;       ///< -1 = circuit-spec default
+  bool audit = false;  ///< run the final SolutionAuditor pass
+};
+
+/// A parsed protocol request.
+struct Request {
+  enum class Kind { kPlan, kCancel, kStats, kPing, kDrain };
+  Kind kind = Kind::kPlan;
+  JobRequest job;          ///< kPlan
+  std::string cancel_id;   ///< kCancel
+};
+
+/// Parses and validates one request line.  Inline designs go through
+/// netlist::design_from_string_checked; every structural error comes
+/// back as a Status (never an abort).
+core::Result<Request> parse_request(std::string_view line);
+
+// --- event serialization (each returns one line, no trailing \n) -----
+
+std::string event_queued(std::string_view id, Priority priority,
+                         std::size_t queue_depth);
+std::string event_started(std::string_view id, std::size_t worker,
+                          double queue_ms);
+/// `report_json` must already be compact single-line JSON (see
+/// obs::json::dump); it is embedded verbatim as the "report" member.
+std::string event_done(std::string_view id, std::string_view verdict,
+                       double elapsed_ms, double queue_ms,
+                       std::string_view report_json);
+/// `code` is the protocol-level rejection class ("overloaded",
+/// "draining", "duplicate-id", or a StatusCode name).
+std::string event_rejected(std::string_view id, std::string_view code,
+                           std::string_view message);
+std::string event_cancelled(std::string_view id);
+std::string event_failed(std::string_view id, std::string_view message);
+/// Line-scoped error (no job id yet): malformed JSON, oversized line,
+/// mid-line EOF.
+std::string event_error(const core::Status& status);
+std::string event_pong();
+std::string event_draining();
+
+/// Server-wide gauge snapshot for {"type":"stats"}.
+struct ServerStats {
+  std::size_t queued_high = 0;
+  std::size_t queued_normal = 0;
+  std::size_t queued_low = 0;
+  std::size_t running = 0;
+  std::int64_t accepted = 0;
+  std::int64_t rejected = 0;
+  std::int64_t completed = 0;
+  std::int64_t timed_out = 0;
+  std::int64_t cancelled = 0;
+  std::int64_t failed = 0;
+  bool draining = false;
+};
+std::string event_stats(const ServerStats& stats);
+
+}  // namespace rabid::serve

@@ -1,0 +1,187 @@
+#pragma once
+
+/// \file server.hpp
+/// The rabid_serve engine: admission, scheduling, and execution of
+/// planning jobs, independent of transport.
+///
+/// A transport (stdio or TCP — see net.hpp and tools/rabid_serve.cpp)
+/// frames request lines and hands each to handle_line() together with a
+/// Sink that writes one event line back to the submitting client.  The
+/// server:
+///
+///   * validates the request with the existing checked parsers
+///     (netlist::design_from_string_checked, core::validate_inputs) and
+///     rejects structural garbage with a structured error event;
+///   * prepares the job's immutable inputs once — Table-I circuits are
+///     generated on first use and cached, so every job on the same
+///     (circuit, grid, sites) key shares one const Design and copies
+///     one pre-built TileGraph with empty books;
+///   * admits the job into a bounded per-priority JobQueue
+///     (job_queue.hpp); a full channel answers with a structured
+///     "overloaded" rejection instead of blocking or dropping;
+///   * runs up to `workers` flows concurrently — K long-lived worker
+///     loops submitted to the existing util::ThreadPool, each popping
+///     highest-priority-first and running a full Rabid flow with the
+///     job's RabidOptions::deadline_ms enforced cooperatively;
+///   * streams lifecycle events (queued / started / done / cancelled /
+///     rejected / failed) and the final RunReport JSON back through the
+///     job's Sink, every event on its own line.
+///
+/// Graceful drain: begin_drain() stops admission (new plans are
+/// rejected with code "draining"); drain_and_join() then blocks until
+/// every already-accepted job has reached a terminal event.  An
+/// accepted job is never lost by a shutdown — that is the SIGTERM
+/// contract the serve-smoke CI job asserts.
+///
+/// Thread-safety: handle_line() may be called from any number of
+/// transport threads concurrently; Sinks are invoked from transport
+/// *and* worker threads, so a transport must make its Sink thread-safe
+/// (one mutex per connection suffices).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/rabid.hpp"
+#include "netlist/design.hpp"
+#include "obs/counters.hpp"
+#include "serve/job_queue.hpp"
+#include "serve/protocol.hpp"
+#include "tile/tile_graph.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rabid::serve {
+
+/// Writes one complete event line (no trailing newline) to the client
+/// that submitted the request.  Must be thread-safe and non-throwing;
+/// a sink for a vanished client should drop the line, not fail.
+using Sink = std::function<void(std::string_view line)>;
+
+struct ServerOptions {
+  /// Concurrent flows (worker loops on the thread pool).  0 = one per
+  /// hardware thread.
+  std::int32_t workers = 0;
+  /// Bounded capacity of each priority channel (admission control).
+  std::size_t queue_capacity = 64;
+  /// Worker threads *inside* each flow (RabidOptions::threads) when the
+  /// job does not ask for a count itself.  1 keeps the math simple:
+  /// `workers` jobs run, each single-threaded.
+  std::int32_t job_threads = 1;
+  /// Applied to jobs that do not carry a deadline (0 = none).
+  double default_deadline_ms = 0.0;
+  /// Upper bound on any job's deadline (0 = uncapped).  A job asking
+  /// for more is clamped, never rejected.
+  double max_deadline_ms = 0.0;
+  /// Observability level every job runs with (the serve.* counters
+  /// record at >= kCounters).
+  obs::Level obs_level = obs::Level::kCounters;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  /// Drains and joins; equivalent to begin_drain() + drain_and_join().
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Parses and executes one request line.  Synchronous effects
+  /// (queued/rejected/pong/stats events) are written to `sink` before
+  /// returning; started/done/cancelled/failed arrive later from worker
+  /// threads, through the same sink.
+  void handle_line(std::string_view line, const Sink& sink);
+
+  /// Stops admission: every subsequent plan is rejected with code
+  /// "draining".  Idempotent; safe from any thread (signal-handler
+  /// *contexts* should use a self-pipe and call this from a normal
+  /// thread).
+  void begin_drain();
+
+  /// Blocks until the queue is empty and every running job finished.
+  /// Requires begin_drain() first (asserts otherwise).
+  void drain_and_join();
+
+  bool draining() const {
+    return draining_.load(std::memory_order_relaxed);
+  }
+
+  /// Invoked (once) when a client sends {"type":"drain"} — lets the
+  /// transport's main loop initiate process shutdown.  Set before the
+  /// first handle_line call.
+  void set_drain_callback(std::function<void()> cb) {
+    drain_callback_ = std::move(cb);
+  }
+
+  ServerStats stats() const;
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  /// The immutable inputs every job on one (circuit, grid, sites) key
+  /// shares.  `graph` is the pristine post-build state (books empty);
+  /// each run copies it.
+  struct Prepared {
+    netlist::Design design;
+    tile::TileGraph graph;
+    Prepared(netlist::Design d, tile::TileGraph g)
+        : design(std::move(d)), graph(std::move(g)) {}
+  };
+
+  /// One admitted job as it travels through the queue.
+  struct Job {
+    std::string id;
+    Priority priority = Priority::kNormal;
+    double deadline_ms = 0.0;
+    std::int32_t threads = 0;
+    bool audit = false;
+    std::shared_ptr<const Prepared> prepared;
+    Sink sink;
+    std::chrono::steady_clock::time_point accepted_at;
+  };
+
+  enum class Phase { kQueued, kRunning };
+  struct Active {
+    Phase phase = Phase::kQueued;
+    bool cancelled = false;
+  };
+
+  void handle_plan(JobRequest&& request, const Sink& sink);
+  void handle_cancel(const std::string& id, const Sink& sink);
+  /// Builds (or fetches) the shared inputs for a request.  Returns
+  /// nullptr with a populated status on validation failure.
+  std::shared_ptr<const Prepared> prepare(const JobRequest& request,
+                                          core::Status* status);
+  void worker_loop(std::size_t worker_index);
+  void run_job(const Job& job, std::size_t worker_index, double queue_ms);
+  void reject(const Sink& sink, std::string_view id, std::string_view code,
+              std::string_view message);
+
+  ServerOptions options_;
+  JobQueue<Job> queue_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::vector<std::future<void>> workers_;
+  std::function<void()> drain_callback_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Active, std::less<>> active_;
+  std::map<std::string, std::shared_ptr<const Prepared>> cache_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<std::size_t> running_{0};
+  std::atomic<std::int64_t> accepted_{0};
+  std::atomic<std::int64_t> rejected_{0};
+  std::atomic<std::int64_t> completed_{0};
+  std::atomic<std::int64_t> timed_out_{0};
+  std::atomic<std::int64_t> cancelled_{0};
+  std::atomic<std::int64_t> failed_{0};
+};
+
+}  // namespace rabid::serve

@@ -1,0 +1,171 @@
+// Tests for serve/job_queue.hpp: the bounded multi-priority admission
+// queue behind rabid_serve.  Covers the three contracts the server
+// leans on: strict priority ordering with FIFO within a class, bounded
+// per-channel rejection, and drain semantics (close() refuses new work
+// but pop() hands out the whole backlog before reporting drained).
+
+#include "serve/job_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rabid::serve {
+namespace {
+
+TEST(JobQueueTest, PriorityNamesRoundTrip) {
+  for (auto p : {Priority::kHigh, Priority::kNormal, Priority::kLow}) {
+    Priority back = Priority::kHigh;
+    ASSERT_TRUE(priority_from_name(priority_name(p), &back));
+    EXPECT_EQ(back, p);
+  }
+  Priority out = Priority::kHigh;
+  EXPECT_FALSE(priority_from_name("urgent", &out));
+  EXPECT_FALSE(priority_from_name("", &out));
+}
+
+TEST(JobQueueTest, PopsHighestPriorityFirstFifoWithin) {
+  JobQueue<std::string> queue(8);
+  EXPECT_EQ(queue.push(Priority::kLow, "low-0"), PushResult::kAccepted);
+  EXPECT_EQ(queue.push(Priority::kNormal, "normal-0"), PushResult::kAccepted);
+  EXPECT_EQ(queue.push(Priority::kHigh, "high-0"), PushResult::kAccepted);
+  EXPECT_EQ(queue.push(Priority::kHigh, "high-1"), PushResult::kAccepted);
+  EXPECT_EQ(queue.push(Priority::kLow, "low-1"), PushResult::kAccepted);
+  EXPECT_EQ(queue.push(Priority::kNormal, "normal-1"), PushResult::kAccepted);
+  EXPECT_EQ(queue.size(), 6u);
+  EXPECT_EQ(queue.depth(Priority::kHigh), 2u);
+
+  std::vector<std::string> order;
+  std::string item;
+  while (queue.size() > 0 && queue.pop(&item)) order.push_back(item);
+  EXPECT_EQ(order, (std::vector<std::string>{"high-0", "high-1", "normal-0",
+                                             "normal-1", "low-0", "low-1"}));
+}
+
+TEST(JobQueueTest, HighPriorityArrivingLateJumpsTheLine) {
+  JobQueue<int> queue(8);
+  queue.push(Priority::kLow, 1);
+  queue.push(Priority::kLow, 2);
+  int item = 0;
+  ASSERT_TRUE(queue.pop(&item));
+  EXPECT_EQ(item, 1);
+  queue.push(Priority::kHigh, 99);
+  ASSERT_TRUE(queue.pop(&item));
+  EXPECT_EQ(item, 99);  // beats the already-queued low job
+  ASSERT_TRUE(queue.pop(&item));
+  EXPECT_EQ(item, 2);
+}
+
+TEST(JobQueueTest, BoundedPerChannelRejection) {
+  JobQueue<int> queue(2);
+  EXPECT_EQ(queue.push(Priority::kLow, 1), PushResult::kAccepted);
+  EXPECT_EQ(queue.push(Priority::kLow, 2), PushResult::kAccepted);
+  // The low channel is full; admission is per channel, so high-priority
+  // work still has buffer space (the virtual-channel property).
+  EXPECT_EQ(queue.push(Priority::kLow, 3), PushResult::kRejected);
+  EXPECT_EQ(queue.push(Priority::kHigh, 4), PushResult::kAccepted);
+  EXPECT_EQ(queue.size(), 3u);
+
+  // Popping frees capacity again.
+  int item = 0;
+  ASSERT_TRUE(queue.pop(&item));  // the high job
+  EXPECT_EQ(item, 4);
+  ASSERT_TRUE(queue.pop(&item));
+  EXPECT_EQ(queue.push(Priority::kLow, 5), PushResult::kAccepted);
+}
+
+TEST(JobQueueTest, CloseRefusesNewWorkButDrainsBacklog) {
+  JobQueue<int> queue(4);
+  queue.push(Priority::kNormal, 1);
+  queue.push(Priority::kLow, 2);
+  queue.close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_EQ(queue.push(Priority::kHigh, 3), PushResult::kClosed);
+
+  int item = 0;
+  ASSERT_TRUE(queue.pop(&item));
+  EXPECT_EQ(item, 1);
+  ASSERT_TRUE(queue.pop(&item));
+  EXPECT_EQ(item, 2);
+  // Backlog exhausted: pop now reports drain-complete, not a new item.
+  EXPECT_FALSE(queue.pop(&item));
+  EXPECT_FALSE(queue.pop(&item));  // stays drained
+}
+
+TEST(JobQueueTest, CloseWakesBlockedConsumers) {
+  JobQueue<int> queue(4);
+  std::atomic<int> drained{0};
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < 3; ++i) {
+    consumers.emplace_back([&queue, &drained] {
+      int item = 0;
+      while (queue.pop(&item)) {
+      }
+      drained.fetch_add(1);
+    });
+  }
+  queue.push(Priority::kNormal, 7);
+  queue.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(drained.load(), 3);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(JobQueueTest, TryPopIsNonBlocking) {
+  JobQueue<int> queue(4);
+  EXPECT_FALSE(queue.try_pop().has_value());
+  queue.push(Priority::kLow, 5);
+  queue.push(Priority::kHigh, 6);
+  auto item = queue.try_pop();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(*item, 6);  // priority order holds for try_pop too
+  EXPECT_EQ(queue.try_pop().value_or(-1), 5);
+  EXPECT_FALSE(queue.try_pop().has_value());
+}
+
+TEST(JobQueueTest, ConcurrentProducersConsumersLoseNothing) {
+  JobQueue<int> queue(1024);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  std::atomic<int> accepted{0};
+  std::atomic<long long> popped_sum{0};
+  std::atomic<int> popped_count{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&queue, &accepted, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int value = p * kPerProducer + i;
+        const auto priority = static_cast<Priority>(value % 3);
+        if (queue.push(priority, value) == PushResult::kAccepted) {
+          accepted.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&queue, &popped_sum, &popped_count] {
+      int item = 0;
+      while (queue.pop(&item)) {
+        popped_sum.fetch_add(item);
+        popped_count.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  queue.close();
+  for (auto& t : consumers) t.join();
+
+  EXPECT_EQ(accepted.load(), kProducers * kPerProducer);
+  EXPECT_EQ(popped_count.load(), accepted.load());
+  long long expected = 0;
+  for (int v = 0; v < kProducers * kPerProducer; ++v) expected += v;
+  EXPECT_EQ(popped_sum.load(), expected);
+}
+
+}  // namespace
+}  // namespace rabid::serve

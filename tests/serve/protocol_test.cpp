@@ -1,0 +1,293 @@
+// Tests for serve/protocol.hpp: NDJSON framing under hostile input
+// (oversized lines, mid-line EOF, CRLF), request validation through the
+// checked parsers, and event serialization round-tripping through the
+// obs JSON reader.
+
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/status.hpp"
+#include "obs/json.hpp"
+
+namespace rabid::serve {
+namespace {
+
+using Lines = std::vector<LineReader::Line>;
+
+Lines feed_all(LineReader& reader, std::string_view data) {
+  Lines out;
+  reader.feed(data, &out);
+  return out;
+}
+
+// --- framing ---------------------------------------------------------
+
+TEST(LineReaderTest, SplitsLinesAcrossChunks) {
+  LineReader reader;
+  Lines out;
+  reader.feed("{\"a\":", &out);
+  EXPECT_TRUE(out.empty());  // no newline yet
+  reader.feed("1}\n{\"b\":2}\n{\"c\"", &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].text, "{\"a\":1}");
+  EXPECT_EQ(out[1].text, "{\"b\":2}");
+  reader.feed(":3}\n", &out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[2].text, "{\"c\":3}");
+  std::size_t partial = 0;
+  EXPECT_FALSE(reader.finish(&partial));
+  EXPECT_EQ(partial, 0u);
+}
+
+TEST(LineReaderTest, StripsCarriageReturn) {
+  LineReader reader;
+  auto lines = feed_all(reader, "{\"type\":\"ping\"}\r\n");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].text, "{\"type\":\"ping\"}");
+}
+
+TEST(LineReaderTest, OversizedLineIsConsumedAndReported) {
+  LineReader reader(16);
+  const std::string big(100, 'x');
+  Lines out;
+  reader.feed(big, &out);
+  EXPECT_TRUE(out.empty());  // still consuming the oversized line
+  reader.feed("tail\nok\n", &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out[0].oversized);
+  EXPECT_EQ(out[0].dropped_bytes, big.size() + 4);  // "tail" counts too
+  // The stream stays usable: the next line frames normally.
+  EXPECT_FALSE(out[1].oversized);
+  EXPECT_EQ(out[1].text, "ok");
+}
+
+TEST(LineReaderTest, OversizedSpanningManyChunks) {
+  LineReader reader(8);
+  Lines out;
+  for (int i = 0; i < 10; ++i) reader.feed("aaaaaaaa", &out);
+  EXPECT_TRUE(out.empty());
+  reader.feed("\n{\"x\":1}\n", &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out[0].oversized);
+  EXPECT_EQ(out[0].dropped_bytes, 80u);
+  EXPECT_EQ(out[1].text, "{\"x\":1}");
+}
+
+TEST(LineReaderTest, MidLineEofIsDetected) {
+  LineReader reader;
+  Lines out;
+  reader.feed("{\"type\":\"plan\",\"id\":\"j1\"", &out);
+  std::size_t partial = 0;
+  EXPECT_TRUE(reader.finish(&partial));
+  EXPECT_EQ(partial, 24u);
+}
+
+TEST(LineReaderTest, CleanEofAfterNewline) {
+  LineReader reader;
+  Lines out;
+  reader.feed("{\"type\":\"ping\"}\n", &out);
+  std::size_t partial = 99;
+  EXPECT_FALSE(reader.finish(&partial));
+  EXPECT_EQ(partial, 0u);
+}
+
+// --- request parsing -------------------------------------------------
+
+TEST(ParseRequestTest, PlanWithCircuit) {
+  auto result = parse_request(
+      R"({"type":"plan","id":"j1","circuit":"apte","priority":"high",)"
+      R"("deadline_ms":250,"threads":2,"grid":[12,10],"sites":500,)"
+      R"("audit":true})");
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  const Request& req = result.value();
+  EXPECT_EQ(req.kind, Request::Kind::kPlan);
+  EXPECT_EQ(req.job.id, "j1");
+  EXPECT_EQ(req.job.circuit, "apte");
+  EXPECT_FALSE(req.job.design.has_value());
+  EXPECT_EQ(req.job.priority, Priority::kHigh);
+  EXPECT_DOUBLE_EQ(req.job.deadline_ms, 250.0);
+  EXPECT_EQ(req.job.threads, 2);
+  EXPECT_EQ(req.job.nx, 12);
+  EXPECT_EQ(req.job.ny, 10);
+  EXPECT_EQ(req.job.sites, 500);
+  EXPECT_TRUE(req.job.audit);
+}
+
+TEST(ParseRequestTest, PlanDefaults) {
+  auto result =
+      parse_request(R"({"type":"plan","id":"j2","circuit":"xerox"})");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().job.priority, Priority::kNormal);
+  EXPECT_DOUBLE_EQ(result.value().job.deadline_ms, 0.0);
+  EXPECT_EQ(result.value().job.threads, 0);
+  EXPECT_EQ(result.value().job.sites, -1);
+  EXPECT_FALSE(result.value().job.audit);
+}
+
+TEST(ParseRequestTest, ControlVerbs) {
+  auto cancel = parse_request(R"({"type":"cancel","id":"j1"})");
+  ASSERT_TRUE(cancel.ok());
+  EXPECT_EQ(cancel.value().kind, Request::Kind::kCancel);
+  EXPECT_EQ(cancel.value().cancel_id, "j1");
+
+  EXPECT_EQ(parse_request(R"({"type":"stats"})").value().kind,
+            Request::Kind::kStats);
+  EXPECT_EQ(parse_request(R"({"type":"ping"})").value().kind,
+            Request::Kind::kPing);
+  EXPECT_EQ(parse_request(R"({"type":"drain"})").value().kind,
+            Request::Kind::kDrain);
+}
+
+TEST(ParseRequestTest, StructuredErrors) {
+  struct Case {
+    const char* line;
+    const char* why;
+  };
+  const Case cases[] = {
+      {"not json at all", "malformed JSON"},
+      {"[1,2,3]", "non-object"},
+      {R"({"id":"j1"})", "missing type"},
+      {R"({"type":"warp","id":"j1"})", "unknown type"},
+      {R"({"type":"plan","circuit":"apte"})", "missing id"},
+      {R"({"type":"plan","id":"","circuit":"apte"})", "empty id"},
+      {R"({"type":"plan","id":"j1"})", "neither circuit nor design"},
+      {R"({"type":"plan","id":"j1","circuit":"apte","design":"x"})",
+       "both circuit and design"},
+      {R"({"type":"plan","id":"j1","circuit":"apte","priority":"max"})",
+       "bad priority"},
+      {R"({"type":"plan","id":"j1","circuit":"apte","deadline_ms":-5})",
+       "negative deadline"},
+      {R"({"type":"plan","id":"j1","circuit":"apte","threads":100000})",
+       "absurd thread count"},
+      {R"({"type":"plan","id":"j1","circuit":"apte","grid":[0,5]})",
+       "zero grid"},
+      {R"({"type":"plan","id":"j1","design":"design d\n"})",
+       "inline design without grid/sites"},
+      {R"({"type":"cancel"})", "cancel without id"},
+  };
+  for (const Case& c : cases) {
+    auto result = parse_request(c.line);
+    EXPECT_FALSE(result.ok()) << c.why << ": " << c.line;
+    if (!result.ok()) {
+      EXPECT_FALSE(result.status().message().empty()) << c.why;
+    }
+  }
+}
+
+TEST(ParseRequestTest, OverlongIdRejected) {
+  std::string line = R"({"type":"plan","id":")";
+  line += std::string(300, 'x');
+  line += R"(","circuit":"apte"})";
+  EXPECT_FALSE(parse_request(line).ok());
+}
+
+TEST(ParseRequestTest, InlineDesignGoesThroughCheckedParser) {
+  // Garbage design text must come back as a structured error from the
+  // hardened read path, not a crash.
+  auto bad = parse_request(
+      R"({"type":"plan","id":"j1","design":"nonsense 42\n",)"
+      R"("grid":[8,8],"sites":100})");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), core::StatusCode::kInvalidInput);
+}
+
+// --- event serialization --------------------------------------------
+
+obs::json::Value parse_event(const std::string& line) {
+  std::string error;
+  auto value = obs::json::parse(line, &error);
+  EXPECT_TRUE(value.has_value()) << error << " in: " << line;
+  return value.value_or(obs::json::Value{});
+}
+
+TEST(EventTest, QueuedRoundTrips) {
+  auto v = parse_event(event_queued("job-1", Priority::kHigh, 3));
+  EXPECT_EQ(v.find("event")->as_string(), "queued");
+  EXPECT_EQ(v.find("id")->as_string(), "job-1");
+  EXPECT_EQ(v.find("priority")->as_string(), "high");
+  EXPECT_EQ(v.find("queue_depth")->as_int(), 3);
+}
+
+TEST(EventTest, DoneEmbedsReportVerbatim) {
+  auto v = parse_event(
+      event_done("j", "ok", 12.5, 1.25, R"({"schema":"x","n":1})"));
+  EXPECT_EQ(v.find("event")->as_string(), "done");
+  EXPECT_EQ(v.find("verdict")->as_string(), "ok");
+  EXPECT_DOUBLE_EQ(v.find("elapsed_ms")->as_number(), 12.5);
+  const auto* report = v.find("report");
+  ASSERT_NE(report, nullptr);
+  ASSERT_TRUE(report->is_object());
+  EXPECT_EQ(report->find("schema")->as_string(), "x");
+}
+
+TEST(EventTest, RejectedCarriesStructuredError) {
+  auto v = parse_event(event_rejected("j9", "overloaded", "queue full"));
+  EXPECT_EQ(v.find("event")->as_string(), "rejected");
+  EXPECT_EQ(v.find("id")->as_string(), "j9");
+  const auto* error = v.find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->find("code")->as_string(), "overloaded");
+  EXPECT_EQ(error->find("message")->as_string(), "queue full");
+}
+
+TEST(EventTest, ErrorEscapesHostileMessages) {
+  core::Status status = core::Status::invalid_input(
+      "line with \"quotes\" and\nnewline and \x01 control");
+  const std::string line = event_error(status);
+  // The event must stay a single line — embedded newlines would break
+  // NDJSON framing for every client.
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  auto v = parse_event(line);
+  EXPECT_EQ(v.find("event")->as_string(), "error");
+  const auto* error = v.find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->find("code")->as_string(), "invalid-input");
+  EXPECT_NE(error->find("message")->as_string().find("quotes"),
+            std::string::npos);
+}
+
+TEST(EventTest, StatsReportsEveryGauge) {
+  ServerStats stats;
+  stats.queued_high = 1;
+  stats.queued_normal = 2;
+  stats.queued_low = 3;
+  stats.running = 4;
+  stats.accepted = 10;
+  stats.rejected = 5;
+  stats.completed = 6;
+  stats.timed_out = 1;
+  stats.cancelled = 2;
+  stats.failed = 0;
+  stats.draining = true;
+  auto v = parse_event(event_stats(stats));
+  EXPECT_EQ(v.find("event")->as_string(), "stats");
+  const auto* queued = v.find("queued");
+  ASSERT_NE(queued, nullptr);
+  EXPECT_EQ(queued->find("high")->as_int(), 1);
+  EXPECT_EQ(queued->find("normal")->as_int(), 2);
+  EXPECT_EQ(queued->find("low")->as_int(), 3);
+  EXPECT_EQ(v.find("running")->as_int(), 4);
+  EXPECT_EQ(v.find("accepted")->as_int(), 10);
+  EXPECT_EQ(v.find("rejected")->as_int(), 5);
+  EXPECT_EQ(v.find("completed")->as_int(), 6);
+  EXPECT_EQ(v.find("timed_out")->as_int(), 1);
+  EXPECT_EQ(v.find("cancelled")->as_int(), 2);
+  EXPECT_TRUE(v.find("draining")->as_bool());
+}
+
+TEST(EventTest, SimpleEventsParse) {
+  EXPECT_EQ(parse_event(event_pong()).find("event")->as_string(), "pong");
+  EXPECT_EQ(parse_event(event_draining()).find("event")->as_string(),
+            "draining");
+  EXPECT_EQ(parse_event(event_cancelled("c1")).find("id")->as_string(), "c1");
+  auto failed = parse_event(event_failed("f1", "boom"));
+  EXPECT_EQ(failed.find("event")->as_string(), "failed");
+  EXPECT_EQ(failed.find("error")->find("message")->as_string(), "boom");
+}
+
+}  // namespace
+}  // namespace rabid::serve

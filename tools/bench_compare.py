@@ -2,8 +2,15 @@
 """Compare a bench_report.py run against a committed baseline.
 
 Fails (exit 1) if any benchmark's real wall time regressed by more than
---max-regression (default 20%).  Entries present on only one side are
-reported but never fail the build (new benchmarks must be able to land).
+--max-regression (default 20%), or if a baseline benchmark is missing
+from the candidate run — a silently vanished benchmark would otherwise
+hide exactly the regression it was recorded to catch.  Benchmarks that
+are new in the candidate are reported but never fail the build (new
+benchmarks must be able to land).
+
+Every failure mode exits with a structured one-line message
+(error[<code>]: ...), never a traceback: missing-benchmark, io-error
+for unreadable files, invalid-input for malformed JSON.
 
 Aggregate rows (run_type "aggregate", e.g. the BigO/RMS entries emitted
 by --benchmark_complexity) are skipped: only run_type "iteration" rows
@@ -30,8 +37,18 @@ UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
 def load_times(path):
-    with open(path) as f:
-        doc = json.load(f)
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as exc:
+        raise SystemExit(f"error[io-error]: cannot read {path}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"error[invalid-input]: {path} is not valid "
+                         f"JSON: {exc}")
+    if not isinstance(doc, dict):
+        raise SystemExit(f"error[invalid-input]: {path}: expected a "
+                         "google-benchmark JSON object at top level, got "
+                         f"{type(doc).__name__}")
     times = {}
     for bench in doc.get("benchmarks", []):
         if bench.get("run_type", "iteration") != "iteration":
@@ -39,7 +56,8 @@ def load_times(path):
         name = bench["name"]
         unit = UNIT_NS.get(bench.get("time_unit", "ns"))
         if unit is None:
-            raise SystemExit(f"{path}: unknown time_unit in {name}")
+            raise SystemExit(f"error[invalid-input]: {path}: unknown "
+                             f"time_unit in {name}")
         times[name] = bench["real_time"] * unit
     return times
 
@@ -63,19 +81,22 @@ def main():
         for side, times in (("baseline", base), ("current", cur)):
             probe = times.get(args.calibrate)
             if not probe:
-                raise SystemExit(
-                    f"--calibrate {args.calibrate} missing from {side}")
+                raise SystemExit(f"error[missing-benchmark]: --calibrate "
+                                 f"probe {args.calibrate} missing from "
+                                 f"the {side} run")
             for name in times:
                 times[name] /= probe
 
     regressions = []
     improvements = []
+    missing = []
     width = max((len(n) for n in base), default=10)
     print(f"{'benchmark':<{width}}  {'baseline':>12} {'current':>12} "
           f"{'ratio':>7}")
     for name in sorted(base):
         if name not in cur:
             print(f"{name:<{width}}  {base[name]:>12.0f} {'gone':>12}")
+            missing.append(name)
             continue
         ratio = cur[name] / base[name]
         print(f"{name:<{width}}  {base[name]:>12.0f} {cur[name]:>12.0f} "
@@ -94,6 +115,13 @@ def main():
               "threshold; consider re-recording the baseline:")
         for name, ratio in improvements:
             print(f"  {name}: {ratio:.3f}x")
+    if missing:
+        names = ", ".join(missing)
+        raise SystemExit(f"error[missing-benchmark]: {len(missing)} "
+                         f"baseline benchmark(s) absent from "
+                         f"{args.current}: {names} — a removed benchmark "
+                         "needs the baseline re-recorded "
+                         "(tools/bench_report.py), not a silent pass")
     if regressions:
         print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more "
               f"than {args.max_regression:.0%}:")

@@ -1,0 +1,554 @@
+#!/usr/bin/env python3
+"""Client for the rabid_serve planning daemon (docs/SERVING.md).
+
+Speaks the newline-delimited JSON protocol over TCP or a spawned
+server's stdin/stdout, demultiplexes interleaved job events by id, and
+packages the three workloads the test/CI stack needs:
+
+  submit   send N plan requests and wait for their terminal events
+  smoke    the serve-smoke CI scenario: mixed-priority jobs including
+           one malformed and one deadline-expiring, an overload phase
+           that must produce a structured rejection, and a SIGTERM
+           drain that must not lose a single accepted job
+  soak     sustained concurrent load with random job kills; gates on
+           zero audit violations and a clean drain (nightly CI)
+
+Exit code 0 = every assertion held; 1 = failures (printed); 2 = usage.
+
+Examples:
+  rabid_client.py --spawn build/tools/rabid_serve smoke --jobs 20
+  rabid_client.py --connect 127.0.0.1:7471 submit --circuit apte -n 4
+  rabid_client.py --spawn build/tools/rabid_serve soak --duration 120
+"""
+
+import argparse
+import json
+import os
+import queue
+import random
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+TERMINAL_EVENTS = {"done", "rejected", "cancelled", "failed"}
+
+
+class Failures:
+    def __init__(self):
+        self.items = []
+        self.lock = threading.Lock()
+
+    def add(self, msg):
+        with self.lock:
+            self.items.append(msg)
+        print(f"FAIL: {msg}", file=sys.stderr)
+
+    def check(self, cond, msg):
+        if not cond:
+            self.add(msg)
+        return cond
+
+
+class ServerProc:
+    """A spawned rabid_serve, TCP mode, port discovered from stderr."""
+
+    def __init__(self, binary, extra_args=(), log_path=None):
+        self.log_path = log_path
+        self.log_file = open(log_path, "ab") if log_path else None
+        self.proc = subprocess.Popen(
+            [binary, "--port", "0", *extra_args],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+        )
+        self.port = None
+        deadline = time.time() + 30
+        while time.time() < deadline:
+            line = self.proc.stderr.readline()
+            if not line:
+                break
+            if self.log_file:
+                self.log_file.write(line)
+                self.log_file.flush()
+            text = line.decode(errors="replace")
+            if "listening on" in text:
+                self.port = int(text.split("listening on")[1].split()[0])
+                break
+        if self.port is None:
+            raise RuntimeError("server did not report a listening port")
+        # Keep draining stderr so the server never blocks on a full pipe.
+        self.stderr_thread = threading.Thread(target=self._pump, daemon=True)
+        self.stderr_thread.start()
+
+    def _pump(self):
+        for line in self.proc.stderr:
+            if self.log_file:
+                self.log_file.write(line)
+                self.log_file.flush()
+
+    def sigterm(self):
+        self.proc.send_signal(signal.SIGTERM)
+
+    def wait(self, timeout=120):
+        rc = self.proc.wait(timeout=timeout)
+        if self.log_file:
+            self.log_file.close()
+            self.log_file = None
+        return rc
+
+    def kill(self):
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait(timeout=30)
+        if self.log_file:
+            self.log_file.close()
+            self.log_file = None
+
+
+class Connection:
+    """One TCP connection: send requests, demux events by job id."""
+
+    def __init__(self, host, port):
+        self.sock = socket.create_connection((host, port), timeout=300)
+        self.file = self.sock.makefile("rb")
+        self.lock = threading.Lock()
+        self.events = {}  # id -> [event, ...]
+        self.terminal = {}  # id -> threading.Event
+        self.anon = queue.Queue()  # events with no job id
+        self.closed = threading.Event()
+        self.reader = threading.Thread(target=self._read_loop, daemon=True)
+        self.reader.start()
+
+    def _read_loop(self):
+        for raw in self.file:
+            try:
+                event = json.loads(raw)
+            except json.JSONDecodeError:
+                event = {"event": "_unparseable", "raw": raw.decode(errors="replace")}
+            job_id = event.get("id")
+            if job_id is None:
+                self.anon.put(event)
+                continue
+            with self.lock:
+                self.events.setdefault(job_id, []).append(event)
+                if event.get("event") in TERMINAL_EVENTS:
+                    self.terminal.setdefault(job_id, threading.Event()).set()
+        self.closed.set()
+
+    def send(self, obj):
+        data = (json.dumps(obj) + "\n").encode()
+        self.sock.sendall(data)
+
+    def send_raw(self, text):
+        self.sock.sendall(text.encode())
+
+    def wait_terminal(self, job_id, timeout=300):
+        with self.lock:
+            ev = self.terminal.setdefault(job_id, threading.Event())
+        if not ev.wait(timeout):
+            return None
+        with self.lock:
+            for event in reversed(self.events.get(job_id, [])):
+                if event.get("event") in TERMINAL_EVENTS:
+                    return event
+        return None
+
+    def events_of(self, job_id):
+        with self.lock:
+            return list(self.events.get(job_id, []))
+
+    def next_anon(self, timeout=60):
+        try:
+            return self.anon.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def close(self):
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def check_report(fail, job_id, event):
+    """A done event must embed a structurally valid RunReport."""
+    report = event.get("report")
+    if not fail.check(isinstance(report, dict),
+                      f"{job_id}: done event has no report object"):
+        return None
+    fail.check(report.get("schema") == "rabid.run_report.v1",
+               f"{job_id}: bad report schema {report.get('schema')!r}")
+    fail.check(isinstance(report.get("stages"), list) and report["stages"],
+               f"{job_id}: report has no stage rows")
+    fail.check(isinstance(report.get("counters"), dict),
+               f"{job_id}: report has no counters")
+    fail.check(report.get("verdict") == event.get("verdict"),
+               f"{job_id}: event verdict {event.get('verdict')!r} != report "
+               f"verdict {report.get('verdict')!r}")
+    return report
+
+
+def plan(job_id, circuit, priority, **kw):
+    req = {"type": "plan", "id": job_id, "circuit": circuit,
+           "priority": priority}
+    req.update(kw)
+    return req
+
+
+# ---------------------------------------------------------------------
+# submit: fire N jobs, print their terminal events.
+
+def cmd_submit(conn, args, fail):
+    ids = []
+    for i in range(args.count):
+        job_id = f"{args.id}-{i}" if args.count > 1 else args.id
+        req = plan(job_id, args.circuit, args.priority)
+        if args.deadline_ms > 0:
+            req["deadline_ms"] = args.deadline_ms
+        if args.audit:
+            req["audit"] = True
+        conn.send(req)
+        ids.append(job_id)
+    for job_id in ids:
+        event = conn.wait_terminal(job_id, timeout=args.timeout)
+        if not fail.check(event is not None,
+                          f"{job_id}: no terminal event"):
+            continue
+        print(json.dumps({"id": job_id, "event": event.get("event"),
+                          "verdict": event.get("verdict")}))
+        if event.get("event") == "done":
+            check_report(fail, job_id, event)
+    return ids
+
+
+# ---------------------------------------------------------------------
+# smoke: the serve-smoke CI scenario.
+
+SMOKE_CIRCUITS = ["apte", "xerox", "hp"]
+PRIORITIES = ["high", "normal", "low"]
+
+
+def smoke_mixed_jobs(binary, args, fail, log):
+    """Phase 1: N mixed-priority jobs, one malformed, one deadline-lived."""
+    server = ServerProc(binary, ["--workers", "4"], log_path=log)
+    try:
+        conn = Connection("127.0.0.1", server.port)
+        total = args.jobs
+        good_ids, deadline_id = [], None
+        for i in range(total):
+            if i == total // 2:
+                # The malformed job: not JSON at all.  The server must
+                # answer with a structured error and keep serving.
+                conn.send_raw('{"type":"plan","id":"broken"  \n')
+                continue
+            job_id = f"smoke-{i}"
+            req = plan(job_id, SMOKE_CIRCUITS[i % 3], PRIORITIES[i % 3])
+            if deadline_id is None and i == 3:
+                req["deadline_ms"] = 1  # expires mid-flow by construction
+                deadline_id = job_id
+            conn.send(req)
+            good_ids.append(job_id)
+
+        saw_error = False
+        for _ in range(4):
+            anon = conn.next_anon(timeout=60)
+            if anon and anon.get("event") == "error":
+                saw_error = True
+                break
+        fail.check(saw_error, "malformed request produced no error event")
+
+        for job_id in good_ids:
+            event = conn.wait_terminal(job_id, timeout=300)
+            if not fail.check(event is not None,
+                              f"{job_id}: no terminal event"):
+                continue
+            if not fail.check(event.get("event") == "done",
+                              f"{job_id}: expected done, got "
+                              f"{event.get('event')}: {event}"):
+                continue
+            check_report(fail, job_id, event)
+            queued = [e for e in conn.events_of(job_id)
+                      if e.get("event") == "queued"]
+            fail.check(len(queued) == 1, f"{job_id}: expected one queued "
+                       f"event, saw {len(queued)}")
+            if job_id == deadline_id:
+                fail.check(event.get("verdict") == "timed_out",
+                           f"{job_id}: deadline job finished with verdict "
+                           f"{event.get('verdict')!r}, expected timed_out")
+            else:
+                fail.check(event.get("verdict") == "ok",
+                           f"{job_id}: verdict {event.get('verdict')!r}")
+        conn.close()
+    finally:
+        server.sigterm()
+        rc = server.wait()
+        fail.check(rc == 0, f"mixed-jobs server exited {rc}, expected 0")
+
+
+def smoke_overload(binary, args, fail, log):
+    """Phase 2: a tiny queue must answer overload with a structured
+    rejection, and every *accepted* job must still complete."""
+    server = ServerProc(
+        binary, ["--workers", "1", "--queue-cap", "2"], log_path=log)
+    try:
+        conn = Connection("127.0.0.1", server.port)
+        ids = [f"flood-{i}" for i in range(args.flood)]
+        for job_id in ids:
+            conn.send(plan(job_id, "apte", "low"))
+        rejected = accepted = 0
+        for job_id in ids:
+            event = conn.wait_terminal(job_id, timeout=300)
+            if not fail.check(event is not None,
+                              f"{job_id}: no terminal event"):
+                continue
+            if event.get("event") == "rejected":
+                rejected += 1
+                err = event.get("error", {})
+                fail.check(err.get("code") == "overloaded",
+                           f"{job_id}: rejection code {err.get('code')!r}, "
+                           "expected 'overloaded'")
+                fail.check(bool(err.get("message")),
+                           f"{job_id}: rejection without a message")
+            elif event.get("event") == "done":
+                accepted += 1
+                check_report(fail, job_id, event)
+            else:
+                fail.add(f"{job_id}: unexpected terminal {event}")
+        fail.check(rejected >= 1,
+                   f"flood of {len(ids)} jobs against queue-cap 2 produced "
+                   "no overload rejection")
+        fail.check(accepted >= 1, "overload phase accepted nothing")
+        print(f"overload: {accepted} done, {rejected} rejected")
+        conn.close()
+    finally:
+        server.sigterm()
+        rc = server.wait()
+        fail.check(rc == 0, f"overload server exited {rc}, expected 0")
+
+
+def smoke_drain(binary, args, fail, log):
+    """Phase 3: SIGTERM mid-backlog; every accepted job must still reach
+    a terminal done event and the server must exit 0."""
+    server = ServerProc(binary, ["--workers", "2"], log_path=log)
+    conn = Connection("127.0.0.1", server.port)
+    ids = [f"drain-{i}" for i in range(args.drain_jobs)]
+    for job_id in ids:
+        conn.send(plan(job_id, SMOKE_CIRCUITS[hash(job_id) % 3], "normal"))
+    # Wait until all are queued so "accepted" is unambiguous, then pull
+    # the plug while most are still waiting in the queue.
+    accepted = []
+    for job_id in ids:
+        deadline = time.time() + 60
+        while time.time() < deadline:
+            if any(e.get("event") == "queued"
+                   for e in conn.events_of(job_id)):
+                accepted.append(job_id)
+                break
+            if any(e.get("event") in TERMINAL_EVENTS
+                   for e in conn.events_of(job_id)):
+                accepted.append(job_id)  # already past queued
+                break
+            time.sleep(0.005)
+    fail.check(len(accepted) == len(ids),
+               f"only {len(accepted)}/{len(ids)} drain jobs were accepted")
+    server.sigterm()
+    for job_id in accepted:
+        event = conn.wait_terminal(job_id, timeout=300)
+        if not fail.check(event is not None,
+                          f"{job_id}: lost by the drain (no terminal event)"):
+            continue
+        fail.check(event.get("event") == "done",
+                   f"{job_id}: drained to {event.get('event')}, expected "
+                   "done")
+        if event.get("event") == "done":
+            check_report(fail, job_id, event)
+    rc = server.wait()
+    fail.check(rc == 0, f"drain server exited {rc}, expected 0")
+    conn.close()
+    print(f"drain: all {len(accepted)} accepted jobs completed, exit {rc}")
+
+
+def cmd_smoke(args, fail):
+    log = args.server_log
+    smoke_mixed_jobs(args.spawn, args, fail, log)
+    smoke_overload(args.spawn, args, fail, log)
+    smoke_drain(args.spawn, args, fail, log)
+
+
+# ---------------------------------------------------------------------
+# soak: sustained load + random job kills (nightly).
+
+def cmd_soak(args, fail):
+    server = ServerProc(
+        args.spawn,
+        ["--workers", str(args.workers), "--queue-cap", str(args.queue_cap)],
+        log_path=args.server_log)
+    stop = threading.Event()
+    stats = {"submitted": 0, "done": 0, "timed_out": 0, "rejected": 0,
+             "cancelled": 0, "kills_sent": 0, "audited_clean": 0,
+             "audit_violations": 0, "lost": 0, "failed": 0}
+    stats_lock = threading.Lock()
+
+    def bump(key, n=1):
+        with stats_lock:
+            stats[key] += n
+
+    def client_loop(index):
+        rng = random.Random(1000 + index)
+        conn = Connection("127.0.0.1", server.port)
+        pending = []
+        serial = 0
+        while not stop.is_set():
+            job_id = f"c{index}-{serial}"
+            serial += 1
+            req = plan(job_id, rng.choice(SMOKE_CIRCUITS),
+                       rng.choice(PRIORITIES), audit=True)
+            if rng.random() < 0.1:
+                req["deadline_ms"] = rng.choice([1, 5, 20])
+            conn.send(req)
+            bump("submitted")
+            pending.append(job_id)
+            # Random job kill: cancel a queued job now and then.  The
+            # server may race us (already running / already finished) —
+            # any structured answer is acceptable; silence is not.
+            if rng.random() < args.kill_fraction and pending:
+                victim = rng.choice(pending)
+                conn.send({"type": "cancel", "id": victim})
+                bump("kills_sent")
+            # Keep a bounded in-flight window per client.
+            while len(pending) >= args.window and not stop.is_set():
+                settled = conn.wait_terminal(pending[0], timeout=300)
+                reap(pending.pop(0), settled)
+
+        for job_id in pending:
+            reap(job_id, conn.wait_terminal(job_id, timeout=300))
+        conn.close()
+
+    def reap(job_id, event):
+        if event is None:
+            bump("lost")
+            fail.add(f"{job_id}: no terminal event (lost job)")
+            return
+        kind = event.get("event")
+        if kind == "done":
+            bump("timed_out" if event.get("verdict") == "timed_out"
+                 else "done")
+            audit = event.get("report", {}).get("audit") or {}
+            if audit.get("run"):
+                if audit.get("clean"):
+                    bump("audited_clean")
+                else:
+                    bump("audit_violations")
+                    fail.add(f"{job_id}: audit violations in soak "
+                             f"(errors={audit.get('errors')})")
+        elif kind == "rejected":
+            bump("rejected")
+        elif kind == "cancelled":
+            bump("cancelled")
+        else:
+            bump("failed")
+            fail.add(f"{job_id}: unexpected terminal {event}")
+
+    threads = [threading.Thread(target=client_loop, args=(i,))
+               for i in range(args.clients)]
+    for t in threads:
+        t.start()
+    time.sleep(args.duration)
+    stop.set()
+    for t in threads:
+        t.join(timeout=600)
+        fail.check(not t.is_alive(), "soak client thread failed to settle")
+
+    server.sigterm()
+    rc = server.wait(timeout=300)
+    fail.check(rc == 0, f"soak server exited {rc}, expected 0 (clean drain)")
+    fail.check(stats["audit_violations"] == 0,
+               f"{stats['audit_violations']} jobs had audit violations")
+    done_total = stats["done"] + stats["timed_out"]
+    fail.check(done_total > 0, "soak completed zero jobs")
+    # The audit gate must not pass vacuously: every job asked for an
+    # audit, so completed jobs must have actually been audited.
+    fail.check(stats["audited_clean"] + stats["audit_violations"]
+               == done_total,
+               f"only {stats['audited_clean']} of {done_total} completed "
+               "jobs were audited")
+    print("soak:", json.dumps(stats))
+
+
+# ---------------------------------------------------------------------
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--connect", help="HOST:PORT of a running server")
+    parser.add_argument("--spawn", help="path to rabid_serve to spawn")
+    parser.add_argument("--server-log",
+                        help="append the spawned server's stderr here")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_submit = sub.add_parser("submit", help="send plan requests")
+    p_submit.add_argument("--circuit", default="apte")
+    p_submit.add_argument("--priority", default="normal",
+                          choices=["high", "normal", "low"])
+    p_submit.add_argument("--id", default="job")
+    p_submit.add_argument("-n", "--count", type=int, default=1)
+    p_submit.add_argument("--deadline-ms", type=float, default=0)
+    p_submit.add_argument("--audit", action="store_true")
+    p_submit.add_argument("--timeout", type=float, default=300)
+
+    p_smoke = sub.add_parser("smoke", help="the serve-smoke CI scenario")
+    p_smoke.add_argument("--jobs", type=int, default=20,
+                         help="mixed-priority jobs in phase 1 (incl. the "
+                              "malformed and deadline-expiring ones)")
+    p_smoke.add_argument("--flood", type=int, default=12,
+                         help="jobs thrown at the tiny overload queue")
+    p_smoke.add_argument("--drain-jobs", type=int, default=6)
+
+    p_soak = sub.add_parser("soak", help="sustained load + random kills")
+    p_soak.add_argument("--duration", type=float, default=120)
+    p_soak.add_argument("--clients", type=int, default=4)
+    p_soak.add_argument("--workers", type=int, default=4)
+    p_soak.add_argument("--queue-cap", type=int, default=32)
+    p_soak.add_argument("--window", type=int, default=8,
+                        help="max in-flight jobs per client")
+    p_soak.add_argument("--kill-fraction", type=float, default=0.1)
+
+    args = parser.parse_args()
+    fail = Failures()
+
+    if args.command in ("smoke", "soak"):
+        if not args.spawn:
+            parser.error(f"{args.command} needs --spawn")
+        if args.command == "smoke":
+            cmd_smoke(args, fail)
+        else:
+            cmd_soak(args, fail)
+    else:
+        if args.connect:
+            host, _, port = args.connect.rpartition(":")
+            conn = Connection(host or "127.0.0.1", int(port))
+            cmd_submit(conn, args, fail)
+            conn.close()
+        elif args.spawn:
+            server = ServerProc(args.spawn, log_path=args.server_log)
+            try:
+                conn = Connection("127.0.0.1", server.port)
+                cmd_submit(conn, args, fail)
+                conn.close()
+            finally:
+                server.sigterm()
+                rc = server.wait()
+                fail.check(rc == 0, f"server exited {rc}")
+        else:
+            parser.error("submit needs --connect or --spawn")
+
+    if fail.items:
+        print(f"\n{len(fail.items)} failure(s)", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,273 @@
+// rabid_serve — the long-lived RABID planning daemon (docs/SERVING.md).
+//
+//   rabid_serve --stdio                      # NDJSON over stdin/stdout
+//   rabid_serve --port 7471                  # NDJSON over TCP (loopback)
+//   rabid_serve --port 0 --workers 4         # ephemeral port, 4 flows
+//
+// The daemon accepts planning jobs as newline-delimited JSON requests
+// (src/serve/protocol.hpp), validates them with the hardened parsers,
+// queues them per priority with bounded admission control, runs up to
+// --workers flows concurrently over shared immutable circuit data, and
+// streams back lifecycle events plus the final RunReport JSON.
+//
+// Flags:
+//   --stdio                  serve one client over stdin/stdout
+//   --port N                 serve TCP clients on 127.0.0.1:N (0 =
+//                            ephemeral; the bound port prints on stderr
+//                            as "listening on PORT")
+//   --workers K              concurrent flows (default: one per
+//                            hardware thread)
+//   --queue-cap N            per-priority-channel queue bound
+//                            (default 64); a full channel rejects with
+//                            a structured "overloaded" error
+//   --job-threads N          RabidOptions::threads for jobs that do not
+//                            choose (default 1)
+//   --default-deadline-ms MS deadline applied to jobs without one
+//                            (default 0 = none)
+//   --max-deadline-ms MS     clamp every job's deadline (default 0 =
+//                            uncapped)
+//   --max-line-bytes N       request framing cap (default 4 MiB)
+//   --obs LEVEL              off | counters | trace (default counters;
+//                            the serve.* counters need >= counters)
+//
+// Shutdown: SIGTERM or SIGINT (or a {"type":"drain"} request) stops
+// admission, finishes every already-accepted job, then exits 0.  An
+// accepted job is never lost by a shutdown.
+//
+// Exit codes: 0 clean drain, 2 usage error, 3 transport/setup error.
+
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/net.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+struct Args {
+  bool stdio = false;
+  bool tcp = false;
+  std::uint16_t port = 0;
+  rabid::serve::ServerOptions server;
+  std::size_t max_line_bytes = rabid::serve::kDefaultMaxLineBytes;
+};
+
+[[noreturn]] void usage(const char* msg) {
+  if (msg != nullptr) std::fprintf(stderr, "error: %s\n", msg);
+  std::fprintf(
+      stderr,
+      "usage: rabid_serve (--stdio | --port N) [--workers K]\n"
+      "       [--queue-cap N] [--job-threads N] [--default-deadline-ms MS]\n"
+      "       [--max-deadline-ms MS] [--max-line-bytes N]\n"
+      "       [--obs off|counters|trace]\n");
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(("missing value for " + flag).c_str());
+      return argv[++i];
+    };
+    if (flag == "--stdio") {
+      a.stdio = true;
+    } else if (flag == "--port") {
+      const long p = std::atol(value());
+      if (p < 0 || p > 65535) usage("--port expects 0..65535");
+      a.tcp = true;
+      a.port = static_cast<std::uint16_t>(p);
+    } else if (flag == "--workers") {
+      a.server.workers = static_cast<std::int32_t>(std::atoi(value()));
+      if (a.server.workers < 0) usage("--workers expects >= 0");
+    } else if (flag == "--queue-cap") {
+      const long n = std::atol(value());
+      if (n < 1) usage("--queue-cap expects >= 1");
+      a.server.queue_capacity = static_cast<std::size_t>(n);
+    } else if (flag == "--job-threads") {
+      a.server.job_threads = static_cast<std::int32_t>(std::atoi(value()));
+      if (a.server.job_threads < 1) usage("--job-threads expects >= 1");
+    } else if (flag == "--default-deadline-ms") {
+      a.server.default_deadline_ms = std::atof(value());
+      if (a.server.default_deadline_ms < 0)
+        usage("--default-deadline-ms expects >= 0");
+    } else if (flag == "--max-deadline-ms") {
+      a.server.max_deadline_ms = std::atof(value());
+      if (a.server.max_deadline_ms < 0)
+        usage("--max-deadline-ms expects >= 0");
+    } else if (flag == "--max-line-bytes") {
+      const long n = std::atol(value());
+      if (n < 1024) usage("--max-line-bytes expects >= 1024");
+      a.max_line_bytes = static_cast<std::size_t>(n);
+    } else if (flag == "--obs") {
+      if (!rabid::obs::level_from_name(value(), &a.server.obs_level))
+        usage("--obs expects off, counters, or trace");
+    } else if (flag == "--help" || flag == "-h") {
+      usage(nullptr);
+    } else {
+      usage(("unknown flag " + flag).c_str());
+    }
+  }
+  if (a.stdio == a.tcp) usage("pick exactly one of --stdio or --port");
+  return a;
+}
+
+// Self-pipe: the only async-signal-safe way to get a signal into a
+// poll()-driven loop.  One byte per wake reason; the reader only cares
+// that *something* arrived.
+int g_wake_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  const char byte = 's';
+  [[maybe_unused]] const ssize_t n = ::write(g_wake_pipe[1], &byte, 1);
+}
+
+void install_signals() {
+  if (::pipe(g_wake_pipe) != 0) {
+    std::perror("pipe");
+    std::exit(3);
+  }
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+}
+
+void log_final_stats(const rabid::serve::Server& server) {
+  const rabid::serve::ServerStats s = server.stats();
+  std::fprintf(stderr,
+               "drained: accepted=%lld completed=%lld timed_out=%lld "
+               "cancelled=%lld rejected=%lld failed=%lld\n",
+               static_cast<long long>(s.accepted),
+               static_cast<long long>(s.completed),
+               static_cast<long long>(s.timed_out),
+               static_cast<long long>(s.cancelled),
+               static_cast<long long>(s.rejected),
+               static_cast<long long>(s.failed));
+}
+
+int run_stdio(const Args& args) {
+  rabid::serve::Server server(args.server);
+  server.set_drain_callback([] {
+    const char byte = 'd';
+    [[maybe_unused]] const ssize_t n = ::write(g_wake_pipe[1], &byte, 1);
+  });
+
+  std::mutex out_mu;
+  const rabid::serve::Sink sink = [&out_mu](std::string_view line) {
+    std::lock_guard<std::mutex> lock(out_mu);
+    std::fwrite(line.data(), 1, line.size(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+  };
+
+  std::fprintf(stderr, "rabid_serve: stdio mode, %zu workers\n",
+               rabid::util::resolve_thread_count(args.server.workers));
+
+  rabid::serve::LineReader reader(args.max_line_bytes);
+  std::vector<rabid::serve::LineReader::Line> lines;
+  char buf[64 * 1024];
+  bool eof = false;
+  while (!eof) {
+    struct pollfd fds[2] = {{STDIN_FILENO, POLLIN, 0},
+                            {g_wake_pipe[0], POLLIN, 0}};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0) break;  // signal or drain request
+    if ((fds[0].revents & (POLLIN | POLLHUP)) == 0) continue;
+    const ssize_t n = ::read(STDIN_FILENO, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      eof = true;
+    } else {
+      lines.clear();
+      reader.feed(std::string_view(buf, static_cast<std::size_t>(n)),
+                  &lines);
+      for (const rabid::serve::LineReader::Line& line : lines) {
+        if (line.oversized) {
+          sink(rabid::serve::event_error(rabid::core::Status::invalid_input(
+              "request line exceeds " + std::to_string(args.max_line_bytes) +
+                  " bytes (" + std::to_string(line.dropped_bytes) +
+                  " dropped)",
+              "framing")));
+          continue;
+        }
+        if (line.text.empty()) continue;
+        server.handle_line(line.text, sink);
+      }
+    }
+  }
+  std::size_t partial = 0;
+  if (eof && reader.finish(&partial)) {
+    sink(rabid::serve::event_error(rabid::core::Status::invalid_input(
+        "stdin closed mid-line (" + std::to_string(partial) +
+            " bytes after the last newline discarded)",
+        "framing")));
+  }
+
+  std::fprintf(stderr, "rabid_serve: draining\n");
+  server.begin_drain();
+  server.drain_and_join();
+  log_final_stats(server);
+  return 0;
+}
+
+int run_tcp(const Args& args) {
+  rabid::serve::Server server(args.server);
+  server.set_drain_callback([] {
+    const char byte = 'd';
+    [[maybe_unused]] const ssize_t n = ::write(g_wake_pipe[1], &byte, 1);
+  });
+
+  rabid::core::Status status = rabid::core::Status::ok();
+  rabid::serve::TcpTransport transport(server, args.port, &status,
+                                       args.max_line_bytes);
+  if (!status) {
+    std::fprintf(stderr, "%s\n", status.to_string().c_str());
+    return 3;
+  }
+  std::fprintf(stderr, "rabid_serve: listening on %u (%zu workers)\n",
+               transport.port(),
+               rabid::util::resolve_thread_count(args.server.workers));
+  std::fflush(stderr);
+
+  std::thread acceptor([&transport] { transport.accept_loop(); });
+
+  // Block until a signal or a protocol drain request lands.
+  char byte = 0;
+  while (::read(g_wake_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+
+  std::fprintf(stderr, "rabid_serve: draining\n");
+  transport.stop_accepting();
+  acceptor.join();
+  server.begin_drain();
+  server.drain_and_join();
+  transport.close_connections();
+  log_final_stats(server);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  install_signals();
+  return args.stdio ? run_stdio(args) : run_tcp(args);
+}
