@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <vector>
 
 #include "buffer/insertion.hpp"
@@ -105,6 +106,69 @@ void BM_TreeDpComb(benchmark::State& state) {
   state.SetComplexityN(m);
 }
 BENCHMARK(BM_TreeDpComb)->Range(8, 512)->Complexity(benchmark::oN);
+
+/// The candidate-list engine across library sizes on a realistic mixed
+/// tree (a comb): 1 type measures the pruning machinery's overhead
+/// against the dense engine above; 4 types the real multi-type cost.
+/// Dominance pruning keeps the per-node frontiers near-linear in L, so
+/// growing b should scale the time far slower than b x.
+void BM_BufferDp(benchmark::State& state, const char* preset) {
+  buffer::BufferLibrary lib;
+  if (!buffer::BufferLibrary::preset(preset, &lib)) std::abort();
+  const std::int32_t m = 64;
+  tile::TileGraph g(geom::Rect{{0, 0}, {(m + 1) * 200.0, 800.0}},
+                    2 * (m + 1), 8);
+  route::RouteTree t(g.id_of({0, 0}));
+  route::NodeId cur = t.root();
+  for (std::int32_t k = 1; k <= m; ++k) {
+    cur = t.add_child(cur, g.id_of({2 * k - 1, 0}));
+    cur = t.add_child(cur, g.id_of({2 * k, 0}));
+    route::NodeId tooth = t.add_child(cur, g.id_of({2 * k, 1}));
+    tooth = t.add_child(tooth, g.id_of({2 * k, 2}));
+    t.add_sink(tooth);
+  }
+  t.add_sink(cur);
+  const std::vector<double> q = random_costs(g.tile_count(), 13);
+  const buffer::TileCostFn cost = [&](tile::TileId tl) {
+    return q[static_cast<std::size_t>(tl)];
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buffer::insert_buffers_lib(t, 6, cost, lib));
+  }
+}
+BENCHMARK_CAPTURE(BM_BufferDp, 1types, "unit");
+BENCHMARK_CAPTURE(BM_BufferDp, 2types, "paper2");
+BENCHMARK_CAPTURE(BM_BufferDp, 4types, "paper4");
+
+/// The dispatcher's unit fast path on the same tree — what stage 3
+/// actually runs per net with the default library (dense SoA + SIMD
+/// kernels).  The spread against BM_BufferDp/1types is the price the
+/// candidate representation would pay if it were not bypassed.
+void BM_BufferDpPlannedUnit(benchmark::State& state) {
+  const std::int32_t m = 64;
+  tile::TileGraph g(geom::Rect{{0, 0}, {(m + 1) * 200.0, 800.0}},
+                    2 * (m + 1), 8);
+  route::RouteTree t(g.id_of({0, 0}));
+  route::NodeId cur = t.root();
+  for (std::int32_t k = 1; k <= m; ++k) {
+    cur = t.add_child(cur, g.id_of({2 * k - 1, 0}));
+    cur = t.add_child(cur, g.id_of({2 * k, 0}));
+    route::NodeId tooth = t.add_child(cur, g.id_of({2 * k, 1}));
+    tooth = t.add_child(tooth, g.id_of({2 * k, 2}));
+    t.add_sink(tooth);
+  }
+  t.add_sink(cur);
+  const std::vector<double> q = random_costs(g.tile_count(), 13);
+  const buffer::TileCostFn cost = [&](tile::TileId tl) {
+    return q[static_cast<std::size_t>(tl)];
+  };
+  const buffer::BufferLibrary lib = buffer::BufferLibrary::single_unit();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        buffer::insert_buffers_planned(t, 6, cost, lib));
+  }
+}
+BENCHMARK(BM_BufferDpPlannedUnit);
 
 }  // namespace
 

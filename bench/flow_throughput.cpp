@@ -18,10 +18,13 @@ using namespace rabid;
 
 // The observability contract: the default options record nothing, so
 // every benchmark here measures the uninstrumented hot paths and the
-// BENCH_baseline gate stays meaningful.  Checked at compile time — if a
-// future change flips the default, this file refuses to build.
-static_assert(core::RabidOptions{}.obs_level == obs::Level::kOff,
-              "benchmarks assume observability defaults to off");
+// BENCH_baseline gate stays meaningful.  Checked at startup — options
+// hold a buffer library now, so the check can't be constexpr.
+const bool kObsDefaultsOff = [] {
+  RABID_ASSERT_MSG(core::RabidOptions{}.obs_level == obs::Level::kOff,
+                   "benchmarks assume observability defaults to off");
+  return true;
+}();
 
 void BM_FullFlow(benchmark::State& state, const char* circuit) {
   const circuits::CircuitSpec& spec = circuits::spec_by_name(circuit);

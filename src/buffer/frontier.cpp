@@ -1,0 +1,49 @@
+#include "buffer/frontier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace rabid::buffer {
+
+Frontier prune_frontier(std::span<const Cand> states,
+                        std::uint64_t* pruned_out) {
+  Frontier sorted;
+  sorted.reserve(states.size());
+  for (const Cand& s : states) {
+    if (std::isfinite(s.cost)) sorted.push_back(s);
+  }
+  std::sort(sorted.begin(), sorted.end(), [](const Cand& a, const Cand& b) {
+    if (a.load != b.load) return a.load < b.load;
+    return a.cost < b.cost;
+  });
+  Frontier out;
+  out.reserve(sorted.size());
+  for (const Cand& s : sorted) {
+    if (!out.empty() && out.back().cost <= s.cost) continue;  // dominated
+    out.push_back(s);
+  }
+  if (pruned_out != nullptr) {
+    *pruned_out += static_cast<std::uint64_t>(states.size() - out.size());
+  }
+  return out;
+}
+
+double frontier_min_under(std::span<const Cand> frontier,
+                          std::int32_t budget) {
+  const std::int32_t i = frontier_arg_under(frontier, budget);
+  if (i < 0) return std::numeric_limits<double>::infinity();
+  return frontier[static_cast<std::size_t>(i)].cost;
+}
+
+std::int32_t frontier_arg_under(std::span<const Cand> frontier,
+                                std::int32_t budget) {
+  // Last entry with load <= budget (loads are strictly increasing).
+  const auto it = std::upper_bound(
+      frontier.begin(), frontier.end(), budget,
+      [](std::int32_t b, const Cand& c) { return b < c.load; });
+  if (it == frontier.begin()) return -1;
+  return static_cast<std::int32_t>(std::distance(frontier.begin(), it) - 1);
+}
+
+}  // namespace rabid::buffer

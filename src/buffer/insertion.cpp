@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <limits>
 
+#include "buffer/kernels.hpp"
 #include "obs/counters.hpp"
 #include "util/assert.hpp"
 
@@ -19,60 +20,32 @@ using Array = std::vector<double>;
 /// decoupling-buffer option at the parent (out[0]).  `out` has L+1 slots.
 void advance_and_decouple(std::span<const double> child, double q_v,
                           std::int32_t L, std::span<double> out) {
-  for (std::int32_t j = 1; j <= L; ++j) {
-    out[static_cast<std::size_t>(j)] = child[static_cast<std::size_t>(j) - 1];
-  }
+  // Advance: out[j] = child[j-1] for j in [1, L].
+  std::copy_n(child.data(), L, out.data() + 1);
   // A buffer at the parent drives the 1-tile arc plus j units below the
   // child: legal when j + 1 <= L, i.e. j <= L-1.
-  double best = kInf;
-  for (std::int32_t j = 0; j <= L - 1; ++j) {
-    best = std::min(best, child[static_cast<std::size_t>(j)]);
-  }
-  out[0] = q_v + best;
+  out[0] = q_v + kernels::range_min(child.data(), L);
 }
 
 /// Index of the first minimum of child[0..L-1] — the decoupling-buffer
 /// traceback target. Mirrors advance_and_decouple's scan order.
 std::int32_t decouple_argmin(std::span<const double> child, std::int32_t L) {
-  double best = kInf;
-  std::int32_t arg = 0;
-  for (std::int32_t j = 0; j <= L - 1; ++j) {
-    if (child[static_cast<std::size_t>(j)] < best) {
-      best = child[static_cast<std::size_t>(j)];
-      arg = j;
-    }
-  }
-  return arg;
+  return kernels::range_argmin_first(child.data(), L);
 }
 
 /// Min-plus convolution truncated at L: unbuffered lengths of the two
 /// branch groups add at the merge node.  `out` must not alias a or b.
 void join(std::span<const double> a, std::span<const double> b,
           std::int32_t L, std::span<double> out) {
-  for (std::int32_t j = 0; j <= L; ++j) {
-    double best = kInf;
-    for (std::int32_t x = 0; x <= j; ++x) {
-      const double v = a[static_cast<std::size_t>(x)] +
-                       b[static_cast<std::size_t>(j - x)];
-      if (v < best) best = v;
-    }
-    out[static_cast<std::size_t>(j)] = best;
-  }
+  kernels::min_plus_join(a.data(), b.data(), L, out.data());
 }
 
 /// Value/argmin of the driving-buffer option: a buffer at v drives the
 /// whole joined load j (j <= L).
 std::pair<double, std::int32_t> drive_option(std::span<const double> joined,
                                              double q_v, std::int32_t L) {
-  double best = kInf;
-  std::int32_t arg = 0;
-  for (std::int32_t j = 0; j <= L; ++j) {
-    if (joined[static_cast<std::size_t>(j)] < best) {
-      best = joined[static_cast<std::size_t>(j)];
-      arg = j;
-    }
-  }
-  return {q_v + best, arg};
+  const std::int32_t arg = kernels::range_argmin_first(joined.data(), L + 1);
+  return {q_v + joined[static_cast<std::size_t>(arg)], arg};
 }
 
 }  // namespace
@@ -156,6 +129,9 @@ class TreeDp {
     return static_cast<std::uint64_t>(c_.size() + k_.size() + acc_.size());
   }
 
+  /// Span-kernel invocations of the forward pass.
+  std::uint64_t kernel_calls() const { return kernel_calls_; }
+
   /// C_v cells left at +inf — candidate states no buffering realizes.
   std::uint64_t cells_infeasible() const {
     return static_cast<std::uint64_t>(
@@ -205,6 +181,7 @@ class TreeDp {
       return;
     }
     const double q_v = q_of_node_[i];
+    kernel_calls_ += 2 * children.size() - 1;  // advances + joins
     for (std::size_t s = 0; s < children.size(); ++s) {
       const auto w = static_cast<std::size_t>(children[s]);
       advance_and_decouple(row(c_, w), q_v, L_, row(k_, w));
@@ -224,6 +201,7 @@ class TreeDp {
     // drives in series with the net driver itself.
     if (v != tree_.root() && children.size() >= 2) {
       has_drive_[i] = 1;
+      ++kernel_calls_;
       const auto [val, arg] = drive_option(prev, q_v, L_);
       drive_value_[i] = val;
       drive_arg_[i] = arg;
@@ -288,6 +266,7 @@ class TreeDp {
   std::vector<double> drive_value_;
   std::vector<std::int32_t> drive_arg_;
   std::vector<std::uint8_t> has_drive_;
+  std::uint64_t kernel_calls_ = 0;
 };
 
 }  // namespace
@@ -305,6 +284,7 @@ InsertionResult insert_buffers(const route::RouteTree& tree, std::int32_t L,
     obs::count(obs::Counter::kDpNets);
     obs::count(obs::Counter::kDpCellsComputed, dp.cells_computed());
     obs::count(obs::Counter::kDpCellsInfeasible, dp.cells_infeasible());
+    obs::count(obs::Counter::kDpKernels, dp.kernel_calls());
     obs::observe(obs::HistogramId::kDpCellsPerNet, dp.cells_computed());
   }
   return result;

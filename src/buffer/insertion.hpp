@@ -42,6 +42,8 @@
 #include <span>
 #include <vector>
 
+#include "buffer/frontier.hpp"
+#include "buffer/library.hpp"
 #include "route/buffers.hpp"
 #include "route/route_tree.hpp"
 #include "tile/tile_graph.hpp"
@@ -56,6 +58,9 @@ struct InsertionResult {
   double cost = 0.0;
   bool feasible = false;
   route::BufferList buffers;
+  /// Planning-library type index per buffer, parallel to `buffers`.
+  /// Empty means "all unit type" (the single-type engine's output).
+  std::vector<std::int32_t> types;
   /// Length limit actually used: == requested L normally; > L when the
   /// relaxed variant had to loosen the rule (net counts as a failure).
   std::int32_t effective_limit = 0;
@@ -73,6 +78,42 @@ InsertionResult insert_buffers(const route::RouteTree& tree, std::int32_t L,
 /// tables count as a length-constraint failure.
 InsertionResult insert_buffers_relaxed(const route::RouteTree& tree,
                                        std::int32_t L, const TileCostFn& q);
+
+/// Multi-type buffer insertion: chooses one of `lib`'s b types per
+/// buffer, minimizing total scaled site cost (type t at tile v costs
+/// cost_scale_t * q(v); a type-t gate may drive up to drive_limit(t, L)
+/// tile-units — the net driver itself always obeys the plain L).  Runs
+/// the dominance-pruned candidate-list engine; `result.types[i]` is the
+/// library index of `result.buffers[i]`.  For a unit library this is
+/// value-equivalent to insert_buffers (the oracle battery pins both).
+InsertionResult insert_buffers_lib(const route::RouteTree& tree,
+                                   std::int32_t L, const TileCostFn& q,
+                                   const BufferLibrary& lib);
+
+/// insert_buffers_relaxed, multi-type.
+InsertionResult insert_buffers_lib_relaxed(const route::RouteTree& tree,
+                                           std::int32_t L,
+                                           const TileCostFn& q,
+                                           const BufferLibrary& lib);
+
+/// The candidate engine's pruned root frontier (all (load, cost) states
+/// with load <= max(L, lib.max_drive_limit(L))).  Exposed for the oracle
+/// battery, which checks it state-for-state against exhaustive
+/// enumeration (brute_force_frontier_lib).
+std::vector<Cand> dp_root_frontier_lib(const route::RouteTree& tree,
+                                       std::int32_t L, const TileCostFn& q,
+                                       const BufferLibrary& lib);
+
+/// Dispatcher the flow calls: unit libraries take the dense SoA/SIMD
+/// path (bit-for-bit the historical engine, empty `types`), anything
+/// else takes the candidate-list path.
+InsertionResult insert_buffers_planned(const route::RouteTree& tree,
+                                       std::int32_t L, const TileCostFn& q,
+                                       const BufferLibrary& lib);
+InsertionResult insert_buffers_planned_relaxed(const route::RouteTree& tree,
+                                               std::int32_t L,
+                                               const TileCostFn& q,
+                                               const BufferLibrary& lib);
 
 /// The forward DP for one node: cost array C_v (size L+1) given the
 /// children's arrays (tree child order).  Leaves get the all-zero array.

@@ -1,0 +1,146 @@
+#include "buffer/kernels.hpp"
+
+#include <limits>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define RABID_KERNELS_X86 1
+#include <immintrin.h>
+#else
+#define RABID_KERNELS_X86 0
+#endif
+
+namespace rabid::buffer::kernels {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// --- scalar backend ---------------------------------------------------
+// Plain reduction loops; -O3 autovectorizes the value passes (min is a
+// legal reduction without -ffast-math; only the argmin scan is serial).
+
+double range_min_scalar(const double* v, std::int32_t n) {
+  double best = kInf;
+  for (std::int32_t i = 0; i < n; ++i) {
+    best = v[i] < best ? v[i] : best;
+  }
+  return best;
+}
+
+void min_plus_join_scalar(const double* a, const double* b, std::int32_t L,
+                          double* out) {
+  for (std::int32_t j = 0; j <= L; ++j) {
+    double best = kInf;
+    for (std::int32_t x = 0; x <= j; ++x) {
+      const double v = a[x] + b[j - x];
+      best = v < best ? v : best;
+    }
+    out[j] = best;
+  }
+}
+
+#if RABID_KERNELS_X86
+
+// --- AVX2 backend -----------------------------------------------------
+// 4-wide doubles.  All reductions are pure mins over the same value
+// sets the scalar loops see (each candidate is one rounding), so the
+// results are bit-identical; see the header contract.
+
+__attribute__((target("avx2"))) double range_min_avx2(const double* v,
+                                                      std::int32_t n) {
+  std::int32_t i = 0;
+  __m256d acc = _mm256_set1_pd(kInf);
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_min_pd(acc, _mm256_loadu_pd(v + i));
+  }
+  __m128d lo = _mm256_castpd256_pd128(acc);
+  __m128d hi = _mm256_extractf128_pd(acc, 1);
+  lo = _mm_min_pd(lo, hi);
+  lo = _mm_min_sd(lo, _mm_unpackhi_pd(lo, lo));
+  double best = _mm_cvtsd_f64(lo);
+  for (; i < n; ++i) {
+    best = v[i] < best ? v[i] : best;
+  }
+  return best;
+}
+
+__attribute__((target("avx2"))) void min_plus_join_avx2(const double* a,
+                                                        const double* b,
+                                                        std::int32_t L,
+                                                        double* out) {
+  for (std::int32_t j = 0; j <= L; ++j) {
+    // min over x of a[x] + b[j-x]: walk a forward 4 at a time against a
+    // lane-reversed load of b ending at j-x.
+    __m256d acc = _mm256_set1_pd(kInf);
+    std::int32_t x = 0;
+    for (; x + 4 <= j + 1; x += 4) {
+      const __m256d va = _mm256_loadu_pd(a + x);
+      // b[j-x], b[j-x-1], b[j-x-2], b[j-x-3] loaded ascending then
+      // reversed so lane i holds b[j-(x+i)].
+      __m256d vb = _mm256_loadu_pd(b + (j - x - 3));
+      vb = _mm256_permute4x64_pd(vb, 0x1B);
+      acc = _mm256_min_pd(acc, _mm256_add_pd(va, vb));
+    }
+    __m128d lo = _mm256_castpd256_pd128(acc);
+    __m128d hi = _mm256_extractf128_pd(acc, 1);
+    lo = _mm_min_pd(lo, hi);
+    lo = _mm_min_sd(lo, _mm_unpackhi_pd(lo, lo));
+    double best = _mm_cvtsd_f64(lo);
+    for (; x <= j; ++x) {
+      const double v = a[x] + b[j - x];
+      best = v < best ? v : best;
+    }
+    out[j] = best;
+  }
+}
+
+bool have_avx2() { return __builtin_cpu_supports("avx2") != 0; }
+
+#endif  // RABID_KERNELS_X86
+
+using RangeMinFn = double (*)(const double*, std::int32_t);
+using JoinFn = void (*)(const double*, const double*, std::int32_t, double*);
+
+struct Dispatch {
+  RangeMinFn range_min = range_min_scalar;
+  JoinFn join = min_plus_join_scalar;
+  std::string_view name = "scalar";
+
+  Dispatch() {
+#if RABID_KERNELS_X86
+    if (have_avx2()) {
+      range_min = range_min_avx2;
+      join = min_plus_join_avx2;
+      name = "avx2";
+    }
+#endif
+  }
+};
+
+const Dispatch& dispatch() {
+  static const Dispatch d;
+  return d;
+}
+
+}  // namespace
+
+std::string_view backend() { return dispatch().name; }
+
+double range_min(const double* v, std::int32_t n) {
+  return dispatch().range_min(v, n);
+}
+
+std::int32_t range_argmin_first(const double* v, std::int32_t n) {
+  const double best = dispatch().range_min(v, n);
+  for (std::int32_t i = 0; i < n; ++i) {
+    if (v[i] == best) return i;
+  }
+  return 0;  // all +inf (or n == 0): the scalar strict-< loop keeps 0
+}
+
+void min_plus_join(const double* a, const double* b, std::int32_t L,
+                   double* out) {
+  dispatch().join(a, b, L, out);
+}
+
+}  // namespace rabid::buffer::kernels

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file kernels.hpp
+/// The span kernels under the stage-3/4 buffer-insertion DP: dense
+/// min / argmin / min-plus-convolution primitives over the flat
+/// structure-of-arrays cost rows (`c_`/`k_`/`acc_` in insertion.cpp).
+///
+/// Two implementations sit behind one function-pointer dispatch chosen
+/// once at startup: a portable scalar path written as plain
+/// reduction loops the compiler can autovectorize, and a hand-written
+/// AVX2 path (x86-64 with GCC/Clang) selected via cpuid.
+///
+/// **Bit-exactness contract.**  Every kernel computes a minimum over a
+/// set of values where each value is either a row element or a single
+/// two-operand sum `a[x] + b[j-x]`.  Each sum is one IEEE-754 rounding;
+/// `min` over doubles is exact, commutative, and associative (the rows
+/// never contain NaN, and never contain -0.0 — all costs are sums of
+/// nonnegative terms).  So *any* evaluation order — scalar, unrolled,
+/// or 4-wide SIMD with a lane reduction — produces bit-identical
+/// results, and the AVX2 path provably cannot change a placement.  The
+/// kernels_test battery checks the two backends against each other
+/// element-for-element anyway.
+///
+/// Argmin kernels return the *first* index attaining the minimum (the
+/// traceback tie-break the goldens pin).  They run as two passes — a
+/// vectorizable value-min, then a first-equal scan — which matches the
+/// single-pass strict-< scalar loop exactly: the minimum is one of the
+/// elements, so exact equality identifies the same first index, also
+/// when every element is +infinity (both conventions yield index 0).
+
+#include <cstdint>
+#include <string_view>
+
+namespace rabid::buffer::kernels {
+
+/// Name of the dispatched backend: "avx2" or "scalar".
+std::string_view backend();
+
+/// Minimum of v[0..n-1]; +infinity when n == 0.
+double range_min(const double* v, std::int32_t n);
+
+/// First index attaining range_min(v, n); 0 when all-infinite (n >= 1).
+std::int32_t range_argmin_first(const double* v, std::int32_t n);
+
+/// Truncated min-plus convolution: out[j] = min_{0<=x<=j} a[x] + b[j-x]
+/// for j in [0, L].  `out` must not alias `a` or `b`.
+void min_plus_join(const double* a, const double* b, std::int32_t L,
+                   double* out);
+
+}  // namespace rabid::buffer::kernels

@@ -1,0 +1,111 @@
+#include "buffer/library.hpp"
+
+#include <cmath>
+#include <unordered_set>
+#include <utility>
+
+#include "timing/tech.hpp"
+#include "util/assert.hpp"
+
+namespace rabid::buffer {
+
+namespace {
+
+BufferTypeSpec make_spec(std::string name, double cost_scale,
+                         double drive_scale) {
+  BufferTypeSpec s;
+  s.name = std::move(name);
+  s.cost_scale = cost_scale;
+  s.drive_scale = drive_scale;
+  // Electrical payload: drive_scale maps onto the timing model's size
+  // knob (output resistance down, input cap up), like timing::scaled.
+  const timing::Technology& tech = timing::kTech180nm;
+  s.electrical.size = drive_scale;
+  s.electrical.input_cap = tech.buffer_cap * drive_scale;
+  s.electrical.output_res = tech.buffer_res / drive_scale;
+  s.electrical.intrinsic_ps = tech.buffer_intrinsic_ps;
+  s.electrical.inverting = false;
+  return s;
+}
+
+}  // namespace
+
+BufferLibrary::BufferLibrary(std::vector<BufferTypeSpec> types)
+    : types_(std::move(types)) {
+  RABID_ASSERT_MSG(!types_.empty(), "buffer library must have >= 1 type");
+  std::unordered_set<std::string_view> names;
+  for (BufferTypeSpec& t : types_) {
+    RABID_ASSERT_MSG(!t.name.empty(), "buffer type needs a name");
+    RABID_ASSERT_MSG(names.insert(t.name).second,
+                     "duplicate buffer type name");
+    RABID_ASSERT_MSG(t.cost_scale >= 0.0, "cost_scale must be >= 0");
+    RABID_ASSERT_MSG(t.drive_scale > 0.0, "drive_scale must be > 0");
+    // The electrical name always mirrors the spec name; rebinding here
+    // (and on copy/move) keeps the view pointing into this library.
+    t.electrical.name = t.name;
+  }
+}
+
+BufferLibrary BufferLibrary::single_unit() {
+  return BufferLibrary({make_spec("dpbuf_x1", 1.0, 1.0)});
+}
+
+BufferLibrary BufferLibrary::paper2() {
+  return BufferLibrary({
+      make_spec("dpbuf_x1", 1.0, 1.0),
+      make_spec("dpbuf_x2", 2.0, 2.0),
+  });
+}
+
+BufferLibrary BufferLibrary::paper4() {
+  return BufferLibrary({
+      make_spec("dpbuf_x0p5", 0.6, 0.5),
+      make_spec("dpbuf_x1", 1.0, 1.0),
+      make_spec("dpbuf_x2", 2.0, 2.0),
+      make_spec("dpbuf_x4", 4.0, 4.0),
+  });
+}
+
+bool BufferLibrary::preset(std::string_view name, BufferLibrary* out) {
+  if (name == "unit") {
+    *out = single_unit();
+    return true;
+  }
+  if (name == "paper2") {
+    *out = paper2();
+    return true;
+  }
+  if (name == "paper4") {
+    *out = paper4();
+    return true;
+  }
+  return false;
+}
+
+bool BufferLibrary::is_unit() const {
+  return types_.size() == 1 && types_[0].cost_scale == 1.0 &&
+         types_[0].drive_scale == 1.0;
+}
+
+std::int32_t BufferLibrary::drive_limit(std::size_t i, std::int32_t L) const {
+  const double scaled = types_.at(i).drive_scale * static_cast<double>(L);
+  const auto floor_scaled = static_cast<std::int32_t>(std::floor(scaled));
+  return floor_scaled < 1 ? 1 : floor_scaled;
+}
+
+std::int32_t BufferLibrary::max_drive_limit(std::int32_t L) const {
+  std::int32_t best = 1;
+  for (std::size_t i = 0; i < types_.size(); ++i) {
+    best = std::max(best, drive_limit(i, L));
+  }
+  return best;
+}
+
+std::int32_t BufferLibrary::index_of(std::string_view name) const {
+  for (std::size_t i = 0; i < types_.size(); ++i) {
+    if (types_[i].name == name) return static_cast<std::int32_t>(i);
+  }
+  return -1;
+}
+
+}  // namespace rabid::buffer

@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file library.hpp
+/// The *planning-level* buffer library: the b buffer types the stage-3/4
+/// insertion DP chooses between (Li & Shi's multi-type candidate-list
+/// formulation, arXiv:0710.4691; buffer sizing per Kallakuri,
+/// arXiv:0710.4638).
+///
+/// This is deliberately distinct from timing::BufferLibrary (the
+/// electrical power levels the post-pass sizer picks between): here a
+/// type changes the *planning problem itself* —
+///
+///   * `cost_scale`  multiplies the eq. (2) site cost q(v): a stronger
+///     buffer occupies one site but burns more area/power, so the DP
+///     should prefer it only where its reach pays for itself.
+///   * `drive_scale` multiplies the net's length rule L: a type t gate
+///     may drive up to L_t = max(1, floor(drive_scale * L)) tile-units
+///     of unbuffered interconnect.  The net driver itself always obeys
+///     the plain L.
+///
+/// The default library holds exactly the paper's single unit type
+/// (cost_scale == drive_scale == 1), for which the engine runs the
+/// original dense single-type DP bit-for-bit; any other library routes
+/// through the dominance-pruned candidate-list engine.
+///
+/// Each type also carries its electrical payload (timing::BufferType) so
+/// the flow's delay model and the solution dump can speak the same
+/// names.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "timing/buffer_library.hpp"
+
+namespace rabid::buffer {
+
+struct BufferTypeSpec {
+  std::string name;          ///< identity in solutions / audits
+  double cost_scale = 1.0;   ///< multiplies q(v); >= 0
+  double drive_scale = 1.0;  ///< multiplies L; > 0
+  timing::BufferType electrical;  ///< delay-model payload (name mirrors)
+};
+
+/// An ordered, immutable set of planning buffer types.  Index 0 is the
+/// cheapest-by-convention entry; the DP tie-breaks equal-cost choices
+/// toward lower indices, so library order is part of the deterministic
+/// contract.
+class BufferLibrary {
+ public:
+  /// The paper's library: one unit type.  This is the RabidOptions
+  /// default and makes the whole flow behave exactly as before.
+  static BufferLibrary single_unit();
+
+  /// `single_unit` plus one double-reach type at double cost.
+  static BufferLibrary paper2();
+
+  /// Four power levels: 0.5x / 1x / 2x / 4x reach with matching cost.
+  static BufferLibrary paper4();
+
+  /// Library preset by name ("unit", "paper2", "paper4"); false when
+  /// `name` matches no preset.
+  static bool preset(std::string_view name, BufferLibrary* out);
+
+  /// Builds a library from explicit specs (validated: nonempty, names
+  /// unique and nonempty, cost_scale >= 0, drive_scale > 0).
+  explicit BufferLibrary(std::vector<BufferTypeSpec> types);
+  BufferLibrary() : BufferLibrary(single_unit()) {}
+
+  std::span<const BufferTypeSpec> types() const { return types_; }
+  const BufferTypeSpec& type(std::size_t i) const { return types_.at(i); }
+  std::size_t size() const { return types_.size(); }
+
+  /// Type i's electrical payload with its name view bound to *this*
+  /// library's storage (the stored spec's view can go stale when a
+  /// library is copied, e.g. inside RabidOptions).  The returned value
+  /// is valid while this BufferLibrary is alive.
+  timing::BufferType electrical_of(std::size_t i) const {
+    timing::BufferType t = types_.at(i).electrical;
+    t.name = types_.at(i).name;
+    return t;
+  }
+
+  /// True when the library is exactly {unit}: the dense single-type DP
+  /// applies and existing goldens must reproduce bit-for-bit.
+  bool is_unit() const;
+
+  /// Per-type length limit for a net with length rule L:
+  /// max(1, floor(drive_scale * L)).
+  std::int32_t drive_limit(std::size_t i, std::int32_t L) const;
+
+  /// Largest drive_limit over all types (the DP's j range).
+  std::int32_t max_drive_limit(std::int32_t L) const;
+
+  /// Index of the type named `name`; -1 when absent.
+  std::int32_t index_of(std::string_view name) const;
+
+ private:
+  std::vector<BufferTypeSpec> types_;
+};
+
+}  // namespace rabid::buffer

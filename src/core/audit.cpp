@@ -61,6 +61,7 @@ std::string_view audit_check_name(AuditCheck check) {
     case AuditCheck::kBufferCapacity: return "buffer-capacity";
     case AuditCheck::kLengthRule: return "length-rule";
     case AuditCheck::kDelay: return "delay";
+    case AuditCheck::kBufferTypes: return "buffer-types";
   }
   return "unknown";
 }
@@ -334,10 +335,66 @@ void SolutionAuditor::audit_net(netlist::NetId id, const NetState& state,
     buffers_ok = false;
   }
 
+  // --- buffer type tags: re-derive each tag against the library -------
+  // Tags the library doesn't know (e.g. vG power levels) legalize under
+  // the library's first type; tags it *does* know must carry its own
+  // electrical payload, and the per-type b(v) recount below holds the
+  // tag array to exactly one type per placed buffer.
+  std::vector<std::int32_t> lib_types;
+  const bool tagged =
+      !state.buffer_types.empty() &&
+      state.buffer_types.size() == state.buffers.size();
+  if (tagged) {
+    const buffer::BufferLibrary& lib = options_.buffer_library;
+    lib_types.reserve(state.buffer_types.size());
+    std::vector<std::int64_t> per_type(lib.size() + 1, 0);  // last: unknown
+    for (std::size_t k = 0; k < state.buffer_types.size(); ++k) {
+      const timing::BufferType& tag = state.buffer_types[k];
+      ++report.checks_run;
+      if (tag.name.empty()) {
+        violation(AuditCheck::kBufferTypes, 1.0, 0.0,
+                  "buffer type tag " + std::to_string(k) + " has no name");
+      }
+      const std::int32_t t = lib.index_of(tag.name);
+      lib_types.push_back(t < 0 ? 0 : t);
+      ++per_type[t < 0 ? lib.size() : static_cast<std::size_t>(t)];
+      if (t >= 0) {
+        // A known name with foreign electrical numbers is a tampered or
+        // stale tag: the sized delay evaluator would silently use it.
+        const timing::BufferType want =
+            lib.electrical_of(static_cast<std::size_t>(t));
+        ++report.checks_run;
+        if (tag.input_cap != want.input_cap ||
+            tag.output_res != want.output_res || tag.size != want.size) {
+          violation(AuditCheck::kBufferTypes, want.input_cap, tag.input_cap,
+                    "tag '" + std::string(tag.name) +
+                        "' disagrees with the library's electrical spec");
+        }
+      }
+    }
+    // b(v) recount per type: the typed counts must re-add to the net's
+    // placement count (one tag, one buffer — no dangling/duplicated tags).
+    std::int64_t typed_total = 0;
+    for (const std::int64_t c : per_type) typed_total += c;
+    ++report.checks_run;
+    if (typed_total != static_cast<std::int64_t>(state.buffers.size())) {
+      violation(AuditCheck::kBufferTypes,
+                static_cast<double>(state.buffers.size()),
+                static_cast<double>(typed_total),
+                "per-type buffer recount != placements");
+    }
+  }
+
   // --- length rule: the #fails flag must be honest (Fig. 3) -----------
   if (buffers_ok) {
     const std::int32_t L = design_.length_limit(id);
-    const bool legal = buffer::placement_is_legal(tree, state.buffers, L);
+    // Tagged nets legalize under per-type drive limits; untagged nets
+    // under the plain unit rule (identical when the library is unit).
+    const bool legal =
+        tagged ? buffer::placement_is_legal_lib(tree, state.buffers,
+                                                lib_types, L,
+                                                options_.buffer_library)
+               : buffer::placement_is_legal(tree, state.buffers, L);
     ++report.checks_run;
     if (legal != state.meets_length_rule) {
       violation(AuditCheck::kLengthRule, legal, state.meets_length_rule,
@@ -482,6 +539,7 @@ AuditReport SolutionAuditor::audit(std::span<const NetState> nets) const {
 
 AuditReport audit_solution(const Rabid& rabid, AuditOptions options) {
   options.tech = rabid.options().tech;
+  options.buffer_library = rabid.options().buffer_library;
   return SolutionAuditor(rabid.design(), rabid.graph(), options)
       .audit(rabid.nets());
 }
@@ -493,6 +551,7 @@ void Rabid::maybe_audit(const char* stage, bool final_stage) {
   if (options_.audit_level == AuditLevel::kFinal && !final_stage) return;
   AuditOptions opt;
   opt.tech = options_.tech;
+  opt.buffer_library = options_.buffer_library;
   // Stages 1-2 run before (or while) wire feasibility is being earned;
   // overload there is heuristic progress, not book corruption.
   if (!final_stage && (stage[0] == '1' || stage[0] == '2')) {

@@ -53,6 +53,7 @@ enum class AuditCheck {
   kBufferCapacity,  ///< b(v) > B(v)
   kLengthRule,      ///< meets_length_rule flag is dishonest
   kDelay,           ///< committed delay != recomputed Elmore delay
+  kBufferTypes,     ///< per-buffer type tags corrupt or illegal
 };
 
 std::string_view audit_check_name(AuditCheck check);
@@ -110,6 +111,14 @@ struct AuditOptions {
   bool allow_unrouted = false;
   /// Technology the delays were committed under (RabidOptions::tech).
   timing::Technology tech = timing::kTech180nm;
+  /// Planning library the solution was buffered with
+  /// (RabidOptions::buffer_library).  Type-tagged nets are re-legalized
+  /// against it: each tag must name a library type whose electrical
+  /// payload matches, b(v) is recounted per type, and the length rule
+  /// honors per-type drive limits.  Tags the library doesn't know
+  /// (e.g. the vG power levels) legalize under the library's first
+  /// type — the unit rule for the default library.
+  buffer::BufferLibrary buffer_library{};
 };
 
 /// Recomputes every invariant of a solution from scratch.  Bind once,

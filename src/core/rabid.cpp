@@ -465,7 +465,8 @@ void Rabid::buffer_net(std::size_t index, const std::vector<double>& demand,
     buffer::InsertionResult result =
         attempt == 0 && first_attempt != nullptr
             ? *first_attempt
-            : buffer::insert_buffers_relaxed(state.tree, L, q);
+            : buffer::insert_buffers_planned_relaxed(state.tree, L, q,
+                                                     options_.buffer_library);
 
     // Count proposed buffers per tile; find oversubscribed tiles.
     bool ok = true;
@@ -494,7 +495,14 @@ void Rabid::buffer_net(std::size_t index, const std::vector<double>& demand,
     obs::count(obs::Counter::kBuffersCommitted,
                static_cast<std::uint64_t>(result.buffers.size()));
     state.buffers = std::move(result.buffers);
-    state.buffer_types.clear();  // stages 3/4 plan with unit buffers
+    // Unit libraries leave the tags empty (the historical state, and
+    // what the bit-identical goldens pin); the multi-type engine's
+    // chosen types become electrical cells so delays and dumps see them.
+    state.buffer_types.clear();
+    for (const std::int32_t t : result.types) {
+      state.buffer_types.push_back(
+          options_.buffer_library.electrical_of(static_cast<std::size_t>(t)));
+    }
     state.meets_length_rule = result.feasible && result.effective_limit <= L;
     return;
   }
@@ -700,9 +708,9 @@ void Rabid::assign_buffers_parallel(const std::vector<std::size_t>& order,
                          "speculative DP priced an off-tree tile");
         return graph_.buffer_cost(t, it->second);
       };
-      speculated[k] = buffer::insert_buffers_relaxed(
+      speculated[k] = buffer::insert_buffers_planned_relaxed(
           nets_[i].tree, design_.length_limit(static_cast<netlist::NetId>(i)),
-          q);
+          q, options_.buffer_library);
     });
 
     // Serial phase: commits in net order, exactly as the serial loop

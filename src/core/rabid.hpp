@@ -136,6 +136,12 @@ struct RabidOptions {
   /// registry to this level but never lowers it.
   obs::Level obs_level = obs::Level::kOff;
   timing::Technology tech = timing::kTech180nm;
+  /// Planning buffer library for stages 3/4 (buffer/library.hpp).  The
+  /// default single unit type reproduces the historical dense DP
+  /// bit-for-bit; any other library routes per-net buffering through
+  /// the dominance-pruned multi-type candidate engine, and NetState
+  /// gains per-buffer type tags (delays then use the sized evaluator).
+  buffer::BufferLibrary buffer_library{};
 };
 
 /// One Table II row: the state of the solution after a stage.
@@ -162,8 +168,10 @@ struct StageStats {
 struct NetState {
   route::RouteTree tree;
   route::BufferList buffers;
-  /// Library cell per placement; empty means "all unit buffers"
-  /// (stages 3/4). Filled by rebuffer_timing_driven().
+  /// Library cell per placement; empty means "all unit buffers" (the
+  /// default stage-3/4 path).  Filled by rebuffer_timing_driven(), and
+  /// by stages 3/4 themselves when RabidOptions::buffer_library holds
+  /// more than the unit type.
   std::vector<timing::BufferType> buffer_types;
   /// Length rule satisfied? (false == the net counts in "#fails")
   bool meets_length_rule = false;

@@ -129,6 +129,7 @@ LoadedSolution read_solution_impl(std::istream& in,
                                   const tile::TileGraph& g,
                                   const timing::BufferLibrary* library,
                                   const timing::Technology& tech,
+                                  const buffer::BufferLibrary* planning,
                                   bool strict) {
   LoadedSolution sol;
   std::string line;
@@ -167,17 +168,29 @@ LoadedSolution read_solution_impl(std::istream& in,
       if (node == route::kNoNode) fail("sink tile missing from tree");
       current.tree.add_sink(node);
     }
-    if (library != nullptr &&
+    if ((library != nullptr || planning != nullptr) &&
         std::any_of(cell_names.begin(), cell_names.end(),
                     [](const std::string& c) { return !c.empty(); })) {
       for (const std::string& cell : cell_names) {
         if (cell.empty()) fail("mix of sized and unsized buffers");
         bool found = false;
-        for (const timing::BufferType& type : library->types()) {
-          if (type.name == cell) {
-            current.buffer_types.push_back(type);
+        if (library != nullptr) {
+          for (const timing::BufferType& type : library->types()) {
+            if (type.name == cell) {
+              current.buffer_types.push_back(type);
+              found = true;
+              break;
+            }
+          }
+        }
+        if (!found && planning != nullptr) {
+          // Multi-type stage-3/4 cells; the caller's planning library
+          // outlives the solution, so the bound name view stays valid.
+          const std::int32_t t = planning->index_of(cell);
+          if (t >= 0) {
+            current.buffer_types.push_back(
+                planning->electrical_of(static_cast<std::size_t>(t)));
             found = true;
-            break;
           }
         }
         if (!found) fail("cell name not in the buffer library");
@@ -292,9 +305,11 @@ LoadedSolution read_solution_impl(std::istream& in,
 LoadedSolution read_solution(std::istream& in, const netlist::Design& design,
                              const tile::TileGraph& g,
                              const timing::BufferLibrary* library,
-                             const timing::Technology& tech) {
+                             const timing::Technology& tech,
+                             const buffer::BufferLibrary* planning) {
   try {
-    return read_solution_impl(in, design, g, library, tech, /*strict=*/false);
+    return read_solution_impl(in, design, g, library, tech, planning,
+                              /*strict=*/false);
   } catch (const SolutionParseError& e) {
     std::fprintf(stderr, "solution parse error at line %d: %s\n", e.line,
                  e.message.c_str());
@@ -304,9 +319,11 @@ LoadedSolution read_solution(std::istream& in, const netlist::Design& design,
 
 Result<LoadedSolution> read_solution_checked(
     std::istream& in, const netlist::Design& design, const tile::TileGraph& g,
-    const timing::BufferLibrary* library, const timing::Technology& tech) {
+    const timing::BufferLibrary* library, const timing::Technology& tech,
+    const buffer::BufferLibrary* planning) {
   try {
-    return read_solution_impl(in, design, g, library, tech, /*strict=*/true);
+    return read_solution_impl(in, design, g, library, tech, planning,
+                              /*strict=*/true);
   } catch (const SolutionParseError& e) {
     return Status::invalid_input(e.message, "solution", e.line);
   }

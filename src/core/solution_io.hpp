@@ -74,12 +74,16 @@ struct LoadedSolution {
 /// order under their design names; sink attachment is re-derived from
 /// the design's pin locations.  Aborts with a line-numbered message on
 /// malformed input.  `library` resolves dumped cell names (pass nullptr
-/// to ignore sizing and evaluate with unit buffers).
+/// to ignore sizing and evaluate with unit buffers); `planning`
+/// resolves names `library` doesn't know — the multi-type stage-3/4
+/// cells (it must outlive the returned solution: loaded type names view
+/// into its storage).
 LoadedSolution read_solution(std::istream& in, const netlist::Design& design,
                              const tile::TileGraph& g,
                              const timing::BufferLibrary* library = nullptr,
                              const timing::Technology& tech =
-                                 timing::kTech180nm);
+                                 timing::kTech180nm,
+                             const buffer::BufferLibrary* planning = nullptr);
 
 /// Hardened variant of read_solution() for untrusted dumps (checkpoint
 /// resume, fuzzed files): malformed input comes back as a structured
@@ -90,6 +94,7 @@ LoadedSolution read_solution(std::istream& in, const netlist::Design& design,
 Result<LoadedSolution> read_solution_checked(
     std::istream& in, const netlist::Design& design, const tile::TileGraph& g,
     const timing::BufferLibrary* library = nullptr,
-    const timing::Technology& tech = timing::kTech180nm);
+    const timing::Technology& tech = timing::kTech180nm,
+    const buffer::BufferLibrary* planning = nullptr);
 
 }  // namespace rabid::core

@@ -1,6 +1,7 @@
 #include "core/twopath.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <queue>
@@ -15,58 +16,52 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
 
 TwoPathSearch::TwoPathSearch(const tile::TileGraph& g)
-    : g_(g),
-      field_dist_(static_cast<std::size_t>(g.tile_count()), 0.0),
-      field_seen_(static_cast<std::size_t>(g.tile_count()), 0),
-      field_settled_(static_cast<std::size_t>(g.tile_count()), 0) {}
-
-void TwoPathSearch::ensure_states(std::size_t n_states) {
-  if (dist_.size() < n_states) {
-    dist_.resize(n_states, 0.0);
-    prev_.resize(n_states, -2);
-    stamp_.resize(n_states, 0);
+    : g_(g), field_(static_cast<std::size_t>(g.tile_count())) {
+  // The per-tile coordinate table replaces coord_of() in the field's
+  // push loop: same values, no div/mod per relaxation.
+  coords_.reserve(static_cast<std::size_t>(g.tile_count()));
+  for (tile::TileId t = 0; t < g.tile_count(); ++t) {
+    coords_.push_back(g.coord_of(t));
   }
 }
 
-double TwoPathSearch::field_distance(tile::TileId t,
-                                     std::span<const double> wire_cost) {
+void TwoPathSearch::ensure_states(std::size_t n_states) {
+  RABID_ASSERT_MSG(
+      n_states <= static_cast<std::size_t>(
+                      std::numeric_limits<std::int32_t>::max()),
+      "(tile x L) state space exceeds the 31-bit label encoding");
+  if (labels_.size() < n_states) {
+    labels_.resize(n_states, Label{0.0, -2, 0});
+  }
+}
+
+double TwoPathSearch::field_settle(tile::TileId t,
+                                   std::span<const double> wire_cost) {
   const auto ti = static_cast<std::size_t>(t);
-  while (field_settled_[ti] != epoch_) {
+  while (field_[ti].settled != epoch_) {
     RABID_ASSERT_MSG(!field_heap_.empty(), "heuristic field ran dry");
-    std::pop_heap(field_heap_.begin(), field_heap_.end(), std::greater<>{});
-    const FieldEntry top = field_heap_.back();
-    field_heap_.pop_back();
+    const FieldEntry top = field_heap_.pop();
     const auto ui = static_cast<std::size_t>(top.t);
-    if (field_settled_[ui] == epoch_) continue;  // stale heap entry
-    field_settled_[ui] = epoch_;
-    tile::TileId nbr[4];
-    const int cnt = g_.neighbors(top.t, nbr);
+    if (field_[ui].settled == epoch_) continue;  // stale heap entry
+    field_[ui].settled = epoch_;
+    const tile::TileGraph::Adjacency* adj = g_.adjacency(top.t);
+    const int cnt = g_.adj_count(top.t);
     for (int k = 0; k < cnt; ++k) {
-      const tile::EdgeId e = g_.edge_between(top.t, nbr[k]);
-      const double nd = top.d + wire_cost[static_cast<std::size_t>(e)];
-      const auto vi = static_cast<std::size_t>(nbr[k]);
-      if (field_seen_[vi] != epoch_ || nd < field_dist_[vi]) {
-        field_seen_[vi] = epoch_;
-        field_dist_[vi] = nd;
-        field_heap_.push_back({nd, nbr[k]});
-        std::push_heap(field_heap_.begin(), field_heap_.end(),
-                       std::greater<>{});
+      const double nd =
+          top.d + wire_cost[static_cast<std::size_t>(adj[k].edge)];
+      const auto vi = static_cast<std::size_t>(adj[k].tile);
+      FieldLabel& fl = field_[vi];
+      if (fl.seen != epoch_ || nd < fl.dist) {
+        fl.seen = epoch_;
+        fl.dist = nd;
+        const double bound =
+            field_floor_ *
+            static_cast<double>(geom::manhattan(coords_[vi], field_hot_));
+        field_heap_.push({nd + bound, nd, adj[k].tile});
       }
     }
   }
-  return field_dist_[ti];
-}
-
-void TwoPathSearch::heap_push(Entry e) {
-  heap_.push_back(e);
-  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
-}
-
-TwoPathSearch::Entry TwoPathSearch::heap_pop() {
-  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-  const Entry top = heap_.back();
-  heap_.pop_back();
-  return top;
+  return field_[ti].dist;
 }
 
 TwoPathRoute TwoPathSearch::route(tile::TileId from, tile::TileId to,
@@ -78,18 +73,24 @@ TwoPathRoute TwoPathSearch::route(tile::TileId from, tile::TileId to,
   RABID_ASSERT(L >= 1);
   RABID_ASSERT(wire_weight >= 0.0 && buffer_weight >= 0.0);
   const auto n_tiles = static_cast<std::size_t>(g_.tile_count());
-  ensure_states(n_tiles * static_cast<std::size_t>(L));
+  // Power-of-two row stride: state = (tile << shift) | j.  The mapping
+  // is strictly increasing in lexicographic (tile, j) exactly like the
+  // old tile * L + j packing (j < L <= stride), so the heap's id
+  // tie-break — and therefore every pop — is unchanged; decode becomes
+  // shift/mask instead of div/mod.
+  const std::uint32_t shift =
+      L <= 1 ? 0U : std::bit_width(static_cast<std::uint32_t>(L - 1));
+  const std::size_t jmask = (std::size_t{1} << shift) - 1;
+  ensure_states(n_tiles << shift);
   ++epoch_;
   heap_.clear();
   auto state_of = [&](tile::TileId t, std::int32_t j) {
-    return static_cast<std::size_t>(t) * static_cast<std::size_t>(L) +
+    return (static_cast<std::size_t>(t) << shift) |
            static_cast<std::size_t>(j);
   };
-  auto seen = [&](std::size_t s) { return stamp_[s] == epoch_; };
-  auto touch = [&](std::size_t s, double d, std::int64_t p) {
-    stamp_[s] = epoch_;
-    dist_[s] = d;
-    prev_[s] = p;
+  auto seen = [&](std::size_t s) { return labels_[s].stamp == epoch_; };
+  auto touch = [&](std::size_t s, double d, std::int32_t p) {
+    labels_[s] = Label{d, p, epoch_};
   };
 
   // A* bound per *tile* (states of one tile share it): the exact wire-
@@ -98,9 +99,17 @@ TwoPathRoute TwoPathSearch::route(tile::TileId from, tile::TileId to,
   const bool use_h = astar_floor > 0.0;
   if (use_h) {
     field_heap_.clear();
-    field_seen_[static_cast<std::size_t>(to)] = epoch_;
-    field_dist_[static_cast<std::size_t>(to)] = 0.0;
-    field_heap_.push_back({0.0, to});
+    field_[static_cast<std::size_t>(to)].seen = epoch_;
+    field_[static_cast<std::size_t>(to)].dist = 0.0;
+    // Aim the field at the forward source: astar_floor is a lower bound
+    // on every wire_cost entry, so floor * manhattan is consistent for
+    // the field's own expansion (values stay exact, see field_settle).
+    field_hot_ = g_.coord_of(from);
+    field_floor_ = astar_floor;
+    field_heap_.push(
+        {field_floor_ * static_cast<double>(
+                            geom::manhattan(g_.coord_of(to), field_hot_)),
+         0.0, to});
   }
   const auto h_of = [&](tile::TileId t) -> double {
     if (!use_h) return 0.0;
@@ -118,11 +127,16 @@ TwoPathRoute TwoPathSearch::route(tile::TileId from, tile::TileId to,
   heap_push({h_of(from), 0.0, start});
   ++pushes;
 
+  // The heuristic is evaluated only when a relaxation actually improves
+  // a label: h(t) is a fixed value per tile (the exact wire field), so
+  // skipping it for rejected relaxations cannot change any pushed key —
+  // it only avoids settling field tiles nobody ends up needing.
   auto relax = [&](std::size_t s, double d, std::size_t from_state,
-                   double h) {
-    if (!seen(s) || d < dist_[s]) {
-      touch(s, d, static_cast<std::int64_t>(from_state));
-      heap_push({d + h, d, s});
+                   tile::TileId t) {
+    Label& lbl = labels_[s];
+    if (lbl.stamp != epoch_ || d < lbl.dist) {
+      lbl = Label{d, static_cast<std::int32_t>(from_state), epoch_};
+      heap_push({d + h_of(t), d, s});
       ++pushes;
     }
   };
@@ -132,9 +146,9 @@ TwoPathRoute TwoPathSearch::route(tile::TileId from, tile::TileId to,
     const Entry top = heap_pop();
     ++pops;
     const auto s = static_cast<std::size_t>(top.s);
-    if (top.d > dist_[s]) continue;
-    const auto t = static_cast<tile::TileId>(s / static_cast<std::size_t>(L));
-    const auto j = static_cast<std::int32_t>(s % static_cast<std::size_t>(L));
+    if (top.d > labels_[s].dist) continue;
+    const auto t = static_cast<tile::TileId>(s >> shift);
+    const auto j = static_cast<std::int32_t>(s & jmask);
     if (t == to) {
       goal = s;
       break;
@@ -143,18 +157,18 @@ TwoPathRoute TwoPathSearch::route(tile::TileId from, tile::TileId to,
     if (j > 0) {
       const double q = buffer_cost[static_cast<std::size_t>(t)];
       if (std::isfinite(q)) {
-        relax(state_of(t, 0), top.d + buffer_weight * q, s, h_of(t));
+        relax(state_of(t, 0), top.d + buffer_weight * q, s, t);
       }
     }
     // Step to a neighbor if the length rule still allows it.
     if (j + 1 < L) {
-      tile::TileId nbr[4];
-      const int cnt = g_.neighbors(t, nbr);
+      const tile::TileGraph::Adjacency* adj = g_.adjacency(t);
+      const int cnt = g_.adj_count(t);
       for (int k = 0; k < cnt; ++k) {
-        const tile::EdgeId e = g_.edge_between(t, nbr[k]);
-        relax(state_of(nbr[k], j + 1),
-              top.d + wire_weight * wire_cost[static_cast<std::size_t>(e)], s,
-              h_of(nbr[k]));
+        relax(state_of(adj[k].tile, j + 1),
+              top.d + wire_weight *
+                          wire_cost[static_cast<std::size_t>(adj[k].edge)],
+              s, adj[k].tile);
       }
     }
   }
@@ -176,17 +190,17 @@ TwoPathRoute TwoPathSearch::route(tile::TileId from, tile::TileId to,
     return out;
   }
 
-  out.cost = dist_[goal];
+  out.cost = labels_[goal].dist;
   std::size_t s = goal;
   tile::TileId last = tile::kNoTile;
   while (true) {
-    const auto t = static_cast<tile::TileId>(s / static_cast<std::size_t>(L));
+    const auto t = static_cast<tile::TileId>(s >> shift);
     if (t != last) {
       out.tiles.push_back(t);
       last = t;
     }
-    if (prev_[s] < 0) break;
-    s = static_cast<std::size_t>(prev_[s]);
+    if (labels_[s].prev < 0) break;
+    s = static_cast<std::size_t>(labels_[s].prev);
   }
   std::reverse(out.tiles.begin(), out.tiles.end());
   RABID_ASSERT(out.tiles.front() == from && out.tiles.back() == to);

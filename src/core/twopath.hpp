@@ -23,6 +23,7 @@
 #include "route/maze.hpp"
 #include "route/route_tree.hpp"
 #include "tile/tile_graph.hpp"
+#include "util/dheap.hpp"
 
 namespace rabid::core {
 
@@ -102,33 +103,68 @@ class TwoPathSearch {
     }
   };
   struct FieldEntry {
+    double key;  ///< d + field A* bound; == d when the bound is off
     double d;
     tile::TileId t;
     bool operator>(const FieldEntry& o) const {
-      if (d != o.d) return d > o.d;
+      if (key != o.key) return key > o.key;
       return t > o.t;
     }
   };
 
+  /// Forward-search label, one 16-byte row per (tile, j) state so a
+  /// relaxation touches a single cache line instead of three parallel
+  /// arrays.  `prev` holds the predecessor *state* (-1 for the start,
+  /// -2 for never-touched); 31 bits bound the state space at 2^31 rows,
+  /// asserted in ensure_states.
+  struct Label {
+    double dist;
+    std::int32_t prev;
+    std::uint32_t stamp;
+  };
+  static_assert(sizeof(Label) == 16);
+
+  /// Heuristic-field label, one 16-byte row per tile (same rationale).
+  struct FieldLabel {
+    double dist;
+    std::uint32_t seen;
+    std::uint32_t settled;
+  };
+  static_assert(sizeof(FieldLabel) == 16);
+
   void ensure_states(std::size_t n_states);
-  void heap_push(Entry e);
-  Entry heap_pop();
+  void heap_push(Entry e) { heap_.push(e); }
+  Entry heap_pop() { return heap_.pop(); }
   /// Settles the goal-rooted wire-distance field up to `t` (lazy
   /// backward Dijkstra); returns the unweighted wire distance t -> goal.
-  double field_distance(tile::TileId t, std::span<const double> wire_cost);
+  /// Called once per relaxation, so the settled case — by far the most
+  /// common once the field has spread — must be a single stamped load.
+  double field_distance(tile::TileId t, std::span<const double> wire_cost) {
+    const FieldLabel& fl = field_[static_cast<std::size_t>(t)];
+    if (fl.settled == epoch_) return fl.dist;
+    return field_settle(t, wire_cost);
+  }
+  /// Out-of-line slow path of field_distance: pops the backward-Dijkstra
+  /// heap until `t` is settled.
+  double field_settle(tile::TileId t, std::span<const double> wire_cost);
 
   const tile::TileGraph& g_;
-  std::vector<double> dist_;
-  std::vector<std::int64_t> prev_;
-  std::vector<std::uint32_t> stamp_;
+  std::vector<Label> labels_;
   std::uint32_t epoch_ = 0;
-  std::vector<Entry> heap_;
+  util::DaryHeap<Entry> heap_;
 
-  // Heuristic field scratch (per goal tile, stamped by epoch_).
-  std::vector<double> field_dist_;
-  std::vector<std::uint32_t> field_seen_;
-  std::vector<std::uint32_t> field_settled_;
-  std::vector<FieldEntry> field_heap_;
+  // Heuristic field scratch (per goal tile, stamped by epoch_).  The
+  // field is itself an A* search aimed at the forward search's source:
+  // with a consistent bound every settled tile's distance is exact (the
+  // standard A* optimality argument), so the *values* the forward search
+  // reads — and therefore its keys, pops, and routes — are identical to
+  // a plain-Dijkstra field; only which tiles get settled (a corridor
+  // goal -> source instead of a disk around the goal) changes.
+  std::vector<FieldLabel> field_;
+  std::vector<geom::TileCoord> coords_;  ///< per-tile coordinate table
+  util::DaryHeap<FieldEntry> field_heap_;
+  geom::TileCoord field_hot_{0, 0};  ///< forward source; field A* target
+  double field_floor_ = 0.0;         ///< admissible per-step bound (0 = off)
 };
 
 /// An editable tile-level tree: a RouteTree exploded into undirected

@@ -72,6 +72,8 @@ enum class Counter : std::uint16_t {
   kDpCellsComputed,    ///< C_v/K_w cost-array cells filled
   kDpCellsInfeasible,  ///< cells left at +inf (no candidate survives)
   kDpLimitRelaxations, ///< insert_buffers_relaxed limit doublings
+  kDpKernels,          ///< span-kernel invocations (advance/join/min)
+  kDpStatesPruned,     ///< dominated (cost, load) candidates dropped
   // core/rabid.cpp — stage-3 speculative parallel batches.
   kStage3SpecHits,    ///< speculated DP results committed as-is
   kStage3SpecMisses,  ///< stale speculations re-run serially

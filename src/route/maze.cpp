@@ -54,12 +54,8 @@ void EdgeCostCache::refresh_tree(const RouteTree& tree) {
 
 MazeRouter::MazeRouter(const tile::TileGraph& g)
     : g_(g),
-      dist_(static_cast<std::size_t>(g.tile_count()), 0.0),
-      prev_(static_cast<std::size_t>(g.tile_count()), tile::kNoTile),
-      stamp_(static_cast<std::size_t>(g.tile_count()), 0),
-      target_stamp_(static_cast<std::size_t>(g.tile_count()), 0),
-      h_(static_cast<std::size_t>(g.tile_count()), 0.0),
-      h_stamp_(static_cast<std::size_t>(g.tile_count()), 0) {}
+      labels_(static_cast<std::size_t>(g.tile_count()),
+              Label{0.0, 0.0, tile::kNoTile, 0, 0, 0}) {}
 
 namespace {
 
@@ -78,18 +74,6 @@ struct FnCost {
 
 }  // namespace
 
-void MazeRouter::heap_push(HeapEntry e) {
-  heap_.push_back(e);
-  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
-}
-
-MazeRouter::HeapEntry MazeRouter::heap_pop() {
-  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-  const HeapEntry top = heap_.back();
-  heap_.pop_back();
-  return top;
-}
-
 template <typename CostT>
 RouteTree MazeRouter::grow_impl(tile::TileId source_tile,
                                 std::span<const tile::TileId> sink_tiles,
@@ -106,7 +90,7 @@ RouteTree MazeRouter::grow_impl(tile::TileId source_tile,
 
   ++target_epoch_;
   for (const tile::TileId t : remaining_)
-    target_stamp_[static_cast<std::size_t>(t)] = target_epoch_;
+    labels_[static_cast<std::size_t>(t)].target_stamp = target_epoch_;
 
   // Congestion-cost of the tree path from the source to each node, the
   // "path length" that alpha weighs in the PD objective.
@@ -131,15 +115,15 @@ RouteTree MazeRouter::grow_impl(tile::TileId source_tile,
     // Admissible remaining-cost bound, memoized per tile per pass.
     const auto h_of = [&](tile::TileId t) -> double {
       if (!use_h) return 0.0;
-      const auto i = static_cast<std::size_t>(t);
-      if (h_stamp_[i] == epoch_) return h_[i];
+      Label& l = labels_[static_cast<std::size_t>(t)];
+      if (l.h_stamp == epoch_) return l.h;
       const geom::TileCoord c = g_.coord_of(t);
       std::int32_t best = std::numeric_limits<std::int32_t>::max();
       for (const geom::TileCoord& tc : target_coords_)
         best = std::min(best, geom::manhattan(c, tc));
       const double v = astar_floor * static_cast<double>(best);
-      h_[i] = v;
-      h_stamp_[i] = epoch_;
+      l.h = v;
+      l.h_stamp = epoch_;
       return v;
     };
 
@@ -155,7 +139,7 @@ RouteTree MazeRouter::grow_impl(tile::TileId source_tile,
     while (!heap_.empty()) {
       const HeapEntry top = heap_pop();
       ++pops;
-      if (top.dist > dist_[static_cast<std::size_t>(top.tile)]) {
+      if (top.dist > labels_[static_cast<std::size_t>(top.tile)].dist) {
         ++stale_pops;
         continue;
       }
@@ -163,14 +147,17 @@ RouteTree MazeRouter::grow_impl(tile::TileId source_tile,
         reached = top.tile;
         break;
       }
-      tile::TileId nbr[4];
-      const int n = g_.neighbors(top.tile, nbr);
+      const tile::TileGraph::Adjacency* adj = g_.adjacency(top.tile);
+      const int n = g_.adj_count(top.tile);
       for (int k = 0; k < n; ++k) {
-        const tile::EdgeId e = g_.edge_between(top.tile, nbr[k]);
-        const double nd = top.dist + cost(e);
-        if (!seen(nbr[k]) || nd < dist_[static_cast<std::size_t>(nbr[k])]) {
-          touch(nbr[k], nd, top.tile);
-          heap_push({nd + h_of(nbr[k]), nd, nbr[k]});
+        const tile::TileId nbr = adj[k].tile;
+        const double nd = top.dist + cost(adj[k].edge);
+        Label& nl = labels_[static_cast<std::size_t>(nbr)];
+        if (nl.stamp != epoch_ || nd < nl.dist) {
+          nl.dist = nd;
+          nl.prev = top.tile;
+          nl.stamp = epoch_;
+          heap_push({nd + h_of(nbr), nd, nbr});
           ++pushes;
         } else {
           ++pruned;
@@ -183,7 +170,7 @@ RouteTree MazeRouter::grow_impl(tile::TileId source_tile,
     // Trace back to the tree, collect the new path (tree-side first).
     path_.clear();
     for (tile::TileId t = reached; t != tile::kNoTile;
-         t = prev_[static_cast<std::size_t>(t)]) {
+         t = labels_[static_cast<std::size_t>(t)].prev) {
       path_.push_back(t);
       if (tree.contains(t) && t != reached) break;
     }
@@ -209,7 +196,7 @@ RouteTree MazeRouter::grow_impl(tile::TileId source_tile,
     // Newly covered targets (the reached one, plus any the path crossed).
     std::erase_if(remaining_, [&](tile::TileId t) {
       if (tree.contains(t)) {
-        target_stamp_[static_cast<std::size_t>(t)] = 0;
+        labels_[static_cast<std::size_t>(t)].target_stamp = 0;
         return true;
       }
       return false;
@@ -289,23 +276,26 @@ std::vector<tile::TileId> MazeRouter::shortest_path_impl(tile::TileId from,
   heap_push({h_of(from), 0.0, from});
   while (!heap_.empty()) {
     const HeapEntry top = heap_pop();
-    if (top.dist > dist_[static_cast<std::size_t>(top.tile)]) continue;
+    if (top.dist > labels_[static_cast<std::size_t>(top.tile)].dist) continue;
     if (top.tile == to) break;
-    tile::TileId nbr[4];
-    const int n = g_.neighbors(top.tile, nbr);
+    const tile::TileGraph::Adjacency* adj = g_.adjacency(top.tile);
+    const int n = g_.adj_count(top.tile);
     for (int k = 0; k < n; ++k) {
-      const tile::EdgeId e = g_.edge_between(top.tile, nbr[k]);
-      const double nd = top.dist + cost(e);
-      if (!seen(nbr[k]) || nd < dist_[static_cast<std::size_t>(nbr[k])]) {
-        touch(nbr[k], nd, top.tile);
-        heap_push({nd + h_of(nbr[k]), nd, nbr[k]});
+      const tile::TileId nbr = adj[k].tile;
+      const double nd = top.dist + cost(adj[k].edge);
+      Label& nl = labels_[static_cast<std::size_t>(nbr)];
+      if (nl.stamp != epoch_ || nd < nl.dist) {
+        nl.dist = nd;
+        nl.prev = top.tile;
+        nl.stamp = epoch_;
+        heap_push({nd + h_of(nbr), nd, nbr});
       }
     }
   }
   RABID_ASSERT_MSG(seen(to), "no path between tiles");
   std::vector<tile::TileId> path;
   for (tile::TileId t = to; t != tile::kNoTile;
-       t = prev_[static_cast<std::size_t>(t)]) {
+       t = labels_[static_cast<std::size_t>(t)].prev) {
     path.push_back(t);
   }
   std::reverse(path.begin(), path.end());

@@ -45,6 +45,7 @@
 #include "netlist/design.hpp"
 #include "route/route_tree.hpp"
 #include "tile/tile_graph.hpp"
+#include "util/dheap.hpp"
 
 namespace rabid::route {
 
@@ -151,42 +152,47 @@ class MazeRouter {
                                                const CostT& cost,
                                                double astar_floor);
 
-  void heap_push(HeapEntry e);
-  HeapEntry heap_pop();
+  void heap_push(HeapEntry e) { heap_.push(e); }
+  HeapEntry heap_pop() { return heap_.pop(); }
+
+  /// One 32-byte row per tile holding every stamped per-tile scratch
+  /// value (distance/parent labels, the per-pass A* memo, the target
+  /// mark), so a relaxation touches one cache line instead of walking
+  /// six parallel arrays.
+  struct Label {
+    double dist;
+    double h;                   ///< per-pass A* bound memo
+    tile::TileId prev;
+    std::uint32_t stamp;        ///< validates dist/prev (epoch_)
+    std::uint32_t h_stamp;      ///< validates h (epoch_)
+    std::uint32_t target_stamp; ///< tile is a target (target_epoch_)
+  };
+  static_assert(sizeof(Label) == 32);
 
   const tile::TileGraph& g_;
-  std::vector<double> dist_;
-  std::vector<tile::TileId> prev_;
-  std::vector<std::uint32_t> stamp_;
+  std::vector<Label> labels_;
   std::uint32_t epoch_ = 0;
-
-  // Targets of the in-flight grow(), stamped instead of refilled per call.
-  std::vector<std::uint32_t> target_stamp_;
   std::uint32_t target_epoch_ = 0;
-
-  // Per-pass memo of the A* bound (Manhattan distance to the nearest
-  // remaining target is worth recomputing at most once per tile).
-  std::vector<double> h_;
-  std::vector<std::uint32_t> h_stamp_;
   std::vector<geom::TileCoord> target_coords_;
 
   // Reusable wavefront storage: heap backing plus grow()'s worklists.
-  std::vector<HeapEntry> heap_;
+  util::DaryHeap<HeapEntry> heap_;
   std::vector<tile::TileId> remaining_;
   std::vector<double> path_cost_;
   std::vector<tile::TileId> path_;
 
   void begin_pass() { ++epoch_; }
   bool seen(tile::TileId t) const {
-    return stamp_[static_cast<std::size_t>(t)] == epoch_;
+    return labels_[static_cast<std::size_t>(t)].stamp == epoch_;
   }
   void touch(tile::TileId t, double d, tile::TileId p) {
-    stamp_[static_cast<std::size_t>(t)] = epoch_;
-    dist_[static_cast<std::size_t>(t)] = d;
-    prev_[static_cast<std::size_t>(t)] = p;
+    Label& l = labels_[static_cast<std::size_t>(t)];
+    l.dist = d;
+    l.prev = p;
+    l.stamp = epoch_;
   }
   bool is_target(tile::TileId t) const {
-    return target_stamp_[static_cast<std::size_t>(t)] == target_epoch_;
+    return labels_[static_cast<std::size_t>(t)].target_stamp == target_epoch_;
   }
 };
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "buffer/library.hpp"
 #include "netlist/io.hpp"
 #include "obs/json.hpp"
 
@@ -156,6 +157,13 @@ core::Result<Request> parse_plan(const Value& doc) {
   if (const Value* audit = doc.find("audit"); audit != nullptr) {
     if (!audit->is_bool()) return bad("\"audit\" must be a boolean");
     job.audit = audit->boolean;
+  }
+  if (const Value* lib = doc.find("buffer_library"); lib != nullptr) {
+    buffer::BufferLibrary probe;
+    if (!lib->is_string() ||
+        !buffer::BufferLibrary::preset(lib->string, &probe))
+      return bad("\"buffer_library\" must be unit, paper2, or paper4");
+    job.buffer_library = lib->string;
   }
   if (job.design.has_value() && (job.nx == 0 || job.sites < 0))
     return bad("an inline \"design\" also needs \"grid\" and \"sites\"");

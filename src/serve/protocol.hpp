@@ -104,6 +104,9 @@ struct JobRequest {
   std::int32_t nx = 0, ny = 0;   ///< 0 = circuit-spec default
   std::int64_t sites = -1;       ///< -1 = circuit-spec default
   bool audit = false;  ///< run the final SolutionAuditor pass
+  /// Planning buffer-library preset ("unit", "paper2", "paper4");
+  /// empty = the unit default (buffer/library.hpp).
+  std::string buffer_library;
 };
 
 /// A parsed protocol request.

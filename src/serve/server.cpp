@@ -119,6 +119,7 @@ void Server::handle_plan(JobRequest&& request, const Sink& sink) {
   }
   job.threads = request.threads > 0 ? request.threads : options_.job_threads;
   job.audit = request.audit;
+  job.buffer_library = request.buffer_library;
   job.prepared = std::move(prepared);
   job.sink = sink;
   job.accepted_at = std::chrono::steady_clock::now();
@@ -313,6 +314,10 @@ void Server::run_job(const Job& job, std::size_t worker_index,
     options.audit_level =
         job.audit ? core::AuditLevel::kFinal : core::AuditLevel::kOff;
     options.obs_level = options_.obs_level;
+    if (!job.buffer_library.empty()) {
+      buffer::BufferLibrary::preset(job.buffer_library,
+                                    &options.buffer_library);
+    }
     core::Rabid rabid(job.prepared->design, graph, options);
     rabid.run_all();
     const core::RunReport report = rabid.run_report();

@@ -142,6 +142,7 @@ class Server {
     double deadline_ms = 0.0;
     std::int32_t threads = 0;
     bool audit = false;
+    std::string buffer_library;  ///< planning preset; empty = unit
     std::shared_ptr<const Prepared> prepared;
     Sink sink;
     std::chrono::steady_clock::time_point accepted_at;

@@ -17,6 +17,19 @@ TileGraph::TileGraph(geom::Rect chip, std::int32_t nx, std::int32_t ny)
   use_.assign(static_cast<std::size_t>(edge_count()), 0);
   supply_.assign(static_cast<std::size_t>(tile_count()), 0);
   used_.assign(static_cast<std::size_t>(tile_count()), 0);
+  // The adjacency table mirrors neighbors(): W,E,S,N order per tile.
+  adj_.assign(static_cast<std::size_t>(tile_count()) * 4,
+              Adjacency{kNoTile, kNoEdge});
+  adj_count_.assign(static_cast<std::size_t>(tile_count()), 0);
+  for (TileId t = 0; t < tile_count(); ++t) {
+    TileId nbr[4];
+    const int n = neighbors(t, nbr);
+    adj_count_[static_cast<std::size_t>(t)] = static_cast<std::uint8_t>(n);
+    for (int k = 0; k < n; ++k) {
+      adj_[static_cast<std::size_t>(t) * 4 + static_cast<std::size_t>(k)] = {
+          nbr[k], edge_between(t, nbr[k])};
+    }
+  }
 }
 
 TileId TileGraph::tile_at(const geom::Point& p) const {

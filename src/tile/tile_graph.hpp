@@ -95,6 +95,21 @@ class TileGraph {
   /// Writes into `out` and returns the count. `out` must hold 4 entries.
   int neighbors(TileId t, TileId out[4]) const;
 
+  /// One (neighbor, connecting edge) pair of the precomputed adjacency
+  /// table.  The wavefront loops in maze.cpp / twopath.cpp walk these
+  /// instead of recomputing ids from coordinates on every relaxation.
+  struct Adjacency {
+    TileId tile;
+    EdgeId edge;
+  };
+  /// Pointer to tile t's adjacency entries (W,E,S,N order — the same
+  /// deterministic order neighbors() emits).  Valid for adj_count(t)
+  /// entries.
+  const Adjacency* adjacency(TileId t) const {
+    return adj_.data() + static_cast<std::size_t>(checkt(t)) * 4;
+  }
+  int adj_count(TileId t) const { return adj_count_[checkt(t)]; }
+
   // --- wire capacity / usage ------------------------------------------
   std::int32_t wire_capacity(EdgeId e) const { return cap_[checked(e)]; }
   std::int32_t wire_usage(EdgeId e) const { return use_[checked(e)]; }
@@ -182,6 +197,8 @@ class TileGraph {
   std::vector<std::int32_t> use_;     ///< per-edge w(e)
   std::vector<std::int32_t> supply_;  ///< per-tile B(v)
   std::vector<std::int32_t> used_;    ///< per-tile b(v)
+  std::vector<Adjacency> adj_;        ///< 4 slots per tile, W,E,S,N
+  std::vector<std::uint8_t> adj_count_;  ///< live slots per tile
 };
 
 }  // namespace rabid::tile

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file dheap.hpp
+/// A 4-ary implicit min-heap used by the wavefront searches (maze
+/// routing, the stage-4 (tile x L) search, its goal-rooted heuristic
+/// field).  Versus std::push_heap/pop_heap on a binary heap this halves
+/// the tree depth and keeps each sift-down's children in one cache line,
+/// which matters because the searches are pop-dominated (every pop pays
+/// a full-depth sift).
+///
+/// Determinism: entry types order by `operator>` which every caller
+/// defines as a *strict total order* (cost first, then an id tie-break),
+/// so the minimum element is unique and any correct heap pops the same
+/// sequence.  Swapping the heap implementation provably cannot change a
+/// route.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace rabid::util {
+
+template <typename T, int D = 4>
+class DaryHeap {
+  static_assert(D >= 2, "heap arity must be at least 2");
+
+ public:
+  bool empty() const { return v_.empty(); }
+  std::size_t size() const { return v_.size(); }
+  void clear() { v_.clear(); }
+  void reserve(std::size_t n) { v_.reserve(n); }
+
+  void push(T e) {
+    std::size_t i = v_.size();
+    v_.push_back(e);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / D;
+      if (!(v_[parent] > v_[i])) break;
+      std::swap(v_[parent], v_[i]);
+      i = parent;
+    }
+  }
+
+  /// Removes and returns the minimum element (heap must be non-empty).
+  T pop() {
+    T top = v_.front();
+    T last = v_.back();
+    v_.pop_back();
+    if (!v_.empty()) {
+      std::size_t i = 0;
+      const std::size_t n = v_.size();
+      while (true) {
+        const std::size_t first = i * D + 1;
+        if (first >= n) break;
+        std::size_t best = first;
+        const std::size_t end = first + D < n ? first + D : n;
+        for (std::size_t c = first + 1; c < end; ++c) {
+          if (v_[best] > v_[c]) best = c;
+        }
+        if (!(last > v_[best])) break;
+        v_[i] = v_[best];
+        i = best;
+      }
+      v_[i] = last;
+    }
+    return top;
+  }
+
+ private:
+  std::vector<T> v_;
+};
+
+}  // namespace rabid::util

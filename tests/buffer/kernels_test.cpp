@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "buffer/kernels.hpp"
+#include "util/rng.hpp"
+
+namespace rabid::buffer::kernels {
+namespace {
+
+/// The kernels' bit-exactness contract (kernels.hpp): whatever backend
+/// the dispatcher picked — scalar autovectorized or hand-written AVX2 —
+/// every result must be bitwise identical to the naive reference loops
+/// below.  On an AVX2 machine this test exercises the SIMD path; on any
+/// other machine it degenerates to scalar-vs-scalar, which still pins
+/// the truncation/tie conventions.
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double naive_min(const std::vector<double>& v) {
+  double best = kInf;
+  for (const double x : v) best = std::min(best, x);
+  return best;
+}
+
+std::int32_t naive_argmin_first(const std::vector<double>& v) {
+  std::int32_t best = 0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i] < v[static_cast<std::size_t>(best)]) {
+      best = static_cast<std::int32_t>(i);
+    }
+  }
+  return best;
+}
+
+std::vector<double> naive_join(const std::vector<double>& a,
+                               const std::vector<double>& b, std::int32_t L) {
+  std::vector<double> out(static_cast<std::size_t>(L) + 1, kInf);
+  for (std::int32_t j = 0; j <= L; ++j) {
+    for (std::int32_t x = 0; x <= j; ++x) {
+      out[static_cast<std::size_t>(j)] =
+          std::min(out[static_cast<std::size_t>(j)],
+                   a[static_cast<std::size_t>(x)] +
+                       b[static_cast<std::size_t>(j - x)]);
+    }
+  }
+  return out;
+}
+
+/// Cost-row-shaped values: nonnegative, finite or +inf, never NaN and
+/// never -0.0 — exactly the domain the contract covers.
+std::vector<double> random_row(util::Rng& rng, std::size_t n,
+                               double inf_rate) {
+  std::vector<double> v(n);
+  for (double& x : v) {
+    x = rng.chance(inf_rate) ? kInf : rng.uniform(0.0, 50.0);
+  }
+  return v;
+}
+
+TEST(Kernels, BackendNameIsKnown) {
+  EXPECT_TRUE(backend() == "avx2" || backend() == "scalar") << backend();
+}
+
+TEST(Kernels, RangeMinMatchesNaiveOnRandomRows) {
+  util::Rng rng(101);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(0, 67));
+    const std::vector<double> v = random_row(rng, n, 0.2);
+    EXPECT_EQ(range_min(v.data(), static_cast<std::int32_t>(n)),
+              naive_min(v))
+        << "trial=" << trial << " n=" << n;
+  }
+}
+
+TEST(Kernels, RangeMinEdgeCases) {
+  EXPECT_EQ(range_min(nullptr, 0), kInf);
+  const double one[] = {3.5};
+  EXPECT_EQ(range_min(one, 1), 3.5);
+  const std::vector<double> inf(19, kInf);
+  EXPECT_EQ(range_min(inf.data(), 19), kInf);
+  const double zero[] = {0.0, 0.0, 0.0, 0.0, 0.0};
+  EXPECT_EQ(range_min(zero, 5), 0.0);
+}
+
+TEST(Kernels, ArgminReturnsFirstIndexAmongExactTies) {
+  util::Rng rng(202);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 67));
+    // Integer values out of a small range force frequent exact ties —
+    // the first-index convention is the whole point of this kernel.
+    std::vector<double> v(n);
+    for (double& x : v) {
+      x = rng.chance(0.2) ? kInf : static_cast<double>(rng.uniform_int(0, 4));
+    }
+    EXPECT_EQ(range_argmin_first(v.data(), static_cast<std::int32_t>(n)),
+              naive_argmin_first(v))
+        << "trial=" << trial << " n=" << n;
+  }
+}
+
+TEST(Kernels, ArgminAllInfiniteIsIndexZero) {
+  const std::vector<double> inf(13, kInf);
+  EXPECT_EQ(range_argmin_first(inf.data(), 13), 0);
+  const double one[] = {kInf};
+  EXPECT_EQ(range_argmin_first(one, 1), 0);
+}
+
+TEST(Kernels, MinPlusJoinMatchesNaiveOnRandomRows) {
+  util::Rng rng(303);
+  for (int trial = 0; trial < 120; ++trial) {
+    const auto L = static_cast<std::int32_t>(rng.uniform_int(0, 40));
+    const auto n = static_cast<std::size_t>(L) + 1;
+    const std::vector<double> a = random_row(rng, n, 0.15);
+    const std::vector<double> b = random_row(rng, n, 0.15);
+    std::vector<double> out(n, -1.0);
+    min_plus_join(a.data(), b.data(), L, out.data());
+    const std::vector<double> ref = naive_join(a, b, L);
+    for (std::int32_t j = 0; j <= L; ++j) {
+      EXPECT_EQ(out[static_cast<std::size_t>(j)],
+                ref[static_cast<std::size_t>(j)])
+          << "trial=" << trial << " L=" << L << " j=" << j;
+    }
+  }
+}
+
+TEST(Kernels, MinPlusJoinAllInfiniteStaysInfinite) {
+  const std::vector<double> inf(9, kInf);
+  std::vector<double> out(9, 0.0);
+  min_plus_join(inf.data(), inf.data(), 8, out.data());
+  for (const double x : out) EXPECT_EQ(x, kInf);
+}
+
+TEST(Kernels, MinPlusJoinLZeroIsScalarSum) {
+  const double a[] = {2.25};
+  const double b[] = {0.75};
+  double out = -1.0;
+  min_plus_join(a, b, 0, &out);
+  EXPECT_EQ(out, 3.0);
+}
+
+}  // namespace
+}  // namespace rabid::buffer::kernels

@@ -188,6 +188,105 @@ TEST(Audit, ViolationsCarryIdentityAndValues) {
   EXPECT_TRUE(found);
 }
 
+/// Type-tag auditing (multi-type buffer libraries): a genuine paper4
+/// flow audits with zero errors, and each way a tag can rot — foreign
+/// electrical numbers, a nameless tag, a tag array out of step with the
+/// placements — surfaces under the right category.
+
+struct Paper4Flow {
+  netlist::Design design;
+  tile::TileGraph graph;
+  core::RabidOptions options;
+  core::Rabid rabid;
+
+  static core::RabidOptions paper4_options() {
+    core::RabidOptions o;
+    EXPECT_TRUE(buffer::BufferLibrary::preset("paper4", &o.buffer_library));
+    return o;
+  }
+
+  explicit Paper4Flow(std::string_view circuit)
+      : design(circuits::generate_design(circuits::spec_by_name(circuit))),
+        graph(circuits::build_tile_graph(design,
+                                         circuits::spec_by_name(circuit))),
+        options(paper4_options()),
+        rabid(design, graph, options) {
+    rabid.run_all();
+  }
+
+  core::AuditOptions audit_options() const {
+    core::AuditOptions o;
+    o.buffer_library = options.buffer_library;
+    return o;
+  }
+
+  /// A net with at least one buffer (multi-type runs tag every one).
+  std::size_t tagged_net(const std::vector<core::NetState>& nets) const {
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+      if (!nets[i].buffers.empty()) {
+        EXPECT_EQ(nets[i].buffer_types.size(), nets[i].buffers.size());
+        return i;
+      }
+    }
+    ADD_FAILURE() << "no buffered net in the flow";
+    return 0;
+  }
+};
+
+TEST(Audit, Paper4FlowTypeTagsAuditClean) {
+  Paper4Flow f("apte");
+  const core::AuditReport report = f.rabid.audit();
+  EXPECT_EQ(report.error_count(), 0u) << report.summary();
+  EXPECT_FALSE(has_check(report, core::AuditCheck::kBufferTypes));
+  EXPECT_FALSE(has_check(report, core::AuditCheck::kLengthRule));
+}
+
+TEST(Audit, CatchesTamperedTagElectricalPayload) {
+  Paper4Flow f("apte");
+  std::vector<core::NetState> nets = f.rabid.nets();
+  const std::size_t victim = f.tagged_net(nets);
+  nets[victim].buffer_types[0].input_cap *= 2.0;
+  const core::AuditReport report =
+      core::SolutionAuditor(f.design, f.graph, f.audit_options()).audit(nets);
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(has_check(report, core::AuditCheck::kBufferTypes));
+}
+
+TEST(Audit, CatchesNamelessTypeTag) {
+  Paper4Flow f("apte");
+  std::vector<core::NetState> nets = f.rabid.nets();
+  const std::size_t victim = f.tagged_net(nets);
+  nets[victim].buffer_types[0].name = std::string_view{};
+  const core::AuditReport report =
+      core::SolutionAuditor(f.design, f.graph, f.audit_options()).audit(nets);
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(has_check(report, core::AuditCheck::kBufferTypes));
+}
+
+TEST(Audit, CatchesTagArrayOutOfStepWithPlacements) {
+  Paper4Flow f("apte");
+  std::vector<core::NetState> nets = f.rabid.nets();
+  const std::size_t victim = f.tagged_net(nets);
+  ASSERT_GT(nets[victim].buffer_types.size(), 0u);
+  nets[victim].buffer_types.pop_back();
+  const core::AuditReport report =
+      core::SolutionAuditor(f.design, f.graph, f.audit_options()).audit(nets);
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(has_check(report, core::AuditCheck::kBufferRefs));
+}
+
+TEST(Audit, AuditingTaggedNetsAgainstUnitLibraryStillWorks) {
+  // A *unit* auditor handed a paper4 solution treats every unknown tag
+  // as the library's (only) type; the placements were made under looser
+  // multi-type limits, so this is allowed to flag length-rule errors
+  // but must never crash or mislabel them as tag corruption.
+  Paper4Flow f("apte");
+  const std::vector<core::NetState> nets = f.rabid.nets();
+  const core::AuditReport report =
+      core::SolutionAuditor(f.design, f.graph).audit(nets);
+  EXPECT_FALSE(has_check(report, core::AuditCheck::kBufferTypes));
+}
+
 TEST(Audit, ReportMergeAndCountsAndJson) {
   core::AuditReport a;
   a.checks_run = 10;

@@ -24,9 +24,17 @@ BM_Generator/playout — pure single-thread work untouched by routing
 changes), so what is compared is the *ratio* to the probe.  CI uses
 this; local A/B runs on one machine can omit it.
 
+--min-speedup NAME=RATIO (repeatable) turns the tool into an
+*improvement* gate: the candidate must be at least RATIO times faster
+than the baseline on benchmark NAME (calibrated like everything else).
+CI uses this against the frozen seed recording (BENCH_seed.json) to
+pin the flow-level speedups the perf work claims, so they cannot rot
+silently while the regular baseline keeps being re-recorded.
+
 Usage:
   tools/bench_compare.py BENCH_baseline.json current.json \
-      [--max-regression 0.20] [--calibrate BM_Generator/playout]
+      [--max-regression 0.20] [--calibrate BM_Generator/playout] \
+      [--min-speedup BM_FullFlow/ami49=1.5]
 """
 
 import argparse
@@ -72,7 +80,23 @@ def main():
     parser.add_argument("--calibrate", default="",
                         help="benchmark name used as a machine-speed "
                              "probe; both sides are normalized by it")
+    parser.add_argument("--min-speedup", action="append", default=[],
+                        metavar="NAME=RATIO",
+                        help="require current to be at least RATIO times "
+                             "faster than baseline on NAME (repeatable)")
     args = parser.parse_args()
+
+    speedup_gates = []
+    for spec in args.min_speedup:
+        name, sep, ratio = spec.rpartition("=")
+        try:
+            ratio = float(ratio)
+        except ValueError:
+            ratio = 0.0
+        if not sep or not name or ratio <= 0:
+            raise SystemExit(f"error[invalid-input]: --min-speedup needs "
+                             f"NAME=RATIO with RATIO > 0, got '{spec}'")
+        speedup_gates.append((name, ratio))
 
     base = load_times(args.baseline)
     cur = load_times(args.current)
@@ -122,11 +146,28 @@ def main():
                          f"{args.current}: {names} — a removed benchmark "
                          "needs the baseline re-recorded "
                          "(tools/bench_report.py), not a silent pass")
+    failed_gates = []
+    for name, want in speedup_gates:
+        if name not in base or name not in cur:
+            raise SystemExit(f"error[missing-benchmark]: --min-speedup "
+                             f"target {name} missing from "
+                             f"{'baseline' if name not in base else 'current'}")
+        got = base[name] / cur[name]
+        verdict = "ok" if got >= want else "FAIL"
+        print(f"speedup gate {name}: {got:.3f}x (need >= {want:.3f}x) "
+              f"[{verdict}]")
+        if got < want:
+            failed_gates.append((name, got, want))
     if regressions:
         print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more "
               f"than {args.max_regression:.0%}:")
         for name, ratio in regressions:
             print(f"  {name}: {ratio:.3f}x")
+        sys.exit(1)
+    if failed_gates:
+        print(f"\nFAIL: {len(failed_gates)} speedup gate(s) missed:")
+        for name, got, want in failed_gates:
+            print(f"  {name}: {got:.3f}x < {want:.3f}x")
         sys.exit(1)
     print("\nOK: no benchmark regressed past "
           f"{args.max_regression:.0%}")

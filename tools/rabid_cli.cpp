@@ -97,6 +97,7 @@ struct Args {
   double deadline_ms = 0.0;
   std::string checkpoint_dir;
   bool resume = false;
+  std::string buffer_library;  // planning preset: unit|paper2|paper4
 };
 
 [[noreturn]] void usage(const char* msg) {
@@ -109,7 +110,8 @@ struct Args {
                "       [--obs off|counters|trace] [--report F] [--trace F]\n"
                "       [--two-pin] [--bbp] [--dump-design F]\n"
                "       [--dump-solution F] [--heatmaps] [--deadline-ms MS]\n"
-               "       [--checkpoint-dir D] [--resume]\n");
+               "       [--checkpoint-dir D] [--resume]\n"
+               "       [--buffer-library unit|paper2|paper4]\n");
   std::exit(2);
 }
 
@@ -182,6 +184,11 @@ Args parse(int argc, char** argv) {
       a.checkpoint_dir = value();
     } else if (flag == "--resume") {
       a.resume = true;
+    } else if (flag == "--buffer-library") {
+      a.buffer_library = value();
+      rabid::buffer::BufferLibrary probe;
+      if (!rabid::buffer::BufferLibrary::preset(a.buffer_library, &probe))
+        usage("--buffer-library expects unit, paper2, or paper4");
     } else if (flag == "--help" || flag == "-h") {
       usage(nullptr);
     } else {
@@ -281,6 +288,10 @@ int main(int argc, char** argv) {
     options.stage2_dirty_filter = !args.no_dirty_filter;
     if (args.audit) options.audit_level = core::AuditLevel::kPerStage;
     options.deadline_ms = args.deadline_ms;
+    if (!args.buffer_library.empty()) {
+      buffer::BufferLibrary::preset(args.buffer_library,
+                                    &options.buffer_library);
+    }
     core::Rabid rabid(design, graph, options);
     report::Table table({"stage", "wireC max", "wireC avg", "overflows",
                          "bufD max", "#bufs", "#fails", "wl (mm)",
