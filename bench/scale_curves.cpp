@@ -1,0 +1,188 @@
+// Scaling curves for the generated "scale" circuit family (ROADMAP
+// item 5): stage-1 + stage-2 wall time and peak RSS across 10k-1M-net
+// circuits, with stage 2 measured both serial (stage2_shards = 0) and
+// region-sharded (stage2_shards = K on the worker pool).
+//
+// Output is google-benchmark-shaped JSON on stdout so the existing
+// report/compare tooling applies unchanged:
+//
+//   tools/bench_report.py --suite scale --out BENCH_scale.json
+//   tools/bench_compare.py BENCH_scale.json current.json
+//       --max-rss-regression 0.30
+//       --min-speedup 'BM_Stage2/scale100k/serial>BM_Stage2/scale100k/sharded=1.3'
+//
+// Each "iteration" row carries real_time/cpu_time in seconds plus a
+// "peak_rss_bytes" field.  Peak RSS is a process-lifetime high-water
+// mark, so rows inherit the peak of everything run before them; rows
+// are emitted smallest circuit first and serial before sharded, which
+// keeps the attribution stable between recordings of the same suite.
+//
+// Usage: scale_curves [--sizes scale10k,scale30k,scale100k]
+//                     [--shards K] [--threads N] [--quick]
+//                     [--benchmark_format=json] [--benchmark_min_time=X]
+//                     [--benchmark_filter=SUBSTRING]
+//   --sizes    comma-separated scale-family circuit names (specs.hpp);
+//              the default stops at scale100k — nightly passes
+//              scale300k/scale1m explicitly
+//   --shards   region grid K for the sharded runs (default 8 -> 8x8)
+//   --threads  worker threads for the sharded runs (0 = one per core)
+//   --quick    scale10k only (CI smoke)
+//   the --benchmark_* flags exist so bench_report.py can drive this
+//   binary exactly like the google-benchmark ones; min_time is ignored
+//   (every row is a single timed run) and filter is a substring match.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "circuits/generator.hpp"
+#include "circuits/specs.hpp"
+#include "core/rabid.hpp"
+#include "obs/counters.hpp"
+#include "obs/memory.hpp"
+
+namespace {
+
+struct Row {
+  std::string name;
+  double seconds = 0.0;
+  std::uint64_t peak_rss_bytes = 0;
+  std::uint64_t local_nets = 0;     // sharded rows only
+  std::uint64_t boundary_nets = 0;  // sharded rows only
+  bool sharded = false;
+};
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return needle.empty() || haystack.find(needle) != std::string::npos;
+}
+
+std::vector<std::string> split_csv(const char* arg) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char* p = arg; *p; ++p) {
+    if (*p == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(*p);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rabid;
+  std::vector<std::string> sizes = {"scale10k", "scale30k", "scale100k"};
+  std::int32_t shards = 8;
+  std::int32_t threads = 0;
+  std::string filter;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--sizes") == 0 && i + 1 < argc) {
+      sizes = split_csv(argv[++i]);
+    } else if (std::strcmp(arg, "--shards") == 0 && i + 1 < argc) {
+      shards = std::atoi(argv[++i]);
+    } else if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(arg, "--quick") == 0) {
+      sizes = {"scale10k"};
+    } else if (std::strncmp(arg, "--benchmark_filter=", 19) == 0) {
+      filter = arg + 19;
+    } else if (std::strncmp(arg, "--benchmark_min_time=", 21) == 0) {
+      // Single timed run per row; accepted for bench_report.py parity.
+    } else if (std::strcmp(arg, "--benchmark_format=json") == 0) {
+      // JSON is the only format.
+    } else {
+      std::fprintf(stderr,
+                   "usage: scale_curves [--sizes a,b,c] [--shards K] "
+                   "[--threads N] [--quick]\n");
+      return 2;
+    }
+  }
+  if (shards < 1) {
+    std::fprintf(stderr, "scale_curves: --shards must be >= 1\n");
+    return 2;
+  }
+
+  obs::Registry::instance().set_level(obs::Level::kCounters);
+
+  std::vector<Row> rows;
+  for (const std::string& size : sizes) {
+    const circuits::CircuitSpec* spec = circuits::find_spec(size);
+    if (spec == nullptr || !spec->scale) {
+      std::fprintf(stderr, "scale_curves: unknown scale circuit '%s'\n",
+                   size.c_str());
+      return 2;
+    }
+    const netlist::Design design = circuits::generate_design(*spec);
+
+    // Serial reference first, then sharded: same design, fresh graph
+    // and flow each so neither run sees the other's usage books.
+    for (int mode = 0; mode < 2; ++mode) {
+      const bool sharded = mode == 1;
+      const std::string s1_name = "BM_Stage1/" + size;
+      const std::string s2_name =
+          "BM_Stage2/" + size + (sharded ? "/sharded" : "/serial");
+      if (!contains(s1_name, filter) && !contains(s2_name, filter)) continue;
+
+      obs::Registry::instance().reset();
+      tile::TileGraph graph = circuits::build_tile_graph(design, *spec);
+      core::RabidOptions options;
+      options.threads = sharded ? threads : 1;
+      options.stage2_shards = sharded ? shards : 0;
+      options.obs_level = obs::Level::kCounters;
+      core::Rabid rabid(design, graph, options);
+
+      const core::StageStats s1 = rabid.run_stage1();
+      if (!sharded && contains(s1_name, filter)) {
+        // Stage 1 is identical in both modes; report the serial one.
+        rows.push_back({s1_name, s1.cpu_s, obs::peak_rss_bytes(), 0, 0,
+                        false});
+      }
+      const core::StageStats s2 = rabid.run_stage2();
+      if (!contains(s2_name, filter)) continue;
+      const obs::Snapshot snap = obs::Registry::instance().snapshot();
+      rows.push_back({s2_name, s2.cpu_s, obs::peak_rss_bytes(),
+                      snap[obs::Counter::kStage2LocalNets],
+                      snap[obs::Counter::kStage2BoundaryNets], sharded});
+      std::fprintf(stderr, "%s: %.2fs rss=%" PRIu64 "MB\n", s2_name.c_str(),
+                   s2.cpu_s, obs::peak_rss_bytes() >> 20);
+    }
+  }
+
+  std::printf("{\n  \"context\": {\n");
+#ifdef NDEBUG
+  std::printf("    \"library_build_type\": \"release\",\n");
+#else
+  std::printf("    \"library_build_type\": \"debug\",\n");
+#endif
+  std::printf("    \"shards\": %d,\n    \"threads\": %d\n  },\n",
+              static_cast<int>(shards), static_cast<int>(threads));
+  std::printf("  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::printf("    {\n");
+    std::printf("      \"name\": \"%s\",\n", r.name.c_str());
+    std::printf("      \"run_name\": \"%s\",\n", r.name.c_str());
+    std::printf("      \"run_type\": \"iteration\",\n");
+    std::printf("      \"iterations\": 1,\n");
+    std::printf("      \"real_time\": %.6f,\n", r.seconds);
+    std::printf("      \"cpu_time\": %.6f,\n", r.seconds);
+    std::printf("      \"time_unit\": \"s\",\n");
+    if (r.sharded) {
+      std::printf("      \"local_nets\": %" PRIu64 ",\n", r.local_nets);
+      std::printf("      \"boundary_nets\": %" PRIu64 ",\n",
+                  r.boundary_nets);
+    }
+    std::printf("      \"peak_rss_bytes\": %" PRIu64 "\n", r.peak_rss_bytes);
+    std::printf("    }%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}

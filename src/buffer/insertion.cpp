@@ -129,6 +129,22 @@ class TreeDp {
     return static_cast<std::uint64_t>(c_.size() + k_.size() + acc_.size());
   }
 
+  /// Bytes held by the arena and the per-node side tables (the obs
+  /// memory.dp_arena high-water mark — per-net, since the arena dies
+  /// with the call).
+  std::uint64_t memory_bytes() const {
+    return static_cast<std::uint64_t>(c_.capacity() + k_.capacity() +
+                                      acc_.capacity() +
+                                      q_of_node_.capacity() +
+                                      drive_value_.capacity()) *
+               sizeof(double) +
+           static_cast<std::uint64_t>(acc_off_.capacity()) *
+               sizeof(std::size_t) +
+           static_cast<std::uint64_t>(drive_arg_.capacity()) *
+               sizeof(std::int32_t) +
+           static_cast<std::uint64_t>(has_drive_.capacity());
+  }
+
   /// Span-kernel invocations of the forward pass.
   std::uint64_t kernel_calls() const { return kernel_calls_; }
 
@@ -286,6 +302,7 @@ InsertionResult insert_buffers(const route::RouteTree& tree, std::int32_t L,
     obs::count(obs::Counter::kDpCellsInfeasible, dp.cells_infeasible());
     obs::count(obs::Counter::kDpKernels, dp.kernel_calls());
     obs::observe(obs::HistogramId::kDpCellsPerNet, dp.cells_computed());
+    obs::gauge_max(obs::GaugeId::kDpArenaBytes, dp.memory_bytes());
   }
   return result;
 }

@@ -58,8 +58,12 @@ struct TilingOptions {
   /// silicon (9 per Section IV-A; 0 disables).
   std::int32_t blocked_span = 9;
   /// Wire-capacity calibration: W(e) is uniform, sized so the expected
-  /// HPWL demand would average this congestion.
-  double target_avg_congestion = 0.25;
+  /// HPWL demand would average this congestion.  0 = the spec default:
+  /// 0.25 for the Table-I circuits (the paper's comfortable regime),
+  /// 0.55 for the scale family — tight enough that stage 1 leaves real
+  /// localized overflow and stage 2 has genuine rip-up work at 100k-1M
+  /// nets, loose enough that it always resolves to w(e) <= W(e).
+  double target_avg_congestion = 0.0;
   /// Capacity multiplier for edges whose both endpoints lie under a
   /// macro block (global tracks over macros are scarcer than over
   /// channels; 1.0 = the paper's uniform model).  Lower values

@@ -24,6 +24,21 @@ constexpr std::array<CircuitSpec, 10> kSpecs{{
     {"a9c3",    false, 147, 1148,  22, 1526, 30, 30, 1.08, 5, 12780, 0.52},
 }};
 
+// The synthetic scale family (ROADMAP item 5): Rent's-rule-flavored
+// generated circuits 100x-10000x beyond Table I, smallest first.  The
+// %area column is pct_chip_area(spec, sites) rounded; sink counts are
+// 2.2x nets (the Table-I average fanout is ~2.4); L=8 with ~100 um
+// tiles keeps the buffer problem real without drowning the grids in
+// sites.  scale1m uses smaller tiles so the 512x512 chip stays ~30 mm.
+constexpr std::array<CircuitSpec, 5> kScaleSpecs{{
+    // name      cbl  cells  nets     pads sinks    gx   gy   tile     L  sites   %area scale
+    {"scale10k",  false,  64,   10000, 0,   22000, 128, 128, 0.0100, 8,    7500, 1.83, true},
+    {"scale30k",  false, 128,   30000, 0,   66000, 192, 192, 0.0100, 8,   22500, 2.44, true},
+    {"scale100k", false, 256,  100000, 0,  220000, 256, 256, 0.0100, 8,   75000, 4.58, true},
+    {"scale300k", false, 256,  300000, 0,  660000, 256, 256, 0.0100, 8,  225000, 13.7, true},
+    {"scale1m",   false, 512, 1000000, 0, 2200000, 512, 512, 0.0036, 8,  750000, 31.8, true},
+}};
+
 // Table III: small / medium / large available-buffer-site sweeps.
 constexpr std::array<SiteSweep, 6> kSiteSweeps{{
     {"apte", 280, 700, 3200},
@@ -48,8 +63,13 @@ double CircuitSpec::chip_height_um() const {
 
 std::span<const CircuitSpec> table1_specs() { return kSpecs; }
 
+std::span<const CircuitSpec> scale_specs() { return kScaleSpecs; }
+
 const CircuitSpec* find_spec(std::string_view name) {
   for (const CircuitSpec& s : kSpecs) {
+    if (s.name == name) return &s;
+  }
+  for (const CircuitSpec& s : kScaleSpecs) {
     if (s.name == name) return &s;
   }
   return nullptr;

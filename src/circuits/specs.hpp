@@ -30,6 +30,11 @@ struct CircuitSpec {
   std::int32_t length_limit = 0;  ///< L_i in tiles
   std::int32_t buffer_sites = 0;  ///< total sites at the default tiling
   double pct_chip_area = 0.0;     ///< Table I's "%chip area" column
+  /// True for the synthetic "scale" family (scale10k .. scale1m): nets
+  /// are generated with a Rent's-rule-flavored locality distribution
+  /// instead of the Table-I block-boundary model (see generator.cpp),
+  /// sized 100x-10000x beyond the published benchmarks.
+  bool scale = false;
 
   /// Chip dimensions implied by grid size x tile area (tiles are square
   /// at the default tiling; Table I: "each tile was roughly square").
@@ -40,8 +45,15 @@ struct CircuitSpec {
 /// All ten circuits, in Table I order.
 std::span<const CircuitSpec> table1_specs();
 
-/// Lookup by name; nullptr if unknown (callers that can report errors —
-/// the CLI — use this instead of the asserting variant below).
+/// The synthetic scale family (ROADMAP item 5): 10k-1M-net generated
+/// circuits on 128x128 .. 512x512 grids, smallest first.  Reached by
+/// name through find_spec like any Table-I circuit, so the CLI, the
+/// serving daemon, and the benches all address them uniformly.
+std::span<const CircuitSpec> scale_specs();
+
+/// Lookup by name across Table I *and* the scale family; nullptr if
+/// unknown (callers that can report errors — the CLI — use this instead
+/// of the asserting variant below).
 const CircuitSpec* find_spec(std::string_view name);
 
 /// Lookup by name; aborts if unknown.

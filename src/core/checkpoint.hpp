@@ -24,6 +24,7 @@
 namespace rabid::core {
 
 class Rabid;
+struct Stage2Progress;  // core/rabid.hpp
 
 /// The parsed `manifest.json` of a checkpoint directory.
 struct CheckpointManifest {
@@ -35,6 +36,10 @@ struct CheckpointManifest {
   std::int32_t ny = 0;
   int stage = 0;        ///< last completed stage (1..4)
   std::string solution_file;  ///< dump file name, relative to the dir
+  /// Mid-stage-2 progress sidecar (RabidOptions::checkpoint_every_nets),
+  /// relative to the dir; empty for stage-boundary checkpoints.  The
+  /// dump then holds the mid-stage-2 trees with `stage` still 1.
+  std::string stage2_progress_file;
 };
 
 /// Dumps the flow's current solution as the checkpoint for
@@ -44,12 +49,23 @@ struct CheckpointManifest {
 Status write_checkpoint(const std::string& dir, const Rabid& rabid,
                         int completed_stage);
 
+/// Dumps a mid-stage-2 checkpoint: the current solution (as the stage-1
+/// dump `stage2_partial.sol`) plus the resume point (`stage2.progress`,
+/// "rabid.stage2.progress.v1" — exact %.17g doubles, so costs round-trip
+/// bit for bit).  Called by Rabid itself on the
+/// RabidOptions::checkpoint_every_nets cadence.
+Status write_stage2_checkpoint(const std::string& dir, const Rabid& rabid,
+                               const Stage2Progress& progress);
+
 /// Reads and validates `<dir>/manifest.json`.
 Result<CheckpointManifest> read_checkpoint_manifest(const std::string& dir);
 
 /// Restores `rabid` (a fresh instance) from the latest checkpoint in
 /// `dir`.  On success `*completed_stage` (when non-null) receives the
 /// stage the checkpoint covers, so the caller can run the remainder.
+/// A mid-stage-2 checkpoint reports stage 1 and additionally installs
+/// the resume point (Rabid::restore_stage2_progress), so the caller's
+/// next run_stage2() continues where the interrupted run stopped.
 Status resume_from_checkpoint(const std::string& dir, Rabid& rabid,
                               int* completed_stage = nullptr);
 

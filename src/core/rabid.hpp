@@ -89,6 +89,26 @@ struct RabidOptions {
   /// began.  Off reproduces the paper-faithful reroute-everything loop.
   bool stage2_dirty_filter = true;
   double stage2_dirty_threshold = 0.05;
+  /// Region sharding for Stage-2 rip-up: the grid is cut into K-by-K
+  /// regions; nets whose current tree lies entirely inside one region
+  /// are rerouted concurrently across regions, each shard's wavefront
+  /// confined to its region (reads and writes touch only the region's
+  /// interior edges, so shards are disjoint by construction — no locks,
+  /// no atomics), then the boundary-crossing nets replay serially in
+  /// net-id order.  With the dirty filter enabled the sharded engine is
+  /// also overflow-selective from the start: iteration 0 rips up only
+  /// nets riding an overflowed edge (the rest keep their stage-1
+  /// trees), and a net still overflow-touching after iteration 0
+  /// escalates to the unconfined boundary pass so a full region cannot
+  /// trap it.  0 = the legacy serial loop, instruction for
+  /// instruction (golden-pinned).  For a fixed K the solution is
+  /// bit-identical at any thread count; it is NOT bit-identical to
+  /// K = 0 — selectivity, confinement, and processing order
+  /// legitimately differ, and both solutions are audit-clean.  Values
+  /// above min(nx, ny) clamp.
+  /// Applies to Stage2Mode::kRipUpReroute only (negotiated mode runs
+  /// serial regardless).
+  std::int32_t stage2_shards = 0;
   Stage3Order stage3_order = Stage3Order::kDescendingDelay;
   std::int32_t reroute_iterations = 3;      ///< Stage-2 cap (Section III-B)
   std::int32_t postprocess_iterations = 1;  ///< Stage-4 passes
@@ -126,6 +146,18 @@ struct RabidOptions {
   /// timing, so the bit-identical-at-any-thread-count guarantee is
   /// deliberately waived for runs that actually time out.
   double deadline_ms = 0.0;
+  /// Mid-stage-2 checkpoint cadence: when > 0 and checkpoint_dir is
+  /// set, Stage 2 writes a resumable checkpoint (solution dump plus a
+  /// Stage2Progress sidecar) after every this-many processed nets, so a
+  /// multi-hour 100k/1M-net rip-up can be killed and resumed without
+  /// redoing completed iterations.  The serial engine checkpoints at
+  /// any net boundary; the sharded engine at iteration boundaries (a
+  /// mid-parallel-pass capture would be racy), in both cases resuming
+  /// bit-identically to the uninterrupted run given identical options.
+  /// Write failures are reported on stderr but never abort the flow.
+  std::int64_t checkpoint_every_nets = 0;
+  /// Directory for checkpoint_every_nets writes (must already exist).
+  std::string checkpoint_dir;
   /// Self-auditing: recompute every solution invariant from scratch at
   /// the chosen points and accumulate violations in last_audit().
   AuditLevel audit_level = AuditLevel::kOff;
@@ -176,6 +208,29 @@ struct NetState {
   /// Length rule satisfied? (false == the net counts in "#fails")
   bool meets_length_rule = false;
   timing::DelayResult delay;
+};
+
+/// Mid-stage-2 resume point (RabidOptions::checkpoint_every_nets).
+///
+/// Bit-identical resume needs exactly the per-iteration state the loop
+/// cannot rederive from the books mid-flight: the net order (fixed from
+/// *stage-1* delays — delays recomputed from mid-stage trees would
+/// reorder), the iteration-start cost snapshot driving the dirty-net
+/// filter, the dirty mask itself, and the A* step floor at the instant
+/// of capture (point refreshes only ever lower it, so a fresh
+/// refresh_all() cannot reproduce it).  Everything else — cache values,
+/// delays, length-rule flags — is a pure function of the restored books.
+struct Stage2Progress {
+  std::int32_t iteration = 0;  ///< iteration being (re)entered
+  /// Next index into `order`.  0 = the iteration has not started
+  /// (snapshot then holds the *previous* iteration's start costs, and
+  /// edge_dirty/min_cost are unused); > 0 = mid-iteration (serial
+  /// engine only; the sharded engine checkpoints at boundaries).
+  std::int64_t next_pos = 0;
+  std::vector<std::uint32_t> order;     ///< net ids, stage-1 delay order
+  std::vector<double> snapshot;         ///< iteration-start eq.(1) costs
+  std::vector<std::uint8_t> edge_dirty; ///< current iteration's mask
+  double min_cost = 0.0;                ///< A* floor at capture
 };
 
 class Rabid {
@@ -255,6 +310,17 @@ class Rabid {
   Status restore_solution(const LoadedSolution& solution,
                           int completed_stage);
 
+  /// Installs a mid-stage-2 resume point (after restore_solution with
+  /// completed_stage == 1): the next run_stage2() fast-forwards to it
+  /// and completes bit-identically to the uninterrupted run, provided
+  /// the options match the checkpointing run's.  Validated against the
+  /// design and graph; a hostile sidecar yields an error, not a crash.
+  Status restore_stage2_progress(Stage2Progress progress);
+  /// The installed resume point, if any (consumed by run_stage2()).
+  const Stage2Progress* stage2_progress() const {
+    return stage2_progress_.get();
+  }
+
   /// Recomputes every net's delay from its current tree + buffers.
   void refresh_delays();
 
@@ -284,6 +350,11 @@ class Rabid {
   /// Net indices ordered by current delay (ascending or descending).
   std::vector<std::size_t> nets_by_delay(bool ascending) const;
 
+  /// Records the memory high-water gauges (peak RSS, tile graph, route
+  /// trees) into the obs registry; called at every stage boundary.
+  /// No-op when the registry is not counting.
+  void record_memory_gauges() const;
+
   /// Cooperative deadline probe: false when no deadline is configured
   /// (one predictable branch — the bench-compare gate holds the
   /// no-deadline flow to within 2%); latches deadline_expired_ on first
@@ -312,6 +383,9 @@ class Rabid {
   std::vector<NetState> nets_;
   /// Live only when options_.threads resolves to >= 2 workers.
   std::unique_ptr<util::ThreadPool> pool_;
+  /// Installed by restore_stage2_progress(); consumed (reset) by the
+  /// next run_stage2().
+  std::unique_ptr<Stage2Progress> stage2_progress_;
   /// shared_ptr so the header needs only the forward declaration.
   std::shared_ptr<AuditReport> last_audit_;
   std::vector<StageStats> stage_history_;

@@ -7,6 +7,7 @@
 
 #include "core/audit.hpp"
 #include "obs/json.hpp"
+#include "obs/memory.hpp"
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
 
@@ -156,7 +157,13 @@ void RunReport::write_json(std::ostream& out) const {
     }
     out << "]";
   }
-  out << (histograms.empty() ? "}" : "\n  }") << ",\n";
+  out << (histograms.empty() ? "}" : "\n  }") << ",\n  \"gauges\": {";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \"";
+    json_escape(out, gauges[i].first);
+    out << "\": " << gauges[i].second;
+  }
+  out << (gauges.empty() ? "}" : "\n  }") << ",\n";
   write_utilization(out, "wire_utilization", wire_utilization, "  ");
   out << ",\n";
   write_utilization(out, "site_utilization", site_utilization, "  ");
@@ -272,6 +279,15 @@ std::optional<RunReport> RunReport::parse(std::string_view text,
     r.histograms.push_back(std::move(row));
   }
 
+  // Reports written before the scaling work have no gauges block;
+  // default to empty rather than rejecting the document.
+  if (const obs::json::Value* gauges = doc->find("gauges");
+      gauges != nullptr && gauges->is_object()) {
+    for (const auto& [name, value] : gauges->members) {
+      r.gauges.emplace_back(name, value.as_int());
+    }
+  }
+
   if (!parse_utilization(*doc, "wire_utilization", &r.wire_utilization,
                          error) ||
       !parse_utilization(*doc, "site_utilization", &r.site_utilization,
@@ -355,6 +371,18 @@ RunReport build_run_report(const Rabid& rabid) {
         std::string(obs::histogram_name(static_cast<obs::HistogramId>(h)));
     row.buckets.assign(snap.histograms[h].begin(), snap.histograms[h].end());
     r.histograms.push_back(std::move(row));
+  }
+  for (std::size_t g = 0; g < static_cast<std::size_t>(obs::GaugeId::kCount);
+       ++g) {
+    const auto id = static_cast<obs::GaugeId>(g);
+    // The registry's peak-RSS gauge is only populated at obs levels
+    // above off; the report's copy falls back to a live probe so the
+    // memory footprint is never silently zero.
+    const std::uint64_t v = id == obs::GaugeId::kPeakRssBytes
+                                ? std::max(snap.gauges[g], obs::peak_rss_bytes())
+                                : snap.gauges[g];
+    r.gauges.emplace_back(std::string(obs::gauge_name(id)),
+                          static_cast<std::int64_t>(v));
   }
 
   for (tile::EdgeId e = 0; e < graph.edge_count(); ++e) {

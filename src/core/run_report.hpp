@@ -82,6 +82,12 @@ struct RunReport {
   };
   std::vector<HistogramRow> histograms;
 
+  /// High-water-mark gauges in enum order, names from obs::gauge_name()
+  /// — the memory.* byte counters plus the OS peak RSS, recorded even
+  /// at obs level off (peak_rss is re-probed at report-build time, so a
+  /// run that recorded nothing still reports its memory footprint).
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+
   UtilizationHistogram wire_utilization;  ///< w(e)/W(e) over all edges
   UtilizationHistogram site_utilization;  ///< b(v)/B(v) over all tiles
 

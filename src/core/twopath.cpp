@@ -23,6 +23,10 @@ TwoPathSearch::TwoPathSearch(const tile::TileGraph& g)
   for (tile::TileId t = 0; t < g.tile_count(); ++t) {
     coords_.push_back(g.coord_of(t));
   }
+  // Pre-size both heaps from the graph so the searches never reallocate
+  // mid-wavefront (kHeapRegrows counts any push that still does).
+  heap_.reserve(static_cast<std::size_t>(g.tile_count()));
+  field_heap_.reserve(static_cast<std::size_t>(g.tile_count()));
 }
 
 void TwoPathSearch::ensure_states(std::size_t n_states) {
@@ -177,6 +181,8 @@ TwoPathRoute TwoPathSearch::route(tile::TileId from, tile::TileId to,
     obs::count(obs::Counter::kTwoPathSearches);
     obs::count(obs::Counter::kTwoPathHeapPushes, pushes);
     obs::count(obs::Counter::kTwoPathHeapPops, pops);
+    obs::count(obs::Counter::kHeapRegrows,
+               heap_.take_regrows() + field_heap_.take_regrows());
   }
 
   TwoPathRoute out;

@@ -132,6 +132,21 @@ class TwoPathSearch {
   };
   static_assert(sizeof(FieldLabel) == 16);
 
+ public:
+  /// Bytes held by the (tile x L) labels, the heuristic field, and both
+  /// heaps' backing stores (obs memory.maze_scratch accounting).
+  std::uint64_t memory_bytes() const {
+    return static_cast<std::uint64_t>(labels_.capacity()) * sizeof(Label) +
+           static_cast<std::uint64_t>(field_.capacity()) *
+               sizeof(FieldLabel) +
+           static_cast<std::uint64_t>(coords_.capacity()) *
+               sizeof(geom::TileCoord) +
+           static_cast<std::uint64_t>(heap_.capacity()) * sizeof(Entry) +
+           static_cast<std::uint64_t>(field_heap_.capacity()) *
+               sizeof(FieldEntry);
+  }
+
+ private:
   void ensure_states(std::size_t n_states);
   void heap_push(Entry e) { heap_.push(e); }
   Entry heap_pop() { return heap_.pop(); }

@@ -1,5 +1,6 @@
 #include "obs/counters.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "obs/trace.hpp"
@@ -19,10 +20,13 @@ constexpr std::array<std::string_view,
         "maze.pruned_touches",
         "edge_cache.full_refreshes",
         "edge_cache.invalidations",
+        "heap.regrows",
         "stage2.iterations",
         "stage2.nets_ripped",
         "stage2.nets_kept",
         "stage2.dirty_edges",
+        "stage2.local_nets",
+        "stage2.boundary_nets",
         "dp.nets",
         "dp.cells_computed",
         "dp.cells_infeasible",
@@ -64,6 +68,17 @@ constexpr std::array<std::string_view,
         "serve.queue_depth",
 };
 
+constexpr std::array<std::string_view,
+                     static_cast<std::size_t>(GaugeId::kCount)>
+    kGaugeNames = {
+        "memory.peak_rss_bytes",
+        "memory.tile_graph_bytes",
+        "memory.route_tree_bytes",
+        "memory.edge_cost_cache_bytes",
+        "memory.maze_scratch_bytes",
+        "memory.dp_arena_bytes",
+};
+
 }  // namespace
 
 std::string_view level_name(Level level) {
@@ -93,6 +108,11 @@ std::string_view counter_name(Counter c) {
 std::string_view histogram_name(HistogramId h) {
   RABID_ASSERT(h < HistogramId::kCount);
   return kHistogramNames[static_cast<std::size_t>(h)];
+}
+
+std::string_view gauge_name(GaugeId g) {
+  RABID_ASSERT(g < GaugeId::kCount);
+  return kGaugeNames[static_cast<std::size_t>(g)];
 }
 
 Registry::Registry() : trace_(std::make_unique<TraceWriter>()) {}
@@ -145,6 +165,12 @@ Snapshot Registry::snapshot() const {
             s->histograms[h][b].load(std::memory_order_relaxed);
       }
     }
+    for (std::size_t g = 0; g < out.gauges.size(); ++g) {
+      // Gauges are high-water marks: the merged view is the max across
+      // shards, not the sum.
+      out.gauges[g] = std::max(out.gauges[g],
+                               s->gauges[g].load(std::memory_order_relaxed));
+    }
   }
   return out;
 }
@@ -157,6 +183,7 @@ void Registry::reset() {
       for (auto& h : s->histograms) {
         for (auto& b : h) b.store(0, std::memory_order_relaxed);
       }
+      for (auto& g : s->gauges) g.store(0, std::memory_order_relaxed);
     }
   }
   trace_->clear();

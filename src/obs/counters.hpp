@@ -62,11 +62,18 @@ enum class Counter : std::uint16_t {
   // route/maze.cpp — EdgeCostCache.
   kEdgeCacheFullRefreshes,  ///< refresh_all() calls
   kEdgeCacheInvalidations,  ///< single-edge recomputes (refresh_edge)
+  // util/dheap.hpp regrow events, flushed by the heap's owners (maze
+  // router, two-path search): pushes that forced the backing vector to
+  // reallocate.  Nonzero after warm-up means a reserve() is missing.
+  kHeapRegrows,
   // core/rabid.cpp — stage-2 dirty-net filter.
   kStage2Iterations,  ///< rip-up/reroute iterations actually run
   kStage2NetsRipped,  ///< nets ripped up and rerouted
   kStage2NetsKept,    ///< nets the dirty filter left untouched
   kStage2DirtyEdges,  ///< edges marked dirty at iteration starts
+  // core/rabid.cpp — region-sharded stage 2 (stage2_shards > 0).
+  kStage2LocalNets,     ///< nets routed confined inside one region
+  kStage2BoundaryNets,  ///< nets routed in the serial boundary pass
   // buffer/insertion.cpp — the stage-3 DP.
   kDpNets,             ///< insert_buffers() calls
   kDpCellsComputed,    ///< C_v/K_w cost-array cells filled
@@ -124,6 +131,22 @@ enum class HistogramId : std::uint16_t {
 
 std::string_view histogram_name(HistogramId h);
 
+/// High-water-mark gauge catalogue (max-semantics: record() keeps the
+/// largest value ever seen since reset()).  All values are bytes; the
+/// memory.* gauges are the per-structure answer to "what actually ate
+/// the RAM" on a 512x512 run, next to the OS-level peak_rss.
+enum class GaugeId : std::uint16_t {
+  kPeakRssBytes,        ///< getrusage high-water mark (obs/memory.hpp)
+  kTileGraphBytes,      ///< tile::TileGraph books + adjacency tables
+  kRouteTreeBytes,      ///< sum of all live per-net route trees
+  kEdgeCostCacheBytes,  ///< flat edge-cost arrays (stages 2/4)
+  kMazeScratchBytes,    ///< router labels + heap backing (all routers)
+  kDpArenaBytes,        ///< stage-3 DP candidate/cost arenas
+  kCount,
+};
+
+std::string_view gauge_name(GaugeId g);
+
 constexpr std::size_t kHistogramBuckets = 32;
 
 /// A merged view of every shard at one instant.
@@ -133,6 +156,8 @@ struct Snapshot {
   std::array<std::array<std::uint64_t, kHistogramBuckets>,
              static_cast<std::size_t>(HistogramId::kCount)>
       histograms{};
+  std::array<std::uint64_t, static_cast<std::size_t>(GaugeId::kCount)>
+      gauges{};
 
   std::uint64_t operator[](Counter c) const {
     return counters[static_cast<std::size_t>(c)];
@@ -140,6 +165,9 @@ struct Snapshot {
   const std::array<std::uint64_t, kHistogramBuckets>& operator[](
       HistogramId h) const {
     return histograms[static_cast<std::size_t>(h)];
+  }
+  std::uint64_t operator[](GaugeId g) const {
+    return gauges[static_cast<std::size_t>(g)];
   }
 };
 
@@ -173,6 +201,20 @@ class Registry {
         .fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Raises the gauge's high-water mark to `value` if larger.  The CAS
+  /// loop is uncontended in practice (gauges are recorded at stage
+  /// boundaries, not in inner loops).
+  void gauge_max(GaugeId g, std::uint64_t value) {
+    if (!counting()) return;
+    std::atomic<std::uint64_t>& slot =
+        shard().gauges[static_cast<std::size_t>(g)];
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (cur < value &&
+           !slot.compare_exchange_weak(cur, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
   /// Sums every thread's shard.
   Snapshot snapshot() const;
 
@@ -194,6 +236,9 @@ class Registry {
     std::array<std::array<std::atomic<std::uint64_t>, kHistogramBuckets>,
                static_cast<std::size_t>(HistogramId::kCount)>
         histograms{};
+    std::array<std::atomic<std::uint64_t>,
+               static_cast<std::size_t>(GaugeId::kCount)>
+        gauges{};
   };
 
   Registry();
@@ -213,6 +258,9 @@ inline void count(Counter c, std::uint64_t n = 1) {
 }
 inline void observe(HistogramId h, std::uint64_t value) {
   Registry::instance().observe(h, value);
+}
+inline void gauge_max(GaugeId g, std::uint64_t value) {
+  Registry::instance().gauge_max(g, value);
 }
 inline bool counting() { return Registry::instance().counting(); }
 

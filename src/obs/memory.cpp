@@ -1,0 +1,29 @@
+#include "obs/memory.hpp"
+
+#include "obs/counters.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace rabid::obs {
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__APPLE__)
+  // ru_maxrss is bytes on Darwin.
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::uint64_t>(ru.ru_maxrss);
+#elif defined(__unix__)
+  // ru_maxrss is kilobytes on Linux and the BSDs.
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024U;
+#else
+  return 0;
+#endif
+}
+
+void record_peak_rss() { gauge_max(GaugeId::kPeakRssBytes, peak_rss_bytes()); }
+
+}  // namespace rabid::obs

@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file memory.hpp
+/// Process-level memory probes for the scaling work (ROADMAP item 5).
+///
+/// peak_rss_bytes() is the OS's answer to "how much physical memory did
+/// this process ever hold" — the number a 1M-net run is judged by.  The
+/// per-structure memory.* gauges (counters.hpp) attribute that peak to
+/// the flow's own data structures; the gap between their sum and the RSS
+/// is allocator slack plus code/stack, which is itself worth watching.
+
+#include <cstdint>
+
+namespace rabid::obs {
+
+/// The process's peak resident set size in bytes (getrusage's high-water
+/// mark); 0 where the platform offers no probe.  Monotonic over the
+/// process lifetime — it never decreases, even across Registry::reset().
+std::uint64_t peak_rss_bytes();
+
+/// Records peak_rss_bytes() into GaugeId::kPeakRssBytes (no-op at
+/// Level::kOff, like every gauge).  Call at stage boundaries.
+void record_peak_rss();
+
+}  // namespace rabid::obs

@@ -52,10 +52,67 @@ void EdgeCostCache::refresh_tree(const RouteTree& tree) {
   }
 }
 
+void EdgeCostCache::refresh_tree_sharded(const RouteTree& tree,
+                                         double& floor) {
+  obs::count(obs::Counter::kEdgeCacheInvalidations, tree.node_count() - 1);
+  for (const RouteNode& n : tree.nodes()) {
+    if (n.parent == kNoNode) continue;
+    const tile::EdgeId e = g_.edge_between(n.tile, tree.node(n.parent).tile);
+    const double c = base_(e);
+    values_[static_cast<std::size_t>(e)] = c;
+    if (c < floor) floor = c;
+  }
+}
+
+double EdgeCostCache::min_over(std::span<const tile::EdgeId> edges) const {
+  double lo = std::numeric_limits<double>::infinity();
+  for (const tile::EdgeId e : edges) {
+    lo = std::min(lo, values_[static_cast<std::size_t>(e)]);
+  }
+  return std::isfinite(lo) ? lo : 0.0;
+}
+
 MazeRouter::MazeRouter(const tile::TileGraph& g)
     : g_(g),
       labels_(static_cast<std::size_t>(g.tile_count()),
-              Label{0.0, 0.0, tile::kNoTile, 0, 0, 0}) {}
+              Label{0.0, 0.0, tile::kNoTile, 0, 0, 0}) {
+  // Pre-size the wavefront scratch from the graph so the hot loops never
+  // reallocate mid-search (kHeapRegrows counts any push that still
+  // does).  A Dijkstra/A* wavefront pushes once per label improvement;
+  // one slot per tile covers it in all but pathological cost fields.
+  heap_.reserve(static_cast<std::size_t>(g.tile_count()));
+  path_.reserve(static_cast<std::size_t>(g.nx() + g.ny()));
+}
+
+void MazeRouter::confine(tile::TileSpan span) {
+  const auto paint = [&](const tile::TileSpan& s, std::uint8_t v) {
+    for (std::int32_t y = s.y0; y <= s.y1; ++y) {
+      for (std::int32_t x = s.x0; x <= s.x1; ++x) {
+        in_region_[static_cast<std::size_t>(g_.id_of({x, y}))] = v;
+      }
+    }
+  };
+  if (in_region_.empty()) {
+    in_region_.assign(static_cast<std::size_t>(g_.tile_count()), 0);
+  } else {
+    // confined_span_ is the last painted span even across unconfine();
+    // clearing just it (not the chip) keeps per-net clips O(clip).
+    paint(confined_span_, 0);
+  }
+  confined_ = true;
+  confined_span_ = span;
+  paint(span, 1);
+}
+
+std::uint64_t MazeRouter::memory_bytes() const {
+  return static_cast<std::uint64_t>(labels_.capacity()) * sizeof(Label) +
+         static_cast<std::uint64_t>(heap_.capacity()) * sizeof(HeapEntry) +
+         static_cast<std::uint64_t>(in_region_.capacity()) +
+         static_cast<std::uint64_t>(remaining_.capacity()) *
+             sizeof(tile::TileId) +
+         static_cast<std::uint64_t>(path_cost_.capacity()) * sizeof(double) +
+         static_cast<std::uint64_t>(path_.capacity()) * sizeof(tile::TileId);
+}
 
 namespace {
 
@@ -151,6 +208,12 @@ RouteTree MazeRouter::grow_impl(tile::TileId source_tile,
       const int n = g_.adj_count(top.tile);
       for (int k = 0; k < n; ++k) {
         const tile::TileId nbr = adj[k].tile;
+        // Confinement check before the cost load: a confined search
+        // must not even read edges leaving the region (their cache
+        // entries may be owned by a concurrent shard).
+        if (confined_ && in_region_[static_cast<std::size_t>(nbr)] == 0) {
+          continue;
+        }
         const double nd = top.dist + cost(adj[k].edge);
         Label& nl = labels_[static_cast<std::size_t>(nbr)];
         if (nl.stamp != epoch_ || nd < nl.dist) {
@@ -216,6 +279,7 @@ RouteTree MazeRouter::grow_impl(tile::TileId source_tile,
     obs::count(obs::Counter::kMazeHeapPops, pops);
     obs::count(obs::Counter::kMazeStalePops, stale_pops);
     obs::count(obs::Counter::kMazePrunedTouches, pruned);
+    obs::count(obs::Counter::kHeapRegrows, heap_.take_regrows());
     obs::observe(obs::HistogramId::kMazePopsPerRoute, pops);
   }
   return tree;
@@ -282,6 +346,9 @@ std::vector<tile::TileId> MazeRouter::shortest_path_impl(tile::TileId from,
     const int n = g_.adj_count(top.tile);
     for (int k = 0; k < n; ++k) {
       const tile::TileId nbr = adj[k].tile;
+      if (confined_ && in_region_[static_cast<std::size_t>(nbr)] == 0) {
+        continue;
+      }
       const double nd = top.dist + cost(adj[k].edge);
       Label& nl = labels_[static_cast<std::size_t>(nbr)];
       if (nl.stamp != epoch_ || nd < nl.dist) {

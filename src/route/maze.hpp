@@ -44,6 +44,7 @@
 
 #include "netlist/design.hpp"
 #include "route/route_tree.hpp"
+#include "tile/region.hpp"
 #include "tile/tile_graph.hpp"
 #include "util/dheap.hpp"
 
@@ -81,10 +82,31 @@ class EdgeCostCache {
   /// exact set whose usage a commit() or uncommit() of `tree` changed.
   void refresh_tree(const RouteTree& tree);
 
+  /// Sharded variant of refresh_tree: updates the shared flat array but
+  /// lowers the caller-owned `floor` instead of the global min_cost().
+  /// Concurrent shards touching disjoint edge sets stay race-free —
+  /// each owns its floor, and the array writes hit distinct elements.
+  void refresh_tree_sharded(const RouteTree& tree, double& floor);
+
+  /// Folds a shard-local floor back into the global bound after a
+  /// parallel phase (the bound only ever moves down between full
+  /// refreshes, exactly like refresh_edge()).
+  void lower_min(double floor) { min_cost_ = std::min(min_cost_, floor); }
+
+  /// Exact minimum cached cost over `edges` (e.g. a region's interior
+  /// edge list): a tighter region-local A* floor than the global
+  /// min_cost() — in congested runs this alone shrinks wavefronts.
+  double min_over(std::span<const tile::EdgeId> edges) const;
+
   std::span<const double> values() const { return values_; }
   double min_cost() const { return min_cost_; }
   double operator[](tile::EdgeId e) const {
     return values_[static_cast<std::size_t>(e)];
+  }
+
+  /// Bytes held by the flat cost array (obs memory accounting).
+  std::uint64_t memory_bytes() const {
+    return static_cast<std::uint64_t>(values_.capacity()) * sizeof(double);
   }
 
  private:
@@ -128,6 +150,22 @@ class MazeRouter {
   std::vector<tile::TileId> shortest_path(tile::TileId from, tile::TileId to,
                                           const EdgeCostFn& cost,
                                           double astar_floor = 0.0);
+
+  /// Confines every subsequent search to the tiles of `span` (inclusive
+  /// tile-coordinate bounds): neighbors outside are never expanded, so
+  /// only edges with BOTH endpoints inside are read or traversed.  All
+  /// seeds and targets must lie inside (asserted by the unreachable-sink
+  /// check otherwise).  Region-sharded stage 2 routes region-local nets
+  /// under confinement, which is what keeps concurrent shards' edge
+  /// reads and writes disjoint.  Also a pure single-thread win: a
+  /// congested wavefront floods at most the region, not the chip.
+  void confine(tile::TileSpan span);
+  /// Removes the confinement (the default: the whole grid).
+  void unconfine() { confined_ = false; }
+
+  /// Bytes held by the router's scratch (labels, heap backing, work
+  /// lists) — the obs memory.maze_scratch accounting.
+  std::uint64_t memory_bytes() const;
 
  private:
   struct HeapEntry {
@@ -174,6 +212,15 @@ class MazeRouter {
   std::uint32_t epoch_ = 0;
   std::uint32_t target_epoch_ = 0;
   std::vector<geom::TileCoord> target_coords_;
+
+  /// Confinement mask: in_region_[t] != 0 iff tile t is inside the
+  /// confined span.  A one-byte load per relaxation; confine() clears
+  /// only the previously set span before painting the new one, so
+  /// per-net clips (the sharded boundary replay) cost O(clip), not
+  /// O(chip).
+  bool confined_ = false;
+  tile::TileSpan confined_span_;
+  std::vector<std::uint8_t> in_region_;
 
   // Reusable wavefront storage: heap backing plus grow()'s worklists.
   util::DaryHeap<HeapEntry> heap_;

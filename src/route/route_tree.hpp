@@ -90,6 +90,21 @@ class RouteTree {
   /// arcs adjacent in `g`); aborts on violation.
   void verify(const tile::TileGraph& g) const;
 
+  /// Bytes held by this tree's storage, per-node child lists included
+  /// (obs memory.route_tree accounting: at 1M nets the trees are the
+  /// flow's dominant live structure).
+  std::uint64_t memory_bytes() const {
+    std::uint64_t total =
+        static_cast<std::uint64_t>(nodes_.capacity()) * sizeof(RouteNode) +
+        static_cast<std::uint64_t>(by_tile_.capacity()) *
+            sizeof(std::pair<tile::TileId, NodeId>);
+    for (const RouteNode& n : nodes_) {
+      total += static_cast<std::uint64_t>(n.children.capacity()) *
+               sizeof(NodeId);
+    }
+    return total;
+  }
+
  private:
   std::vector<RouteNode> nodes_;
   // tile -> node lookup. Dense maps would be per-tree O(tiles); a sorted

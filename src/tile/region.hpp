@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file region.hpp
+/// K-by-K rectangular regions over a TileGraph — the sharding geometry
+/// for region-parallel stage 2 (ROADMAP item 5; cf. the region/staircase
+/// decompositions of early-routability work at floorplan scale).
+///
+/// The grid is split as evenly as integer division allows: region rx
+/// covers columns [rx*nx/K, (rx+1)*nx/K).  A net whose whole route tree
+/// sits inside one region can be ripped up and rerouted *confined* to
+/// that region, touching only edges with both endpoints inside — edge
+/// sets of distinct regions are disjoint, which is what makes the
+/// parallel local pass race-free without any locking.
+
+#include <cstdint>
+#include <vector>
+
+#include "tile/tile_graph.hpp"
+#include "util/assert.hpp"
+
+namespace rabid::tile {
+
+/// An inclusive rectangle of tile coordinates.
+struct TileSpan {
+  std::int32_t x0 = 0;
+  std::int32_t y0 = 0;
+  std::int32_t x1 = -1;
+  std::int32_t y1 = -1;
+
+  bool contains(geom::TileCoord c) const {
+    return c.x >= x0 && c.x <= x1 && c.y >= y0 && c.y <= y1;
+  }
+};
+
+class RegionGrid {
+ public:
+  /// Splits `g` into k-by-k regions.  Requires 1 <= k <= min(nx, ny) so
+  /// every region holds at least one full tile column and row.
+  RegionGrid(const TileGraph& g, std::int32_t k)
+      : nx_(g.nx()), k_(k), x_region_(static_cast<std::size_t>(g.nx())),
+        y_region_(static_cast<std::size_t>(g.ny())) {
+    RABID_ASSERT_MSG(k >= 1 && k <= g.nx() && k <= g.ny(),
+                     "region count must be in [1, min(nx, ny)]");
+    // Fill the coordinate->region tables from the region boundaries, so
+    // region_of() and span() can never disagree about a border column.
+    for (std::int32_t r = 0; r < k; ++r) {
+      for (std::int32_t x = r * g.nx() / k; x < (r + 1) * g.nx() / k; ++x) {
+        x_region_[static_cast<std::size_t>(x)] = r;
+      }
+      for (std::int32_t y = r * g.ny() / k; y < (r + 1) * g.ny() / k; ++y) {
+        y_region_[static_cast<std::size_t>(y)] = r;
+      }
+    }
+    spans_.reserve(static_cast<std::size_t>(k) * static_cast<std::size_t>(k));
+    for (std::int32_t ry = 0; ry < k; ++ry) {
+      for (std::int32_t rx = 0; rx < k; ++rx) {
+        spans_.push_back({rx * g.nx() / k, ry * g.ny() / k,
+                          (rx + 1) * g.nx() / k - 1,
+                          (ry + 1) * g.ny() / k - 1});
+      }
+    }
+  }
+
+  std::int32_t k() const { return k_; }
+  std::int32_t region_count() const { return k_ * k_; }
+
+  std::int32_t region_of(TileId t) const {
+    // t = y*nx + x, same layout as TileGraph::coord_of.
+    const std::int32_t x = t % nx_;
+    const std::int32_t y = t / nx_;
+    return y_region_[static_cast<std::size_t>(y)] * k_ +
+           x_region_[static_cast<std::size_t>(x)];
+  }
+
+  /// The inclusive tile-coordinate bounds of one region.
+  const TileSpan& span(std::int32_t region) const {
+    return spans_[static_cast<std::size_t>(region)];
+  }
+
+ private:
+  std::int32_t nx_;
+  std::int32_t k_;
+  std::vector<std::int32_t> x_region_;  ///< column -> region column
+  std::vector<std::int32_t> y_region_;  ///< row -> region row
+  std::vector<TileSpan> spans_;         ///< region -> bounds
+};
+
+}  // namespace rabid::tile

@@ -178,6 +178,16 @@ class TileGraph {
   /// Clears all wire usage and buffer usage (capacities/supplies stay).
   void reset_usage();
 
+  /// Bytes held by the books and adjacency tables (obs memory
+  /// accounting; the geometry scalars are noise and not counted).
+  std::uint64_t memory_bytes() const {
+    return static_cast<std::uint64_t>(cap_.capacity() + use_.capacity() +
+                                      supply_.capacity() + used_.capacity()) *
+               sizeof(std::int32_t) +
+           static_cast<std::uint64_t>(adj_.capacity()) * sizeof(Adjacency) +
+           static_cast<std::uint64_t>(adj_count_.capacity());
+  }
+
  private:
   std::size_t checked(EdgeId e) const {
     RABID_ASSERT(e >= 0 && e < edge_count());

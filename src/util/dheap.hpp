@@ -15,6 +15,7 @@
 /// route.
 
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -27,11 +28,23 @@ class DaryHeap {
  public:
   bool empty() const { return v_.empty(); }
   std::size_t size() const { return v_.size(); }
+  std::size_t capacity() const { return v_.capacity(); }
   void clear() { v_.clear(); }
   void reserve(std::size_t n) { v_.reserve(n); }
 
+  /// Pushes that had to reallocate the backing vector since the last
+  /// take_regrows().  The heap stays obs-free (util does not depend on
+  /// obs); owners flush this into Counter::kHeapRegrows once per pass,
+  /// so silent reallocation churn at 512x512 scale becomes visible.
+  std::uint64_t take_regrows() {
+    const std::uint64_t n = regrows_;
+    regrows_ = 0;
+    return n;
+  }
+
   void push(T e) {
     std::size_t i = v_.size();
+    if (v_.size() == v_.capacity()) ++regrows_;
     v_.push_back(e);
     while (i > 0) {
       const std::size_t parent = (i - 1) / D;
@@ -68,6 +81,7 @@ class DaryHeap {
 
  private:
   std::vector<T> v_;
+  std::uint64_t regrows_ = 0;
 };
 
 }  // namespace rabid::util

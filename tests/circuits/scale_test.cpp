@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "circuits/generator.hpp"
+#include "circuits/specs.hpp"
+#include "netlist/io.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rabid::circuits {
+namespace {
+
+/// The scale family (scale10k .. scale1m) must behave like any Table-I
+/// circuit: reachable by name, spec-complete, and — because every
+/// scaling measurement assumes the workload is frozen — byte-identical
+/// across runs and across whatever threads happen to exist when the
+/// generator is called.
+
+TEST(ScaleSpecs, FamilyIsRegisteredAndReachableByName) {
+  const auto specs = scale_specs();
+  ASSERT_GE(specs.size(), 5u);
+  std::int32_t prev_nets = 0;
+  for (const CircuitSpec& spec : specs) {
+    EXPECT_TRUE(spec.scale) << spec.name;
+    EXPECT_FALSE(spec.cbl) << spec.name;
+    EXPECT_GT(spec.nets, prev_nets) << spec.name << " (smallest first)";
+    prev_nets = spec.nets;
+    const CircuitSpec* found = find_spec(spec.name);
+    ASSERT_NE(found, nullptr) << spec.name;
+    EXPECT_EQ(found, &spec);
+  }
+  EXPECT_EQ(find_spec("scale100k")->nets, 100000);
+  EXPECT_EQ(find_spec("scale1m")->nets, 1000000);
+  // Table-I lookups are unaffected.
+  ASSERT_NE(find_spec("apte"), nullptr);
+  EXPECT_FALSE(find_spec("apte")->scale);
+}
+
+TEST(ScaleGenerator, DesignMatchesSpecStatistics) {
+  const CircuitSpec& spec = spec_by_name("scale10k");
+  const netlist::Design design = generate_design(spec);
+  EXPECT_EQ(static_cast<std::int32_t>(design.nets().size()), spec.nets);
+  std::int64_t sinks = 0;
+  for (const netlist::Net& net : design.nets()) {
+    ASSERT_GE(net.sinks.size(), 1u);  // a source plus at least one sink
+    sinks += static_cast<std::int64_t>(net.sinks.size());
+  }
+  EXPECT_EQ(sinks, spec.sinks);
+}
+
+TEST(ScaleGenerator, SameSeedIsByteIdenticalAcrossRunsAndThreads) {
+  const CircuitSpec& spec = spec_by_name("scale10k");
+  const std::string reference = netlist::to_string(generate_design(spec));
+
+  // Run-to-run: a second generation in the same process is identical.
+  EXPECT_EQ(netlist::to_string(generate_design(spec)), reference);
+
+  // Thread-to-thread: generations racing on a 2-thread pool (and on a
+  // 4-thread pool) each reproduce the reference byte for byte — the
+  // generator owns all of its state, so concurrency cannot leak in.
+  for (const std::int32_t threads : {2, 4}) {
+    util::ThreadPool pool(threads);
+    std::vector<std::string> dumps(4);
+    pool.parallel_for(0, dumps.size(), [&](std::size_t i) {
+      dumps[i] = netlist::to_string(generate_design(spec));
+    });
+    for (std::size_t i = 0; i < dumps.size(); ++i) {
+      EXPECT_EQ(dumps[i], reference)
+          << "generation " << i << " at " << threads << " threads";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rabid::circuits

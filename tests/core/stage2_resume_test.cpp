@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unistd.h>
+#include <filesystem>
+#include <string>
+
+#include "circuits/generator.hpp"
+#include "circuits/specs.hpp"
+#include "core/checkpoint.hpp"
+#include "core/rabid.hpp"
+
+namespace rabid {
+namespace {
+
+/// Mid-stage-2 checkpoint/resume (RabidOptions::checkpoint_every_nets):
+/// Rabid itself persists a resume point every N processed nets — the
+/// net order, the iteration-start cost snapshot, the dirty mask, and
+/// the A* floor, all at full precision — so a killed multi-hour run
+/// restarts from its last cadence point and still produces the solution
+/// bit for bit, not merely a similar one.
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  fs::path path;
+  TempDir(const char* tag) {
+    path = fs::temp_directory_path() /
+           (std::string("rabid_resume_") + tag + "_" +
+            std::to_string(::getpid()));
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+void expect_identical_routes(const core::Rabid& a, const core::Rabid& b) {
+  ASSERT_EQ(a.nets().size(), b.nets().size());
+  for (std::size_t i = 0; i < a.nets().size(); ++i) {
+    const route::RouteTree& ta = a.nets()[i].tree;
+    const route::RouteTree& tb = b.nets()[i].tree;
+    ASSERT_EQ(ta.node_count(), tb.node_count()) << "net " << i;
+    for (std::size_t v = 0; v < ta.node_count(); ++v) {
+      const auto id = static_cast<route::NodeId>(v);
+      ASSERT_EQ(ta.node(id).tile, tb.node(id).tile)
+          << "net " << i << " node " << v;
+      ASSERT_EQ(ta.node(id).parent, tb.node(id).parent)
+          << "net " << i << " node " << v;
+    }
+  }
+  for (tile::EdgeId e = 0; e < a.graph().edge_count(); ++e) {
+    ASSERT_EQ(a.graph().wire_usage(e), b.graph().wire_usage(e))
+        << "edge " << e;
+  }
+}
+
+TEST(Stage2Resume, MidStageCheckpointResumesBitIdentical) {
+  const circuits::CircuitSpec& spec = circuits::spec_by_name("xerox");
+  const netlist::Design design = circuits::generate_design(spec);
+
+  // Reference: stages 1+2 with no checkpointing at all.
+  tile::TileGraph ga = circuits::build_tile_graph(design, spec);
+  core::RabidOptions plain;
+  plain.threads = 1;
+  core::Rabid ref(design, ga, plain);
+  ref.run_stage1();
+  ref.run_stage2();
+
+  // Checkpointing run: identical options plus a cadence that lands the
+  // last write mid-iteration (xerox has 171 nets; every 60 nets the
+  // manifest repoints at a fresh resume point).  The run completes, so
+  // what is left on disk is whatever cadence point happened to be
+  // written last — exactly what a crash would leave behind.
+  TempDir dir("mid");
+  tile::TileGraph gb = circuits::build_tile_graph(design, spec);
+  core::RabidOptions cadence = plain;
+  cadence.checkpoint_every_nets = 60;
+  cadence.checkpoint_dir = dir.path.string();
+  core::Rabid writer(design, gb, cadence);
+  writer.run_stage1();
+  writer.run_stage2();
+  expect_identical_routes(ref, writer);  // cadence must not perturb
+
+  // The manifest must point at a mid-stage-2 resume point.
+  const core::Result<core::CheckpointManifest> manifest =
+      core::read_checkpoint_manifest(dir.path.string());
+  ASSERT_TRUE(manifest.ok()) << manifest.status().to_string();
+  EXPECT_EQ(manifest.value().stage, 1);
+  ASSERT_FALSE(manifest.value().stage2_progress_file.empty());
+
+  // Cold resume: a fresh instance restores the dump + resume point and
+  // finishes stage 2.  The result must equal the reference bit for bit.
+  tile::TileGraph gc = circuits::build_tile_graph(design, spec);
+  core::Rabid resumed(design, gc, plain);
+  int completed = 0;
+  const core::Status restored = core::resume_from_checkpoint(
+      dir.path.string(), resumed, &completed);
+  ASSERT_TRUE(restored.ok_status()) << restored.to_string();
+  EXPECT_EQ(completed, 1);
+  resumed.run_stage2();
+  expect_identical_routes(ref, resumed);
+  resumed.check_books();
+}
+
+TEST(Stage2Resume, ShardedCadenceCheckpointsAtIterationBoundariesOnly) {
+  const circuits::CircuitSpec& spec = circuits::spec_by_name("xerox");
+  const netlist::Design design = circuits::generate_design(spec);
+
+  TempDir dir("shard");
+  tile::TileGraph g = circuits::build_tile_graph(design, spec);
+  core::RabidOptions options;
+  options.threads = 2;
+  options.stage2_shards = 4;
+  options.checkpoint_every_nets = 10;
+  options.checkpoint_dir = dir.path.string();
+  core::Rabid writer(design, g, options);
+  writer.run_stage1();
+  tile::TileGraph gr = circuits::build_tile_graph(design, spec);
+  core::RabidOptions plain = options;
+  plain.checkpoint_every_nets = 0;
+  plain.checkpoint_dir.clear();
+  core::Rabid sharded_ref(design, gr, plain);
+  sharded_ref.run_stage1();
+  sharded_ref.run_stage2();
+  writer.run_stage2();
+  expect_identical_routes(sharded_ref, writer);
+
+  // If stage 2 left a checkpoint behind (it only does when it ran more
+  // than one iteration), it must be an iteration boundary: sharded
+  // resume points never land mid-iteration, and resuming it in sharded
+  // mode must reproduce the uninterrupted solution.
+  const core::Result<core::CheckpointManifest> manifest =
+      core::read_checkpoint_manifest(dir.path.string());
+  if (!manifest.ok()) return;  // converged before the first cadence point
+  if (manifest.value().stage2_progress_file.empty()) return;
+  tile::TileGraph gc = circuits::build_tile_graph(design, spec);
+  core::RabidOptions resume_options = options;
+  resume_options.checkpoint_every_nets = 0;
+  resume_options.checkpoint_dir.clear();
+  core::Rabid resumed(design, gc, resume_options);
+  int completed = 0;
+  const core::Status restored = core::resume_from_checkpoint(
+      dir.path.string(), resumed, &completed);
+  ASSERT_TRUE(restored.ok_status()) << restored.to_string();
+  resumed.run_stage2();
+  expect_identical_routes(sharded_ref, resumed);
+}
+
+TEST(Stage2Resume, ShardedModeRejectsMidIterationResumePoint) {
+  const circuits::CircuitSpec& spec = circuits::spec_by_name("xerox");
+  const netlist::Design design = circuits::generate_design(spec);
+
+  // Write a mid-iteration checkpoint with the serial engine...
+  TempDir dir("reject");
+  tile::TileGraph g = circuits::build_tile_graph(design, spec);
+  core::RabidOptions serial;
+  serial.threads = 1;
+  serial.checkpoint_every_nets = 60;
+  serial.checkpoint_dir = dir.path.string();
+  core::Rabid writer(design, g, serial);
+  writer.run_stage1();
+  writer.run_stage2();
+  const core::Result<core::CheckpointManifest> manifest =
+      core::read_checkpoint_manifest(dir.path.string());
+  ASSERT_TRUE(manifest.ok()) << manifest.status().to_string();
+  ASSERT_FALSE(manifest.value().stage2_progress_file.empty());
+
+  // ... then try to resume it with sharding enabled: a structured
+  // error, not a silently different solution.
+  tile::TileGraph gc = circuits::build_tile_graph(design, spec);
+  core::RabidOptions sharded;
+  sharded.stage2_shards = 4;
+  core::Rabid resumed(design, gc, sharded);
+  const core::Status restored =
+      core::resume_from_checkpoint(dir.path.string(), resumed);
+  EXPECT_FALSE(restored.ok_status());
+}
+
+}  // namespace
+}  // namespace rabid

@@ -10,7 +10,8 @@ benchmarks must be able to land).
 
 Every failure mode exits with a structured one-line message
 (error[<code>]: ...), never a traceback: missing-benchmark, io-error
-for unreadable files, invalid-input for malformed JSON.
+for unreadable files, invalid-input for malformed JSON, debug-build
+for --forbid-debug violations.
 
 Aggregate rows (run_type "aggregate", e.g. the BigO/RMS entries emitted
 by --benchmark_complexity) are skipped: only run_type "iteration" rows
@@ -24,17 +25,37 @@ BM_Generator/playout — pure single-thread work untouched by routing
 changes), so what is compared is the *ratio* to the probe.  CI uses
 this; local A/B runs on one machine can omit it.
 
---min-speedup NAME=RATIO (repeatable) turns the tool into an
-*improvement* gate: the candidate must be at least RATIO times faster
-than the baseline on benchmark NAME (calibrated like everything else).
-CI uses this against the frozen seed recording (BENCH_seed.json) to
-pin the flow-level speedups the perf work claims, so they cannot rot
-silently while the regular baseline keeps being re-recorded.
+--min-speedup (repeatable) turns the tool into an *improvement* gate,
+in two forms:
+
+  NAME=RATIO        the candidate must be at least RATIO times faster
+                    than the baseline on NAME (calibrated like
+                    everything else).  CI uses this against the frozen
+                    seed recording (BENCH_seed.json) to pin flow-level
+                    speedups so they cannot rot silently.
+  SLOW>FAST=RATIO   *within the candidate run*, benchmark SLOW must be
+                    at least RATIO times slower than FAST.  This pins a
+                    speedup that lives inside one recording — e.g. the
+                    sharded stage 2 against its serial reference on the
+                    same circuit — and is machine-independent, so it
+                    needs no --calibrate.  '>' is the separator because
+                    benchmark names contain '/' and '='.
+
+--max-rss-regression FRAC gates the "peak_rss_bytes" field the scale
+suite records per benchmark: the candidate's peak RSS may not exceed
+the baseline's by more than FRAC (never calibrated — bytes are bytes).
+Rows without the field are skipped.
+
+--forbid-debug fails when either report's context says
+"library_build_type": "debug" (a debug recording can only produce
+nonsense verdicts).
 
 Usage:
   tools/bench_compare.py BENCH_baseline.json current.json \
       [--max-regression 0.20] [--calibrate BM_Generator/playout] \
-      [--min-speedup BM_FullFlow/ami49=1.5]
+      [--min-speedup BM_FullFlow/ami49=1.5] \
+      [--min-speedup 'BM_Stage2/scale100k/serial>BM_Stage2/scale100k/sharded=1.3'] \
+      [--max-rss-regression 0.30] [--forbid-debug]
 """
 
 import argparse
@@ -44,7 +65,8 @@ import sys
 UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
-def load_times(path):
+def load_report(path):
+    """Returns (times_ns, rss_bytes, build_type) maps for one report."""
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -58,6 +80,7 @@ def load_times(path):
                          "google-benchmark JSON object at top level, got "
                          f"{type(doc).__name__}")
     times = {}
+    rss = {}
     for bench in doc.get("benchmarks", []):
         if bench.get("run_type", "iteration") != "iteration":
             continue
@@ -67,7 +90,11 @@ def load_times(path):
             raise SystemExit(f"error[invalid-input]: {path}: unknown "
                              f"time_unit in {name}")
         times[name] = bench["real_time"] * unit
-    return times
+        if "peak_rss_bytes" in bench:
+            rss[name] = bench["peak_rss_bytes"]
+    context = doc.get("context") or {}
+    build_type = context.get("library_build_type", "")
+    return times, rss, build_type
 
 
 def main():
@@ -81,9 +108,18 @@ def main():
                         help="benchmark name used as a machine-speed "
                              "probe; both sides are normalized by it")
     parser.add_argument("--min-speedup", action="append", default=[],
-                        metavar="NAME=RATIO",
+                        metavar="NAME=RATIO|SLOW>FAST=RATIO",
                         help="require current to be at least RATIO times "
-                             "faster than baseline on NAME (repeatable)")
+                             "faster than baseline on NAME, or (with '>') "
+                             "SLOW to be RATIO times slower than FAST "
+                             "within the current run (repeatable)")
+    parser.add_argument("--max-rss-regression", type=float, default=None,
+                        metavar="FRAC",
+                        help="fail when a benchmark's peak_rss_bytes "
+                             "grows by more than this fraction")
+    parser.add_argument("--forbid-debug", action="store_true",
+                        help="fail when either report was recorded from "
+                             "a debug build")
     args = parser.parse_args()
 
     speedup_gates = []
@@ -95,11 +131,30 @@ def main():
             ratio = 0.0
         if not sep or not name or ratio <= 0:
             raise SystemExit(f"error[invalid-input]: --min-speedup needs "
-                             f"NAME=RATIO with RATIO > 0, got '{spec}'")
-        speedup_gates.append((name, ratio))
+                             f"NAME=RATIO or SLOW>FAST=RATIO with "
+                             f"RATIO > 0, got '{spec}'")
+        if ">" in name:
+            slow, _, fast = name.partition(">")
+            if not slow or not fast:
+                raise SystemExit(f"error[invalid-input]: --min-speedup "
+                                 f"within-run form needs SLOW>FAST=RATIO, "
+                                 f"got '{spec}'")
+            speedup_gates.append(("within", slow, fast, ratio))
+        else:
+            speedup_gates.append(("baseline", name, None, ratio))
 
-    base = load_times(args.baseline)
-    cur = load_times(args.current)
+    base, base_rss, base_build = load_report(args.baseline)
+    cur, cur_rss, cur_build = load_report(args.current)
+
+    for path, build in ((args.baseline, base_build),
+                        (args.current, cur_build)):
+        if build == "debug":
+            message = (f"{path} was recorded from a debug build "
+                       "(library_build_type=debug); its numbers are not "
+                       "comparable")
+            if args.forbid_debug:
+                raise SystemExit(f"error[debug-build]: {message}")
+            print(f"WARNING: {message}", file=sys.stderr)
 
     if args.calibrate:
         for side, times in (("baseline", base), ("current", cur)):
@@ -134,6 +189,21 @@ def main():
     for name in sorted(set(cur) - set(base)):
         print(f"{name:<{width}}  {'new':>12} {cur[name]:>12.0f}")
 
+    rss_regressions = []
+    if args.max_rss_regression is not None:
+        for name in sorted(base_rss):
+            if name in missing or name not in cur_rss:
+                continue
+            if base_rss[name] <= 0:
+                continue
+            ratio = cur_rss[name] / base_rss[name]
+            flag = ""
+            if ratio > 1.0 + args.max_rss_regression:
+                rss_regressions.append((name, ratio))
+                flag = "  REGRESSED"
+            print(f"rss {name}: {base_rss[name]} -> {cur_rss[name]} "
+                  f"({ratio:.3f}x){flag}")
+
     if improvements:
         print(f"\n{len(improvements)} benchmark(s) improved past the "
               "threshold; consider re-recording the baseline:")
@@ -147,21 +217,38 @@ def main():
                          "needs the baseline re-recorded "
                          "(tools/bench_report.py), not a silent pass")
     failed_gates = []
-    for name, want in speedup_gates:
-        if name not in base or name not in cur:
-            raise SystemExit(f"error[missing-benchmark]: --min-speedup "
-                             f"target {name} missing from "
-                             f"{'baseline' if name not in base else 'current'}")
-        got = base[name] / cur[name]
+    for kind, name, fast, want in speedup_gates:
+        if kind == "within":
+            for side_name in (name, fast):
+                if side_name not in cur:
+                    raise SystemExit(f"error[missing-benchmark]: "
+                                     f"--min-speedup target {side_name} "
+                                     f"missing from current")
+            got = cur[name] / cur[fast]
+            label = f"{name} vs {fast} (within current)"
+        else:
+            if name not in base or name not in cur:
+                raise SystemExit(
+                    f"error[missing-benchmark]: --min-speedup "
+                    f"target {name} missing from "
+                    f"{'baseline' if name not in base else 'current'}")
+            got = base[name] / cur[name]
+            label = name
         verdict = "ok" if got >= want else "FAIL"
-        print(f"speedup gate {name}: {got:.3f}x (need >= {want:.3f}x) "
+        print(f"speedup gate {label}: {got:.3f}x (need >= {want:.3f}x) "
               f"[{verdict}]")
         if got < want:
-            failed_gates.append((name, got, want))
+            failed_gates.append((label, got, want))
     if regressions:
         print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more "
               f"than {args.max_regression:.0%}:")
         for name, ratio in regressions:
+            print(f"  {name}: {ratio:.3f}x")
+        sys.exit(1)
+    if rss_regressions:
+        print(f"\nFAIL: {len(rss_regressions)} benchmark(s) grew peak "
+              f"RSS more than {args.max_rss_regression:.0%}:")
+        for name, ratio in rss_regressions:
             print(f"  {name}: {ratio:.3f}x")
         sys.exit(1)
     if failed_gates:

@@ -7,9 +7,20 @@ both binaries' entries (each entry gains a "binary" field).  The output
 is the input format of bench_compare.py; committing one such report as
 BENCH_baseline.json is what arms the CI regression gate.
 
+--suite scale runs bench/scale_curves instead (the 10k-1M-net scaling
+curves with peak-RSS columns); committing that report as
+BENCH_scale.json arms the memory/scaling gate.
+
+A report recorded from a debug build is worthless as a baseline: the
+tool warns loudly when the benchmark context says
+"library_build_type": "debug", and --forbid-debug (CI) turns the
+warning into a hard failure.
+
 Usage:
   tools/bench_report.py --build-dir build --out BENCH_baseline.json \
-      [--min-time 0.2] [--filter REGEX]
+      [--min-time 0.2] [--filter REGEX] [--suite flow|scale] \
+      [--sizes scale10k,scale30k,scale100k] [--shards 8] [--threads 0] \
+      [--forbid-debug]
 """
 
 import argparse
@@ -18,10 +29,13 @@ import subprocess
 import sys
 from pathlib import Path
 
-BINARIES = ["flow_throughput", "dp_complexity"]
+SUITES = {
+    "flow": ["flow_throughput", "dp_complexity"],
+    "scale": ["scale_curves"],
+}
 
 
-def run_binary(path, min_time, bench_filter):
+def run_binary(path, min_time, bench_filter, extra_args):
     cmd = [
         str(path),
         "--benchmark_format=json",
@@ -29,12 +43,29 @@ def run_binary(path, min_time, bench_filter):
     ]
     if bench_filter:
         cmd.append(f"--benchmark_filter={bench_filter}")
+    cmd.extend(extra_args)
     print(f"+ {' '.join(cmd)}", file=sys.stderr)
     proc = subprocess.run(cmd, capture_output=True, text=True, check=False)
     if proc.returncode != 0:
         print(proc.stderr, file=sys.stderr)
         raise SystemExit(f"{path.name} exited with {proc.returncode}")
+    if proc.stderr:
+        sys.stderr.write(proc.stderr)
     return json.loads(proc.stdout)
+
+
+def check_build_type(context, forbid_debug):
+    build_type = (context or {}).get("library_build_type", "")
+    if build_type != "debug":
+        return
+    message = ("benchmark context reports library_build_type=debug — "
+               "debug-build timings are not comparable; rebuild with "
+               "-DCMAKE_BUILD_TYPE=Release before recording a baseline")
+    if forbid_debug:
+        raise SystemExit(f"error[debug-build]: {message}")
+    print(f"WARNING: {message}", file=sys.stderr)
+    print("WARNING: do NOT commit this report as a baseline",
+          file=sys.stderr)
 
 
 def main():
@@ -46,16 +77,44 @@ def main():
                         help="--benchmark_min_time per benchmark (seconds)")
     parser.add_argument("--filter", default="",
                         help="optional --benchmark_filter regex")
+    parser.add_argument("--suite", choices=sorted(SUITES), default="flow",
+                        help="flow: flow_throughput + dp_complexity; "
+                             "scale: scale_curves (default flow)")
+    parser.add_argument("--sizes", default="",
+                        help="scale suite only: comma-separated scale "
+                             "circuit names passed to scale_curves")
+    parser.add_argument("--shards", type=int, default=0,
+                        help="scale suite only: region grid K for the "
+                             "sharded stage-2 runs")
+    parser.add_argument("--threads", type=int, default=-1,
+                        help="scale suite only: worker threads for the "
+                             "sharded stage-2 runs (0 = one per core)")
+    parser.add_argument("--forbid-debug", action="store_true",
+                        help="fail (exit nonzero) instead of warning when "
+                             "the benchmarks were built in debug mode")
     args = parser.parse_args()
+
+    extra_args = []
+    if args.suite == "scale":
+        if args.sizes:
+            extra_args += ["--sizes", args.sizes]
+        if args.shards > 0:
+            extra_args += ["--shards", str(args.shards)]
+        if args.threads >= 0:
+            extra_args += ["--threads", str(args.threads)]
+    elif args.sizes or args.shards > 0 or args.threads >= 0:
+        raise SystemExit("error[invalid-input]: --sizes/--shards/--threads "
+                         "only apply to --suite scale")
 
     bench_dir = Path(args.build_dir) / "bench"
     merged = {"context": None, "benchmarks": []}
-    for name in BINARIES:
+    for name in SUITES[args.suite]:
         path = bench_dir / name
         if not path.exists():
             raise SystemExit(f"missing benchmark binary: {path} "
                              "(build the project first)")
-        doc = run_binary(path, args.min_time, args.filter)
+        doc = run_binary(path, args.min_time, args.filter, extra_args)
+        check_build_type(doc.get("context", {}), args.forbid_debug)
         if merged["context"] is None:
             merged["context"] = doc.get("context", {})
         for bench in doc.get("benchmarks", []):

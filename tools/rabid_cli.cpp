@@ -20,6 +20,12 @@
 //                      paper-faithful reference; default is A* targeting)
 //   --no-dirty-filter  stage 2 reroutes every net every iteration
 //                      instead of only nets whose congestion moved
+//   --stage2-shards K  region-sharded stage 2: KxK regions, region-local
+//                      nets rerouted in parallel under confinement,
+//                      boundary nets serially (0 = legacy serial loop;
+//                      bit-identical across thread counts for fixed K)
+//   --stages N         run only stages 1..N (default 4); pairs with
+//                      --audit for fast large-circuit smoke runs
 //   --vg K             after stage 4, timing-driven rebuffer the K worst
 //                      nets (van Ginneken + power levels)
 //   --inverters        let --vg use inverting repeaters (parity-safe)
@@ -41,8 +47,13 @@
 //                      process exits 4
 //   --checkpoint-dir D write a checkpoint into D after every stage
 //                      (atomic; resumable with --resume)
+//   --checkpoint-every-nets N
+//                      additionally checkpoint mid-stage-2 after every
+//                      N processed nets (needs --checkpoint-dir); a
+//                      resumed run completes bit-identically
 //   --resume           restore the checkpoint in --checkpoint-dir and
-//                      run only the remaining stages
+//                      run only the remaining stages (including the
+//                      rest of a mid-stage-2 iteration)
 //
 // Exit codes (docs/ROBUSTNESS.md): 0 success, 1 audit violations,
 // 2 usage error, 3 input/I-O error, 4 deadline exceeded.
@@ -81,6 +92,9 @@ struct Args {
   bool post = false;
   bool dijkstra = false;
   bool no_dirty_filter = false;
+  std::int32_t stage2_shards = 0;
+  int stages = 4;
+  std::int64_t checkpoint_every_nets = 0;
   std::size_t vg = 0;
   bool inverters = false;
   bool audit = false;
@@ -105,7 +119,8 @@ struct Args {
   std::fprintf(stderr,
                "usage: rabid_cli --circuit NAME [--threads N] [--grid NxM]\n"
                "       [--sites N] [--no-blocked] [--post] [--vg K]\n"
-               "       [--dijkstra] [--no-dirty-filter]\n"
+               "       [--dijkstra] [--no-dirty-filter] [--stage2-shards K]\n"
+               "       [--stages N] [--checkpoint-every-nets N]\n"
                "       [--inverters] [--audit] [--audit-json F]\n"
                "       [--obs off|counters|trace] [--report F] [--trace F]\n"
                "       [--two-pin] [--bbp] [--dump-design F]\n"
@@ -150,6 +165,16 @@ Args parse(int argc, char** argv) {
       a.dijkstra = true;
     } else if (flag == "--no-dirty-filter") {
       a.no_dirty_filter = true;
+    } else if (flag == "--stage2-shards") {
+      a.stage2_shards = static_cast<std::int32_t>(std::atoi(value()));
+      if (a.stage2_shards < 0) usage("--stage2-shards expects >= 0");
+    } else if (flag == "--stages") {
+      a.stages = std::atoi(value());
+      if (a.stages < 1 || a.stages > 4) usage("--stages expects 1..4");
+    } else if (flag == "--checkpoint-every-nets") {
+      a.checkpoint_every_nets = std::atoll(value());
+      if (a.checkpoint_every_nets < 0)
+        usage("--checkpoint-every-nets expects >= 0");
     } else if (flag == "--vg") {
       a.vg = static_cast<std::size_t>(std::atoll(value()));
     } else if (flag == "--inverters") {
@@ -207,6 +232,10 @@ Args parse(int argc, char** argv) {
     usage("--report/--trace apply to the RABID flow only");
   if (a.resume && a.checkpoint_dir.empty())
     usage("--resume needs --checkpoint-dir");
+  if (a.checkpoint_every_nets > 0 && a.checkpoint_dir.empty())
+    usage("--checkpoint-every-nets needs --checkpoint-dir");
+  if (a.vg > 0 && a.stages < 3)
+    usage("--vg needs at least --stages 3");
   if ((a.resume || !a.checkpoint_dir.empty() || a.deadline_ms > 0) && a.bbp)
     usage("--deadline-ms/--checkpoint-dir apply to the RABID flow only");
   return a;
@@ -286,8 +315,13 @@ int main(int argc, char** argv) {
     if (args.dijkstra)
       options.router_heuristic = core::RouterHeuristic::kDijkstra;
     options.stage2_dirty_filter = !args.no_dirty_filter;
+    options.stage2_shards = args.stage2_shards;
     if (args.audit) options.audit_level = core::AuditLevel::kPerStage;
     options.deadline_ms = args.deadline_ms;
+    if (args.checkpoint_every_nets > 0) {
+      options.checkpoint_every_nets = args.checkpoint_every_nets;
+      options.checkpoint_dir = args.checkpoint_dir;
+    }
     if (!args.buffer_library.empty()) {
       buffer::BufferLibrary::preset(args.buffer_library,
                                     &options.buffer_library);
@@ -296,7 +330,7 @@ int main(int argc, char** argv) {
     report::Table table({"stage", "wireC max", "wireC avg", "overflows",
                          "bufD max", "#bufs", "#fails", "wl (mm)",
                          "delay max", "delay avg", "wall (s)", "thr"});
-    if (args.checkpoint_dir.empty() && !args.resume) {
+    if (args.checkpoint_dir.empty() && !args.resume && args.stages == 4) {
       for (const core::StageStats& s : rabid.run_all()) {
         print_stats_row(table, s);
       }
@@ -331,7 +365,7 @@ int main(int argc, char** argv) {
         }
         return after_stage(stage);
       };
-      for (int stage = 1; stage <= 4; ++stage) {
+      for (int stage = 1; stage <= args.stages; ++stage) {
         if (core::Status s = run_stage(stage); !s) return fail(s);
       }
     }
