@@ -41,6 +41,8 @@ struct BbpOptions {
   double gamma = 1.10;
   /// Upper bound on buffers per two-pin net (safety rail).
   std::int32_t max_buffers_per_net = 64;
+  /// Area of one buffer for the MTAP metric (the Table-I site area).
+  double buffer_area_um2 = 400.0;
   timing::Technology tech = timing::kTech180nm;
 };
 

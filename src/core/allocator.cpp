@@ -1,0 +1,67 @@
+#include "core/allocator.hpp"
+
+#include "util/thread_pool.hpp"
+
+namespace rabid::core {
+
+std::string_view backend_name(Backend b) {
+  switch (b) {
+    case Backend::kRabid: return "rabid";
+    case Backend::kBbp: return "bbp";
+    case Backend::kMcf: return "mcf";
+  }
+  return "unknown";
+}
+
+bool backend_from_name(std::string_view name, Backend* out) {
+  if (name == "rabid") {
+    *out = Backend::kRabid;
+  } else if (name == "bbp") {
+    *out = Backend::kBbp;
+  } else if (name == "mcf") {
+    *out = Backend::kMcf;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+AuditOptions Allocator::audit_options() const { return {}; }
+
+AuditReport Allocator::audit() const {
+  return SolutionAuditor(design(), graph(), audit_options()).audit(nets());
+}
+
+RunReport Allocator::run_report() const { return build_run_report(*this); }
+
+RunReport build_run_report(const Allocator& alloc) {
+  return build_run_report_base(alloc.design(), alloc.graph(), alloc.threads(),
+                               alloc.stage_history(),
+                               alloc.timed_out() ? "timed_out" : "ok",
+                               alloc.nets_cancelled(), alloc.last_audit());
+}
+
+RabidAllocator::RabidAllocator(const netlist::Design& design,
+                               tile::TileGraph& graph, RabidOptions options)
+    : rabid_(design, graph, std::move(options)) {}
+
+AuditOptions RabidAllocator::audit_options() const {
+  AuditOptions opt;
+  opt.tech = rabid_.options().tech;
+  opt.buffer_library = rabid_.options().buffer_library;
+  // A deadline-cancelled run honestly leaves nets unrouted and
+  // congestion unresolved (see Rabid::maybe_audit) — integrity checks
+  // stay at full severity.
+  if (rabid_.timed_out()) {
+    opt.allow_unrouted = true;
+    opt.wire_overflow_severity = AuditSeverity::kWarning;
+  }
+  return opt;
+}
+
+std::int32_t RabidAllocator::threads() const {
+  return static_cast<std::int32_t>(
+      util::resolve_thread_count(rabid_.options().threads));
+}
+
+}  // namespace rabid::core

@@ -1,0 +1,170 @@
+#pragma once
+
+/// \file allocator.hpp
+/// The backend-agnostic allocator interface (ROADMAP item 3).
+///
+/// Every early buffer/wire resource allocator in this repository — the
+/// four-stage RABID heuristic (core/rabid.hpp), the BBP/FR baseline
+/// (bbp/), and the multicommodity-flow backend (mcf/) — plans the same
+/// problem: given a Design and a TileGraph with capacities, produce one
+/// NetState per net (route tree + buffers + delays) with the graph's
+/// w(e)/b(v) books committed to match.  This interface is that common
+/// denominator, so the audit / run-report / CLI / serving plumbing is
+/// written once and every backend rides it:
+///
+///   plan()         run the backend's whole flow, returning its stage
+///                  rows (Table II for RABID, the backend's own phase
+///                  breakdown otherwise)
+///   nets()         the per-net solution, in design-net order — exactly
+///                  what the SolutionAuditor consumes
+///   audit()        the independent ground-up recheck (core/audit.hpp),
+///                  under the backend's declared allowances
+///   run_report()   the structured rabid.run_report.v1 JSON document
+///   supports_*()   the checkpoint/deadline contract: a backend either
+///                  honors RabidOptions::deadline_ms / checkpointing or
+///                  reports the capability as unsupported — it never
+///                  silently ignores it
+///
+/// Backends self-describe their audit allowances via audit_options():
+/// RABID and MCF guarantee hard capacity (overflow is an error); BBP by
+/// construction overflows wires and buffer tiles (that is Table V's
+/// point), so its allowances downgrade the two capacity checks to
+/// warnings while every *integrity* invariant — books, structure,
+/// flags, bit-exact Elmore — stays a hard error for everyone.
+///
+/// Concrete backends live next to their engines (core/rabid_allocator,
+/// bbp/bbp_allocator, mcf/); alloc/factory.hpp owns construction by
+/// Backend tag so callers need not link what they do not use... except
+/// they do — the factory library links all three.
+
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/audit.hpp"
+#include "core/rabid.hpp"
+#include "core/run_report.hpp"
+#include "core/status.hpp"
+
+namespace rabid::core {
+
+/// The selectable allocator backends, in comparison-table order.
+enum class Backend {
+  kRabid,  ///< the paper's four-stage heuristic (core/rabid.hpp)
+  kBbp,    ///< buffer-block planning with feasible regions (bbp/)
+  kMcf,    ///< multicommodity-flow buffered routing (mcf/)
+};
+
+/// Stable lowercase name ("rabid", "bbp", "mcf") — the CLI --backend
+/// values, the serve protocol "backend" field, and the JSON row labels.
+std::string_view backend_name(Backend b);
+/// Inverse of backend_name; false when `name` matches no backend.
+bool backend_from_name(std::string_view name, Backend* out);
+
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  virtual Backend backend() const = 0;
+
+  /// Runs the backend's entire flow on the bound design/graph and
+  /// returns its stage rows (also appended to stage_history()).  Call
+  /// once per instance; backends may assert on re-entry.
+  virtual std::vector<StageStats> plan() = 0;
+
+  /// The per-net solution in design-net order — the SolutionAuditor's
+  /// input.  Valid (possibly empty trees) before plan(), final after.
+  virtual std::span<const NetState> nets() const = 0;
+
+  virtual const netlist::Design& design() const = 0;
+  virtual const tile::TileGraph& graph() const = 0;
+
+  /// Every StageStats this instance produced, in execution order.
+  virtual const std::vector<StageStats>& stage_history() const = 0;
+
+  /// The audit allowances this backend's finished solutions
+  /// legitimately need (see file comment).  Default: everything a hard
+  /// error — the RABID/MCF guarantee.
+  virtual AuditOptions audit_options() const;
+
+  /// Violations accumulated by plan() when the backend was constructed
+  /// with auditing on; nullptr when nothing was audited.
+  virtual const AuditReport* last_audit() const { return nullptr; }
+
+  /// Runs the independent SolutionAuditor on the current solution under
+  /// audit_options().  Pure; does not touch last_audit().
+  AuditReport audit() const;
+
+  /// The structured run report for the current state (stage history,
+  /// obs snapshot, utilization histograms, audit verdict).
+  virtual RunReport run_report() const;
+
+  /// Worker threads the backend ran with (the RunReport field).
+  virtual std::int32_t threads() const { return 1; }
+
+  // --- capability contract (the conformance suite pins this) ----------
+  /// True when the backend honors RabidOptions::deadline_ms by
+  /// returning a legal partial solution.  False means a configured
+  /// deadline is rejected at construction, never silently dropped.
+  virtual bool supports_deadline() const { return false; }
+  /// True when the backend participates in core/checkpoint.hpp
+  /// stage-granular checkpoint/resume.
+  virtual bool supports_checkpoint() const { return false; }
+  virtual bool timed_out() const { return false; }
+  virtual std::int64_t nets_cancelled() const { return 0; }
+};
+
+/// One solution-snapshot stats row over (graph books, per-net states) —
+/// the Table II columns every backend reports.  Extracted from
+/// Rabid::snapshot() so BBP and MCF rows are computed by the very same
+/// code and the three-way comparison never drifts.
+StageStats solution_snapshot(const tile::TileGraph& graph,
+                             std::span<const NetState> nets,
+                             std::string stage, double cpu_s,
+                             std::int32_t threads);
+
+/// Assembles the rabid.run_report.v1 document from any backend's state
+/// plus the global obs registry snapshot (the generic complement of
+/// build_run_report(const Rabid&), which RabidAllocator still prefers
+/// for its deadline verdict plumbing).
+RunReport build_run_report(const Allocator& alloc);
+
+/// RABID behind the Allocator interface: owns a core::Rabid and
+/// forwards; supports the full deadline + checkpoint contract.
+class RabidAllocator final : public Allocator {
+ public:
+  RabidAllocator(const netlist::Design& design, tile::TileGraph& graph,
+                 RabidOptions options = {});
+
+  Backend backend() const override { return Backend::kRabid; }
+  std::vector<StageStats> plan() override { return rabid_.run_all(); }
+  std::span<const NetState> nets() const override { return rabid_.nets(); }
+  const netlist::Design& design() const override { return rabid_.design(); }
+  const tile::TileGraph& graph() const override { return rabid_.graph(); }
+  const std::vector<StageStats>& stage_history() const override {
+    return rabid_.stage_history();
+  }
+  AuditOptions audit_options() const override;
+  const AuditReport* last_audit() const override {
+    return rabid_.last_audit();
+  }
+  RunReport run_report() const override { return rabid_.run_report(); }
+  std::int32_t threads() const override;
+  bool supports_deadline() const override { return true; }
+  bool supports_checkpoint() const override { return true; }
+  bool timed_out() const override { return rabid_.timed_out(); }
+  std::int64_t nets_cancelled() const override {
+    return rabid_.nets_cancelled();
+  }
+
+  /// The wrapped engine, for callers needing the full Rabid surface
+  /// (stage-level runs, checkpoint restore, vG rebuffering).
+  Rabid& rabid() { return rabid_; }
+  const Rabid& rabid() const { return rabid_; }
+
+ private:
+  Rabid rabid_;
+};
+
+}  // namespace rabid::core

@@ -528,7 +528,8 @@ AuditReport SolutionAuditor::audit(std::span<const NetState> nets) const {
     }
     if (counted > graph_.site_supply(t)) {
       report.violations.push_back(
-          {AuditCheck::kBufferCapacity, AuditSeverity::kError, -1, t,
+          {AuditCheck::kBufferCapacity, options_.buffer_overflow_severity, -1,
+           t,
            tile::kNoEdge, static_cast<double>(graph_.site_supply(t)),
            static_cast<double>(counted), "b(v) exceeds B(v)",
            {}});

@@ -101,6 +101,12 @@ struct AuditOptions {
   /// overflows before rip-up/reroute); callers auditing mid-flow may
   /// downgrade it so clean() still certifies solution *integrity*.
   AuditSeverity wire_overflow_severity = AuditSeverity::kError;
+  /// Buffer-site overload severity.  RABID and MCF guarantee b(v) <=
+  /// B(v), so this stays an error; the BBP/FR baseline piles buffers
+  /// into free-space tiles without site bounds *by methodology* (the
+  /// Fig. 1 phenomenon Table V quantifies), and its allocator downgrades
+  /// overload to a warning so clean() still certifies integrity.
+  AuditSeverity buffer_overflow_severity = AuditSeverity::kError;
   /// Recompute and cross-check Elmore delays (skippable for states that
   /// never had delays evaluated, e.g. a freshly loaded solution).
   bool check_delays = true;

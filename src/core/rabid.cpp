@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "buffer/timing_driven.hpp"
+#include "core/allocator.hpp"
 #include "core/checkpoint.hpp"
 #include "core/congestion_post.hpp"
 #include "core/solution_io.hpp"
@@ -264,10 +265,19 @@ std::vector<std::size_t> Rabid::nets_by_delay(bool ascending) const {
 }
 
 StageStats Rabid::snapshot(std::string stage_name, double cpu_s) const {
+  return solution_snapshot(
+      graph_, nets_, std::move(stage_name), cpu_s,
+      pool_ == nullptr ? 1 : static_cast<std::int32_t>(pool_->size()));
+}
+
+StageStats solution_snapshot(const tile::TileGraph& graph,
+                             std::span<const NetState> nets,
+                             std::string stage, double cpu_s,
+                             std::int32_t threads) {
   StageStats s;
-  s.stage = std::move(stage_name);
-  s.threads = pool_ == nullptr ? 1 : static_cast<std::int32_t>(pool_->size());
-  const tile::CongestionStats cs = graph_.stats();
+  s.stage = std::move(stage);
+  s.threads = threads;
+  const tile::CongestionStats cs = graph.stats();
   s.max_wire_congestion = cs.max_wire_congestion;
   s.avg_wire_congestion = cs.avg_wire_congestion;
   s.overflow = cs.overflow;
@@ -276,16 +286,16 @@ StageStats Rabid::snapshot(std::string stage_name, double cpu_s) const {
   s.buffers = cs.buffers_used;
   s.cpu_s = cpu_s;
   double wl_um = 0.0;
-  for (const NetState& n : nets_) {
+  for (const NetState& n : nets) {
     if (n.tree.empty()) continue;
-    wl_um += n.tree.wirelength_um(graph_);
+    wl_um += n.tree.wirelength_um(graph);
     if (!n.meets_length_rule) ++s.failed_nets;
     s.max_delay_ps = std::max(s.max_delay_ps, n.delay.max_ps);
   }
   s.wirelength_mm = wl_um / 1000.0;
   double delay_sum = 0.0;
   std::size_t sink_count = 0;
-  for (const NetState& n : nets_) {
+  for (const NetState& n : nets) {
     delay_sum += n.delay.sum_ps;
     sink_count += n.delay.sink_delays_ps.size();
   }

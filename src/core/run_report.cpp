@@ -338,10 +338,22 @@ std::optional<RunReport> RunReport::parse(std::string_view text,
 RunReport Rabid::run_report() const { return build_run_report(*this); }
 
 RunReport build_run_report(const Rabid& rabid) {
-  RunReport r;
-  const netlist::Design& design = rabid.design();
-  const tile::TileGraph& graph = rabid.graph();
+  return build_run_report_base(
+      rabid.design(), rabid.graph(),
+      static_cast<std::int32_t>(
+          util::resolve_thread_count(rabid.options().threads)),
+      rabid.stage_history(), rabid.timed_out() ? "timed_out" : "ok",
+      rabid.nets_cancelled(), rabid.last_audit());
+}
 
+RunReport build_run_report_base(const netlist::Design& design,
+                                const tile::TileGraph& graph,
+                                std::int32_t threads,
+                                std::vector<StageStats> stages,
+                                std::string verdict,
+                                std::int64_t nets_cancelled,
+                                const AuditReport* audit) {
+  RunReport r;
   r.design = design.name();
   r.nx = graph.nx();
   r.ny = graph.ny();
@@ -353,9 +365,8 @@ RunReport build_run_report(const Rabid& rabid) {
 
   obs::Registry& registry = obs::Registry::instance();
   r.obs_level = std::string(obs::level_name(registry.level()));
-  r.threads = static_cast<std::int32_t>(
-      util::resolve_thread_count(rabid.options().threads));
-  r.stages = rabid.stage_history();
+  r.threads = threads;
+  r.stages = std::move(stages);
 
   const obs::Snapshot snap = registry.snapshot();
   for (std::size_t c = 0;
@@ -402,10 +413,10 @@ RunReport build_run_report(const Rabid& rabid) {
     r.site_utilization.add(static_cast<double>(graph.site_usage(t)) / supply);
   }
 
-  r.verdict = rabid.timed_out() ? "timed_out" : "ok";
-  r.nets_cancelled = rabid.nets_cancelled();
+  r.verdict = std::move(verdict);
+  r.nets_cancelled = nets_cancelled;
 
-  if (const AuditReport* audit = rabid.last_audit()) {
+  if (audit != nullptr) {
     r.audited = true;
     r.audit_clean = audit->clean();
     r.audit_errors = static_cast<std::int64_t>(audit->error_count());

@@ -119,4 +119,18 @@ struct RunReport {
 /// after the stages (and optionally an audit) have run.
 RunReport build_run_report(const Rabid& rabid);
 
+/// The backend-agnostic core of build_run_report: assembles the report
+/// from a solution's primitives (design/graph identity, stage rows,
+/// verdict, audit summary) plus the global obs registry snapshot.  The
+/// shared plumbing under both build_run_report(const Rabid&) and
+/// core::Allocator::run_report(), so every backend's report carries the
+/// identical schema and catalogue.
+RunReport build_run_report_base(const netlist::Design& design,
+                                const tile::TileGraph& graph,
+                                std::int32_t threads,
+                                std::vector<StageStats> stages,
+                                std::string verdict,
+                                std::int64_t nets_cancelled,
+                                const AuditReport* audit);
+
 }  // namespace rabid::core

@@ -57,6 +57,11 @@ constexpr std::array<std::string_view,
         "serve.jobs_completed",
         "serve.jobs_timed_out",
         "serve.jobs_cancelled",
+        "mcf.phases",
+        "mcf.oracle_routes",
+        "mcf.candidates_kept",
+        "mcf.rounding_fallbacks",
+        "mcf.repair_reroutes",
 };
 
 constexpr std::array<std::string_view,

@@ -114,6 +114,12 @@ enum class Counter : std::uint16_t {
   kServeJobsCompleted,  ///< jobs that ran to a full solution
   kServeJobsTimedOut,   ///< jobs whose per-job deadline expired mid-run
   kServeJobsCancelled,  ///< queued jobs cancelled before they started
+  // mcf/mcf.cpp — the multicommodity-flow allocator backend.
+  kMcfPhases,             ///< fractional price-update phases run
+  kMcfOracleRoutes,       ///< per-net buffered-path oracle calls
+  kMcfCandidatesKept,     ///< distinct per-net candidates retained
+  kMcfRoundingFallbacks,  ///< nets legalized off their rounded choice
+  kMcfRepairReroutes,     ///< nets ripped up by the overflow-repair loop
   kCount,
 };
 

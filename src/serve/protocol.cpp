@@ -165,6 +165,14 @@ core::Result<Request> parse_plan(const Value& doc) {
       return bad("\"buffer_library\" must be unit, paper2, or paper4");
     job.buffer_library = lib->string;
   }
+  if (const Value* backend = doc.find("backend"); backend != nullptr) {
+    if (!backend->is_string() ||
+        !core::backend_from_name(backend->string, &job.backend))
+      return bad("\"backend\" must be rabid, bbp, or mcf");
+  }
+  if (job.backend != core::Backend::kRabid && job.deadline_ms > 0)
+    return bad("\"deadline_ms\" needs a backend with deadline support"
+               " (rabid)");
   if (job.design.has_value() && (job.nx == 0 || job.sites < 0))
     return bad("an inline \"design\" also needs \"grid\" and \"sites\"");
   return req;

@@ -9,6 +9,7 @@
 ///   {"type":"plan","id":"j1","circuit":"apte","priority":"high",
 ///    "deadline_ms":500,"threads":1,"grid":[20,20],"sites":1000,
 ///    "audit":true}
+///   {"type":"plan","id":"j3","circuit":"hp","backend":"mcf"}
 ///   {"type":"plan","id":"j2","design":"design mine\n...","grid":[16,16],
 ///    "sites":800}
 ///   {"type":"cancel","id":"j1"}
@@ -49,6 +50,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/allocator.hpp"
 #include "core/status.hpp"
 #include "netlist/design.hpp"
 #include "serve/job_queue.hpp"
@@ -107,6 +109,11 @@ struct JobRequest {
   /// Planning buffer-library preset ("unit", "paper2", "paper4");
   /// empty = the unit default (buffer/library.hpp).
   std::string buffer_library;
+  /// Allocator backend ("rabid", "bbp", "mcf"; default rabid).  A
+  /// deadline_ms on a backend without deadline support is rejected at
+  /// parse, and the server never applies its default deadline to one.
+  /// BBP jobs have their design decomposed to two-pin at run time.
+  core::Backend backend = core::Backend::kRabid;
 };
 
 /// A parsed protocol request.

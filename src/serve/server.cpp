@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "alloc/factory.hpp"
 #include "circuits/generator.hpp"
 #include "circuits/specs.hpp"
 #include "core/run_report.hpp"
@@ -109,14 +110,20 @@ void Server::handle_plan(JobRequest&& request, const Sink& sink) {
   Job job;
   job.id = request.id;
   job.priority = request.priority;
-  job.deadline_ms =
-      request.deadline_ms > 0 ? request.deadline_ms
-                              : options_.default_deadline_ms;
-  if (options_.max_deadline_ms > 0) {
-    job.deadline_ms = job.deadline_ms > 0
-                          ? std::min(job.deadline_ms, options_.max_deadline_ms)
-                          : options_.max_deadline_ms;
+  job.backend = request.backend;
+  if (job.backend == core::Backend::kRabid) {
+    job.deadline_ms =
+        request.deadline_ms > 0 ? request.deadline_ms
+                                : options_.default_deadline_ms;
+    if (options_.max_deadline_ms > 0) {
+      job.deadline_ms =
+          job.deadline_ms > 0
+              ? std::min(job.deadline_ms, options_.max_deadline_ms)
+              : options_.max_deadline_ms;
+    }
   }
+  // (backends without deadline support run uncapped; parse_request
+  // already rejected an explicit deadline_ms on them)
   job.threads = request.threads > 0 ? request.threads : options_.job_threads;
   job.audit = request.audit;
   job.buffer_library = request.buffer_library;
@@ -308,19 +315,33 @@ void Server::run_job(const Job& job, std::size_t worker_index,
     // Each run copies the pristine graph (books empty) and shares the
     // immutable design; the flow never touches the cached original.
     tile::TileGraph graph = job.prepared->graph;
-    core::RabidOptions options;
-    options.threads = job.threads;
-    options.deadline_ms = job.deadline_ms;
-    options.audit_level =
+    alloc::AllocatorConfig config;
+    config.rabid.threads = job.threads;
+    config.rabid.deadline_ms = job.deadline_ms;
+    config.rabid.audit_level =
         job.audit ? core::AuditLevel::kFinal : core::AuditLevel::kOff;
-    options.obs_level = options_.obs_level;
+    config.rabid.obs_level = options_.obs_level;
     if (!job.buffer_library.empty()) {
       buffer::BufferLibrary::preset(job.buffer_library,
-                                    &options.buffer_library);
+                                    &config.rabid.buffer_library);
     }
-    core::Rabid rabid(job.prepared->design, graph, options);
-    rabid.run_all();
-    const core::RunReport report = rabid.run_report();
+    // BBP/FR only plans two-pin nets; its jobs solve the decomposed
+    // workload (the paper's Table V setup).  The cached original stays
+    // multi-pin for everyone else.
+    netlist::Design two_pin;
+    const netlist::Design* design = &job.prepared->design;
+    if (job.backend == core::Backend::kBbp) {
+      two_pin = netlist::Design::decompose_to_two_pin(*design);
+      design = &two_pin;
+    }
+    auto made = alloc::make_allocator(job.backend, *design, graph, config);
+    if (!made.ok()) {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      job.sink(event_failed(job.id, made.status().to_string()));
+      return;
+    }
+    made.value()->plan();
+    const core::RunReport report = made.value()->run_report();
 
     // Re-serialize the (pretty, multi-line) report compactly so the
     // done event stays one NDJSON line.

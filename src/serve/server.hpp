@@ -143,6 +143,7 @@ class Server {
     std::int32_t threads = 0;
     bool audit = false;
     std::string buffer_library;  ///< planning preset; empty = unit
+    core::Backend backend = core::Backend::kRabid;
     std::shared_ptr<const Prepared> prepared;
     Sink sink;
     std::chrono::steady_clock::time_point accepted_at;

@@ -149,6 +149,13 @@ class TileGraph {
     RABID_ASSERT_MSG(used_[i] < supply_[i], "tile has no free buffer site");
     ++used_[i];
   }
+  /// add_buffer without the free-site assertion: b(v) may exceed B(v).
+  /// For backends whose methodology has no site bound (BBP/FR piles
+  /// buffers into free-space tiles — the Fig. 1 phenomenon) but whose
+  /// solutions still book every buffer so the auditor can recount them;
+  /// the overload then surfaces as a kBufferCapacity violation instead
+  /// of a crash.  The hard-capacity flows never call this.
+  void add_buffer_unchecked(TileId t) { ++used_[checkt(t)]; }
   void remove_buffer(TileId t) {
     const auto i = checkt(t);
     RABID_ASSERT_MSG(used_[i] > 0, "removing buffer from empty tile");

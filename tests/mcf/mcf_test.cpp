@@ -1,0 +1,105 @@
+#include "mcf/mcf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/generator.hpp"
+#include "circuits/specs.hpp"
+#include "obs/counters.hpp"
+
+namespace rabid::mcf {
+namespace {
+
+/// Tight toy: four long crossing nets over a 10x10 grid with wire
+/// capacity 2 and sparse buffer sites — enough contention that the
+/// price machinery has real work, small enough to reason about.
+struct Fixture {
+  netlist::Design design;
+  tile::TileGraph graph;
+
+  Fixture() : design("mcf-toy", geom::Rect{{0, 0}, {10000, 10000}}),
+              graph(design.outline(), 10, 10) {
+    design.set_default_length_limit(4);
+    auto add2 = [&](geom::Point a, geom::Point b) {
+      netlist::Net n;
+      n.name = "n";
+      n.source = {a, netlist::PinKind::kFree, netlist::kNoBlock};
+      n.sinks = {{b, netlist::PinKind::kFree, netlist::kNoBlock}};
+      design.add_net(std::move(n));
+    };
+    add2({500, 500}, {9500, 9500});
+    add2({500, 9500}, {9500, 500});
+    add2({500, 5000}, {9500, 5000});
+    add2({5000, 500}, {5000, 9500});
+    graph.set_uniform_wire_capacity(2);
+    for (tile::TileId t = 0; t < graph.tile_count(); t += 3) {
+      graph.set_site_supply(t, 1);
+    }
+  }
+};
+
+TEST(Mcf, HardCapacityGuaranteeOnTightToy) {
+  Fixture f;
+  core::RabidOptions options;
+  options.audit_level = core::AuditLevel::kFinal;
+  McfAllocator alloc(f.design, f.graph, options);
+  const auto stats = alloc.plan();
+
+  // The backend's defining promise: RABID-grade hard capacity.
+  for (tile::EdgeId e = 0; e < f.graph.edge_count(); ++e) {
+    EXPECT_LE(f.graph.wire_usage(e), f.graph.wire_capacity(e)) << "edge " << e;
+  }
+  for (tile::TileId t = 0; t < f.graph.tile_count(); ++t) {
+    EXPECT_LE(f.graph.site_usage(t), f.graph.site_supply(t)) << "tile " << t;
+  }
+  ASSERT_EQ(stats.size(), 2U);
+  EXPECT_EQ(stats[0].stage, "mcf-round");
+  EXPECT_EQ(stats[1].stage, "mcf-repair");
+  EXPECT_EQ(stats.back().overflow, 0);
+
+  ASSERT_NE(alloc.last_audit(), nullptr);
+  EXPECT_TRUE(alloc.last_audit()->clean()) << alloc.last_audit()->summary();
+}
+
+TEST(Mcf, PhaseCountMatchesOptions) {
+  Fixture f;
+  core::RabidOptions options;
+  options.obs_level = obs::Level::kCounters;
+  McfOptions mcf;
+  mcf.phases = 5;
+  const std::uint64_t before =
+      obs::Registry::instance().snapshot()[obs::Counter::kMcfPhases];
+  McfAllocator alloc(f.design, f.graph, options, mcf);
+  alloc.plan();
+  EXPECT_EQ(
+      obs::Registry::instance().snapshot()[obs::Counter::kMcfPhases] - before,
+      5U);
+}
+
+TEST(Mcf, AnyRoundingSeedStaysLegal) {
+  for (const std::uint64_t seed : {1ULL, 42ULL, 0xdeadbeefULL}) {
+    Fixture f;
+    McfOptions mcf;
+    mcf.round_seed = seed;
+    McfAllocator alloc(f.design, f.graph, {}, mcf);
+    alloc.plan();
+    const core::AuditReport report = alloc.audit();
+    EXPECT_TRUE(report.clean()) << "seed " << seed << "\n" << report.summary();
+  }
+}
+
+TEST(Mcf, TableOneCircuitHardCapacity) {
+  const circuits::CircuitSpec& spec = circuits::spec_by_name("apte");
+  const netlist::Design design = circuits::generate_design(spec);
+  tile::TileGraph graph = circuits::build_tile_graph(design, spec);
+  core::RabidOptions options;
+  options.audit_level = core::AuditLevel::kFinal;
+  McfAllocator alloc(design, graph, options);
+  const auto stats = alloc.plan();
+  EXPECT_EQ(stats.back().overflow, 0);
+  EXPECT_LE(stats.back().max_buffer_density, 1.0);
+  ASSERT_NE(alloc.last_audit(), nullptr);
+  EXPECT_TRUE(alloc.last_audit()->clean()) << alloc.last_audit()->summary();
+}
+
+}  // namespace
+}  // namespace rabid::mcf

@@ -128,6 +128,41 @@ TEST(ParseRequestTest, PlanDefaults) {
   EXPECT_FALSE(result.value().job.audit);
 }
 
+TEST(ParseRequestTest, BackendField) {
+  auto mcf = parse_request(
+      R"({"type":"plan","id":"j1","circuit":"hp","backend":"mcf"})");
+  ASSERT_TRUE(mcf.ok()) << mcf.status().to_string();
+  EXPECT_EQ(mcf.value().job.backend, core::Backend::kMcf);
+
+  auto bbp = parse_request(
+      R"({"type":"plan","id":"j2","circuit":"hp","backend":"bbp"})");
+  ASSERT_TRUE(bbp.ok());
+  EXPECT_EQ(bbp.value().job.backend, core::Backend::kBbp);
+
+  // Omitted backend defaults to rabid.
+  auto plain = parse_request(R"({"type":"plan","id":"j3","circuit":"hp"})");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain.value().job.backend, core::Backend::kRabid);
+
+  // Unknown backend names are structured parse errors.
+  EXPECT_FALSE(parse_request(
+                   R"({"type":"plan","id":"j4","circuit":"hp",)"
+                   R"("backend":"simulated-annealing"})")
+                   .ok());
+
+  // A deadline on a backend without deadline support is rejected at
+  // parse — the server must never silently drop it.
+  auto combo = parse_request(
+      R"({"type":"plan","id":"j5","circuit":"hp","backend":"mcf",)"
+      R"("deadline_ms":250})");
+  EXPECT_FALSE(combo.ok());
+  // The rabid backend keeps deadlines, of course.
+  EXPECT_TRUE(parse_request(
+                  R"({"type":"plan","id":"j6","circuit":"hp",)"
+                  R"("backend":"rabid","deadline_ms":250})")
+                  .ok());
+}
+
 TEST(ParseRequestTest, ControlVerbs) {
   auto cancel = parse_request(R"({"type":"cancel","id":"j1"})");
   ASSERT_TRUE(cancel.ok());

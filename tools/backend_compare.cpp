@@ -1,0 +1,246 @@
+// backend_compare — the three-way Table-V-style comparison: RABID,
+// BBP/FR, and MCF on the same decomposed two-pin workloads, one JSON
+// document out, every row independently audited.
+//
+//   backend_compare                                  # all 10 circuits
+//   backend_compare --circuits apte,xerox,hp,ami33 --out compare.json
+//   backend_compare --backends rabid,mcf --threads 4
+//
+// Flags:
+//   --circuits A,B,..  Table-I circuit names (default: all ten)
+//   --backends A,B,..  backends to run (default: rabid,bbp,mcf)
+//   --threads N        worker threads (0 = one per hardware thread)
+//   --out F            write the JSON document to F (default: stdout)
+//
+// Every circuit is decomposed to two-pin nets first so all backends
+// solve the identical workload (BBP/FR accepts nothing else — the
+// paper's Table V setup).  Each row carries the final stage stats plus
+// the ground-up SolutionAuditor verdict under the backend's *declared*
+// allowances: wire/buffer overflow stays a hard error for RABID and
+// MCF, and is a counted warning for BBP (its measured phenomenon).
+//
+// Exit codes: 0 all rows audit-clean, 1 any audit error, 2 usage,
+// 3 input/I-O error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "alloc/factory.hpp"
+#include "circuits/generator.hpp"
+#include "circuits/specs.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+struct Args {
+  std::vector<std::string> circuits;
+  std::vector<rabid::core::Backend> backends;
+  std::int32_t threads = 0;
+  std::string out;
+};
+
+[[noreturn]] void usage(const char* msg) {
+  if (msg != nullptr) std::fprintf(stderr, "error: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: backend_compare [--circuits A,B,..]"
+               " [--backends rabid,bbp,mcf] [--threads N] [--out F]\n");
+  std::exit(2);
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(("missing value for " + flag).c_str());
+      return argv[++i];
+    };
+    if (flag == "--circuits") {
+      a.circuits = split_csv(value());
+    } else if (flag == "--backends") {
+      for (const std::string& name : split_csv(value())) {
+        rabid::core::Backend b;
+        if (!rabid::core::backend_from_name(name, &b))
+          usage(("unknown backend '" + name + "'").c_str());
+        a.backends.push_back(b);
+      }
+    } else if (flag == "--threads") {
+      a.threads = static_cast<std::int32_t>(std::atoi(value()));
+      if (a.threads < 0) usage("--threads expects a non-negative count");
+    } else if (flag == "--out") {
+      a.out = value();
+    } else if (flag == "--help" || flag == "-h") {
+      usage(nullptr);
+    } else {
+      usage(("unknown flag " + flag).c_str());
+    }
+  }
+  if (a.circuits.empty()) {
+    a.circuits = {"apte", "xerox", "hp",  "ami33", "ami49",
+                  "playout", "ac3", "xc5", "hc7",  "a9c3"};
+  }
+  if (a.backends.empty()) {
+    a.backends = {rabid::core::Backend::kRabid, rabid::core::Backend::kBbp,
+                  rabid::core::Backend::kMcf};
+  }
+  return a;
+}
+
+/// One (circuit, backend) comparison row.
+struct Row {
+  std::string backend;
+  double max_wire_congestion = 0.0;
+  std::int64_t wire_overflow = 0;    ///< wire units past W(e), summed
+  std::int64_t buffer_overflow = 0;  ///< buffers past B(v), summed
+  std::int64_t buffers = 0;
+  std::int64_t failed_nets = 0;
+  double wirelength_mm = 0.0;
+  double max_delay_ps = 0.0;
+  double avg_delay_ps = 0.0;
+  double cpu_s = 0.0;
+  std::size_t audit_errors = 0;
+  std::size_t audit_warnings = 0;
+};
+
+void json_row(std::ostream& out, const Row& r, const char* indent) {
+  out << indent << "{\"backend\": \"" << r.backend << "\","
+      << " \"max_wire_congestion\": " << r.max_wire_congestion << ","
+      << " \"wire_overflow\": " << r.wire_overflow << ","
+      << " \"buffer_overflow\": " << r.buffer_overflow << ","
+      << " \"buffers\": " << r.buffers << ","
+      << " \"failed_nets\": " << r.failed_nets << ","
+      << " \"wirelength_mm\": " << r.wirelength_mm << ","
+      << " \"max_delay_ps\": " << r.max_delay_ps << ","
+      << " \"avg_delay_ps\": " << r.avg_delay_ps << ","
+      << " \"cpu_s\": " << r.cpu_s << ","
+      << " \"audit_errors\": " << r.audit_errors << ","
+      << " \"audit_warnings\": " << r.audit_warnings << "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rabid;
+  const Args args = parse(argc, argv);
+
+  std::vector<std::pair<std::string, std::vector<Row>>> results;
+  std::size_t total_errors = 0;
+
+  for (const std::string& circuit : args.circuits) {
+    const circuits::CircuitSpec* spec = circuits::find_spec(circuit);
+    if (spec == nullptr) {
+      std::fprintf(stderr,
+                   "error[invalid-input] --circuits: unknown circuit '%s'\n",
+                   circuit.c_str());
+      return 3;
+    }
+    // The identical two-pin workload for every backend (Table V setup).
+    const netlist::Design design =
+        netlist::Design::decompose_to_two_pin(circuits::generate_design(*spec));
+
+    std::vector<Row> rows;
+    for (const core::Backend backend : args.backends) {
+      tile::TileGraph graph = circuits::build_tile_graph(design, *spec);
+      alloc::AllocatorConfig config;
+      config.rabid.threads = args.threads;
+      auto made = alloc::make_allocator(backend, design, graph, config);
+      if (!made.ok()) {
+        std::fprintf(stderr, "%s\n", made.status().to_string().c_str());
+        return 3;
+      }
+      core::Allocator& alloc = *made.value();
+      const auto stats = alloc.plan();
+      const core::StageStats& last = stats.back();
+
+      Row row;
+      row.backend = core::backend_name(backend);
+      row.max_wire_congestion = last.max_wire_congestion;
+      for (tile::EdgeId e = 0; e < graph.edge_count(); ++e) {
+        row.wire_overflow +=
+            std::max(0, graph.wire_usage(e) - graph.wire_capacity(e));
+      }
+      for (tile::TileId t = 0; t < graph.tile_count(); ++t) {
+        row.buffer_overflow +=
+            std::max(0, graph.site_usage(t) - graph.site_supply(t));
+      }
+      row.buffers = last.buffers;
+      row.failed_nets = last.failed_nets;
+      row.wirelength_mm = last.wirelength_mm;
+      row.max_delay_ps = last.max_delay_ps;
+      row.avg_delay_ps = last.avg_delay_ps;
+      for (const core::StageStats& s : stats) row.cpu_s += s.cpu_s;
+
+      const core::AuditReport audit = alloc.audit();
+      row.audit_errors = audit.error_count();
+      row.audit_warnings = audit.warning_count();
+      if (!audit.clean()) {
+        std::fprintf(stderr, "AUDIT FAILED: %s / %s\n%s\n", circuit.c_str(),
+                     row.backend.c_str(), audit.summary().c_str());
+      }
+      total_errors += row.audit_errors;
+      rows.push_back(std::move(row));
+    }
+    results.emplace_back(circuit, std::move(rows));
+  }
+
+  // Human-readable summary on stderr, so stdout can stay pure JSON.
+  report::Table table({"circuit", "backend", "wireC max", "wire ovfl",
+                       "buf ovfl", "#bufs", "#fails", "wl (mm)", "delay max",
+                       "wall (s)", "audit E/W"});
+  for (const auto& [circuit, rows] : results) {
+    for (const Row& r : rows) {
+      table.add_row({circuit, r.backend, report::fmt(r.max_wire_congestion, 2),
+                     report::fmt(r.wire_overflow), report::fmt(r.buffer_overflow),
+                     report::fmt(r.buffers), report::fmt(r.failed_nets),
+                     report::fmt(r.wirelength_mm, 0),
+                     report::fmt(r.max_delay_ps, 0), report::fmt(r.cpu_s, 2),
+                     std::to_string(r.audit_errors) + "/" +
+                         std::to_string(r.audit_warnings)});
+    }
+  }
+  std::fputs(table.to_string().c_str(), stderr);
+
+  std::ofstream file;
+  if (!args.out.empty()) {
+    file.open(args.out);
+    if (!file) {
+      std::fprintf(stderr, "error[io-error] %s: cannot open for writing\n",
+                   args.out.c_str());
+      return 3;
+    }
+  }
+  std::ostream& out = args.out.empty() ? std::cout : file;
+  out << "{\n  \"schema\": \"rabid.backend_compare.v1\",\n"
+      << "  \"threads\": " << args.threads << ",\n  \"circuits\": [\n";
+  for (std::size_t c = 0; c < results.size(); ++c) {
+    out << "    {\"circuit\": \"" << results[c].first << "\", \"rows\": [\n";
+    for (std::size_t r = 0; r < results[c].second.size(); ++r) {
+      json_row(out, results[c].second[r], "      ");
+      out << (r + 1 < results[c].second.size() ? ",\n" : "\n");
+    }
+    out << "    ]}" << (c + 1 < results.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  if (!args.out.empty()) {
+    std::fprintf(stderr, "wrote %s\n", args.out.c_str());
+  }
+
+  return total_errors == 0 ? 0 : 1;
+}

@@ -6,7 +6,9 @@ Fails (exit 1) if any benchmark's real wall time regressed by more than
 from the candidate run — a silently vanished benchmark would otherwise
 hide exactly the regression it was recorded to catch.  Benchmarks that
 are new in the candidate are reported but never fail the build (new
-benchmarks must be able to land).
+benchmarks must be able to land); each one emits a structured
+warning[new-benchmark] line so a green run still names the rows the
+baseline is missing.
 
 Every failure mode exits with a structured one-line message
 (error[<code>]: ...), never a traceback: missing-benchmark, io-error
@@ -186,8 +188,18 @@ def main():
             regressions.append((name, ratio))
         elif ratio < 1.0 - args.max_regression:
             improvements.append((name, ratio))
-    for name in sorted(set(cur) - set(base)):
+    new_names = sorted(set(cur) - set(base))
+    for name in new_names:
         print(f"{name:<{width}}  {'new':>12} {cur[name]:>12.0f}")
+    # Structured, grep-able marker per candidate-only benchmark: new
+    # benchmarks never fail the build, but each one is a baseline row
+    # waiting to be recorded — surface them the same way errors are
+    # surfaced (code in brackets, one line each) so CI log scrapers and
+    # humans skimming a green run both notice.
+    for name in new_names:
+        print(f"warning[new-benchmark]: {name} is absent from "
+              f"{args.baseline}; it is not gated until the baseline is "
+              "re-recorded (tools/bench_report.py)")
 
     rss_regressions = []
     if args.max_rss_regression is not None:

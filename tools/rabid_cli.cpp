@@ -3,12 +3,19 @@
 //
 //   rabid_cli --circuit xerox
 //   rabid_cli --circuit ami49 --grid 40x40 --sites 2000 --heatmaps
-//   rabid_cli --circuit hp --two-pin --bbp           # baseline instead
+//   rabid_cli --circuit hp --two-pin --backend bbp   # baseline instead
+//   rabid_cli --circuit hp --backend mcf --audit     # MCF backend
 //   rabid_cli --circuit apte --vg 20                 # timing rebuffering
 //
 // Flags:
 //   --circuit NAME     one of apte xerox hp ami33 ami49 playout ac3 xc5
 //                      hc7 a9c3 (required)
+//   --backend NAME     allocator backend: rabid (default), bbp (the
+//                      BBP/FR baseline; needs --two-pin), or mcf (the
+//                      multicommodity-flow backend).  --audit, --report,
+//                      --trace, --dump-solution and --svg work for every
+//                      backend; stage/checkpoint/deadline flags are
+//                      RABID-only and rejected elsewhere
 //   --threads N        worker threads for the per-net stages (default:
 //                      one per hardware thread; 1 = serial; any value
 //                      yields a bit-identical solution)
@@ -40,7 +47,7 @@
 //   --dump-solution F  write the final routes+buffers to F
 //   --svg F            render floorplan+routes+buffers as SVG to F
 //   --two-pin          decompose multi-pin nets first (Table V setup)
-//   --bbp              run the BBP/FR baseline instead of RABID
+//   --bbp              alias for --backend bbp
 //   --heatmaps         print congestion/density maps after the run
 //   --deadline-ms MS   wall-clock budget for the flow; on expiry the
 //                      best legal partial solution is kept and the
@@ -65,7 +72,8 @@
 
 #include <fstream>
 
-#include "bbp/bbp.hpp"
+#include "alloc/factory.hpp"
+#include "bbp/bbp_allocator.hpp"
 #include "circuits/generator.hpp"
 #include "circuits/specs.hpp"
 #include "core/audit.hpp"
@@ -106,7 +114,7 @@ struct Args {
   std::string dump_solution;
   std::string svg;
   bool two_pin = false;
-  bool bbp = false;
+  rabid::core::Backend backend = rabid::core::Backend::kRabid;
   bool heatmaps = false;
   double deadline_ms = 0.0;
   std::string checkpoint_dir;
@@ -123,7 +131,7 @@ struct Args {
                "       [--stages N] [--checkpoint-every-nets N]\n"
                "       [--inverters] [--audit] [--audit-json F]\n"
                "       [--obs off|counters|trace] [--report F] [--trace F]\n"
-               "       [--two-pin] [--bbp] [--dump-design F]\n"
+               "       [--two-pin] [--backend rabid|bbp|mcf] [--dump-design F]\n"
                "       [--dump-solution F] [--heatmaps] [--deadline-ms MS]\n"
                "       [--checkpoint-dir D] [--resume]\n"
                "       [--buffer-library unit|paper2|paper4]\n");
@@ -198,8 +206,11 @@ Args parse(int argc, char** argv) {
       a.svg = value();
     } else if (flag == "--two-pin") {
       a.two_pin = true;
+    } else if (flag == "--backend") {
+      if (!rabid::core::backend_from_name(value(), &a.backend))
+        usage("--backend expects rabid, bbp, or mcf");
     } else if (flag == "--bbp") {
-      a.bbp = true;
+      a.backend = rabid::core::Backend::kBbp;
     } else if (flag == "--heatmaps") {
       a.heatmaps = true;
     } else if (flag == "--deadline-ms") {
@@ -221,23 +232,28 @@ Args parse(int argc, char** argv) {
     }
   }
   if (a.circuit.empty()) usage("--circuit is required");
-  if (a.bbp && !a.two_pin) usage("--bbp requires --two-pin");
+  if (a.backend == rabid::core::Backend::kBbp && !a.two_pin)
+    usage("--backend bbp requires --two-pin");
   if (!a.audit_json.empty()) a.audit = true;
-  if (a.audit && a.bbp) usage("--audit applies to the RABID flow only");
   // Writing a report implies counting; writing a trace implies tracing.
   if (!a.report_json.empty() && a.obs_level < rabid::obs::Level::kCounters)
     a.obs_level = rabid::obs::Level::kCounters;
   if (!a.trace_json.empty()) a.obs_level = rabid::obs::Level::kTrace;
-  if ((!a.report_json.empty() || !a.trace_json.empty()) && a.bbp)
-    usage("--report/--trace apply to the RABID flow only");
   if (a.resume && a.checkpoint_dir.empty())
     usage("--resume needs --checkpoint-dir");
   if (a.checkpoint_every_nets > 0 && a.checkpoint_dir.empty())
     usage("--checkpoint-every-nets needs --checkpoint-dir");
   if (a.vg > 0 && a.stages < 3)
     usage("--vg needs at least --stages 3");
-  if ((a.resume || !a.checkpoint_dir.empty() || a.deadline_ms > 0) && a.bbp)
-    usage("--deadline-ms/--checkpoint-dir apply to the RABID flow only");
+  // Stage plumbing, deadlines, checkpoints and the post-pass belong to
+  // the four-stage flow; other backends reject them as a usage error
+  // here (and the factory rejects deadline/checkpoint configs again at
+  // the library layer, as exit-code-3 input errors).
+  if (a.backend != rabid::core::Backend::kRabid &&
+      (a.resume || !a.checkpoint_dir.empty() || a.deadline_ms > 0 ||
+       a.post || a.dijkstra || a.no_dirty_filter || a.stage2_shards > 0 ||
+       a.stages != 4 || a.vg > 0))
+    usage("stage/checkpoint/deadline flags apply to --backend rabid only");
   return a;
 }
 
@@ -296,17 +312,84 @@ int main(int argc, char** argv) {
               design.default_length_limit());
 
   int rc = 0;
-  if (args.bbp) {
-    bbp::BbpPlanner planner(design, graph);
-    bbp::BbpResult r = planner.run(circuits::kBufferSiteAreaUm2);
-    if (args.post) r = planner.congestion_post(circuits::kBufferSiteAreaUm2);
-    std::printf(
-        "BBP/FR: wireC max %.2f avg %.2f, overflow %lld, %lld buffers,\n"
-        "        MTAP %.2f%%, wl %.0f mm, delay max %.0f / avg %.0f ps\n",
-        r.max_wire_congestion, r.avg_wire_congestion,
-        static_cast<long long>(r.overflow),
-        static_cast<long long>(r.buffers), r.mtap_pct, r.wirelength_mm,
-        r.max_delay_ps, r.avg_delay_ps);
+  if (args.backend != core::Backend::kRabid) {
+    alloc::AllocatorConfig config;
+    config.rabid.threads = args.threads;
+    config.rabid.obs_level = args.obs_level;
+    if (args.audit) config.rabid.audit_level = core::AuditLevel::kFinal;
+    if (!args.buffer_library.empty()) {
+      buffer::BufferLibrary::preset(args.buffer_library,
+                                    &config.rabid.buffer_library);
+    }
+    auto made = alloc::make_allocator(args.backend, design, graph, config);
+    if (!made.ok()) return fail(made.status());
+    core::Allocator& alloc = *made.value();
+
+    report::Table table({"stage", "wireC max", "wireC avg", "overflows",
+                         "bufD max", "#bufs", "#fails", "wl (mm)",
+                         "delay max", "delay avg", "wall (s)", "thr"});
+    for (const core::StageStats& s : alloc.plan()) {
+      print_stats_row(table, s);
+    }
+    table.print();
+    if (alloc.backend() == core::Backend::kBbp) {
+      const bbp::BbpResult& r =
+          static_cast<bbp::BbpAllocator&>(alloc).result();
+      std::printf("BBP/FR: MTAP %.2f%% (Table V column the stage rows"
+                  " cannot carry)\n", r.mtap_pct);
+    }
+
+    if (args.audit) {
+      const core::AuditReport* audit = alloc.last_audit();
+      std::printf("\n%s\n", audit->summary().c_str());
+      if (!args.audit_json.empty()) {
+        std::ofstream out(args.audit_json);
+        if (!out) {
+          return fail(core::Status::io_error("cannot open for writing",
+                                             args.audit_json));
+        }
+        audit->write_json(out);
+        std::printf("wrote audit report to %s\n", args.audit_json.c_str());
+      }
+      if (!audit->clean()) rc = 1;
+    }
+    if (!args.report_json.empty()) {
+      std::ofstream out(args.report_json);
+      if (!out) {
+        return fail(core::Status::io_error("cannot open for writing",
+                                           args.report_json));
+      }
+      alloc.run_report().write_json(out);
+      std::printf("wrote run report to %s\n", args.report_json.c_str());
+    }
+    if (!args.trace_json.empty()) {
+      std::ofstream out(args.trace_json);
+      if (!out) {
+        return fail(core::Status::io_error("cannot open for writing",
+                                           args.trace_json));
+      }
+      obs::Registry::instance().trace().write_json(out);
+      std::printf("wrote chrome trace to %s (open in ui.perfetto.dev)\n",
+                  args.trace_json.c_str());
+    }
+    if (!args.dump_solution.empty()) {
+      std::ofstream out(args.dump_solution);
+      if (!out) {
+        return fail(core::Status::io_error("cannot open for writing",
+                                           args.dump_solution));
+      }
+      core::write_solution(out, design, graph, alloc.nets());
+      std::printf("wrote solution to %s\n", args.dump_solution.c_str());
+    }
+    if (!args.svg.empty()) {
+      std::ofstream out(args.svg);
+      if (!out) {
+        return fail(core::Status::io_error("cannot open for writing",
+                                           args.svg));
+      }
+      out << report::render_svg(design, graph, alloc.nets());
+      std::printf("wrote plot to %s\n", args.svg.c_str());
+    }
   } else {
     core::RabidOptions options;
     options.threads = args.threads;
