@@ -191,7 +191,9 @@ Status write_manifest(const std::string& dir, const Rabid& rabid,
   manifest << "\",\n  \"grid\": {\"nx\": " << rabid.graph().nx()
            << ", \"ny\": " << rabid.graph().ny()
            << "},\n  \"stage\": " << completed_stage
-           << ",\n  \"solution\": \"";
+           << ",\n  \"books_fingerprint\": \""
+           << books_fingerprint(rabid.graph())
+           << "\",\n  \"solution\": \"";
   json_escape(manifest, sol_name);
   manifest << "\"";
   if (!progress_file.empty()) {
@@ -204,6 +206,32 @@ Status write_manifest(const std::string& dir, const Rabid& rabid,
 }
 
 }  // namespace
+
+std::string books_fingerprint(const tile::TileGraph& g) {
+  // FNV-1a-64, folded over the grid shape and every capacity entry in
+  // book order.  Deterministic across platforms: the inputs are exact
+  // integers, mixed byte-by-byte.
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::int64_t v) {
+    auto u = static_cast<std::uint64_t>(v);
+    for (int i = 0; i < 8; ++i) {
+      h ^= (u >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(g.nx());
+  mix(g.ny());
+  for (tile::EdgeId e = 0; e < g.edge_count(); ++e) {
+    mix(g.wire_capacity(e));
+  }
+  for (tile::TileId t = 0; t < g.tile_count(); ++t) {
+    mix(g.site_supply(t));
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
 
 Status write_checkpoint(const std::string& dir, const Rabid& rabid,
                         int completed_stage) {
@@ -303,6 +331,12 @@ Result<CheckpointManifest> read_checkpoint_manifest(const std::string& dir) {
     return Status::invalid_input("manifest stage out of range (1..4)", path);
   }
 
+  const obs::json::Value* books = doc->find("books_fingerprint");
+  if (books == nullptr || !books->is_string() || books->string.empty()) {
+    return Status::invalid_input("manifest missing books fingerprint", path);
+  }
+  m.books_fingerprint = books->string;
+
   const obs::json::Value* sol = doc->find("solution");
   if (sol == nullptr || !sol->is_string() || sol->string.empty()) {
     return Status::invalid_input("manifest missing solution file", path);
@@ -348,6 +382,20 @@ Status resume_from_checkpoint(const std::string& dir, Rabid& rabid,
   if (m.nx != rabid.graph().nx() || m.ny != rabid.graph().ny()) {
     return Status::invalid_input(
         "checkpoint grid differs from the tile graph",
+        dir + "/manifest.json");
+  }
+  // The fingerprint guards the snapshot's provenance: a mid-stage-2
+  // resume point replays the iteration-start cost array and A* floor,
+  // which are only meaningful against the exact W(e)/B(v) books they
+  // were computed from.  Perturbed books (an ECO between checkpoint and
+  // resume) must re-plan through the ECO path, not resume.
+  if (const std::string live = books_fingerprint(rabid.graph());
+      m.books_fingerprint != live) {
+    return Status::stale_checkpoint(
+        "checkpoint books fingerprint " + m.books_fingerprint +
+            " does not match the live tile graph (" + live +
+            "): the W(e)/B(v) books were perturbed since the checkpoint "
+            "was written — re-plan instead of resuming",
         dir + "/manifest.json");
   }
 

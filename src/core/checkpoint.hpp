@@ -21,10 +21,24 @@
 
 #include "core/status.hpp"
 
+namespace rabid::tile {
+class TileGraph;
+}  // namespace rabid::tile
+
 namespace rabid::core {
 
 class Rabid;
 struct Stage2Progress;  // core/rabid.hpp
+
+/// FNV-1a-64 over the tile graph's *capacity* books — grid shape, every
+/// W(e), every B(v) — rendered as 16 lowercase hex digits.  This is the
+/// checkpoint's provenance stamp: a mid-stage-2 snapshot (cost array,
+/// dirty mask, A* floor) is only meaningful against the exact books it
+/// was computed from, so resume rejects a checkpoint whose fingerprint
+/// no longer matches the live graph (error[stale-checkpoint], exit 3)
+/// instead of producing a quietly divergent plan.  Usage is excluded on
+/// purpose: resume replays usage from the dump onto empty books.
+std::string books_fingerprint(const tile::TileGraph& g);
 
 /// The parsed `manifest.json` of a checkpoint directory.
 struct CheckpointManifest {
@@ -40,6 +54,9 @@ struct CheckpointManifest {
   /// relative to the dir; empty for stage-boundary checkpoints.  The
   /// dump then holds the mid-stage-2 trees with `stage` still 1.
   std::string stage2_progress_file;
+  /// books_fingerprint() of the graph the checkpoint was written
+  /// against (required; resume validates it before touching anything).
+  std::string books_fingerprint;
 };
 
 /// Dumps the flow's current solution as the checkpoint for

@@ -69,6 +69,11 @@ bool meets_rule(const route::RouteTree& tree,
 
 }  // namespace
 
+bool meets_length_rule(const route::RouteTree& tree,
+                       const route::BufferList& buffers, std::int32_t L) {
+  return meets_rule(tree, buffers, L);
+}
+
 Rabid::Rabid(const netlist::Design& design, tile::TileGraph& graph,
              RabidOptions options)
     : design_(design), graph_(graph), options_(options) {

@@ -417,4 +417,12 @@ class Rabid {
   std::int64_t nets_cancelled_ = 0;
 };
 
+/// True when the buffered tree satisfies the net's length rule: every
+/// gate (the driver or any inserted buffer) drives at most L tile-units
+/// of interconnect.  The exact per-net check stages 1-4 apply; exported
+/// so the incremental (ECO) planner can re-evaluate the flag for just
+/// the nets it re-plans.
+bool meets_length_rule(const route::RouteTree& tree,
+                       const route::BufferList& buffers, std::int32_t L);
+
 }  // namespace rabid::core

@@ -48,6 +48,11 @@ enum class StatusCode : std::uint8_t {
   /// A caller violated an API precondition (e.g. resuming onto a graph
   /// whose usage books are not empty).
   kFailedPrecondition,
+  /// A checkpoint whose books fingerprint no longer matches the live
+  /// tile graph: the W(e)/B(v) capacities were perturbed (an ECO)
+  /// between checkpoint and resume, so the snapshot's cost provenance
+  /// is stale and resuming would quietly diverge.
+  kStaleCheckpoint,
   /// An invariant the library itself is responsible for broke.
   kInternal,
 };
@@ -59,6 +64,7 @@ inline const char* status_code_name(StatusCode code) {
     case StatusCode::kIoError: return "io-error";
     case StatusCode::kDeadlineExceeded: return "deadline-exceeded";
     case StatusCode::kFailedPrecondition: return "failed-precondition";
+    case StatusCode::kStaleCheckpoint: return "stale-checkpoint";
     case StatusCode::kInternal: return "internal";
   }
   return "unknown";
@@ -92,6 +98,11 @@ class Status {
   }
   static Status failed_precondition(std::string message) {
     return {StatusCode::kFailedPrecondition, std::move(message)};
+  }
+  static Status stale_checkpoint(std::string message,
+                                 std::string context = {}) {
+    return {StatusCode::kStaleCheckpoint, std::move(message),
+            std::move(context)};
   }
   static Status internal(std::string message) {
     return {StatusCode::kInternal, std::move(message)};
@@ -131,6 +142,7 @@ class Status {
       case StatusCode::kInvalidInput:
       case StatusCode::kIoError:
       case StatusCode::kFailedPrecondition:
+      case StatusCode::kStaleCheckpoint:
       case StatusCode::kInternal: return 3;
     }
     return 3;

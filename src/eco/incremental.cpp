@@ -1,0 +1,661 @@
+#include "eco/incremental.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/allocator.hpp"
+#include "core/twopath.hpp"
+#include "obs/counters.hpp"
+#include "timing/delay.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace rabid::eco {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+core::Status bad(std::string message) {
+  return core::Status::invalid_input(std::move(message), "perturbation");
+}
+
+}  // namespace
+
+IncrementalPlanner::IncrementalPlanner(netlist::Design design,
+                                       tile::TileGraph& graph,
+                                       std::vector<core::NetState> solution,
+                                       EcoOptions options)
+    : design_(std::move(design)),
+      graph_(graph),
+      nets_(std::move(solution)),
+      options_(options) {
+  RABID_ASSERT_MSG(nets_.size() == design_.nets().size(),
+                   "adopted solution must hold one state per design net");
+}
+
+core::Status IncrementalPlanner::validate_net(const netlist::Net& net,
+                                              const char* what) const {
+  if (net.sinks.empty()) {
+    return bad(std::string(what) + " net '" + net.name + "' has no sinks");
+  }
+  if (net.width < 1) {
+    return bad(std::string(what) + " net '" + net.name +
+               "' has a non-positive wire width");
+  }
+  if (net.length_limit < 0) {
+    return bad(std::string(what) + " net '" + net.name +
+               "' has a negative length limit");
+  }
+  if (!design_.outline().contains(net.source.location)) {
+    return bad(std::string(what) + " net '" + net.name +
+               "' drives from outside the chip outline");
+  }
+  for (const netlist::Pin& pin : net.sinks) {
+    if (!design_.outline().contains(pin.location)) {
+      return bad(std::string(what) + " net '" + net.name +
+                 "' has a sink outside the chip outline");
+    }
+  }
+  return core::Status::ok();
+}
+
+core::Status IncrementalPlanner::validate(const Perturbation& p) const {
+  for (const WireEdit& we : p.wire_edits) {
+    if (we.edge < 0 || we.edge >= graph_.edge_count()) {
+      return bad("wire edit names edge " + std::to_string(we.edge) +
+                 " outside the tile graph");
+    }
+    if (we.new_capacity < 0) {
+      return bad("wire edit on edge " + std::to_string(we.edge) +
+                 " asks for a negative capacity");
+    }
+  }
+  for (const SiteEdit& se : p.site_edits) {
+    if (se.tile < 0 || se.tile >= graph_.tile_count()) {
+      return bad("site edit names tile " + std::to_string(se.tile) +
+                 " outside the tile graph");
+    }
+    if (se.new_supply < 0) {
+      return bad("site edit on tile " + std::to_string(se.tile) +
+                 " asks for a negative supply");
+    }
+  }
+  // Each pre-edit net id may be named by at most one move/removal: the
+  // ids refer to the same (pre-perturbation) numbering, so "move it and
+  // also remove it" has no coherent meaning.
+  std::vector<std::uint8_t> touched(nets_.size(), 0);
+  const auto net_count = static_cast<netlist::NetId>(nets_.size());
+  for (const NetMove& m : p.moved_nets) {
+    if (m.id < 0 || m.id >= net_count) {
+      return bad("moved net id " + std::to_string(m.id) +
+                 " outside the design");
+    }
+    if (touched[static_cast<std::size_t>(m.id)]++) {
+      return bad("net " + std::to_string(m.id) +
+                 " is moved or removed more than once");
+    }
+    if (core::Status s = validate_net(m.replacement, "moved"); !s) return s;
+  }
+  for (const netlist::NetId id : p.removed_nets) {
+    if (id < 0 || id >= net_count) {
+      return bad("removed net id " + std::to_string(id) +
+                 " outside the design");
+    }
+    if (touched[static_cast<std::size_t>(id)]++) {
+      return bad("net " + std::to_string(id) +
+                 " is moved or removed more than once");
+    }
+  }
+  for (const netlist::Net& n : p.added_nets) {
+    if (core::Status s = validate_net(n, "added"); !s) return s;
+  }
+  return core::Status::ok();
+}
+
+void IncrementalPlanner::rip_net(std::size_t i, route::EdgeCostCache& cache) {
+  core::NetState& st = nets_[i];
+  if (st.tree.empty()) return;
+  if (!st.buffers.empty()) {
+    obs::count(obs::Counter::kBuffersRemoved,
+               static_cast<std::uint64_t>(st.buffers.size()));
+    for (const route::BufferPlacement& b : st.buffers) {
+      graph_.remove_buffer(st.tree.node(b.node).tile);
+    }
+    st.buffers.clear();
+    st.buffer_types.clear();
+  }
+  st.tree.uncommit(graph_,
+                   design_.net(static_cast<netlist::NetId>(i)).width);
+  cache.refresh_tree(st.tree);
+  st.tree = route::RouteTree();
+  st.meets_length_rule = false;
+  st.delay = timing::DelayResult{};
+}
+
+void IncrementalPlanner::rebuffer_net(std::size_t i) {
+  core::NetState& st = nets_[i];
+  const std::int32_t L =
+      design_.length_limit(static_cast<netlist::NetId>(i));
+
+  // The stage-3 commit loop verbatim, at demand p(v) = 0: the batch
+  // flow's not-yet-processed-nets prediction term is meaningless in the
+  // middle of an ECO, where every other net is already committed.
+  std::vector<tile::TileId> forbidden;
+  for (int attempt = 0;; ++attempt) {
+    RABID_ASSERT_MSG(attempt < 64, "eco buffer commit failed to converge");
+    if (attempt > 0) obs::count(obs::Counter::kBufferCommitRetries);
+    const auto q = [&](tile::TileId t) {
+      if (std::find(forbidden.begin(), forbidden.end(), t) !=
+          forbidden.end()) {
+        return tile::kInfCost;
+      }
+      return graph_.buffer_cost(t, 0.0);
+    };
+    buffer::InsertionResult result = buffer::insert_buffers_planned_relaxed(
+        st.tree, L, q, options_.buffer_library);
+
+    bool ok = true;
+    std::vector<std::pair<tile::TileId, std::int32_t>> per_tile;
+    for (const route::BufferPlacement& b : result.buffers) {
+      const tile::TileId t = st.tree.node(b.node).tile;
+      auto it = std::find_if(per_tile.begin(), per_tile.end(),
+                             [&](const auto& e) { return e.first == t; });
+      if (it == per_tile.end()) {
+        per_tile.emplace_back(t, 1);
+      } else {
+        ++it->second;
+      }
+    }
+    for (const auto& [t, count] : per_tile) {
+      if (count > graph_.site_supply(t) - graph_.site_usage(t)) {
+        forbidden.push_back(t);
+        ok = false;
+      }
+    }
+    if (!ok) continue;
+
+    for (const auto& [t, count] : per_tile) {
+      for (std::int32_t k = 0; k < count; ++k) graph_.add_buffer(t);
+    }
+    obs::count(obs::Counter::kBuffersCommitted,
+               static_cast<std::uint64_t>(result.buffers.size()));
+    st.buffers = std::move(result.buffers);
+    st.buffer_types.clear();
+    for (const std::int32_t t : result.types) {
+      st.buffer_types.push_back(
+          options_.buffer_library.electrical_of(static_cast<std::size_t>(t)));
+    }
+    st.meets_length_rule = result.feasible && result.effective_limit <= L;
+    return;
+  }
+}
+
+void IncrementalPlanner::polish_net(std::size_t i,
+                                    route::EdgeCostCache& cache,
+                                    std::vector<double>& site_cost,
+                                    core::TwoPathSearch& search) {
+  core::NetState& st = nets_[i];
+  const auto id = static_cast<netlist::NetId>(i);
+  const std::int32_t L = design_.length_limit(id);
+  const std::int32_t width = design_.net(id).width;
+
+  obs::count(obs::Counter::kBuffersRemoved,
+             static_cast<std::uint64_t>(st.buffers.size()));
+  for (const route::BufferPlacement& b : st.buffers) {
+    const tile::TileId t = st.tree.node(b.node).tile;
+    graph_.remove_buffer(t);
+    site_cost[static_cast<std::size_t>(t)] = graph_.buffer_cost(t, 0.0);
+  }
+  st.buffers.clear();
+  st.buffer_types.clear();
+  st.tree.uncommit(graph_, width);
+  cache.refresh_tree(st.tree);
+
+  // One two-path at a time with joint wire+buffer costs, recomputing
+  // the decomposition from the live tree after every replacement —
+  // exactly the stage-4 inner loop.
+  core::TileTreeEditor editor(st.tree, graph_);
+  route::RouteTree current = editor.rebuild();
+  std::vector<std::pair<tile::TileId, tile::TileId>> processed;
+  const std::size_t max_rips = 3 * current.two_paths().size() + 4;
+  for (std::size_t rip = 0; rip < max_rips; ++rip) {
+    const auto paths = current.two_paths();
+    const route::RouteTree::TwoPath* next = nullptr;
+    std::pair<tile::TileId, tile::TileId> key{tile::kNoTile, tile::kNoTile};
+    for (const auto& tp : paths) {
+      key = {current.node(tp.head).tile, current.node(tp.tail).tile};
+      if (std::find(processed.begin(), processed.end(), key) ==
+          processed.end()) {
+        next = &tp;
+        break;
+      }
+    }
+    if (next == nullptr) break;
+    processed.push_back(key);
+    std::vector<tile::TileId> interior;
+    interior.reserve(next->interior.size());
+    for (const route::NodeId n : next->interior) {
+      interior.push_back(current.node(n).tile);
+    }
+    editor.remove_path(key.first, interior, key.second);
+    const core::TwoPathRoute reroute =
+        search.route(key.second, key.first, L, cache.values(), site_cost,
+                     1.0, 1.0, cache.min_cost());
+    editor.add_path(reroute.tiles);
+    current = editor.rebuild();
+  }
+  st.tree = std::move(current);
+  st.tree.commit(graph_, width);
+  cache.refresh_tree(st.tree);
+
+  rebuffer_net(i);
+  for (const route::BufferPlacement& b : st.buffers) {
+    const tile::TileId t = st.tree.node(b.node).tile;
+    site_cost[static_cast<std::size_t>(t)] = graph_.buffer_cost(t, 0.0);
+  }
+}
+
+void IncrementalPlanner::refresh_delay(std::size_t i) {
+  core::NetState& st = nets_[i];
+  if (st.tree.empty()) return;
+  const timing::Technology tech = timing::scaled_for_width(
+      options_.tech, design_.net(static_cast<netlist::NetId>(i)).width);
+  st.delay =
+      st.buffer_types.empty()
+          ? timing::evaluate_delay(st.tree, st.buffers, graph_, tech)
+          : timing::evaluate_delay_sized(st.tree, st.buffers,
+                                         st.buffer_types, graph_, tech);
+}
+
+core::Status IncrementalPlanner::replan(const Perturbation& p,
+                                        ReplanStats* stats) {
+  if (core::Status s = validate(p); !s) return s;
+  const auto start = std::chrono::steady_clock::now();
+  obs::count(obs::Counter::kEcoReplans);
+
+  route::EdgeCostCache cache(graph_, [this](tile::EdgeId e) {
+    return route::soft_wire_cost(graph_, e);
+  });
+
+  // --- capacity edits -------------------------------------------------
+  // Wire edits go through on_capacity_change: a raised capacity can
+  // drop an edge's true cost below the cached A* floor, and only this
+  // entry point lowers the floor with it (route/maze.hpp).
+  std::vector<std::uint8_t> edge_dirty(
+      static_cast<std::size_t>(graph_.edge_count()), 0);
+  std::int64_t capacity_edits = 0;
+  for (const WireEdit& we : p.wire_edits) {
+    const double before = cache[we.edge];
+    graph_.set_wire_capacity(we.edge, we.new_capacity);
+    cache.on_capacity_change(we.edge);
+    ++capacity_edits;
+    const bool overflowed = graph_.wire_usage(we.edge) > we.new_capacity;
+    if (overflowed || std::abs(cache[we.edge] - before) >
+                          options_.dirty_threshold * before) {
+      edge_dirty[static_cast<std::size_t>(we.edge)] = 1;
+    }
+  }
+  std::vector<std::uint8_t> tile_over(
+      static_cast<std::size_t>(graph_.tile_count()), 0);
+  bool any_tile_over = false;
+  for (const SiteEdit& se : p.site_edits) {
+    graph_.set_site_supply(se.tile, se.new_supply);
+    ++capacity_edits;
+    if (graph_.site_usage(se.tile) > se.new_supply) {
+      tile_over[static_cast<std::size_t>(se.tile)] = 1;
+      any_tile_over = true;
+    }
+  }
+  obs::count(obs::Counter::kEcoCapacityEdits,
+             static_cast<std::uint64_t>(capacity_edits));
+
+  // --- seed dirty set (pre-edit net ids) ------------------------------
+  std::vector<std::uint8_t> dirty(nets_.size(), 0);
+  for (const NetMove& m : p.moved_nets) {
+    dirty[static_cast<std::size_t>(m.id)] = 1;
+  }
+  for (const netlist::NetId id : p.removed_nets) {
+    dirty[static_cast<std::size_t>(id)] = 1;
+  }
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    if (dirty[i]) continue;
+    const core::NetState& st = nets_[i];
+    if (st.tree.empty()) {
+      // Never planned (e.g. a deadline-cancelled batch run): plan now.
+      dirty[i] = 1;
+      continue;
+    }
+    bool hit = false;
+    for (const route::RouteNode& node : st.tree.nodes()) {
+      if (node.parent == route::kNoNode) continue;
+      const tile::EdgeId e =
+          graph_.edge_between(node.tile, st.tree.node(node.parent).tile);
+      if (edge_dirty[static_cast<std::size_t>(e)]) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit && any_tile_over) {
+      for (const route::BufferPlacement& b : st.buffers) {
+        if (tile_over[static_cast<std::size_t>(st.tree.node(b.node).tile)]) {
+          hit = true;
+          break;
+        }
+      }
+    }
+    if (hit) dirty[i] = 1;
+  }
+
+  // --- rip the seed set (before the design edits: uncommit must use
+  // the *old* width, and a moved net's buffers must leave the books) ---
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    if (dirty[i]) rip_net(i, cache);
+  }
+
+  // --- design edits ---------------------------------------------------
+  for (const NetMove& m : p.moved_nets) {
+    design_.mutable_nets()[static_cast<std::size_t>(m.id)] = m.replacement;
+  }
+  std::vector<netlist::NetId> removed = p.removed_nets;
+  std::sort(removed.begin(), removed.end(), std::greater<>());
+  for (const netlist::NetId id : removed) {
+    design_.mutable_nets().erase(design_.mutable_nets().begin() + id);
+    nets_.erase(nets_.begin() + id);
+    dirty.erase(dirty.begin() + id);
+  }
+  for (const netlist::Net& n : p.added_nets) {
+    design_.add_net(n);
+    nets_.emplace_back();
+    dirty.push_back(1);
+  }
+
+  // --- closure loop: the stage-2 dirty filter, seeded ------------------
+  // Iteration 0 rips exactly the perturbation's seed set; later
+  // iterations grow the closure only through *overflowed* edges — the
+  // hard violations this loop exists to clear — and evict only the
+  // overflow excess, not every rider.  The batch filter's soft
+  // cost-movement criterion would cascade here: re-planning the seed
+  // set nudges costs on thousands of edges, and chasing every nudge
+  // re-plans the whole chip (locality is the point of an ECO;
+  // optimality is the polish pass's and the epsilon bound's job).
+  route::MazeRouter router(graph_);
+  std::vector<std::uint8_t> ever = dirty;
+  std::int64_t iterations = 0;
+  for (std::int32_t iter = 0; iter < options_.reroute_iterations; ++iter) {
+    cache.refresh_all();
+    if (iter > 0) {
+      std::vector<std::int32_t> excess(
+          static_cast<std::size_t>(graph_.edge_count()), 0);
+      bool any = false;
+      for (tile::EdgeId e = 0; e < graph_.edge_count(); ++e) {
+        const std::int32_t x =
+            graph_.wire_usage(e) - graph_.wire_capacity(e);
+        if (x > 0) {
+          excess[static_cast<std::size_t>(e)] = x;
+          any = true;
+        }
+      }
+      if (!any) break;
+      // Two passes: the nets this ECO already re-planned first (the
+      // newcomers whose routes caused the overload), untouched batch
+      // nets only for whatever excess remains.
+      std::fill(dirty.begin(), dirty.end(), 0);
+      bool any_net = false;
+      for (int pass = 0; pass < 2; ++pass) {
+        for (std::size_t i = 0; i < nets_.size(); ++i) {
+          if (dirty[i] || ((pass == 0) != (ever[i] != 0))) continue;
+          const core::NetState& st = nets_[i];
+          if (st.tree.empty()) continue;
+          bool rides = false;
+          for (const route::RouteNode& node : st.tree.nodes()) {
+            if (node.parent == route::kNoNode) continue;
+            const tile::EdgeId e = graph_.edge_between(
+                node.tile, st.tree.node(node.parent).tile);
+            if (excess[static_cast<std::size_t>(e)] > 0) {
+              rides = true;
+              break;
+            }
+          }
+          if (!rides) continue;
+          dirty[i] = 1;
+          any_net = true;
+          const std::int32_t width =
+              design_.net(static_cast<netlist::NetId>(i)).width;
+          for (const route::RouteNode& node : st.tree.nodes()) {
+            if (node.parent == route::kNoNode) continue;
+            const tile::EdgeId e = graph_.edge_between(
+                node.tile, st.tree.node(node.parent).tile);
+            excess[static_cast<std::size_t>(e)] -= width;
+          }
+        }
+      }
+      if (!any_net) break;
+    }
+    ++iterations;
+    for (std::size_t i = 0; i < nets_.size(); ++i) {
+      if (!dirty[i]) continue;
+      core::NetState& st = nets_[i];
+      if (!st.tree.empty()) rip_net(i, cache);
+      const netlist::Net& net = design_.net(static_cast<netlist::NetId>(i));
+      st.tree = router.route_net(net, options_.pd_alpha, cache.values(),
+                                 cache.min_cost());
+      st.tree.commit(graph_, net.width);
+      cache.refresh_tree(st.tree);
+      ever[i] = 1;
+    }
+  }
+
+  // --- stage-3 re-buffering + optional stage-4 polish of the closure --
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    if (ever[i] && !nets_[i].tree.empty()) rebuffer_net(i);
+  }
+  if (options_.two_path_pass) {
+    cache.refresh_all();
+    std::vector<double> site_cost(
+        static_cast<std::size_t>(graph_.tile_count()));
+    for (tile::TileId t = 0; t < graph_.tile_count(); ++t) {
+      site_cost[static_cast<std::size_t>(t)] = graph_.buffer_cost(t, 0.0);
+    }
+    core::TwoPathSearch search(graph_);
+    for (std::size_t i = 0; i < nets_.size(); ++i) {
+      if (ever[i] && !nets_[i].tree.empty()) {
+        polish_net(i, cache, site_cost, search);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    if (ever[i]) refresh_delay(i);
+  }
+
+  const auto dirty_count = static_cast<std::int64_t>(
+      std::count(ever.begin(), ever.end(), std::uint8_t{1}));
+  const auto kept = static_cast<std::int64_t>(nets_.size()) - dirty_count;
+  obs::count(obs::Counter::kEcoDirtyNets,
+             static_cast<std::uint64_t>(dirty_count));
+  obs::count(obs::Counter::kEcoNetsKept, static_cast<std::uint64_t>(kept));
+  if (stats != nullptr) {
+    stats->dirty_nets = dirty_count;
+    stats->kept_nets = kept;
+    stats->capacity_edits = capacity_edits;
+    stats->iterations = iterations;
+    stats->after = core::solution_snapshot(graph_, nets_, "eco",
+                                           seconds_since(start), 1);
+  }
+  return core::Status::ok();
+}
+
+core::AuditReport IncrementalPlanner::audit() const {
+  core::AuditOptions opts;
+  opts.tech = options_.tech;
+  opts.buffer_library = options_.buffer_library;
+  core::SolutionAuditor auditor(design_, graph_, opts);
+  return auditor.audit(nets_);
+}
+
+bool EquivalenceReport::within(double epsilon) const {
+  if (!audit_clean) return false;
+  const double wl_gap =
+      std::abs(wirelength_incremental_mm - wirelength_scratch_mm);
+  if (wl_gap > epsilon * wirelength_scratch_mm + 1e-9) return false;
+  // Absolute floors keep the relative bound meaningful on fuzz-sized
+  // circuits, where "one more buffer" is a large relative move.
+  const auto buf_gap =
+      std::abs(static_cast<double>(buffers_incremental - buffers_scratch));
+  if (buf_gap > epsilon * std::max(static_cast<double>(buffers_scratch),
+                                   20.0)) {
+    return false;
+  }
+  const double over_slack =
+      epsilon * std::max(static_cast<double>(overflow_scratch), 20.0);
+  return overflow_incremental <=
+         overflow_scratch + static_cast<std::int64_t>(over_slack);
+}
+
+std::string EquivalenceReport::summary() const {
+  std::string out = "incremental vs scratch: wirelength ";
+  out += std::to_string(wirelength_incremental_mm);
+  out += " / ";
+  out += std::to_string(wirelength_scratch_mm);
+  out += " mm, buffers ";
+  out += std::to_string(buffers_incremental);
+  out += " / ";
+  out += std::to_string(buffers_scratch);
+  out += ", overflow ";
+  out += std::to_string(overflow_incremental);
+  out += " / ";
+  out += std::to_string(overflow_scratch);
+  out += ", audit ";
+  out += audit_clean ? "clean" : "DIRTY";
+  return out;
+}
+
+EquivalenceReport compare_with_scratch(const IncrementalPlanner& planner) {
+  const tile::TileGraph& g = planner.graph();
+  tile::TileGraph scratch(g.chip(), g.nx(), g.ny());
+  for (tile::EdgeId e = 0; e < g.edge_count(); ++e) {
+    scratch.set_wire_capacity(e, g.wire_capacity(e));
+  }
+  for (tile::TileId t = 0; t < g.tile_count(); ++t) {
+    scratch.set_site_supply(t, g.site_supply(t));
+  }
+
+  core::RabidOptions ropt;
+  ropt.pd_alpha = planner.options().pd_alpha;
+  ropt.reroute_iterations = planner.options().reroute_iterations;
+  ropt.stage2_dirty_threshold = planner.options().dirty_threshold;
+  ropt.threads = 1;
+  ropt.tech = planner.options().tech;
+  ropt.buffer_library = planner.options().buffer_library;
+  core::Rabid rabid(planner.design(), scratch, ropt);
+  rabid.run_all();
+
+  EquivalenceReport rep;
+  const tile::CongestionStats inc = g.stats();
+  const tile::CongestionStats scr = scratch.stats();
+  rep.overflow_incremental = inc.overflow;
+  rep.overflow_scratch = scr.overflow;
+  rep.buffers_incremental = inc.buffers_used;
+  rep.buffers_scratch = scr.buffers_used;
+  double wl_um = 0.0;
+  for (const core::NetState& n : planner.nets()) {
+    if (!n.tree.empty()) wl_um += n.tree.wirelength_um(g);
+  }
+  rep.wirelength_incremental_mm = wl_um / 1000.0;
+  wl_um = 0.0;
+  for (const core::NetState& n : rabid.nets()) {
+    if (!n.tree.empty()) wl_um += n.tree.wirelength_um(scratch);
+  }
+  rep.wirelength_scratch_mm = wl_um / 1000.0;
+
+  core::AuditOptions aopt;
+  aopt.tech = planner.options().tech;
+  aopt.buffer_library = planner.options().buffer_library;
+  if (rep.overflow_scratch > 0) {
+    // The from-scratch plan cannot avoid overload either: the perturbed
+    // instance is infeasible, which is not an incrementality bug.
+    aopt.wire_overflow_severity = core::AuditSeverity::kWarning;
+  }
+  core::SolutionAuditor auditor(planner.design(), g, aopt);
+  rep.audit_clean = auditor.audit(planner.nets()).clean();
+  return rep;
+}
+
+Perturbation random_move_perturbation(const IncrementalPlanner& planner,
+                                      double fraction, std::uint64_t seed) {
+  const netlist::Design& design = planner.design();
+  const tile::TileGraph& graph = planner.graph();
+  Perturbation p;
+  const auto total = static_cast<std::int64_t>(design.nets().size());
+  if (total == 0) return p;
+  const std::int64_t count = std::clamp<std::int64_t>(
+      std::llround(fraction * static_cast<double>(total)), 1, total);
+
+  util::Rng rng(seed ^ util::Rng::hash("eco-move"));
+  // A moved pin lands near where it was — an ECO moves a block a few
+  // tiles, it does not teleport it across the chip (and chip-spanning
+  // replacement nets would measure routing giants, not incrementality).
+  // The radius is an absolute tile count, not a chip fraction: a block
+  // move is the same physical displacement on a 128- or a 256-wide die,
+  // which is what lets the incremental advantage grow with design size.
+  // Only grids smaller than the radius scale it down (fuzz circuits).
+  const std::int32_t rx = std::clamp<std::int32_t>(graph.nx() / 4, 1, 6);
+  const std::int32_t ry = std::clamp<std::int32_t>(graph.ny() / 4, 1, 6);
+  auto nudged_center = [&](geom::Point from) {
+    const geom::TileCoord c = graph.coord_of(graph.tile_at(from));
+    const geom::TileCoord to{
+        std::clamp<std::int32_t>(
+            c.x + static_cast<std::int32_t>(rng.uniform_int(-rx, rx)), 0,
+            graph.nx() - 1),
+        std::clamp<std::int32_t>(
+            c.y + static_cast<std::int32_t>(rng.uniform_int(-ry, ry)), 0,
+            graph.ny() - 1)};
+    return graph.center(graph.id_of(to));
+  };
+
+  // Partial Fisher-Yates: the first `count` slots are a uniform sample
+  // of distinct net ids (a net may be moved at most once per ECO).
+  std::vector<netlist::NetId> ids(static_cast<std::size_t>(total));
+  std::iota(ids.begin(), ids.end(), netlist::NetId{0});
+  for (std::int64_t i = 0; i < count; ++i) {
+    std::swap(ids[static_cast<std::size_t>(i)],
+              ids[static_cast<std::size_t>(rng.uniform_int(i, total - 1))]);
+  }
+
+  for (std::int64_t i = 0; i < count; ++i) {
+    NetMove move;
+    move.id = ids[static_cast<std::size_t>(i)];
+    move.replacement = design.net(move.id);
+    bool moved = false;
+    for (netlist::Pin& sink : move.replacement.sinks) {
+      if (rng.chance(0.5)) {
+        sink.location = nudged_center(sink.location);
+        moved = true;
+      }
+    }
+    if (rng.chance(0.25)) {
+      move.replacement.source.location =
+          nudged_center(move.replacement.source.location);
+      moved = true;
+    }
+    if (!moved) {
+      move.replacement.sinks.front().location =
+          nudged_center(move.replacement.sinks.front().location);
+    }
+    p.moved_nets.push_back(std::move(move));
+  }
+  return p;
+}
+
+}  // namespace rabid::eco

@@ -1,0 +1,263 @@
+#include "eco/stream.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "buffer/insertion.hpp"
+#include "obs/counters.hpp"
+#include "timing/delay.hpp"
+#include "util/assert.hpp"
+
+namespace rabid::eco {
+
+const char* stream_event_name(StreamEvent e) {
+  switch (e) {
+    case StreamEvent::kAdmitted: return "admitted";
+    case StreamEvent::kPlanned: return "planned";
+    case StreamEvent::kParked: return "parked";
+    case StreamEvent::kRetried: return "retried";
+    case StreamEvent::kRemoved: return "removed";
+  }
+  return "unknown";
+}
+
+StreamPlanner::StreamPlanner(std::string name, geom::Rect outline,
+                             std::int32_t default_length_limit,
+                             tile::TileGraph& graph, StreamOptions options)
+    : design_(std::move(name), outline),
+      graph_(graph),
+      options_(std::move(options)),
+      cache_(graph, [this](tile::EdgeId e) {
+        return route::soft_wire_cost(graph_, e);
+      }),
+      router_(graph) {
+  design_.set_default_length_limit(default_length_limit);
+}
+
+core::Result<netlist::NetId> StreamPlanner::add_net(netlist::Net net) {
+  if (net.sinks.empty()) {
+    return core::Status::invalid_input(
+        "streamed net '" + net.name + "' has no sinks", "stream");
+  }
+  if (net.width < 1) {
+    return core::Status::invalid_input(
+        "streamed net '" + net.name + "' has a non-positive wire width",
+        "stream");
+  }
+  if (!design_.outline().contains(net.source.location)) {
+    return core::Status::invalid_input(
+        "streamed net '" + net.name + "' drives from outside the chip",
+        "stream");
+  }
+  for (const netlist::Pin& pin : net.sinks) {
+    if (!design_.outline().contains(pin.location)) {
+      return core::Status::invalid_input(
+          "streamed net '" + net.name + "' has a sink outside the chip",
+          "stream");
+    }
+  }
+
+  const netlist::NetId id = design_.add_net(std::move(net));
+  nets_.emplace_back();
+  phase_.push_back(Phase::kParked);
+  ++stats_.admitted;
+  obs::count(obs::Counter::kStreamNetsAdmitted);
+  emit(id, StreamEvent::kAdmitted);
+
+  if (try_plan(id)) {
+    phase_[static_cast<std::size_t>(id)] = Phase::kPlanned;
+    ++stats_.planned;
+    obs::count(obs::Counter::kStreamNetsPlanned);
+    emit(id, StreamEvent::kPlanned);
+  } else {
+    queue_.push_back(id);
+    ++stats_.parked;
+    obs::count(obs::Counter::kStreamNetsParked);
+    emit(id, StreamEvent::kParked);
+  }
+  return id;
+}
+
+bool StreamPlanner::try_plan(netlist::NetId id) {
+  const netlist::Net& net = design_.net(id);
+  route::RouteTree tree = router_.route_net(net, options_.pd_alpha,
+                                            cache_.values(),
+                                            cache_.min_cost());
+
+  // Hard wire admission: the soft eq. (1) costs steer the router away
+  // from full edges, but only choose an overflowing arc when no free
+  // path exists — in a stream that means "does not fit", not "fix it
+  // next iteration".
+  for (const route::RouteNode& node : tree.nodes()) {
+    if (node.parent == route::kNoNode) continue;
+    const tile::EdgeId e =
+        graph_.edge_between(node.tile, tree.node(node.parent).tile);
+    if (graph_.wire_usage(e) + net.width > graph_.wire_capacity(e)) {
+      return false;
+    }
+  }
+  tree.commit(graph_, net.width);
+  cache_.refresh_tree(tree);
+
+  // Strict (non-relaxed) buffering: a streamed net parks rather than
+  // committing a length-rule violation.  Same forbidden-tile retry
+  // commit loop as the batch stage 3, at demand p(v) = 0.
+  const std::int32_t L = design_.length_limit(id);
+  std::vector<tile::TileId> forbidden;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    if (attempt > 0) obs::count(obs::Counter::kBufferCommitRetries);
+    const auto q = [&](tile::TileId t) {
+      if (std::find(forbidden.begin(), forbidden.end(), t) !=
+          forbidden.end()) {
+        return tile::kInfCost;
+      }
+      return graph_.buffer_cost(t, 0.0);
+    };
+    buffer::InsertionResult result = buffer::insert_buffers_planned(
+        tree, L, q, options_.buffer_library);
+    if (!result.feasible || result.effective_limit > L) break;
+
+    bool ok = true;
+    std::vector<std::pair<tile::TileId, std::int32_t>> per_tile;
+    for (const route::BufferPlacement& b : result.buffers) {
+      const tile::TileId t = tree.node(b.node).tile;
+      auto it = std::find_if(per_tile.begin(), per_tile.end(),
+                             [&](const auto& e) { return e.first == t; });
+      if (it == per_tile.end()) {
+        per_tile.emplace_back(t, 1);
+      } else {
+        ++it->second;
+      }
+    }
+    for (const auto& [t, count] : per_tile) {
+      if (count > graph_.site_supply(t) - graph_.site_usage(t)) {
+        forbidden.push_back(t);
+        ok = false;
+      }
+    }
+    if (!ok) continue;
+
+    for (const auto& [t, count] : per_tile) {
+      for (std::int32_t k = 0; k < count; ++k) graph_.add_buffer(t);
+    }
+    obs::count(obs::Counter::kBuffersCommitted,
+               static_cast<std::uint64_t>(result.buffers.size()));
+    core::NetState& st = nets_[static_cast<std::size_t>(id)];
+    st.tree = std::move(tree);
+    st.buffers = std::move(result.buffers);
+    st.buffer_types.clear();
+    for (const std::int32_t t : result.types) {
+      st.buffer_types.push_back(
+          options_.buffer_library.electrical_of(static_cast<std::size_t>(t)));
+    }
+    st.meets_length_rule = true;
+    const timing::Technology tech =
+        timing::scaled_for_width(options_.tech, net.width);
+    st.delay =
+        st.buffer_types.empty()
+            ? timing::evaluate_delay(st.tree, st.buffers, graph_, tech)
+            : timing::evaluate_delay_sized(st.tree, st.buffers,
+                                           st.buffer_types, graph_, tech);
+    return true;
+  }
+
+  // Buffering infeasible within the remaining sites: roll the wires
+  // back out of the books and park.
+  tree.uncommit(graph_, net.width);
+  cache_.refresh_tree(tree);
+  return false;
+}
+
+core::Status StreamPlanner::remove_net(netlist::NetId id) {
+  if (id < 0 || static_cast<std::size_t>(id) >= nets_.size()) {
+    return core::Status::invalid_input(
+        "no streamed net with id " + std::to_string(id), "stream");
+  }
+  Phase& phase = phase_[static_cast<std::size_t>(id)];
+  if (phase == Phase::kRemoved) {
+    return core::Status::failed_precondition(
+        "streamed net " + std::to_string(id) + " was already removed");
+  }
+  if (phase == Phase::kParked) {
+    queue_.erase(std::remove(queue_.begin(), queue_.end(), id),
+                 queue_.end());
+    phase = Phase::kRemoved;
+    emit(id, StreamEvent::kRemoved);
+    return core::Status::ok();
+  }
+
+  core::NetState& st = nets_[static_cast<std::size_t>(id)];
+  if (!st.buffers.empty()) {
+    obs::count(obs::Counter::kBuffersRemoved,
+               static_cast<std::uint64_t>(st.buffers.size()));
+    for (const route::BufferPlacement& b : st.buffers) {
+      graph_.remove_buffer(st.tree.node(b.node).tile);
+    }
+  }
+  st.tree.uncommit(graph_, design_.net(id).width);
+  cache_.refresh_tree(st.tree);
+  st = core::NetState{};
+  phase = Phase::kRemoved;
+  emit(id, StreamEvent::kRemoved);
+  // The rip freed wires and sites: parked nets get another chance.
+  finish();
+  return core::Status::ok();
+}
+
+void StreamPlanner::set_wire_capacity(tile::EdgeId e, std::int32_t c) {
+  const bool raised = c > graph_.wire_capacity(e);
+  graph_.set_wire_capacity(e, c);
+  // The capacity-aware refresh keeps the A* floor admissible when the
+  // new capacity drops this edge's cost below it (route/maze.hpp).
+  cache_.on_capacity_change(e);
+  obs::count(obs::Counter::kEcoCapacityEdits);
+  if (raised) finish();
+}
+
+void StreamPlanner::set_site_supply(tile::TileId t, std::int32_t s) {
+  const bool raised = s > graph_.site_supply(t);
+  graph_.set_site_supply(t, s);
+  obs::count(obs::Counter::kEcoCapacityEdits);
+  if (raised) finish();
+}
+
+std::size_t StreamPlanner::retry_parked() {
+  std::vector<netlist::NetId> round;
+  round.swap(queue_);
+  std::size_t planned = 0;
+  for (const netlist::NetId id : round) {
+    ++stats_.retried;
+    obs::count(obs::Counter::kStreamNetsRetried);
+    emit(id, StreamEvent::kRetried);
+    if (try_plan(id)) {
+      phase_[static_cast<std::size_t>(id)] = Phase::kPlanned;
+      ++planned;
+      ++stats_.planned;
+      obs::count(obs::Counter::kStreamNetsPlanned);
+      emit(id, StreamEvent::kPlanned);
+    } else {
+      queue_.push_back(id);
+      ++stats_.parked;
+      obs::count(obs::Counter::kStreamNetsParked);
+      emit(id, StreamEvent::kParked);
+    }
+  }
+  return planned;
+}
+
+std::size_t StreamPlanner::finish() {
+  while (!queue_.empty() && retry_parked() > 0) {
+  }
+  return queue_.size();
+}
+
+core::AuditReport StreamPlanner::audit() const {
+  core::AuditOptions opts;
+  opts.allow_unrouted = true;  // parked/removed nets have no route
+  opts.tech = options_.tech;
+  opts.buffer_library = options_.buffer_library;
+  core::SolutionAuditor auditor(design_, graph_, opts);
+  return auditor.audit(nets_);
+}
+
+}  // namespace rabid::eco

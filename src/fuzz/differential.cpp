@@ -1,5 +1,6 @@
 #include "fuzz/differential.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <memory>
@@ -8,6 +9,8 @@
 
 #include "core/checkpoint.hpp"
 #include "core/solution_io.hpp"
+#include "eco/incremental.hpp"
+#include "util/rng.hpp"
 
 namespace rabid::fuzz {
 
@@ -290,6 +293,151 @@ RobustnessResult run_robustness(std::uint64_t seed,
   }
 
   fs::remove_all(root, ec);  // best-effort scratch cleanup
+  return result;
+}
+
+// ---------------------------------------------------------------------
+// ECO differential fuzzing.
+
+namespace {
+
+/// A random point on some tile's center: perturbed pins stay on-grid so
+/// moved and added nets are always routable terminals.
+geom::Point random_tile_center(const tile::TileGraph& graph, util::Rng& rng) {
+  return graph.center(static_cast<tile::TileId>(
+      rng.uniform_int(0, graph.tile_count() - 1)));
+}
+
+/// Draws one non-empty perturbation against the planner's current
+/// design/graph.  Every edit keeps the instance *plausibly* feasible
+/// (pins on tile centers, capacities near their usage floor); genuinely
+/// infeasible outcomes are excused later via the from-scratch check.
+eco::Perturbation random_perturbation(const eco::IncrementalPlanner& planner,
+                                      util::Rng& rng) {
+  const tile::TileGraph& graph = planner.graph();
+  const netlist::Design& design = planner.design();
+  eco::Perturbation p;
+
+  if (rng.chance(0.6) && !design.nets().empty()) {
+    const auto id = static_cast<netlist::NetId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(design.nets().size()) - 1));
+    eco::NetMove move;
+    move.id = id;
+    move.replacement = design.net(id);
+    for (netlist::Pin& sink : move.replacement.sinks) {
+      if (rng.chance(0.5)) sink.location = random_tile_center(graph, rng);
+    }
+    if (rng.chance(0.25)) {
+      move.replacement.source.location = random_tile_center(graph, rng);
+    }
+    p.moved_nets.push_back(std::move(move));
+  }
+  if (rng.chance(0.35)) {
+    netlist::Net extra;
+    extra.name = "eco_fuzz_" + std::to_string(rng.next_u32());
+    extra.source.location = random_tile_center(graph, rng);
+    const std::int64_t sinks = rng.uniform_int(1, 3);
+    for (std::int64_t s = 0; s < sinks; ++s) {
+      extra.sinks.push_back({random_tile_center(graph, rng)});
+    }
+    p.added_nets.push_back(std::move(extra));
+  }
+  if (rng.chance(0.25) && design.nets().size() > 4) {
+    const std::int64_t count = static_cast<std::int64_t>(design.nets().size());
+    auto victim =
+        static_cast<netlist::NetId>(rng.uniform_int(0, count - 1));
+    // A net may be moved or removed at most once per perturbation;
+    // shift off the moved net instead of wasting the step.
+    if (!p.moved_nets.empty() && victim == p.moved_nets.front().id) {
+      victim = static_cast<netlist::NetId>((victim + 1) % count);
+    }
+    p.removed_nets.push_back(victim);
+  }
+  if (rng.chance(0.5)) {
+    const auto e =
+        static_cast<tile::EdgeId>(rng.uniform_int(0, graph.edge_count() - 1));
+    const std::int32_t floor =
+        std::max<std::int32_t>(1, graph.wire_usage(e) - 1);
+    p.wire_edits.push_back(
+        {e, std::max<std::int32_t>(
+                floor, graph.wire_capacity(e) +
+                           static_cast<std::int32_t>(rng.uniform_int(-2, 3)))});
+  }
+  if (rng.chance(0.3)) {
+    const auto t =
+        static_cast<tile::TileId>(rng.uniform_int(0, graph.tile_count() - 1));
+    p.site_edits.push_back(
+        {t, std::max<std::int32_t>(
+                std::max(0, graph.site_usage(t) - 1),
+                graph.site_supply(t) +
+                    static_cast<std::int32_t>(rng.uniform_int(-1, 2)))});
+  }
+  if (p.empty()) {  // guarantee progress: at least one capacity edit
+    p.wire_edits.push_back({0, graph.wire_capacity(0) + 1});
+  }
+  return p;
+}
+
+}  // namespace
+
+std::string EcoFuzzResult::describe() const {
+  if (ok()) return {};
+  std::ostringstream out;
+  out << "eco fuzz seed " << seed << " failed after " << steps_run
+      << " step(s):";
+  for (const std::string& f : failures) out << "\n  " << f;
+  if (!equivalence.empty()) out << "\n  final: " << equivalence;
+  return out.str();
+}
+
+EcoFuzzResult run_eco(std::uint64_t seed, const EcoFuzzOptions& options) {
+  const circuits::RandomCircuit circuit(seed, options.circuit);
+  const netlist::Design design = circuit.design();
+  tile::TileGraph graph = circuit.graph(design);
+  core::RabidOptions base;
+  core::Rabid rabid(design, graph, base);
+  rabid.run_all();
+
+  eco::EcoOptions eopt;
+  eopt.equivalence_epsilon = options.epsilon;
+  eopt.tech = base.tech;
+  eopt.buffer_library = base.buffer_library;
+  eco::IncrementalPlanner planner(design, graph, rabid.nets(), eopt);
+
+  EcoFuzzResult result;
+  result.seed = seed;
+  util::Rng rng(seed ^ util::Rng::hash("eco-fuzz"));
+
+  for (std::int32_t step = 0; step < options.steps; ++step) {
+    const eco::Perturbation p = random_perturbation(planner, rng);
+    eco::ReplanStats stats;
+    if (core::Status s = planner.replan(p, &stats); !s) {
+      result.failures.push_back("step " + std::to_string(step) +
+                                ": replan rejected: " + s.to_string());
+      break;
+    }
+    ++result.steps_run;
+    result.replanned += stats.dirty_nets;
+    if (!planner.audit().clean()) {
+      // Capacity overload is excused only when from-scratch cannot
+      // avoid it either (the perturbed instance is infeasible).
+      const eco::EquivalenceReport excuse = compare_with_scratch(planner);
+      if (!excuse.audit_clean) {
+        result.failures.push_back("step " + std::to_string(step) +
+                                  ": audit violations (" + excuse.summary() +
+                                  ")");
+        break;
+      }
+    }
+  }
+
+  result.nets = planner.nets().size();
+  const eco::EquivalenceReport report = compare_with_scratch(planner);
+  result.equivalence = report.summary();
+  if (result.failures.empty() && !report.within(options.epsilon)) {
+    result.failures.push_back("incremental solution drifted past epsilon " +
+                              std::to_string(options.epsilon));
+  }
   return result;
 }
 

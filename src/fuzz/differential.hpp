@@ -107,4 +107,37 @@ RobustnessResult run_robustness(std::uint64_t seed,
                                 const std::string& scratch_dir,
                                 const DifferentialOptions& options = {});
 
+/// One incremental-vs-scratch (ECO) fuzz instance: a seeded circuit is
+/// batch-planned, adopted into an eco::IncrementalPlanner, and hit with
+/// `steps` random perturbations (net moves, adds, removes, wire and
+/// site capacity edits).  After every step the books must audit clean
+/// (capacity overload is excused only when a from-scratch plan of the
+/// same perturbed design cannot avoid it either); after the final step
+/// the incremental solution must stay within `epsilon` of from-scratch
+/// (eco::EquivalenceReport::within).
+struct EcoFuzzOptions {
+  std::int32_t steps = 4;
+  /// Relative wirelength / buffer-count slack versus from-scratch.
+  double epsilon = 0.30;
+  circuits::RandomCircuitOptions circuit;
+};
+
+struct EcoFuzzResult {
+  std::uint64_t seed = 0;
+  std::size_t nets = 0;         ///< nets in the final design
+  std::int64_t replanned = 0;   ///< dirty nets across all steps
+  std::int64_t steps_run = 0;
+  /// One entry per violated invariant (empty when the instance passed).
+  std::vector<std::string> failures;
+  /// Final equivalence summary (always populated after the last step).
+  std::string equivalence;
+
+  bool ok() const { return failures.empty(); }
+  /// Multi-line failure description (empty when ok()).
+  std::string describe() const;
+};
+
+/// Runs one ECO differential fuzz instance.
+EcoFuzzResult run_eco(std::uint64_t seed, const EcoFuzzOptions& options = {});
+
 }  // namespace rabid::fuzz

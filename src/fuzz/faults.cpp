@@ -586,8 +586,33 @@ FaultReport fuzz_io_faults(std::uint64_t seed,
   write_text(root + "/stage1.sol", "net before header ok\nend\n");
   resume_error(root, "solution-net-before-header");
 
-  // Resume onto an instance that already ran (precondition fault).
+  // A lying books fingerprint: the manifest claims the checkpoint was
+  // written against different W(e)/B(v) books than the live graph —
+  // the stale-checkpoint guard must reject it before touching anything.
   write_text(root + "/stage1.sol", sol_text);
+  {
+    std::ifstream man_in(root + "/manifest.json");
+    std::ostringstream man_buf;
+    man_buf << man_in.rdbuf();
+    std::string man_text = man_buf.str();
+    const std::string key = "\"books_fingerprint\": \"";
+    if (const std::size_t at = man_text.find(key);
+        at != std::string::npos) {
+      man_text.replace(at + key.size(), 16, "0000000000000000");
+      write_text(root + "/manifest.json", man_text);
+      resume_error(root, "manifest-stale-fingerprint");
+      // Restore the untampered manifest for the cases below.
+      if (core::Status s = core::write_checkpoint(root, rabid, 1); !s) {
+        report.failures.push_back("checkpoint rewrite failed: " +
+                                  s.to_string());
+      }
+    } else {
+      report.failures.push_back(
+          "manifest has no books_fingerprint to tamper with");
+    }
+  }
+
+  // Resume onto an instance that already ran (precondition fault).
   {
     tile::TileGraph g2 = circuit.graph(design);
     core::Rabid used(design, g2, {});

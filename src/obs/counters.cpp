@@ -20,6 +20,7 @@ constexpr std::array<std::string_view,
         "maze.pruned_touches",
         "edge_cache.full_refreshes",
         "edge_cache.invalidations",
+        "edge_cache.capacity_changes",
         "heap.regrows",
         "stage2.iterations",
         "stage2.nets_ripped",
@@ -62,6 +63,14 @@ constexpr std::array<std::string_view,
         "mcf.candidates_kept",
         "mcf.rounding_fallbacks",
         "mcf.repair_reroutes",
+        "eco.replans",
+        "eco.dirty_nets",
+        "eco.nets_kept",
+        "eco.capacity_edits",
+        "stream.nets_admitted",
+        "stream.nets_planned",
+        "stream.nets_parked",
+        "stream.nets_retried",
 };
 
 constexpr std::array<std::string_view,

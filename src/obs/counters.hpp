@@ -62,6 +62,7 @@ enum class Counter : std::uint16_t {
   // route/maze.cpp — EdgeCostCache.
   kEdgeCacheFullRefreshes,  ///< refresh_all() calls
   kEdgeCacheInvalidations,  ///< single-edge recomputes (refresh_edge)
+  kEdgeCacheCapacityChanges,  ///< capacity-aware recomputes (ECO edits)
   // util/dheap.hpp regrow events, flushed by the heap's owners (maze
   // router, two-path search): pushes that forced the backing vector to
   // reallocate.  Nonzero after warm-up means a reserve() is missing.
@@ -120,6 +121,16 @@ enum class Counter : std::uint16_t {
   kMcfCandidatesKept,     ///< distinct per-net candidates retained
   kMcfRoundingFallbacks,  ///< nets legalized off their rounded choice
   kMcfRepairReroutes,     ///< nets ripped up by the overflow-repair loop
+  // eco/incremental.cpp — ECO re-planning (docs/INCREMENTAL.md).
+  kEcoReplans,        ///< IncrementalPlanner::replan() calls
+  kEcoDirtyNets,      ///< nets in the computed dirty closure (re-planned)
+  kEcoNetsKept,       ///< nets outside the closure (solution untouched)
+  kEcoCapacityEdits,  ///< W(e)/B(v) book entries edited by perturbations
+  // eco/stream.cpp — streaming net ingest (the retry-queue pattern).
+  kStreamNetsAdmitted,  ///< nets accepted into a stream session
+  kStreamNetsPlanned,   ///< nets planned and committed (incl. retries)
+  kStreamNetsParked,    ///< plan attempts parked into the retry queue
+  kStreamNetsRetried,   ///< parked nets re-attempted after capacity freed
   kCount,
 };
 

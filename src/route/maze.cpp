@@ -45,6 +45,19 @@ void EdgeCostCache::refresh_edge(tile::EdgeId e) {
   if (c < min_cost_) min_cost_ = c;
 }
 
+void EdgeCostCache::on_capacity_change(tile::EdgeId e) {
+  obs::count(obs::Counter::kEdgeCacheCapacityChanges);
+  const double c = base_(e);
+  values_[static_cast<std::size_t>(e)] = c;
+  // Same conservative discipline as refresh_edge(): the bound may only
+  // move down between full refreshes.  A capacity *increase* is the
+  // dangerous direction — it lowers the true cost, so skipping this
+  // update would leave min_cost() above the true minimum and break A*
+  // admissibility (a capacity decrease only raises the cost, where a
+  // stale-low bound merely weakens the heuristic).
+  if (c < min_cost_) min_cost_ = c;
+}
+
 void EdgeCostCache::refresh_tree(const RouteTree& tree) {
   for (const RouteNode& n : tree.nodes()) {
     if (n.parent == kNoNode) continue;

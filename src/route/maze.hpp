@@ -78,6 +78,16 @@ class EdgeCostCache {
   void refresh_all();
   /// Recomputes one edge's cost (after add_wire/remove_wire on it).
   void refresh_edge(tile::EdgeId e);
+  /// Recomputes one edge's cost after its *capacity* changed
+  /// (set_wire_capacity — the ECO perturbation path).  A usage change
+  /// can only raise an edge's cost toward the overflow tier, but a
+  /// capacity change moves it in either direction: a capacity increase
+  /// can drop the true cost below the cached min_cost() floor, which
+  /// would make the A* heuristic inadmissible and routes silently
+  /// non-optimal.  This entry point lowers the floor against the new
+  /// value exactly like refresh_edge(), and exists as its own verb so
+  /// capacity edits cannot be "optimized away" as usage refreshes.
+  void on_capacity_change(tile::EdgeId e);
   /// Recomputes the cost of every tile-graph edge `tree` crosses — the
   /// exact set whose usage a commit() or uncommit() of `tree` changed.
   void refresh_tree(const RouteTree& tree);

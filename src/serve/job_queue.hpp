@@ -111,6 +111,30 @@ class JobQueue {
     return false;
   }
 
+  /// Atomically removes and returns the first queued item matching
+  /// `pred` (highest priority first, FIFO within a channel); nullopt
+  /// when no queued item matches.  This is the cancel primitive: a job
+  /// is cancelled if and only if this call extracted it, so it can
+  /// never ALSO be popped by a worker or refused by a closing queue —
+  /// the flag-based scheme this replaced left a window where a job
+  /// cancelled during begin_drain() was double-counted (once as
+  /// cancelled, once on the drained: line).
+  template <typename Pred>
+  std::optional<T> remove_first(Pred pred) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& channel : channels_) {
+      for (auto it = channel.begin(); it != channel.end(); ++it) {
+        if (pred(*it)) {
+          T item = std::move(*it);
+          channel.erase(it);
+          --size_;
+          return item;
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
   /// Non-blocking pop; nullopt when nothing is queued right now.
   std::optional<T> try_pop() {
     std::lock_guard<std::mutex> lock(mu_);

@@ -96,10 +96,11 @@ bool int_field(const Value& v, std::int64_t lo, std::int64_t hi,
   return true;
 }
 
-core::Result<Request> parse_plan(const Value& doc) {
+core::Result<Request> parse_plan(const Value& doc, bool stream) {
   Request req;
   req.kind = Request::Kind::kPlan;
   JobRequest& job = req.job;
+  job.stream = stream;
 
   const Value* id = doc.find("id");
   if (id == nullptr || !id->is_string() || id->string.empty())
@@ -173,6 +174,12 @@ core::Result<Request> parse_plan(const Value& doc) {
   if (job.backend != core::Backend::kRabid && job.deadline_ms > 0)
     return bad("\"deadline_ms\" needs a backend with deadline support"
                " (rabid)");
+  if (job.stream && job.deadline_ms > 0)
+    return bad("a stream job runs to completion and takes no"
+               " \"deadline_ms\"");
+  if (job.stream && job.backend != core::Backend::kRabid)
+    return bad("a stream job runs on the rabid incremental planner; pick"
+               " \"backend\":\"rabid\" or omit it");
   if (job.design.has_value() && (job.nx == 0 || job.sites < 0))
     return bad("an inline \"design\" also needs \"grid\" and \"sites\"");
   return req;
@@ -191,7 +198,8 @@ core::Result<Request> parse_request(std::string_view line) {
   if (type == nullptr || !type->is_string())
     return bad("a request needs a string \"type\"");
 
-  if (type->string == "plan") return parse_plan(*doc);
+  if (type->string == "plan") return parse_plan(*doc, /*stream=*/false);
+  if (type->string == "stream") return parse_plan(*doc, /*stream=*/true);
   if (type->string == "cancel") {
     const Value* id = doc->find("id");
     if (id == nullptr || !id->is_string() || id->string.empty())
@@ -276,6 +284,17 @@ std::string event_started(std::string_view id, std::size_t worker,
   append_kv(out, "worker", static_cast<double>(worker));
   out += ',';
   append_kv(out, "queue_ms", queue_ms);
+  out += '}';
+  return out;
+}
+
+std::string event_stream_net(std::string_view id, std::int64_t net,
+                             std::string_view state) {
+  std::string out = event_head("stream_net", id);
+  out += ',';
+  append_kv(out, "net", static_cast<double>(net));
+  out += ',';
+  append_kv(out, "state", state);
   out += '}';
   return out;
 }

@@ -15,6 +15,15 @@
 ///   {"type":"cancel","id":"j1"}
 ///   {"type":"stats"}        {"type":"ping"}        {"type":"drain"}
 ///
+/// A "stream" request takes the same fields as a plan (minus
+/// deadline_ms, and only the rabid backend) but runs the job through
+/// the streaming ingest planner (eco/stream.hpp): nets are fed one at a
+/// time in design order, each add emits per-net lifecycle events, and
+/// nets that do not fit park in a retry queue that drains as capacity
+/// frees:
+///
+///   {"type":"stream","id":"s1","circuit":"apte","audit":true}
+///
 /// A plan names either a Table-I `circuit` (served from the shared
 /// immutable cache) or carries an inline `design` in the text format of
 /// netlist/io.hpp, validated by the hardened read path
@@ -25,6 +34,7 @@
 ///
 ///   {"event":"queued","id":"j1","priority":"high","queue_depth":3}
 ///   {"event":"started","id":"j1","worker":2,"queue_ms":12.5}
+///   {"event":"stream_net","id":"s1","net":17,"state":"parked"}
 ///   {"event":"done","id":"j1","verdict":"ok","elapsed_ms":54.2,
 ///    "queue_ms":12.5,"report":{...rabid.run_report.v1...}}
 ///   {"event":"rejected","id":"j1","error":{"code":"overloaded",...}}
@@ -114,6 +124,10 @@ struct JobRequest {
   /// parse, and the server never applies its default deadline to one.
   /// BBP jobs have their design decomposed to two-pin at run time.
   core::Backend backend = core::Backend::kRabid;
+  /// True for {"type":"stream"}: run through the streaming ingest
+  /// planner with per-net lifecycle events instead of the batch flow.
+  /// Stream jobs take no deadline and only the rabid backend.
+  bool stream = false;
 };
 
 /// A parsed protocol request.
@@ -135,6 +149,11 @@ std::string event_queued(std::string_view id, Priority priority,
                          std::size_t queue_depth);
 std::string event_started(std::string_view id, std::size_t worker,
                           double queue_ms);
+/// Per-net lifecycle event of a stream job; `state` is a
+/// eco::stream_event_name value (admitted / planned / parked / retried
+/// / removed).
+std::string event_stream_net(std::string_view id, std::int64_t net,
+                             std::string_view state);
 /// `report_json` must already be compact single-line JSON (see
 /// obs::json::dump); it is embedded verbatim as the "report" member.
 std::string event_done(std::string_view id, std::string_view verdict,

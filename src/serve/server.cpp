@@ -10,6 +10,7 @@
 #include "circuits/specs.hpp"
 #include "core/run_report.hpp"
 #include "core/validate.hpp"
+#include "eco/stream.hpp"
 #include "obs/json.hpp"
 
 namespace rabid::serve {
@@ -124,6 +125,10 @@ void Server::handle_plan(JobRequest&& request, const Sink& sink) {
   }
   // (backends without deadline support run uncapped; parse_request
   // already rejected an explicit deadline_ms on them)
+  job.stream = request.stream;
+  // A stream job runs to completion: never apply the server's default
+  // batch deadline to one (parse already rejected an explicit value).
+  if (job.stream) job.deadline_ms = 0.0;
   job.threads = request.threads > 0 ? request.threads : options_.job_threads;
   job.audit = request.audit;
   job.buffer_library = request.buffer_library;
@@ -131,27 +136,46 @@ void Server::handle_plan(JobRequest&& request, const Sink& sink) {
   job.sink = sink;
   job.accepted_at = std::chrono::steady_clock::now();
 
-  // Reserve the id before pushing: a duplicate must bounce, and the
-  // worker that pops the job looks its id up here.
+  // Reserve the id and push under one hold of mu_: admission is atomic
+  // against cancel and drain.  A cancel can only observe the job after
+  // it is really in the queue, and a begin_drain() landing between the
+  // reserve and the push can no longer leave a half-admitted job for
+  // handle_cancel to count — the old unlock-then-push window let one
+  // job show up both in serve.cancelled and on the drained: rejection
+  // tally.  Lock order is mu_ -> queue_.mu_ everywhere (handle_cancel
+  // does the same; workers take them one at a time), so this nesting
+  // cannot deadlock.
+  const std::string id = job.id;
+  const Priority priority = job.priority;
   bool duplicate = false;
+  PushResult result = PushResult::kAccepted;
   {
     std::lock_guard<std::mutex> lock(mu_);
     duplicate = !active_.emplace(job.id, Active{}).second;
+    if (!duplicate) {
+      result = queue_.push(priority, std::move(job));
+      if (result != PushResult::kAccepted) {
+        active_.erase(id);
+      } else {
+        // Emit "queued" before releasing mu_: the worker that pops the
+        // job needs mu_ to mark it running, so the started event cannot
+        // overtake this one.  (Sinks are thread-safe and non-throwing
+        // by contract.)
+        const std::size_t depth = queue_.size();
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        obs::count(obs::Counter::kServeJobsAccepted);
+        obs::observe(obs::HistogramId::kServeQueueDepth,
+                     static_cast<std::uint64_t>(depth));
+        sink(event_queued(id, priority, depth));
+      }
+    }
   }
   if (duplicate) {
-    reject(sink, request.id, "duplicate-id",
+    reject(sink, id, "duplicate-id",
            "a job with this id is already queued or running");
     return;
   }
-
-  const std::string id = job.id;
-  const Priority priority = job.priority;
-  const PushResult result = queue_.push(priority, std::move(job));
   if (result != PushResult::kAccepted) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      active_.erase(id);
-    }
     if (result == PushResult::kRejected) {
       reject(sink, id, "overloaded",
              "the " + std::string(priority_name(priority)) +
@@ -163,13 +187,6 @@ void Server::handle_plan(JobRequest&& request, const Sink& sink) {
     }
     return;
   }
-
-  const std::size_t depth = queue_.size();
-  accepted_.fetch_add(1, std::memory_order_relaxed);
-  obs::count(obs::Counter::kServeJobsAccepted);
-  obs::observe(obs::HistogramId::kServeQueueDepth,
-               static_cast<std::uint64_t>(depth));
-  sink(event_queued(id, priority, depth));
 }
 
 void Server::handle_cancel(const std::string& id, const Sink& sink) {
@@ -180,15 +197,21 @@ void Server::handle_cancel(const std::string& id, const Sink& sink) {
     auto it = active_.find(id);
     if (it == active_.end()) {
       outcome = Outcome::kUnknown;
-    } else if (it->second.phase == Phase::kRunning ||
-               it->second.cancelled) {
+    } else if (it->second.phase == Phase::kRunning) {
       // A running flow has no preemption point; the cooperative
-      // deadline is the only mid-run brake (docs/SERVING.md).  An
-      // already-cancelled job counts once, not twice.
+      // deadline is the only mid-run brake (docs/SERVING.md).
       outcome = Outcome::kRunning;
-    } else {
-      it->second.cancelled = true;
+    } else if (queue_.remove_first(
+                   [&](const Job& j) { return j.id == id; })) {
+      // Extracted from the queue: the job can no longer be popped by a
+      // worker or counted by the drain — cancelled exactly once.
+      active_.erase(it);
       outcome = Outcome::kCancelled;
+    } else {
+      // A worker popped it between our find and the removal (it is
+      // about to flip the phase under mu_): already effectively
+      // running.
+      outcome = Outcome::kRunning;
     }
   }
   switch (outcome) {
@@ -276,22 +299,13 @@ std::shared_ptr<const Server::Prepared> Server::prepare(
 void Server::worker_loop(std::size_t worker_index) {
   Job job;
   while (queue_.pop(&job)) {
-    bool cancelled = false;
     {
+      // A cancelled job was extracted from the queue before its
+      // active_ entry went away, so everything popped here is live.
       std::lock_guard<std::mutex> lock(mu_);
       auto it = active_.find(job.id);
       RABID_ASSERT_MSG(it != active_.end(), "popped job missing from active_");
-      cancelled = it->second.cancelled;
-      if (cancelled) {
-        active_.erase(it);
-      } else {
-        it->second.phase = Phase::kRunning;
-      }
-    }
-    if (cancelled) {
-      // The cancelled event already went out when the cancel landed.
-      job = Job{};
-      continue;
+      it->second.phase = Phase::kRunning;
     }
 
     running_.fetch_add(1, std::memory_order_relaxed);
@@ -311,6 +325,10 @@ void Server::run_job(const Job& job, std::size_t worker_index,
                      double queue_ms) {
   (void)worker_index;
   const auto t0 = std::chrono::steady_clock::now();
+  if (job.stream) {
+    run_stream_job(job, t0, queue_ms);
+    return;
+  }
   try {
     // Each run copies the pristine graph (books empty) and shares the
     // immutable design; the flow never touches the cached original.
@@ -361,6 +379,65 @@ void Server::run_job(const Job& job, std::size_t worker_index,
     }
     job.sink(event_done(job.id, report.verdict, ms_since(t0), queue_ms,
                         obs::json::dump(*doc)));
+  } catch (const std::exception& e) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    job.sink(event_failed(job.id, e.what()));
+  }
+}
+
+void Server::run_stream_job(const Job& job,
+                            std::chrono::steady_clock::time_point t0,
+                            double queue_ms) {
+  try {
+    tile::TileGraph graph = job.prepared->graph;
+    eco::StreamOptions options;
+    if (!job.buffer_library.empty()) {
+      buffer::BufferLibrary::preset(job.buffer_library,
+                                    &options.buffer_library);
+    }
+    const netlist::Design& source = job.prepared->design;
+    eco::StreamPlanner planner(source.name(), source.outline(),
+                               source.default_length_limit(), graph,
+                               options);
+    planner.set_event_sink(
+        [&job](netlist::NetId net, eco::StreamEvent e) {
+          job.sink(event_stream_net(job.id, net,
+                                    eco::stream_event_name(e)));
+        });
+
+    // Feed the prepared design one net at a time, in design order — the
+    // serving analogue of nets trickling in from an evolving floorplan.
+    std::int64_t invalid = 0;
+    for (const netlist::Net& net : source.nets()) {
+      if (!planner.add_net(net).ok()) ++invalid;
+    }
+    const std::size_t parked = planner.finish();
+    const bool audit_clean = !job.audit || planner.audit().clean();
+
+    const eco::StreamStats totals = planner.stats();
+    const bool ok = audit_clean && invalid == 0;
+    const char* verdict = ok ? "ok" : "violations";
+    std::string report = "{\"schema\":\"rabid.stream_report.v1\"";
+    report += ",\"verdict\":\"" + std::string(verdict) + "\"";
+    report += ",\"nets\":" + std::to_string(source.nets().size());
+    report += ",\"invalid\":" + std::to_string(invalid);
+    report += ",\"admitted\":" + std::to_string(totals.admitted);
+    report += ",\"planned_events\":" + std::to_string(totals.planned);
+    report += ",\"parked_events\":" + std::to_string(totals.parked);
+    report += ",\"retried\":" + std::to_string(totals.retried);
+    report += ",\"parked\":" + std::to_string(parked);
+    report += ",\"planned\":" +
+              std::to_string(totals.admitted -
+                             static_cast<std::int64_t>(parked));
+    report += ",\"audited\":";
+    report += job.audit ? "true" : "false";
+    report += ",\"audit_clean\":";
+    report += audit_clean ? "true" : "false";
+    report += '}';
+
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    obs::count(obs::Counter::kServeJobsCompleted);
+    job.sink(event_done(job.id, verdict, ms_since(t0), queue_ms, report));
   } catch (const std::exception& e) {
     failed_.fetch_add(1, std::memory_order_relaxed);
     job.sink(event_failed(job.id, e.what()));

@@ -144,15 +144,20 @@ class Server {
     bool audit = false;
     std::string buffer_library;  ///< planning preset; empty = unit
     core::Backend backend = core::Backend::kRabid;
+    bool stream = false;  ///< run via the streaming ingest planner
     std::shared_ptr<const Prepared> prepared;
     Sink sink;
     std::chrono::steady_clock::time_point accepted_at;
   };
 
   enum class Phase { kQueued, kRunning };
+  /// Per-job admission record.  No cancelled flag: cancellation
+  /// physically extracts the job from the queue (JobQueue::remove_first)
+  /// under mu_, so a job is either queued, running, or gone — there is
+  /// no "marked cancelled but still queued" state for drain accounting
+  /// to double-count.
   struct Active {
     Phase phase = Phase::kQueued;
-    bool cancelled = false;
   };
 
   void handle_plan(JobRequest&& request, const Sink& sink);
@@ -163,6 +168,12 @@ class Server {
                                           core::Status* status);
   void worker_loop(std::size_t worker_index);
   void run_job(const Job& job, std::size_t worker_index, double queue_ms);
+  /// Stream jobs: feed the prepared design's nets one at a time through
+  /// an eco::StreamPlanner, forwarding per-net lifecycle events to the
+  /// job's sink, then report the session totals in the done event.
+  void run_stream_job(const Job& job,
+                      std::chrono::steady_clock::time_point t0,
+                      double queue_ms);
   void reject(const Sink& sink, std::string_view id, std::string_view code,
               std::string_view message);
 

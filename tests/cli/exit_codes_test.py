@@ -109,6 +109,28 @@ def main():
                 else:
                     print("ok   resumed solution is bit-identical")
 
+        # 3: a tampered books fingerprint simulates books perturbed
+        # between checkpoint and resume (an ECO): the resume must be
+        # rejected as stale, not quietly diverge.
+        manifest = os.path.join(ckpt, "manifest.json")
+        with open(manifest) as f:
+            text = f.read()
+        import re
+        tampered = re.sub(r'"books_fingerprint": "[0-9a-f]+"',
+                          '"books_fingerprint": "0000000000000000"', text)
+        if tampered == text:
+            failures.append("stale-checkpoint: manifest has no "
+                            "books_fingerprint to tamper with")
+        with open(manifest, "w") as f:
+            f.write(tampered)
+        expect(
+            "stale-checkpoint",
+            run(cli, "--circuit", "apte", "--checkpoint-dir", ckpt,
+                "--resume"),
+            3,
+            stderr_contains="error[stale-checkpoint]",
+        )
+
     if failures:
         print("\n".join(failures), file=sys.stderr)
         return 1

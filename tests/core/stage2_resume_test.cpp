@@ -145,6 +145,54 @@ TEST(Stage2Resume, ShardedCadenceCheckpointsAtIterationBoundariesOnly) {
   expect_identical_routes(sharded_ref, resumed);
 }
 
+/// The stale-checkpoint guard: a mid-stage-2 resume point snapshots the
+/// iteration-start cost array, the dirty mask, and the A* floor — all
+/// computed against the books as they were.  If the W(e)/B(v) books are
+/// perturbed between checkpoint and resume (an ECO), resuming must be
+/// rejected with error[stale-checkpoint], never allowed to produce a
+/// quietly divergent plan.
+TEST(Stage2Resume, PerturbedBooksRejectStaleCheckpoint) {
+  const circuits::CircuitSpec& spec = circuits::spec_by_name("xerox");
+  const netlist::Design design = circuits::generate_design(spec);
+
+  TempDir dir("stale");
+  tile::TileGraph g = circuits::build_tile_graph(design, spec);
+  core::RabidOptions serial;
+  serial.threads = 1;
+  serial.checkpoint_every_nets = 60;
+  serial.checkpoint_dir = dir.path.string();
+  core::Rabid writer(design, g, serial);
+  writer.run_stage1();
+  writer.run_stage2();
+  const core::Result<core::CheckpointManifest> manifest =
+      core::read_checkpoint_manifest(dir.path.string());
+  ASSERT_TRUE(manifest.ok()) << manifest.status().to_string();
+  EXPECT_EQ(manifest.value().books_fingerprint,
+            core::books_fingerprint(g));
+
+  // Perturb one edge's capacity in the graph we resume onto — exactly
+  // what an ECO does between checkpoint and resume.
+  tile::TileGraph gc = circuits::build_tile_graph(design, spec);
+  gc.set_wire_capacity(0, gc.wire_capacity(0) + 1);
+  EXPECT_NE(core::books_fingerprint(gc),
+            manifest.value().books_fingerprint);
+  core::Rabid resumed(design, gc, core::RabidOptions{});
+  const core::Status restored =
+      core::resume_from_checkpoint(dir.path.string(), resumed);
+  ASSERT_FALSE(restored.ok_status());
+  EXPECT_EQ(restored.code(), core::StatusCode::kStaleCheckpoint);
+  EXPECT_NE(restored.to_string().find("error[stale-checkpoint]"),
+            std::string::npos)
+      << restored.to_string();
+  EXPECT_EQ(restored.exit_code(), 3);
+
+  // Unperturbed books still resume cleanly.
+  tile::TileGraph gd = circuits::build_tile_graph(design, spec);
+  core::Rabid clean(design, gd, core::RabidOptions{});
+  ASSERT_TRUE(
+      core::resume_from_checkpoint(dir.path.string(), clean).ok_status());
+}
+
 TEST(Stage2Resume, ShardedModeRejectsMidIterationResumePoint) {
   const circuits::CircuitSpec& spec = circuits::spec_by_name("xerox");
   const netlist::Design design = circuits::generate_design(spec);

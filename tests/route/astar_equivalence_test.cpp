@@ -140,6 +140,85 @@ TEST(AStarEquivalence, RouterScratchReuseIsDeterministic) {
   }
 }
 
+/// The satellite-1 regression: shrink and widen W(e) mid-flow (exactly
+/// what an ECO perturbation does), tell the cache via
+/// on_capacity_change(), and demand A* over the cache's values and
+/// floor still routes bit-for-bit like blind Dijkstra.  Without the
+/// capacity-aware refresh the cached values go stale and the floor can
+/// sit above the true min edge cost — an inadmissible heuristic that
+/// silently returns non-optimal trees.
+TEST(AStarEquivalence, CacheFloorStaysAdmissibleUnderMidFlowCapacityEdits) {
+  const circuits::RandomCircuit circuit(23);
+  const netlist::Design design = circuit.design();
+  tile::TileGraph graph = circuit.graph(design);
+
+  // Per-edge multiplicative jitter (fixed for the test's lifetime) makes
+  // shortest paths almost surely unique, so tree equality is meaningful.
+  util::Rng jitter_rng(23 * 7919);
+  std::vector<double> jitter(static_cast<std::size_t>(graph.edge_count()));
+  for (double& j : jitter) j = jitter_rng.uniform(0.9, 1.1);
+  EdgeCostCache cache(graph, [&](tile::EdgeId e) {
+    return soft_wire_cost(graph, e) * jitter[static_cast<std::size_t>(e)];
+  });
+
+  // Route and commit half the nets: a realistic mid-flow usage pattern.
+  MazeRouter router(graph);
+  for (std::size_t i = 0; i < design.nets().size(); i += 2) {
+    RouteTree tree =
+        router.route_net(design.net(static_cast<netlist::NetId>(i)), 0.4,
+                         cache.values(), cache.min_cost());
+    tree.commit(graph, 1);
+    cache.refresh_tree(tree);
+  }
+
+  // ECO sweep: shrink some edges (cost rises, possibly into the
+  // overflow tier), widen others far enough that their cost drops below
+  // anything the cache has seen — the floor must chase it down.
+  util::Rng eco_rng(4242);
+  for (tile::EdgeId e = 0; e < graph.edge_count(); ++e) {
+    const int roll = eco_rng.uniform_int(0, 9);
+    if (roll == 0) {
+      graph.set_wire_capacity(
+          e, std::max<std::int32_t>(1, graph.wire_capacity(e) - 3));
+    } else if (roll == 1) {
+      graph.set_wire_capacity(e, graph.wire_capacity(e) + 40);
+    } else {
+      continue;
+    }
+    cache.on_capacity_change(e);
+  }
+
+  // Every cached value is exact and the floor is a true lower bound.
+  double exact_min = cache[0];
+  for (tile::EdgeId e = 0; e < graph.edge_count(); ++e) {
+    ASSERT_DOUBLE_EQ(
+        cache[e],
+        soft_wire_cost(graph, e) * jitter[static_cast<std::size_t>(e)])
+        << "edge " << e;
+    exact_min = std::min(exact_min, cache[e]);
+  }
+  ASSERT_LE(cache.min_cost(), exact_min);
+  ASSERT_GT(cache.min_cost(), 0.0);
+
+  // Bit-for-bit: A* with the cache floor == blind Dijkstra.
+  MazeRouter dijkstra(graph);
+  MazeRouter astar(graph);
+  for (std::size_t i = 1; i < design.nets().size(); i += 2) {
+    const netlist::Net& net = design.net(static_cast<netlist::NetId>(i));
+    const RouteTree blind =
+        dijkstra.route_net(net, 0.4, cache.values(), /*astar_floor=*/0.0);
+    const RouteTree aimed =
+        astar.route_net(net, 0.4, cache.values(), cache.min_cost());
+    const std::vector<double> values(cache.values().begin(),
+                                     cache.values().end());
+    EXPECT_NEAR(tree_cost(graph, aimed, values),
+                tree_cost(graph, blind, values),
+                1e-9 * std::max(1.0, tree_cost(graph, blind, values)))
+        << "net " << i;
+    EXPECT_TRUE(same_arcs(graph, blind, aimed)) << "net " << i;
+  }
+}
+
 /// The callback overload is a convenience veneer over the same core: it
 /// must route exactly like the span overload.
 TEST(AStarEquivalence, FnOverloadMatchesSpanOverload) {

@@ -67,6 +67,49 @@ TEST(EdgeCostCache, MinIsConservativeLowerBoundUnderPointRefresh) {
   EXPECT_GT(cache.min_cost(), initial_min);
 }
 
+/// on_capacity_change() must recompute the cached value exactly in both
+/// directions: a shrink raises the cost (toward the overflow tier), a
+/// widening lowers it — possibly below every cost the cache has ever
+/// seen, which is the A*-admissibility hazard the ECO path hits.
+TEST(EdgeCostCache, OnCapacityChangeTracksBothDirections) {
+  tile::TileGraph g = make_graph(3);
+  EdgeCostCache cache(g,
+                      [&](tile::EdgeId e) { return soft_wire_cost(g, e); });
+  const double before = cache[7];
+
+  // Shrink W(e): (w+1)/(cap-w) rises.  Stale until told, exact after.
+  g.set_wire_capacity(7, 1);
+  EXPECT_DOUBLE_EQ(cache[7], before);
+  cache.on_capacity_change(7);
+  EXPECT_DOUBLE_EQ(cache[7], soft_wire_cost(g, 7));
+  EXPECT_GT(cache[7], before);
+
+  // Widen W(e) far past the uniform capacity: the true cost drops below
+  // the construction-time minimum.  The floor must follow it down, or
+  // min_cost() overestimates the cheapest step and A* goes inadmissible.
+  g.set_wire_capacity(7, 50);
+  cache.on_capacity_change(7);
+  EXPECT_DOUBLE_EQ(cache[7], soft_wire_cost(g, 7));
+  EXPECT_LT(cache[7], before);
+  EXPECT_LE(cache.min_cost(), cache[7]);
+  for (const double c : cache.values()) {
+    EXPECT_LE(cache.min_cost(), c);
+  }
+}
+
+/// Shrinking capacity below current usage must land the cached value in
+/// the overflow tier, same as soft_wire_cost computes it live.
+TEST(EdgeCostCache, OnCapacityChangeEntersOverflowTier) {
+  tile::TileGraph g = make_graph(4);
+  for (int i = 0; i < 3; ++i) g.add_wire(9);
+  EdgeCostCache cache(g,
+                      [&](tile::EdgeId e) { return soft_wire_cost(g, e); });
+  g.set_wire_capacity(9, 2);  // usage 3 > capacity 2: overflowed
+  cache.on_capacity_change(9);
+  EXPECT_DOUBLE_EQ(cache[9], soft_wire_cost(g, 9));
+  EXPECT_GE(cache[9], kOverflowPenalty);
+}
+
 TEST(EdgeCostCache, RefreshTreeUpdatesExactlyTheCommittedEdges) {
   tile::TileGraph g = make_graph(3);
   EdgeCostCache cache(g,

@@ -114,6 +114,54 @@ TEST(JobQueueTest, CloseWakesBlockedConsumers) {
   EXPECT_EQ(queue.size(), 0u);
 }
 
+TEST(JobQueueTest, RemoveFirstExtractsExactlyOneMatch) {
+  JobQueue<std::string> queue(8);
+  queue.push(Priority::kNormal, "a");
+  queue.push(Priority::kNormal, "victim");
+  queue.push(Priority::kNormal, "b");
+  queue.push(Priority::kLow, "victim");  // same payload, lower channel
+
+  // Highest-priority match only; the low-channel twin stays queued.
+  auto removed = queue.remove_first(
+      [](const std::string& s) { return s == "victim"; });
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(*removed, "victim");
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_EQ(queue.depth(Priority::kLow), 1u);
+
+  // FIFO order of the untouched items is preserved.
+  std::string item;
+  ASSERT_TRUE(queue.pop(&item));
+  EXPECT_EQ(item, "a");
+  ASSERT_TRUE(queue.pop(&item));
+  EXPECT_EQ(item, "b");
+
+  EXPECT_FALSE(queue.remove_first([](const std::string& s) {
+    return s == "gone";
+  }).has_value());
+}
+
+/// The cancel-during-drain contract: close() refuses new pushes, but a
+/// queued item must still be removable — extraction and drain hand-off
+/// are mutually exclusive on the queue lock, so an item goes to exactly
+/// one of pop() or remove_first(), never both.
+TEST(JobQueueTest, RemoveFirstStillWorksAfterClose) {
+  JobQueue<int> queue(4);
+  queue.push(Priority::kNormal, 1);
+  queue.push(Priority::kNormal, 2);
+  queue.push(Priority::kNormal, 3);
+  queue.close();
+  auto removed = queue.remove_first([](int v) { return v == 2; });
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(*removed, 2);
+  int item = 0;
+  ASSERT_TRUE(queue.pop(&item));
+  EXPECT_EQ(item, 1);
+  ASSERT_TRUE(queue.pop(&item));
+  EXPECT_EQ(item, 3);
+  EXPECT_FALSE(queue.pop(&item));  // drained; 2 was not handed out twice
+}
+
 TEST(JobQueueTest, TryPopIsNonBlocking) {
   JobQueue<int> queue(4);
   EXPECT_FALSE(queue.try_pop().has_value());

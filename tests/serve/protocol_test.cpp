@@ -314,6 +314,36 @@ TEST(EventTest, StatsReportsEveryGauge) {
   EXPECT_TRUE(v.find("draining")->as_bool());
 }
 
+TEST(ParseRequestTest, StreamJobsTakeThePlanFields) {
+  auto streamed = parse_request(
+      R"({"type":"stream","id":"s1","circuit":"apte","audit":true})");
+  ASSERT_TRUE(streamed.ok()) << streamed.status().to_string();
+  EXPECT_TRUE(streamed.value().job.stream);
+  EXPECT_EQ(streamed.value().job.circuit, "apte");
+  EXPECT_TRUE(streamed.value().job.audit);
+
+  auto plan = parse_request(R"({"type":"plan","id":"p1","circuit":"apte"})");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan.value().job.stream);
+
+  // A stream runs to completion and only on the rabid planner.
+  EXPECT_FALSE(parse_request(R"({"type":"stream","id":"s2",)"
+                             R"("circuit":"apte","deadline_ms":100})")
+                   .ok());
+  EXPECT_FALSE(parse_request(R"({"type":"stream","id":"s3",)"
+                             R"("circuit":"apte","backend":"mcf"})")
+                   .ok());
+}
+
+TEST(EventTest, StreamNetCarriesNetAndState) {
+  EXPECT_EQ(event_stream_net("s1", 17, "parked"),
+            R"({"event":"stream_net","id":"s1","net":17,"state":"parked"})");
+  auto v = parse_event(event_stream_net("s1", 3, "planned"));
+  EXPECT_EQ(v.find("event")->as_string(), "stream_net");
+  EXPECT_EQ(v.find("net")->as_int(), 3);
+  EXPECT_EQ(v.find("state")->as_string(), "planned");
+}
+
 TEST(EventTest, SimpleEventsParse) {
   EXPECT_EQ(parse_event(event_pong()).find("event")->as_string(), "pong");
   EXPECT_EQ(parse_event(event_draining()).find("event")->as_string(),

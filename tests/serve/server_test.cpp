@@ -365,8 +365,125 @@ TEST(ServerTest, DrainCompletesAcceptedJobsRejectsNew) {
     EXPECT_EQ(events.back().find("event")->as_string(), "done")
         << "d" << i << " lost by drain";
   }
-  EXPECT_EQ(server.stats().completed, kJobs);
+  // Counter consistency: after a full drain every accepted job is
+  // accounted for exactly once across the terminal counters.
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, kJobs);
+  EXPECT_EQ(stats.accepted,
+            stats.completed + stats.timed_out + stats.cancelled +
+                stats.failed);
   EXPECT_TRUE(server.draining());
+}
+
+/// The satellite-3 regression: cancelling queued jobs while the server
+/// drains must count each job exactly once — either it completes (it
+/// was popped first) or it is cancelled (it was extracted first), never
+/// both, and never cancelled + rejected.  The old flag-based cancel had
+/// a window where a job could land in both serve.cancelled and the
+/// drained: rejection tally.
+TEST(ServerTest, CancelDuringDrainCountsExactlyOnce) {
+  ServerOptions options;
+  options.workers = 1;
+  options.queue_capacity = 16;
+  CapturingSink sink;  // outlives the server: events arrive until drain ends
+  Server server(options);
+  // Occupy the single worker so the victims stay queued.
+  server.handle_line(plan_line("busy", "ami49"), sink.sink());
+  constexpr int kVictims = 4;
+  for (int i = 0; i < kVictims; ++i) {
+    server.handle_line(plan_line("v" + std::to_string(i), "apte", "low"),
+                       sink.sink());
+  }
+  server.begin_drain();
+  for (int i = 0; i < kVictims; ++i) {
+    server.handle_line(
+        R"({"type":"cancel","id":"v)" + std::to_string(i) + R"("})",
+        sink.sink());
+  }
+  server.drain_and_join();
+
+  // Each victim reached exactly one of done/cancelled — extraction and
+  // drain hand-off are mutually exclusive.
+  int done = 0, cancelled = 0;
+  for (int i = 0; i < kVictims; ++i) {
+    int terminals = 0;
+    for (const auto& event : sink.events_of("v" + std::to_string(i))) {
+      const std::string kind = event.find("event")->as_string();
+      if (kind == "done") { ++done; ++terminals; }
+      if (kind == "cancelled") { ++cancelled; ++terminals; }
+    }
+    EXPECT_EQ(terminals, 1) << "v" << i;
+  }
+  EXPECT_EQ(done + cancelled, kVictims);
+
+  // Counter consistency: accepted == sum of terminal outcomes, with the
+  // cancellations visible exactly once.
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.accepted, kVictims + 1);
+  EXPECT_EQ(stats.cancelled, cancelled);
+  EXPECT_EQ(stats.accepted,
+            stats.completed + stats.timed_out + stats.cancelled +
+                stats.failed);
+}
+
+TEST(ServerTest, StreamJobEmitsPerNetLifecycle) {
+  ServerOptions options;
+  options.workers = 1;
+  CapturingSink sink;  // outlives the server: events arrive until drain ends
+  Server server(options);
+  server.handle_line(
+      R"({"type":"stream","id":"s1","circuit":"apte","audit":true})",
+      sink.sink());
+
+  Value done = sink.wait_terminal("s1");
+  ASSERT_EQ(done.find("event")->as_string(), "done");
+  EXPECT_EQ(done.find("verdict")->as_string(), "ok");
+  const auto* report = done.find("report");
+  ASSERT_NE(report, nullptr);
+  ASSERT_TRUE(report->is_object());
+  EXPECT_EQ(report->find("schema")->as_string(), "rabid.stream_report.v1");
+  const std::int64_t nets = report->find("nets")->as_int();
+  ASSERT_GT(nets, 0);
+  EXPECT_EQ(report->find("admitted")->as_int(), nets);
+  EXPECT_EQ(report->find("invalid")->as_int(), 0);
+  EXPECT_TRUE(report->find("audit_clean")->as_bool());
+
+  // Zero lost, zero duplicated: every net has exactly one admitted
+  // event and ends in exactly one steady state.
+  std::map<std::int64_t, std::vector<std::string>> per_net;
+  for (const Value& event : sink.events_of("s1")) {
+    if (event.find("event")->as_string() == "stream_net") {
+      per_net[event.find("net")->as_int()].push_back(
+          event.find("state")->as_string());
+    }
+  }
+  EXPECT_EQ(per_net.size(), static_cast<std::size_t>(nets));
+  std::int64_t planned = 0, parked = 0;
+  for (const auto& [net, states] : per_net) {
+    EXPECT_EQ(std::count(states.begin(), states.end(), "admitted"), 1)
+        << "net " << net;
+    ASSERT_FALSE(states.empty());
+    EXPECT_EQ(states.front(), "admitted") << "net " << net;
+    const std::string& last = states.back();
+    EXPECT_TRUE(last == "planned" || last == "parked") << "net " << net;
+    ++(last == "planned" ? planned : parked);
+  }
+  EXPECT_EQ(planned, report->find("planned")->as_int());
+  EXPECT_EQ(parked, report->find("parked")->as_int());
+}
+
+TEST(ServerTest, StreamJobWithDeadlineRejectedAtParse) {
+  CapturingSink sink;
+  Server server{ServerOptions{}};
+  server.handle_line(
+      R"({"type":"stream","id":"sd","circuit":"apte","deadline_ms":50})",
+      sink.sink());
+  // Parse-level rejection: an id-less structured error event.
+  bool saw_error = false;
+  for (const Value& event : sink.all_events()) {
+    if (event.find("event")->as_string() == "error") saw_error = true;
+  }
+  EXPECT_TRUE(saw_error);
 }
 
 TEST(ServerTest, DestructorDrains) {

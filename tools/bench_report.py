@@ -11,6 +11,10 @@ BENCH_baseline.json is what arms the CI regression gate.
 curves with peak-RSS columns); committing that report as
 BENCH_scale.json arms the memory/scaling gate.
 
+--suite eco runs bench/eco_latency (incremental ECO replan vs the full
+from-scratch flow, plus the streaming ingest rate); committing that
+report as BENCH_eco.json arms the ECO speedup gate.
+
 A report recorded from a debug build is worthless as a baseline: the
 tool warns loudly when the benchmark context says
 "library_build_type": "debug", and --forbid-debug (CI) turns the
@@ -32,6 +36,7 @@ from pathlib import Path
 SUITES = {
     "flow": ["flow_throughput", "dp_complexity"],
     "scale": ["scale_curves"],
+    "eco": ["eco_latency"],
 }
 
 
@@ -79,10 +84,11 @@ def main():
                         help="optional --benchmark_filter regex")
     parser.add_argument("--suite", choices=sorted(SUITES), default="flow",
                         help="flow: flow_throughput + dp_complexity; "
-                             "scale: scale_curves (default flow)")
+                             "scale: scale_curves; eco: eco_latency "
+                             "(default flow)")
     parser.add_argument("--sizes", default="",
-                        help="scale suite only: comma-separated scale "
-                             "circuit names passed to scale_curves")
+                        help="scale/eco suites only: comma-separated scale "
+                             "circuit names passed to the bench binary")
     parser.add_argument("--shards", type=int, default=0,
                         help="scale suite only: region grid K for the "
                              "sharded stage-2 runs")
@@ -102,9 +108,15 @@ def main():
             extra_args += ["--shards", str(args.shards)]
         if args.threads >= 0:
             extra_args += ["--threads", str(args.threads)]
+    elif args.suite == "eco":
+        if args.sizes:
+            extra_args += ["--sizes", args.sizes]
+        if args.shards > 0 or args.threads >= 0:
+            raise SystemExit("error[invalid-input]: --shards/--threads "
+                             "only apply to --suite scale")
     elif args.sizes or args.shards > 0 or args.threads >= 0:
         raise SystemExit("error[invalid-input]: --sizes/--shards/--threads "
-                         "only apply to --suite scale")
+                         "only apply to --suite scale/eco")
 
     bench_dir = Path(args.build_dir) / "bench"
     merged = {"context": None, "benchmarks": []}

@@ -27,6 +27,12 @@
 //   --json F           write a machine-readable report to F (always;
 //                      failures embed the full audit reports + diffs)
 //   --no-robustness    skip the per-seed deadline/checkpoint sweep
+//   --eco              per seed, also run the incremental-vs-scratch
+//                      ECO sweep (fuzz::run_eco): random perturbations
+//                      replanned incrementally, audited each step, and
+//                      held within epsilon of a from-scratch plan
+//   --eco-steps N      perturbation steps per ECO instance (default 4)
+//   --eco-epsilon X    ECO equivalence bound (default 0.30)
 //   --scratch DIR      writable directory for checkpoint scratch space
 //                      (default: the system temp directory)
 //   --verbose          print every instance, not just failures
@@ -53,6 +59,9 @@ struct Args {
   std::string json;
   std::string scratch;
   bool robustness = true;
+  bool eco = false;
+  std::int32_t eco_steps = 4;
+  double eco_epsilon = 0.30;
   bool verbose = false;
 };
 
@@ -62,6 +71,7 @@ struct Args {
                "usage: fuzz_flow [--instances N] [--seed S]\n"
                "       [--threads-a N] [--threads-b N]\n"
                "       [--time-budget SEC] [--json F] [--no-robustness]\n"
+               "       [--eco] [--eco-steps N] [--eco-epsilon X]\n"
                "       [--scratch DIR] [--verbose]\n");
   std::exit(2);
 }
@@ -92,6 +102,14 @@ Args parse(int argc, char** argv) {
       a.json = value();
     } else if (flag == "--no-robustness") {
       a.robustness = false;
+    } else if (flag == "--eco") {
+      a.eco = true;
+    } else if (flag == "--eco-steps") {
+      a.eco_steps = std::atoi(value());
+      if (a.eco_steps < 1) usage("--eco-steps expects a positive count");
+    } else if (flag == "--eco-epsilon") {
+      a.eco_epsilon = std::atof(value());
+      if (a.eco_epsilon <= 0) usage("--eco-epsilon expects > 0");
     } else if (flag == "--scratch") {
       a.scratch = value();
     } else if (flag == "--verbose") {
@@ -109,9 +127,27 @@ void write_json(const std::string& path, const Args& args,
                 std::int64_t ran, double elapsed_s,
                 const std::vector<rabid::fuzz::FuzzResult>& failures,
                 const std::vector<std::string>& robustness_failures,
-                std::int64_t deadline_expirations) {
+                std::int64_t deadline_expirations,
+                const std::vector<std::string>& eco_failures,
+                std::int64_t eco_replanned) {
   std::ofstream out(path);
   if (!out) usage("cannot open --json file");
+  auto string_list = [&out](const std::vector<std::string>& items) {
+    out << "[";
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      out << (i == 0 ? "\n    " : ",\n    ") << '"';
+      for (const char c : items[i]) {
+        if (c == '"' || c == '\\') out << '\\';
+        if (c == '\n') {
+          out << "\\n";
+        } else {
+          out << c;
+        }
+      }
+      out << '"';
+    }
+    out << (items.empty() ? "]" : "\n  ]");
+  };
   out << "{\n  \"instances_requested\": " << args.instances
       << ",\n  \"instances_run\": " << ran
       << ",\n  \"seed0\": " << args.seed << ",\n  \"threads\": ["
@@ -119,21 +155,13 @@ void write_json(const std::string& path, const Args& args,
       << ",\n  \"elapsed_s\": " << elapsed_s
       << ",\n  \"robustness\": " << (args.robustness ? "true" : "false")
       << ",\n  \"deadline_expirations\": " << deadline_expirations
-      << ",\n  \"robustness_failures\": [";
-  for (std::size_t i = 0; i < robustness_failures.size(); ++i) {
-    out << (i == 0 ? "\n    " : ",\n    ") << '"';
-    for (const char c : robustness_failures[i]) {
-      if (c == '"' || c == '\\') out << '\\';
-      if (c == '\n') {
-        out << "\\n";
-      } else {
-        out << c;
-      }
-    }
-    out << '"';
-  }
-  out << (robustness_failures.empty() ? "]" : "\n  ]")
-      << ",\n  \"failures\": " << failures.size()
+      << ",\n  \"robustness_failures\": ";
+  string_list(robustness_failures);
+  out << ",\n  \"eco\": " << (args.eco ? "true" : "false")
+      << ",\n  \"eco_replanned\": " << eco_replanned
+      << ",\n  \"eco_failures\": ";
+  string_list(eco_failures);
+  out << ",\n  \"failures\": " << failures.size()
       << ",\n  \"failed\": [";
   for (std::size_t i = 0; i < failures.size(); ++i) {
     const rabid::fuzz::FuzzResult& f = failures[i];
@@ -187,9 +215,15 @@ int main(int argc, char** argv) {
         .count();
   };
 
+  rabid::fuzz::EcoFuzzOptions eco_options;
+  eco_options.steps = args.eco_steps;
+  eco_options.epsilon = args.eco_epsilon;
+
   std::vector<rabid::fuzz::FuzzResult> failures;
   std::vector<std::string> robustness_failures;
+  std::vector<std::string> eco_failures;
   std::int64_t deadline_expirations = 0;
+  std::int64_t eco_replanned = 0;
   std::int64_t ran = 0;
   for (; ran < args.instances; ++ran) {
     if (args.time_budget_s > 0.0 && elapsed() > args.time_budget_s) break;
@@ -203,6 +237,15 @@ int main(int argc, char** argv) {
       if (!rob.ok()) {
         std::printf("FAIL %s\n", rob.describe().c_str());
         robustness_failures.push_back(rob.describe());
+      }
+    }
+    if (args.eco) {
+      const rabid::fuzz::EcoFuzzResult eco =
+          rabid::fuzz::run_eco(seed, eco_options);
+      eco_replanned += eco.replanned;
+      if (!eco.ok()) {
+        std::printf("FAIL %s\n", eco.describe().c_str());
+        eco_failures.push_back(eco.describe());
       }
     }
     if (!result.ok()) {
@@ -231,10 +274,19 @@ int main(int argc, char** argv) {
               static_cast<long long>(ran), args.threads_a, args.threads_b,
               failures.size(), robustness_failures.size(),
               static_cast<long long>(deadline_expirations), total_s);
+  if (args.eco) {
+    std::printf("eco:  %zu failures, %lld nets replanned across %lld "
+                "instances\n",
+                eco_failures.size(), static_cast<long long>(eco_replanned),
+                static_cast<long long>(ran));
+  }
   if (!args.json.empty()) {
     write_json(args.json, args, ran, total_s, failures, robustness_failures,
-               deadline_expirations);
+               deadline_expirations, eco_failures, eco_replanned);
     std::printf("wrote report to %s\n", args.json.c_str());
   }
-  return failures.empty() && robustness_failures.empty() ? 0 : 1;
+  return failures.empty() && robustness_failures.empty() &&
+                 eco_failures.empty()
+             ? 0
+             : 1;
 }

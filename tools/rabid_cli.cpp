@@ -61,10 +61,22 @@
 //   --resume           restore the checkpoint in --checkpoint-dir and
 //                      run only the remaining stages (including the
 //                      rest of a mid-stage-2 iteration)
+//   --eco              after the flow, apply a seeded random ECO (a
+//                      fraction of the nets get their pins moved to
+//                      random tiles) and re-plan only its dirty closure
+//                      through the incremental planner (docs/
+//                      INCREMENTAL.md); prints what the replan touched
+//   --eco-perturb F    fraction of nets the ECO moves (default 0.05)
+//   --eco-seed S       ECO perturbation seed (default 1)
+//   --eco-verify       after the replan, plan the perturbed design from
+//                      scratch and hold the incremental solution to the
+//                      declared equivalence bound (audit-clean + within
+//                      epsilon); exit 1 past the bound.  Implies --eco
 //
 // Exit codes (docs/ROBUSTNESS.md): 0 success, 1 audit violations,
 // 2 usage error, 3 input/I-O error, 4 deadline exceeded.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -83,6 +95,7 @@
 #include "core/solution_io.hpp"
 #include "core/status.hpp"
 #include "core/validate.hpp"
+#include "eco/incremental.hpp"
 #include "obs/trace.hpp"
 #include "netlist/io.hpp"
 #include "report/heatmap.hpp"
@@ -120,6 +133,10 @@ struct Args {
   std::string checkpoint_dir;
   bool resume = false;
   std::string buffer_library;  // planning preset: unit|paper2|paper4
+  bool eco = false;
+  double eco_perturb = 0.05;
+  std::uint64_t eco_seed = 1;
+  bool eco_verify = false;
 };
 
 [[noreturn]] void usage(const char* msg) {
@@ -134,7 +151,9 @@ struct Args {
                "       [--two-pin] [--backend rabid|bbp|mcf] [--dump-design F]\n"
                "       [--dump-solution F] [--heatmaps] [--deadline-ms MS]\n"
                "       [--checkpoint-dir D] [--resume]\n"
-               "       [--buffer-library unit|paper2|paper4]\n");
+               "       [--buffer-library unit|paper2|paper4]\n"
+               "       [--eco] [--eco-perturb F] [--eco-seed S]\n"
+               "       [--eco-verify]\n");
   std::exit(2);
 }
 
@@ -225,6 +244,17 @@ Args parse(int argc, char** argv) {
       rabid::buffer::BufferLibrary probe;
       if (!rabid::buffer::BufferLibrary::preset(a.buffer_library, &probe))
         usage("--buffer-library expects unit, paper2, or paper4");
+    } else if (flag == "--eco") {
+      a.eco = true;
+    } else if (flag == "--eco-perturb") {
+      a.eco_perturb = std::atof(value());
+      if (a.eco_perturb <= 0.0 || a.eco_perturb > 1.0)
+        usage("--eco-perturb expects a fraction in (0, 1]");
+    } else if (flag == "--eco-seed") {
+      a.eco_seed = std::strtoull(value(), nullptr, 10);
+    } else if (flag == "--eco-verify") {
+      a.eco_verify = true;
+      a.eco = true;
     } else if (flag == "--help" || flag == "-h") {
       usage(nullptr);
     } else {
@@ -252,8 +282,13 @@ Args parse(int argc, char** argv) {
   if (a.backend != rabid::core::Backend::kRabid &&
       (a.resume || !a.checkpoint_dir.empty() || a.deadline_ms > 0 ||
        a.post || a.dijkstra || a.no_dirty_filter || a.stage2_shards > 0 ||
-       a.stages != 4 || a.vg > 0))
+       a.stages != 4 || a.vg > 0 || a.eco))
     usage("stage/checkpoint/deadline flags apply to --backend rabid only");
+  // The ECO adopts the finished four-stage solution; a partial flow
+  // (early stages, a deadline) or a vg-rebuffered one is not that.
+  if (a.eco && (a.stages != 4 || a.deadline_ms > 0 || a.vg > 0))
+    usage("--eco needs the full four-stage flow "
+          "(no --stages/--deadline-ms/--vg)");
   return a;
 }
 
@@ -523,6 +558,45 @@ int main(int argc, char** argv) {
       }
       out << report::render_svg(design, graph, rabid.nets());
       std::printf("wrote plot to %s\n", args.svg.c_str());
+    }
+    // ECO last: everything above reports the batch solution; from here
+    // on the graph's books belong to the incremental planner.
+    if (args.eco) {
+      eco::EcoOptions eopt;
+      eopt.tech = options.tech;
+      eopt.buffer_library = options.buffer_library;
+      eco::IncrementalPlanner planner(design, graph, rabid.nets(), eopt);
+      const eco::Perturbation perturbation = eco::random_move_perturbation(
+          planner, args.eco_perturb, args.eco_seed);
+      eco::ReplanStats stats;
+      const auto t0 = std::chrono::steady_clock::now();
+      if (core::Status s = planner.replan(perturbation, &stats); !s) {
+        return fail(s);
+      }
+      const double ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      std::printf("\neco: moved %zu nets (%.1f%% of %zu, seed %llu); "
+                  "replanned %lld, kept %lld, %lld closure iterations, "
+                  "%.1f ms\n",
+                  perturbation.moved_nets.size(), 100.0 * args.eco_perturb,
+                  planner.design().nets().size(),
+                  static_cast<unsigned long long>(args.eco_seed),
+                  static_cast<long long>(stats.dirty_nets),
+                  static_cast<long long>(stats.kept_nets),
+                  static_cast<long long>(stats.iterations), ms);
+      if (args.eco_verify) {
+        const eco::EquivalenceReport report =
+            eco::compare_with_scratch(planner);
+        std::printf("eco verify: %s\n", report.summary().c_str());
+        if (!report.within(eopt.equivalence_epsilon)) {
+          std::printf("eco verify: FAILED the declared equivalence bound "
+                      "(epsilon %.2f)\n",
+                      eopt.equivalence_epsilon);
+          rc = 1;
+        }
+      }
     }
   }
 

@@ -224,6 +224,62 @@ def cmd_submit(conn, args, fail):
 
 
 # ---------------------------------------------------------------------
+# stream: one streaming ingest job; verify the per-net lifecycle.
+
+def cmd_stream(conn, args, fail):
+    job_id = args.id
+    req = {"type": "stream", "id": job_id, "circuit": args.circuit}
+    if args.audit:
+        req["audit"] = True
+    conn.send(req)
+    event = conn.wait_terminal(job_id, timeout=args.timeout)
+    if not fail.check(event is not None, f"{job_id}: no terminal event"):
+        return
+    fail.check(event.get("event") == "done",
+               f"{job_id}: terminal event {event.get('event')!r}")
+    report = event.get("report") or {}
+    fail.check(report.get("schema") == "rabid.stream_report.v1",
+               f"{job_id}: bad report schema {report.get('schema')!r}")
+
+    # Zero lost, zero duplicated: every net the report counts showed up
+    # with exactly one admitted event and ended planned or parked.
+    per_net = {}
+    for e in conn.events_of(job_id):
+        if e.get("event") == "stream_net":
+            per_net.setdefault(e.get("net"), []).append(e.get("state"))
+    nets = report.get("nets", -1)
+    fail.check(len(per_net) == nets,
+               f"{job_id}: {len(per_net)} nets saw events, report says "
+               f"{nets}")
+    planned = parked = 0
+    for net, states in sorted(per_net.items()):
+        fail.check(states.count("admitted") == 1,
+                   f"{job_id}: net {net} admitted "
+                   f"{states.count('admitted')} times")
+        fail.check(bool(states) and states[0] == "admitted",
+                   f"{job_id}: net {net} first event {states[:1]!r}")
+        last = states[-1] if states else None
+        fail.check(last in ("planned", "parked"),
+                   f"{job_id}: net {net} ends in {last!r}")
+        if last == "planned":
+            planned += 1
+        elif last == "parked":
+            parked += 1
+    fail.check(planned == report.get("planned"),
+               f"{job_id}: {planned} nets ended planned, report says "
+               f"{report.get('planned')}")
+    fail.check(parked == report.get("parked"),
+               f"{job_id}: {parked} nets ended parked, report says "
+               f"{report.get('parked')}")
+    if args.audit:
+        fail.check(report.get("audit_clean") is True,
+                   f"{job_id}: stream audit not clean")
+    print(json.dumps({"id": job_id, "verdict": event.get("verdict"),
+                      "nets": nets, "planned": planned, "parked": parked,
+                      "retried": report.get("retried")}))
+
+
+# ---------------------------------------------------------------------
 # smoke: the serve-smoke CI scenario.
 
 SMOKE_CIRCUITS = ["apte", "xerox", "hp"]
@@ -461,8 +517,78 @@ def cmd_soak(args, fail):
         t.join(timeout=600)
         fail.check(not t.is_alive(), "soak client thread failed to settle")
 
+    # Cancel-during-drain: build a fresh backlog, pull the plug, then
+    # race cancels against the draining workers.  Each job must settle
+    # with exactly one of done/cancelled — the double-count bug showed
+    # up as a job in both serve.cancelled and the drained: tally.
+    drain_conn = Connection("127.0.0.1", server.port)
+    drain_ids = [f"draincancel-{i}" for i in range(8)]
+    for job_id in drain_ids:
+        drain_conn.send(plan(job_id, "apte", "low", audit=True))
+    for job_id in drain_ids:
+        deadline = time.time() + 60
+        while time.time() < deadline:
+            if drain_conn.events_of(job_id):
+                break
+            time.sleep(0.002)
     server.sigterm()
+    for job_id in drain_ids:
+        drain_conn.send({"type": "cancel", "id": job_id})
+    drain_done = drain_cancelled = 0
+    for job_id in drain_ids:
+        # A "rejected" event for this id answers the cancel request
+        # (job already running); it is a terminal event but not the
+        # job's outcome, so wait for done/cancelled specifically.
+        deadline = time.time() + 300
+        outcomes = []
+        while time.time() < deadline:
+            outcomes = [e for e in drain_conn.events_of(job_id)
+                        if e.get("event") in ("done", "cancelled")]
+            if outcomes:
+                break
+            time.sleep(0.01)
+        if not fail.check(bool(outcomes),
+                          f"{job_id}: lost during cancel-during-drain"):
+            continue
+        if not fail.check(len(outcomes) == 1,
+                          f"{job_id}: outcome events "
+                          f"{[e.get('event') for e in outcomes]} during "
+                          "drain, expected exactly one of done/cancelled"):
+            continue
+        outcome = outcomes[0]
+        fail.check(len(outcomes) == 1,
+                   f"{job_id}: outcome events "
+                   f"{[e.get('event') for e in outcomes]} during drain, "
+                   "expected exactly one of done/cancelled")
+        if outcome.get("event") == "cancelled":
+            drain_cancelled += 1
+            bump("cancelled")
+        else:
+            drain_done += 1
+            bump("timed_out" if outcome.get("verdict") == "timed_out"
+                 else "done")
+            audit = outcome.get("report", {}).get("audit") or {}
+            if audit.get("run"):
+                if audit.get("clean"):
+                    bump("audited_clean")
+                else:
+                    bump("audit_violations")
+                    fail.add(f"{job_id}: audit violations during drain")
+    print(f"cancel-during-drain: {drain_done} done, "
+          f"{drain_cancelled} cancelled")
+
     rc = server.wait(timeout=300)
+    # The server has exited, so every event line has been delivered:
+    # now the exactly-one check is race-free.  A double-counted cancel
+    # would show as both a done and a cancelled event for one id.
+    drain_conn.closed.wait(timeout=60)
+    for job_id in drain_ids:
+        kinds = [e.get("event") for e in drain_conn.events_of(job_id)
+                 if e.get("event") in ("done", "cancelled")]
+        fail.check(len(kinds) == 1,
+                   f"{job_id}: outcome events {kinds} after drain, "
+                   "expected exactly one of done/cancelled")
+    drain_conn.close()
     fail.check(rc == 0, f"soak server exited {rc}, expected 0 (clean drain)")
     fail.check(stats["audit_violations"] == 0,
                f"{stats['audit_violations']} jobs had audit violations")
@@ -505,6 +631,14 @@ def main():
                          help="jobs thrown at the tiny overload queue")
     p_smoke.add_argument("--drain-jobs", type=int, default=6)
 
+    p_stream = sub.add_parser("stream",
+                              help="run one streaming ingest job and "
+                                   "verify the per-net lifecycle")
+    p_stream.add_argument("--circuit", default="apte")
+    p_stream.add_argument("--id", default="stream")
+    p_stream.add_argument("--audit", action="store_true")
+    p_stream.add_argument("--timeout", type=float, default=300)
+
     p_soak = sub.add_parser("soak", help="sustained load + random kills")
     p_soak.add_argument("--duration", type=float, default=120)
     p_soak.add_argument("--clients", type=int, default=4)
@@ -525,23 +659,24 @@ def main():
         else:
             cmd_soak(args, fail)
     else:
+        run = cmd_stream if args.command == "stream" else cmd_submit
         if args.connect:
             host, _, port = args.connect.rpartition(":")
             conn = Connection(host or "127.0.0.1", int(port))
-            cmd_submit(conn, args, fail)
+            run(conn, args, fail)
             conn.close()
         elif args.spawn:
             server = ServerProc(args.spawn, log_path=args.server_log)
             try:
                 conn = Connection("127.0.0.1", server.port)
-                cmd_submit(conn, args, fail)
+                run(conn, args, fail)
                 conn.close()
             finally:
                 server.sigterm()
                 rc = server.wait()
                 fail.check(rc == 0, f"server exited {rc}")
         else:
-            parser.error("submit needs --connect or --spawn")
+            parser.error(f"{args.command} needs --connect or --spawn")
 
     if fail.items:
         print(f"\n{len(fail.items)} failure(s)", file=sys.stderr)
